@@ -1,0 +1,229 @@
+//! GNN-LRP (Schnake et al., 2021): decomposition-based flow scoring.
+//!
+//! Implemented as a z⁺-rule relevance decomposition chained along message
+//! flows (DESIGN.md §4): at each layer, a node's relevance is distributed
+//! over its incoming layer edges proportionally to the positive mass of the
+//! message each edge carries. Because the per-node distribution ratios do
+//! not depend on the relevance amount, a flow's score factorises into the
+//! product of its per-layer shares times the relevance seeded at its end
+//! node — mirroring GNN-LRP's walk-wise relevance with an `L`-fold chain.
+//!
+//! Like the original, the method is **model-specific**: it supports GCN and
+//! GIN but not GAT (the paper notes the same limitation).
+
+use revelio_core::{aggregate_flow_scores, Explainer, Explanation, FlowScores};
+use revelio_gnn::{Gnn, Instance, Layer, Task};
+use revelio_graph::{FlowIndex, Target};
+
+/// The GNN-LRP baseline.
+pub struct GnnLrp {
+    /// Flow-enumeration cap (explicit failure beyond it).
+    pub max_flows: usize,
+}
+
+impl Default for GnnLrp {
+    fn default() -> Self {
+        GnnLrp {
+            max_flows: 2_000_000,
+        }
+    }
+}
+
+impl GnnLrp {
+    /// Positive message mass `p_e` per layer edge for one layer, given the
+    /// layer's input `h` (row-major `[n, d]`).
+    fn positive_message_mass(
+        layer: &Layer,
+        instance: &Instance,
+        h: &[f32],
+        d: usize,
+    ) -> Vec<f32> {
+        let mp = &instance.mp;
+        let norm = mp.gcn_norm();
+        match layer {
+            Layer::Gcn { weight, .. } => {
+                // msg_e = (h[src] · W) * norm_e; mass = Σ_dim max(0, msg).
+                let w = weight.data();
+                let (din, dout) = weight.shape();
+                assert_eq!(din, d, "layer input dim mismatch");
+                // Precompute per-node transformed positive mass.
+                let n = mp.num_nodes();
+                let mut node_mass = vec![0.0f32; n];
+                for v in 0..n {
+                    let row = &h[v * d..(v + 1) * d];
+                    let mut mass = 0.0f32;
+                    for j in 0..dout {
+                        let mut acc = 0.0f32;
+                        for (i, &hv) in row.iter().enumerate() {
+                            acc += hv * w[i * dout + j];
+                        }
+                        mass += acc.max(0.0);
+                    }
+                    node_mass[v] = mass;
+                }
+                (0..mp.layer_edge_count())
+                    .map(|e| node_mass[mp.src()[e]] * norm[e])
+                    .collect()
+            }
+            Layer::Gin { .. } => {
+                // msg_e = h[src]; mass = Σ_dim max(0, h).
+                let n = mp.num_nodes();
+                let mut node_mass = vec![0.0f32; n];
+                for v in 0..n {
+                    node_mass[v] = h[v * d..(v + 1) * d].iter().map(|x| x.max(0.0)).sum();
+                }
+                (0..mp.layer_edge_count())
+                    .map(|e| node_mass[mp.src()[e]])
+                    .collect()
+            }
+            Layer::Gat { .. } => {
+                panic!("GNN-LRP is not compatible with GAT (model-specific method)")
+            }
+        }
+    }
+}
+
+impl Explainer for GnnLrp {
+    fn name(&self) -> &'static str {
+        "GNN-LRP"
+    }
+
+    fn explain(&self, model: &Gnn, instance: &Instance) -> Explanation {
+        let layers = model.num_layers();
+        let mp = &instance.mp;
+        let index = FlowIndex::build(mp, layers, instance.target, self.max_flows)
+            .unwrap_or_else(|e| panic!("GNN-LRP: {e}"));
+
+        // Layer inputs: features, then each layer's output.
+        let outs = model.forward_layers(mp, &instance.x, None);
+        let mut inputs: Vec<(Vec<f32>, usize)> =
+            vec![(instance.x.to_vec(), instance.x.cols())];
+        for out in outs.iter().take(layers - 1) {
+            inputs.push((out.to_vec(), out.cols()));
+        }
+
+        // Per-layer in-edge shares.
+        let mut shares: Vec<Vec<f32>> = Vec::with_capacity(layers);
+        for (l, layer) in model.layers().iter().enumerate() {
+            let (h, d) = &inputs[l];
+            let mass = Self::positive_message_mass(layer, instance, h, *d);
+            // Normalise within each destination node's in-edges.
+            let mut denom = vec![0.0f32; mp.num_nodes()];
+            for e in 0..mp.layer_edge_count() {
+                denom[mp.dst()[e]] += mass[e];
+            }
+            let share: Vec<f32> = (0..mp.layer_edge_count())
+                .map(|e| {
+                    let dst = mp.dst()[e];
+                    if denom[dst] > 0.0 {
+                        mass[e] / denom[dst]
+                    } else {
+                        // Uniform fallback when no positive mass reaches dst.
+                        1.0 / mp.in_degree(dst) as f32
+                    }
+                })
+                .collect();
+            shares.push(share);
+        }
+
+        // Relevance seeded at the flow's end node.
+        let end_relevance: Vec<f32> = match (model.config().task, instance.target) {
+            (Task::NodeClassification, Target::Node(_)) => vec![1.0; mp.num_nodes()],
+            (Task::GraphClassification, Target::Graph) => {
+                // Positive readout contribution of each node to the class.
+                let h = outs.last().expect("layers").to_vec();
+                let d = outs.last().expect("layers").cols();
+                let (w, _) = model.readout().expect("graph task readout");
+                let wd = w.data();
+                let c = instance.class;
+                let cols = w.cols();
+                let mut r: Vec<f32> = (0..mp.num_nodes())
+                    .map(|v| {
+                        let contrib: f32 = (0..d)
+                            .map(|j| h[v * d + j] * wd[j * cols + c])
+                            .sum();
+                        contrib.max(0.0)
+                    })
+                    .collect();
+                let total: f32 = r.iter().sum();
+                if total > 0.0 {
+                    for x in &mut r {
+                        *x /= total;
+                    }
+                } else {
+                    r.fill(1.0 / mp.num_nodes() as f32);
+                }
+                r
+            }
+            (task, target) => panic!("target {target:?} does not match task {task:?}"),
+        };
+
+        // Flow score = end relevance × product of per-layer shares.
+        let scores: Vec<f32> = (0..index.num_flows())
+            .map(|f| {
+                let edges = index.flow(f);
+                let end = mp.dst()[edges[layers - 1] as usize];
+                let mut s = end_relevance[end];
+                for (l, &e) in edges.iter().enumerate() {
+                    s *= shares[l][e as usize];
+                }
+                s
+            })
+            .collect();
+
+        let (layer_edge_scores, edge_scores) = aggregate_flow_scores(mp, &index, &scores);
+        Explanation {
+            edge_scores,
+            layer_edge_scores: Some(layer_edge_scores),
+            flows: Some(FlowScores { index, scores }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revelio_gnn::GnnConfig;
+    use revelio_gnn::GnnKind;
+    use revelio_graph::Graph;
+
+    fn setup(kind: GnnKind) -> (Gnn, Instance) {
+        let mut b = Graph::builder(4, 2);
+        b.undirected_edge(0, 1)
+            .undirected_edge(1, 2)
+            .undirected_edge(2, 3);
+        for v in 0..4 {
+            b.node_features(v, &[1.0, v as f32 * 0.3]);
+        }
+        let g = b.build();
+        let model = Gnn::new(GnnConfig::standard(kind, Task::NodeClassification, 2, 2, 91));
+        let inst = Instance::for_prediction(&model, g, Target::Node(1));
+        (model, inst)
+    }
+
+    #[test]
+    fn flow_scores_sum_to_seeded_relevance() {
+        let (model, inst) = setup(GnnKind::Gcn);
+        let exp = GnnLrp::default().explain(&model, &inst);
+        let flows = exp.flows.expect("flow scores present");
+        // Shares are normalised per node, so flow scores ending at the
+        // target sum to the seeded relevance (1.0).
+        let total: f32 = flows.scores.iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "total relevance {total}");
+        assert!(flows.scores.iter().all(|s| *s >= 0.0));
+    }
+
+    #[test]
+    fn gin_supported() {
+        let (model, inst) = setup(GnnKind::Gin);
+        let exp = GnnLrp::default().explain(&model, &inst);
+        assert_eq!(exp.edge_scores.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "not compatible with GAT")]
+    fn gat_rejected() {
+        let (model, inst) = setup(GnnKind::Gat);
+        let _ = GnnLrp::default().explain(&model, &inst);
+    }
+}

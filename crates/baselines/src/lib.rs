@@ -1,0 +1,37 @@
+//! Baseline GNN explainers (§V-A of the paper).
+//!
+//! Nine baselines spanning every family of the Yuan et al. taxonomy:
+//!
+//! | Method | Family | Output granularity |
+//! |---|---|---|
+//! | [`GradCam`] | gradient-based | node → edge |
+//! | [`DeepLift`] | gradient-based | feature → node → edge |
+//! | [`GnnExplainer`] | perturbation (learned mask) | edge |
+//! | [`PgExplainer`] | perturbation, group-level | edge |
+//! | [`GraphMask`] | perturbation, group-level | layer edge |
+//! | [`PgmExplainer`] | surrogate (probabilistic) | node → edge |
+//! | [`SubgraphX`] | search (MCTS + Shapley) | subgraph → edge |
+//! | [`GnnLrp`] | decomposition | message flow |
+//! | [`FlowX`] | perturbation (Shapley + learning) | message flow |
+//!
+//! Each implements [`revelio_core::Explainer`] so the evaluation harness can
+//! treat them uniformly. The algorithmic variant implemented for each method
+//! is documented in `DESIGN.md` §4.
+
+mod flowx;
+mod gnn_explainer;
+mod gnn_lrp;
+mod gradient;
+mod graph_mask;
+mod pg_explainer;
+mod pgm_explainer;
+mod subgraphx;
+
+pub use flowx::{FlowX, FlowXConfig};
+pub use gnn_explainer::{GnnExplainer, GnnExplainerConfig};
+pub use gnn_lrp::GnnLrp;
+pub use gradient::{DeepLift, GradCam};
+pub use graph_mask::{GraphMask, GraphMaskConfig};
+pub use pg_explainer::{PgExplainer, PgExplainerConfig};
+pub use pgm_explainer::{PgmExplainer, PgmExplainerConfig};
+pub use subgraphx::{SubgraphX, SubgraphXConfig};

@@ -1,0 +1,198 @@
+//! Behavioural tests of the baseline explainers beyond the shared contract:
+//! method-specific invariants from their defining papers.
+
+use revelio_baselines::{
+    FlowX, FlowXConfig, GnnExplainer, GnnExplainerConfig, GnnLrp, GradCam, PgmExplainer,
+    PgmExplainerConfig, SubgraphX, SubgraphXConfig,
+};
+use revelio_core::{Explainer, Objective};
+use revelio_gnn::{
+    train_node_classifier, Gnn, GnnConfig, GnnKind, Instance, Task, TrainConfig,
+};
+use revelio_graph::{Graph, Target};
+
+/// A small trained model on a two-community graph where edges inside the
+/// target's community matter.
+fn trained_setup() -> (Gnn, Instance) {
+    let mut b = Graph::builder(8, 2);
+    // Community A: 0-1-2-3 (path + chord), community B: 4-5-6-7, one bridge.
+    b.undirected_edge(0, 1)
+        .undirected_edge(1, 2)
+        .undirected_edge(2, 3)
+        .undirected_edge(0, 2)
+        .undirected_edge(4, 5)
+        .undirected_edge(5, 6)
+        .undirected_edge(6, 7)
+        .undirected_edge(3, 4);
+    let labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
+    for v in 0..8 {
+        let c = labels[v] as f32;
+        b.node_features(v, &[1.0 - c, c]);
+    }
+    b.node_labels(labels);
+    let g = b.build();
+    let model = Gnn::new(GnnConfig::standard(
+        GnnKind::Gcn,
+        Task::NodeClassification,
+        2,
+        2,
+        17,
+    ));
+    train_node_classifier(
+        &model,
+        &g,
+        &(0..8).collect::<Vec<_>>(),
+        &TrainConfig {
+            epochs: 80,
+            weight_decay: 0.0,
+            ..Default::default()
+        },
+    );
+    let inst = Instance::for_prediction(&model, g, Target::Node(1));
+    (model, inst)
+}
+
+#[test]
+fn gnn_lrp_flow_relevance_is_conserved() {
+    let (model, inst) = trained_setup();
+    let exp = GnnLrp::default().explain(&model, &inst);
+    let flows = exp.flows.expect("flow scores");
+    let total: f32 = flows.scores.iter().sum();
+    // z+-rule shares are normalised per node, so total relevance routed to
+    // the target equals the seeded unit.
+    assert!((total - 1.0).abs() < 1e-3, "total relevance {total}");
+    assert!(flows.scores.iter().all(|s| *s >= 0.0));
+}
+
+#[test]
+fn gnn_lrp_prefers_near_flows_over_far_ones() {
+    let (model, inst) = trained_setup();
+    let exp = GnnLrp::default().explain(&model, &inst);
+    let flows = exp.flows.expect("flow scores");
+    // The self-loop-only flow (1→1→1→1) should carry more relevance than any
+    // flow starting three hops away across the bridge.
+    let mut self_flow = None;
+    let mut far_max = 0.0f32;
+    for f in 0..flows.index.num_flows() {
+        let nodes = flows.index.flow_nodes(&inst.mp, f);
+        if nodes.iter().all(|&v| v == 1) {
+            self_flow = Some(flows.scores[f]);
+        }
+        if nodes[0] >= 4 {
+            far_max = far_max.max(flows.scores[f]);
+        }
+    }
+    let self_score = self_flow.expect("self flow exists");
+    assert!(
+        self_score > far_max,
+        "self flow {self_score} should outrank cross-bridge flows ({far_max})"
+    );
+}
+
+#[test]
+fn flowx_shapley_estimates_average_prediction_drops() {
+    let (model, inst) = trained_setup();
+    let exp = FlowX::new(FlowXConfig {
+        samples: 20,
+        epochs: 0, // isolate stage 1
+        ..Default::default()
+    })
+    .explain(&model, &inst);
+    let flows = exp.flows.expect("flow scores");
+    // Marginal contributions are prediction-probability deltas divided among
+    // flows, so they are bounded by 1 in magnitude and not all zero.
+    assert!(flows.scores.iter().all(|s| s.abs() <= 1.0));
+    assert!(flows.scores.iter().any(|s| *s != 0.0));
+}
+
+#[test]
+fn gnnexplainer_size_penalty_shrinks_masks() {
+    let (model, inst) = trained_setup();
+    let mean_mask = |size_coeff: f32| {
+        let exp = GnnExplainer::new(GnnExplainerConfig {
+            epochs: 120,
+            size_coeff,
+            entropy_coeff: 0.0,
+            ..Default::default()
+        })
+        .explain(&model, &inst);
+        exp.edge_scores.iter().sum::<f32>() / exp.edge_scores.len() as f32
+    };
+    let loose = mean_mask(0.0);
+    let tight = mean_mask(2.0);
+    assert!(tight < loose, "size penalty must shrink masks: {loose} -> {tight}");
+}
+
+#[test]
+fn pgm_explainer_scores_connected_nodes_over_far_ones() {
+    let (model, inst) = trained_setup();
+    let exp = PgmExplainer::new(PgmExplainerConfig {
+        samples: 200,
+        ..Default::default()
+    })
+    .explain(&model, &inst);
+    // Mean score of edges touching the target's 1-hop neighbourhood vs the
+    // far community.
+    let near: Vec<f32> = inst
+        .graph
+        .edges()
+        .iter()
+        .zip(&exp.edge_scores)
+        .filter(|(&(s, d), _)| s <= 3 && d <= 3)
+        .map(|(_, &sc)| sc)
+        .collect();
+    let far: Vec<f32> = inst
+        .graph
+        .edges()
+        .iter()
+        .zip(&exp.edge_scores)
+        .filter(|(&(s, d), _)| s >= 4 && d >= 4)
+        .map(|(_, &sc)| sc)
+        .collect();
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+    assert!(
+        mean(&near) >= mean(&far),
+        "near {:.4} vs far {:.4}",
+        mean(&near),
+        mean(&far)
+    );
+}
+
+#[test]
+fn subgraphx_never_scores_above_probability_one() {
+    let (model, inst) = trained_setup();
+    let exp = SubgraphX::new(SubgraphXConfig {
+        rollouts: 12,
+        ..Default::default()
+    })
+    .explain(&model, &inst);
+    assert!(exp.edge_scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    // At least one subgraph containing the target's community scored well.
+    assert!(exp.edge_scores.iter().any(|&s| s > 0.3));
+}
+
+#[test]
+fn gradcam_is_nonnegative_by_construction() {
+    let (model, inst) = trained_setup();
+    let exp = GradCam.explain(&model, &inst);
+    assert!(exp.edge_scores.iter().all(|&s| s >= 0.0));
+}
+
+#[test]
+fn counterfactual_gnnexplainer_prefers_removing_informative_edges() {
+    let (model, inst) = trained_setup();
+    let factual = GnnExplainer::new(GnnExplainerConfig {
+        epochs: 150,
+        ..Default::default()
+    })
+    .explain(&model, &inst);
+    let counter = GnnExplainer::new(GnnExplainerConfig {
+        epochs: 150,
+        objective: Objective::Counterfactual,
+        ..Default::default()
+    })
+    .explain(&model, &inst);
+    // Both must be valid distributions over edges but need not agree.
+    assert_eq!(factual.edge_scores.len(), counter.edge_scores.len());
+    assert!(counter.edge_scores.iter().all(|s| (0.0..=1.0).contains(s)));
+}

@@ -1,0 +1,53 @@
+//! Benchmarks one explanation per method on a fixed Tree-Cycles instance —
+//! the per-instance latency comparison behind Table V.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use revelio_core::Objective;
+use revelio_datasets::tree_cycles;
+use revelio_eval::{make_method, sample_instances, Effort, SamplingConfig};
+use revelio_gnn::{Gnn, GnnConfig, GnnKind, Task};
+
+fn bench_explainers(c: &mut Criterion) {
+    let dataset = revelio_datasets::Dataset::Node(tree_cycles(0));
+    let model = Gnn::new(GnnConfig::standard(
+        GnnKind::Gcn,
+        Task::NodeClassification,
+        10,
+        2,
+        0,
+    ));
+    let instances = sample_instances(
+        &dataset,
+        &model,
+        &SamplingConfig {
+            count: 1,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    let instance = &instances[0].instance;
+
+    let mut group = c.benchmark_group("explainers_table5");
+    group.sample_size(10);
+    for method in [
+        "GradCAM",
+        "DeepLIFT",
+        "GNNExplainer",
+        "PGMExplainer",
+        "SubgraphX",
+        "GNN-LRP",
+        "FlowX",
+        "REVELIO",
+    ] {
+        group.bench_function(method, |bench| {
+            let explainer = make_method(method, Objective::Factual, Effort::Quick, 0);
+            bench.iter(|| black_box(explainer.explain(&model, instance)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explainers);
+criterion_main!(benches);

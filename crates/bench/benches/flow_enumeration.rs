@@ -1,0 +1,45 @@
+//! Benchmarks message-flow enumeration and incidence-index construction as
+//! the computation graph grows (the substrate cost behind Table II).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use revelio_graph::{count_flows, FlowIndex, Graph, MpGraph, Target};
+
+fn wheel(spokes: usize) -> MpGraph {
+    let mut b = Graph::builder(spokes + 1, 1);
+    for i in 0..spokes {
+        b.undirected_edge(0, 1 + i);
+        b.undirected_edge(1 + i, 1 + (i + 1) % spokes);
+    }
+    MpGraph::new(&b.build())
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_flows");
+    for &spokes in &[8usize, 16, 32] {
+        let mp = wheel(spokes);
+        group.bench_with_input(BenchmarkId::from_parameter(spokes), &spokes, |bench, _| {
+            bench.iter(|| black_box(count_flows(&mp, 3, Target::Node(0))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_index_build");
+    for &spokes in &[8usize, 16, 32] {
+        let mp = wheel(spokes);
+        let flows = count_flows(&mp, 3, Target::Node(0));
+        group.throughput(criterion::Throughput::Elements(flows));
+        group.bench_with_input(BenchmarkId::from_parameter(spokes), &spokes, |bench, _| {
+            bench.iter(|| {
+                black_box(FlowIndex::build(&mp, 3, Target::Node(0), 10_000_000).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Benchmarks one REVELIO learning epoch versus graph size — the empirical
+//! counterpart of Table II's `O(T(L|F| + T_Φ))` per-epoch cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use revelio_core::{Explainer, Revelio, RevelioConfig};
+use revelio_gnn::{Gnn, GnnConfig, GnnKind, Instance, Task};
+use revelio_graph::{Graph, Target};
+
+fn ring_with_chords(n: usize) -> Graph {
+    let mut b = Graph::builder(n, 4);
+    for i in 0..n {
+        b.undirected_edge(i, (i + 1) % n);
+    }
+    for i in (0..n).step_by(4) {
+        let j = (i + n / 2) % n;
+        if !b.has_edge(i, j) && i != j {
+            b.undirected_edge(i, j);
+        }
+    }
+    for v in 0..n {
+        b.node_features(v, &[1.0, (v % 2) as f32, (v % 3) as f32, 0.1]);
+    }
+    b.build()
+}
+
+fn bench_revelio_epochs(c: &mut Criterion) {
+    let model = Gnn::new(GnnConfig::standard(
+        GnnKind::Gcn,
+        Task::NodeClassification,
+        4,
+        2,
+        0,
+    ));
+    let mut group = c.benchmark_group("revelio_5_epochs");
+    group.sample_size(10);
+    for &n in &[16usize, 32, 64] {
+        let g = ring_with_chords(n);
+        let instance = Instance::for_prediction(&model, g, Target::Node(0));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let r = Revelio::new(RevelioConfig {
+                    epochs: 5,
+                    ..Default::default()
+                });
+                black_box(r.explain(&model, &instance))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_revelio_epochs);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Empirically reproduces **Table II**: how the running time of each method
+//! scales with the number of message flows `|F|`.
+//!
+//! Synthetic star-of-cliques graphs of growing size are explained by
+//! GNNExplainer (`O(T(|E| + T_Φ))`), GNN-LRP (`O(|F|·...)`), FlowX
+//! (`O(S(|F| + L|E|T_Φ))`) and REVELIO (`O(T(L|F| + T_Φ))`); the printed
+//! series shows the flow-dependent blow-up of GNN-LRP/FlowX versus the
+//! epoch-dominated REVELIO/GNNExplainer, the paper's qualitative claim.
+//!
+//! ```text
+//! cargo run -p revelio-bench --release --bin table2_complexity [--full]
+//! ```
+
+use std::time::Instant;
+
+use revelio_core::Objective;
+use revelio_eval::{experiments_dir, make_method, Effort, Table};
+use revelio_gnn::{Gnn, GnnConfig, GnnKind, Instance, Task};
+use revelio_graph::{count_flows, Graph, MpGraph, Target};
+
+/// A wheel graph: a hub connected to `spokes` nodes arranged in a ring.
+/// Flow count toward the hub grows roughly cubically in the spoke count for
+/// a 3-layer GNN.
+fn wheel(spokes: usize) -> Graph {
+    let n = spokes + 1;
+    let mut b = Graph::builder(n, 4);
+    for i in 0..spokes {
+        b.undirected_edge(0, 1 + i);
+        b.undirected_edge(1 + i, 1 + (i + 1) % spokes);
+    }
+    for v in 0..n {
+        b.node_features(v, &[1.0, (v % 3) as f32, (v % 5) as f32 * 0.2, 0.5]);
+    }
+    b.build()
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let effort = if full { Effort::Paper } else { Effort::Quick };
+    let sizes: &[usize] = if full {
+        &[32, 128, 512, 1024, 2048]
+    } else {
+        &[32, 128, 512]
+    };
+    let methods = ["GNNExplainer", "GNN-LRP", "FlowX", "REVELIO"];
+
+    let model = Gnn::new(GnnConfig::standard(
+        GnnKind::Gcn,
+        Task::NodeClassification,
+        4,
+        3,
+        0,
+    ));
+
+    let mut table = Table::new(
+        "Table II (empirical): running time vs number of message flows",
+        &["Spokes", "|E|", "|F|", "Method", "Seconds"],
+    );
+
+    for &spokes in sizes {
+        let g = wheel(spokes);
+        let mp = MpGraph::new(&g);
+        let nf = count_flows(&mp, 3, Target::Node(0));
+        let ne = g.num_edges();
+        let instance = Instance::for_prediction(&model, g, Target::Node(0));
+        for method in methods {
+            let explainer = make_method(method, Objective::Factual, effort, 0);
+            let start = Instant::now();
+            let _ = explainer.explain(&model, &instance);
+            let secs = start.elapsed().as_secs_f64();
+            table.row(vec![
+                spokes.to_string(),
+                ne.to_string(),
+                nf.to_string(),
+                method.to_string(),
+                format!("{secs:.3}"),
+            ]);
+            eprintln!("spokes={spokes} |F|={nf} {method}: {secs:.3}s");
+        }
+    }
+
+    table.print();
+    table.write_csv(experiments_dir().join("table2_complexity.csv"));
+    println!("\nCSV written to target/experiments/table2_complexity.csv");
+}

@@ -1,0 +1,308 @@
+//! Shared harness utilities for the table/figure reproduction binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--full` — the paper's scale (50 instances, 500 learning epochs);
+//!   without it a reduced "quick" budget runs (8 instances, ~100 epochs);
+//! * `--datasets A,B,...` — restrict to the named Table III datasets;
+//! * `--models gcn,gin,gat` — restrict architectures;
+//! * `--methods M1,M2,...` — restrict explanation methods;
+//! * `--instances N` — override the per-dataset instance count;
+//! * `--seed N` — the global seed.
+
+use std::time::Instant;
+
+use revelio_core::Objective;
+use revelio_datasets::{by_name, Dataset, ALL_DATASETS};
+use revelio_eval::{
+    fidelity_minus, fidelity_plus, make_method, sample_instances, trained_model, Effort,
+    EvalInstance, SamplingConfig, ALL_METHODS,
+};
+use revelio_gnn::{Gnn, GnnKind, ModelZoo};
+
+/// Parsed command-line options shared by all harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    pub effort: Effort,
+    pub seed: u64,
+    pub datasets: Vec<&'static str>,
+    pub models: Vec<GnnKind>,
+    pub methods: Vec<&'static str>,
+    pub instances: usize,
+    pub sparsities: Vec<f64>,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, panicking with a usage message on errors.
+    pub fn parse() -> HarnessArgs {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse_from(&argv)
+    }
+
+    /// Parses an explicit argument list (exposed for tests).
+    pub fn parse_from(argv: &[String]) -> HarnessArgs {
+        let mut effort = Effort::Quick;
+        let mut seed = 0u64;
+        let mut datasets: Vec<&'static str> = ALL_DATASETS.to_vec();
+        let mut models = vec![GnnKind::Gcn, GnnKind::Gin, GnnKind::Gat];
+        let mut methods: Vec<&'static str> = ALL_METHODS.to_vec();
+        let mut instances: Option<usize> = None;
+
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--full" => effort = Effort::Paper,
+                "--quick" => effort = Effort::Quick,
+                "--seed" => {
+                    i += 1;
+                    seed = argv[i].parse().expect("--seed takes an integer");
+                }
+                "--instances" => {
+                    i += 1;
+                    instances = Some(argv[i].parse().expect("--instances takes an integer"));
+                }
+                "--datasets" => {
+                    i += 1;
+                    datasets = argv[i]
+                        .split(',')
+                        .map(|d| {
+                            *ALL_DATASETS
+                                .iter()
+                                .find(|n| n.eq_ignore_ascii_case(d))
+                                .unwrap_or_else(|| panic!("unknown dataset {d:?}"))
+                        })
+                        .collect();
+                }
+                "--models" => {
+                    i += 1;
+                    models = argv[i]
+                        .split(',')
+                        .map(|m| match m.to_lowercase().as_str() {
+                            "gcn" => GnnKind::Gcn,
+                            "gin" => GnnKind::Gin,
+                            "gat" => GnnKind::Gat,
+                            other => panic!("unknown model {other:?}"),
+                        })
+                        .collect();
+                }
+                "--methods" => {
+                    i += 1;
+                    methods = argv[i]
+                        .split(',')
+                        .map(|m| {
+                            *ALL_METHODS
+                                .iter()
+                                .find(|n| n.eq_ignore_ascii_case(m))
+                                .unwrap_or_else(|| panic!("unknown method {m:?}"))
+                        })
+                        .collect();
+                }
+                other => panic!("unknown flag {other:?}"),
+            }
+            i += 1;
+        }
+
+        let default_instances = match effort {
+            Effort::Quick => 8,
+            Effort::Paper => 50,
+        };
+        HarnessArgs {
+            effort,
+            seed,
+            datasets,
+            models,
+            methods,
+            instances: instances.unwrap_or(default_instances),
+            sparsities: match effort {
+                Effort::Quick => vec![0.5, 0.7, 0.9],
+                Effort::Paper => vec![0.5, 0.6, 0.7, 0.8, 0.9],
+            },
+        }
+    }
+
+    /// The sampling configuration matching these arguments.
+    pub fn sampling(&self, only_motif_correct: bool) -> SamplingConfig {
+        SamplingConfig {
+            count: self.instances,
+            max_flows: match self.effort {
+                Effort::Quick => 60_000,
+                Effort::Paper => 300_000,
+            },
+            only_motif_correct,
+            seed: self.seed ^ 0x1257,
+        }
+    }
+}
+
+/// The synthetic datasets on which the paper does not run GAT.
+pub fn is_synthetic(dataset: &str) -> bool {
+    matches!(dataset, "BA-Shapes" | "Tree-Cycles" | "BA-2motifs")
+}
+
+/// Whether a (method, model, dataset) combination runs in the paper:
+/// GAT is skipped on synthetic datasets, and GNN-LRP is incompatible with
+/// GAT (§V-B "Specification").
+pub fn combination_applicable(method: &str, kind: GnnKind, dataset: &str) -> bool {
+    if kind == GnnKind::Gat && is_synthetic(dataset) {
+        return false;
+    }
+    if method == "GNN-LRP" && kind == GnnKind::Gat {
+        return false;
+    }
+    true
+}
+
+/// Loads (or generates) a dataset by name with the harness seed.
+pub fn load_dataset(name: &str, seed: u64) -> Dataset {
+    by_name(name, seed)
+}
+
+/// Trains or loads the cached model for a (dataset, architecture) pair.
+pub fn model_for(zoo: &ModelZoo, dataset: &Dataset, kind: GnnKind, args: &HarnessArgs) -> Gnn {
+    trained_model(zoo, dataset, kind, args.effort, args.seed)
+}
+
+/// Result rows of a fidelity experiment: `(method, sparsity, mean fidelity)`.
+pub struct FidelityResult {
+    pub method: &'static str,
+    pub rows: Vec<(f64, f32)>,
+    /// Mean wall-clock seconds per instance explanation.
+    pub seconds_per_instance: f64,
+}
+
+/// Runs one (dataset, model) fidelity experiment across methods, returning
+/// per-method mean Fidelity−/Fidelity+ at each sparsity, plus timings
+/// (shared by Figs. 3–4 and Table V).
+pub fn run_fidelity(
+    model: &Gnn,
+    eval_instances: &[EvalInstance],
+    methods: &[&'static str],
+    objective: Objective,
+    sparsities: &[f64],
+    effort: Effort,
+    seed: u64,
+) -> Vec<FidelityResult> {
+    let mut out = Vec::new();
+    for &method in methods {
+        let explainer = make_method(method, objective, effort, seed);
+        let refs: Vec<&revelio_gnn::Instance> =
+            eval_instances.iter().map(|e| &e.instance).collect();
+        explainer.fit(model, &refs);
+
+        let start = Instant::now();
+        let explanations: Vec<_> = eval_instances
+            .iter()
+            .map(|e| explainer.explain(model, &e.instance))
+            .collect();
+        let seconds_per_instance =
+            start.elapsed().as_secs_f64() / eval_instances.len().max(1) as f64;
+
+        let rows = sparsities
+            .iter()
+            .map(|&s| {
+                let mean: f32 = eval_instances
+                    .iter()
+                    .zip(&explanations)
+                    .map(|(e, exp)| match objective {
+                        Objective::Factual => fidelity_minus(model, &e.instance, exp, s),
+                        Objective::Counterfactual => {
+                            fidelity_plus(model, &e.instance, exp, s)
+                        }
+                    })
+                    .sum::<f32>()
+                    / eval_instances.len().max(1) as f32;
+                (s, mean)
+            })
+            .collect();
+        out.push(FidelityResult {
+            method,
+            rows,
+            seconds_per_instance,
+        });
+    }
+    out
+}
+
+/// Samples the evaluation instances for a (dataset, model) pair.
+pub fn instances_for(
+    dataset: &Dataset,
+    model: &Gnn,
+    args: &HarnessArgs,
+    only_motif_correct: bool,
+) -> Vec<EvalInstance> {
+    sample_instances(dataset, model, &args.sampling(only_motif_correct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applicability_matrix_matches_paper() {
+        assert!(!combination_applicable("REVELIO", GnnKind::Gat, "BA-Shapes"));
+        assert!(!combination_applicable("GNN-LRP", GnnKind::Gat, "Cora"));
+        assert!(combination_applicable("GNN-LRP", GnnKind::Gcn, "Cora"));
+        assert!(combination_applicable("REVELIO", GnnKind::Gat, "MUTAG"));
+        assert!(combination_applicable("FlowX", GnnKind::Gin, "BA-2motifs"));
+    }
+
+    fn parse(args: &[&str]) -> HarnessArgs {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        HarnessArgs::parse_from(&argv)
+    }
+
+    #[test]
+    fn default_args_cover_everything() {
+        let a = parse(&[]);
+        assert_eq!(a.effort, Effort::Quick);
+        assert_eq!(a.datasets.len(), 8);
+        assert_eq!(a.models.len(), 3);
+        assert_eq!(a.methods.len(), 10);
+        assert_eq!(a.instances, 8);
+    }
+
+    #[test]
+    fn full_flag_switches_budgets() {
+        let a = parse(&["--full"]);
+        assert_eq!(a.effort, Effort::Paper);
+        assert_eq!(a.instances, 50);
+        assert_eq!(a.sparsities.len(), 5);
+    }
+
+    #[test]
+    fn filters_parse_case_insensitively() {
+        let a = parse(&[
+            "--datasets", "ba-shapes,MUTAG",
+            "--models", "GCN",
+            "--methods", "revelio,FlowX",
+            "--instances", "3",
+            "--seed", "9",
+        ]);
+        assert_eq!(a.datasets, vec!["BA-Shapes", "MUTAG"]);
+        assert_eq!(a.models, vec![GnnKind::Gcn]);
+        assert_eq!(a.methods, vec!["REVELIO", "FlowX"]);
+        assert_eq!(a.instances, 3);
+        assert_eq!(a.seed, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_dataset_panics() {
+        let _ = parse(&["--datasets", "Reddit"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = parse(&["--explode"]);
+    }
+
+    #[test]
+    fn synthetic_classification() {
+        assert!(is_synthetic("BA-Shapes"));
+        assert!(is_synthetic("Tree-Cycles"));
+        assert!(is_synthetic("BA-2motifs"));
+        assert!(!is_synthetic("Cora"));
+        assert!(!is_synthetic("MUTAG"));
+    }
+}

@@ -1,0 +1,583 @@
+//! The REVELIO algorithm (§IV of the paper).
+
+use std::rc::Rc;
+
+use revelio_gnn::{Gnn, Instance};
+use revelio_graph::FlowIndex;
+use revelio_tensor::{uniform, Adam, BinCsr, Optimizer, Tensor};
+
+use crate::explanation::{Explainer, Explanation, FlowScores, Objective};
+
+/// How flow-mask parameters are squashed into flow scores (Eq. 4).
+///
+/// The paper chooses `tanh` so that scores can be negative, preventing
+/// "excessive accumulation" on layer edges that carry many unimportant flows;
+/// `Sigmoid` is provided for the ablation of that choice (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaskSquash {
+    #[default]
+    Tanh,
+    Sigmoid,
+}
+
+/// Activation applied to the per-layer weight `w_l` (Eq. 5).
+///
+/// The paper selects `exp` after comparing candidates with positive outputs,
+/// low gradient on `(0, 1)` and high gradient on `(1, ∞)`; `Softplus` is the
+/// runner-up candidate it names, and `None` drops the per-layer weighting
+/// entirely — both provided for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LayerWeight {
+    #[default]
+    Exp,
+    Softplus,
+    None,
+}
+
+/// REVELIO hyperparameters. Defaults follow §V-A: learning rate `1e-2`,
+/// 500 learning epochs, dataset-tuned sparsity strength `α`.
+#[derive(Debug, Clone, Copy)]
+pub struct RevelioConfig {
+    /// Learning epochs per instance (the paper uses 500).
+    pub epochs: usize,
+    /// Adam learning rate (the paper uses 1e-2).
+    pub lr: f32,
+    /// Sparsity-constraint strength `α` of Eqs. 8–9.
+    pub alpha: f32,
+    /// Factual (Eq. 1) or counterfactual (Eq. 2) objective.
+    pub objective: Objective,
+    /// Flow-enumeration cap; exceeding it panics with a clear message
+    /// rather than silently truncating.
+    pub max_flows: usize,
+    /// Mask-initialisation seed.
+    pub seed: u64,
+    /// Flow-score squashing (Eq. 4); `Tanh` is the paper's choice.
+    pub squash: MaskSquash,
+    /// Per-layer weight activation (Eq. 5); `Exp` is the paper's choice.
+    pub layer_weight: LayerWeight,
+    /// The paper's future-work optimisation (§VI): when `Some(k)` and the
+    /// instance has more than `k` flows, a one-shot gradient-saliency pass
+    /// preselects the `k` most promising flows and only their masks are
+    /// learned (unselected flows keep a neutral zero score). Cuts memory
+    /// and per-epoch time on flow-heavy instances.
+    pub preselect: Option<usize>,
+}
+
+impl Default for RevelioConfig {
+    fn default() -> Self {
+        RevelioConfig {
+            epochs: 500,
+            lr: 1e-2,
+            alpha: 0.05,
+            objective: Objective::Factual,
+            max_flows: 2_000_000,
+            seed: 0,
+            squash: MaskSquash::Tanh,
+            layer_weight: LayerWeight::Exp,
+            preselect: None,
+        }
+    }
+}
+
+/// The REVELIO explainer.
+pub struct Revelio {
+    cfg: RevelioConfig,
+}
+
+/// The per-instance learning state: parameters plus the (possibly
+/// flow-restricted) incidence matrices.
+struct MaskModel {
+    /// `[k, 1]` learnable flow-mask parameters (k = selected flows).
+    mask_params: Tensor,
+    /// One `[1, 1]` weight per layer (empty when `LayerWeight::None`).
+    layer_weights: Vec<Tensor>,
+    /// Per layer, `|E| × k` incidence over the selected flows.
+    incidence: Vec<Rc<BinCsr>>,
+    /// Selected flow ids (identity when no preselection ran).
+    selected: Vec<u32>,
+    squash: MaskSquash,
+    layer_weight: LayerWeight,
+}
+
+impl MaskModel {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = vec![self.mask_params.clone()];
+        p.extend(self.layer_weights.iter().cloned());
+        p
+    }
+
+    fn flow_scores(&self) -> Tensor {
+        match self.squash {
+            MaskSquash::Tanh => self.mask_params.tanh_t(),
+            MaskSquash::Sigmoid => self.mask_params.sigmoid(),
+        }
+    }
+
+    /// `ω[E] = σ(I · squash(M) ⊙ act(w))` (Eqs. 4, 5, 7).
+    fn layer_masks(&self, num_edges: usize) -> Vec<Tensor> {
+        let omega_f = self.flow_scores();
+        let all_rows: Vec<usize> = vec![0; num_edges];
+        (0..self.incidence.len())
+            .map(|l| {
+                let s = omega_f.sp_matvec(&self.incidence[l]);
+                let weighted = match self.layer_weight {
+                    LayerWeight::Exp => {
+                        s.mul(&self.layer_weights[l].exp().gather_rows(&all_rows))
+                    }
+                    LayerWeight::Softplus => {
+                        s.mul(&self.layer_weights[l].softplus().gather_rows(&all_rows))
+                    }
+                    LayerWeight::None => s,
+                };
+                weighted.sigmoid()
+            })
+            .collect()
+    }
+}
+
+impl Revelio {
+    /// Creates an explainer with the given configuration.
+    pub fn new(cfg: RevelioConfig) -> Revelio {
+        Revelio { cfg }
+    }
+
+    /// Paper-default factual explainer.
+    pub fn factual() -> Revelio {
+        Revelio::new(RevelioConfig::default())
+    }
+
+    /// Paper-default counterfactual explainer.
+    pub fn counterfactual() -> Revelio {
+        Revelio::new(RevelioConfig {
+            objective: Objective::Counterfactual,
+            ..Default::default()
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RevelioConfig {
+        &self.cfg
+    }
+
+    fn fresh_layer_weights(&self, layers: usize) -> Vec<Tensor> {
+        match self.cfg.layer_weight {
+            LayerWeight::None => Vec::new(),
+            // Softplus(0.54) ≈ 1, exp(0) = 1: start as identity weighting.
+            LayerWeight::Exp => (0..layers)
+                .map(|_| Tensor::zeros(1, 1).requires_grad())
+                .collect(),
+            LayerWeight::Softplus => (0..layers)
+                .map(|_| Tensor::full(0.5413, 1, 1).requires_grad())
+                .collect(),
+        }
+    }
+
+    /// Builds the mask model, optionally preselecting top-k flows via a
+    /// one-shot gradient-saliency pass (§VI future work).
+    fn build_mask_model(&self, model: &Gnn, instance: &Instance, index: &FlowIndex) -> MaskModel {
+        let cfg = &self.cfg;
+        let layers = index.num_layers();
+        let ne = instance.mp.layer_edge_count();
+        let nf = index.num_flows();
+
+        let selected: Vec<u32> = match cfg.preselect {
+            Some(k) if nf > k => {
+                // Saliency pass: gradient of the factual objective w.r.t.
+                // the flow masks at the neutral point.
+                let probe = MaskModel {
+                    mask_params: Tensor::zeros(nf, 1).requires_grad(),
+                    layer_weights: self.fresh_layer_weights(layers),
+                    incidence: (0..layers).map(|l| Rc::clone(index.incidence(l))).collect(),
+                    selected: (0..nf as u32).collect(),
+                    squash: cfg.squash,
+                    layer_weight: cfg.layer_weight,
+                };
+                let masks = probe.layer_masks(ne);
+                let lp_c = model
+                    .target_logits(&instance.mp, &instance.x, Some(&masks), instance.target)
+                    .log_softmax_rows()
+                    .slice_cols(instance.class, instance.class + 1);
+                lp_c.neg().backward();
+                let grad = probe.mask_params.grad_vec();
+                let mut order: Vec<u32> = (0..nf as u32).collect();
+                order.sort_by(|&a, &b| {
+                    grad[b as usize]
+                        .abs()
+                        .partial_cmp(&grad[a as usize].abs())
+                        .expect("finite gradients")
+                });
+                let mut sel: Vec<u32> = order.into_iter().take(k).collect();
+                sel.sort_unstable();
+                sel
+            }
+            _ => (0..nf as u32).collect(),
+        };
+
+        // Incidence restricted to the selected flows (columns renumbered).
+        let incidence: Vec<Rc<BinCsr>> = if selected.len() == nf {
+            (0..layers).map(|l| Rc::clone(index.incidence(l))).collect()
+        } else {
+            (0..layers)
+                .map(|l| {
+                    let mut rows: Vec<Vec<u32>> = vec![Vec::new(); ne];
+                    for (new_id, &f) in selected.iter().enumerate() {
+                        let e = index.flow(f as usize)[l] as usize;
+                        rows[e].push(new_id as u32);
+                    }
+                    Rc::new(BinCsr::from_rows(ne, selected.len(), &rows))
+                })
+                .collect()
+        };
+
+        MaskModel {
+            mask_params: uniform(selected.len(), 1, 0.1, cfg.seed).requires_grad(),
+            layer_weights: self.fresh_layer_weights(layers),
+            incidence,
+            selected,
+            squash: cfg.squash,
+            layer_weight: cfg.layer_weight,
+        }
+    }
+}
+
+impl Explainer for Revelio {
+    fn name(&self) -> &'static str {
+        "REVELIO"
+    }
+
+    /// Learns flow masks for `instance` and returns flow, layer-edge, and
+    /// edge scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance has more than `max_flows` message flows.
+    fn explain(&self, model: &Gnn, instance: &Instance) -> Explanation {
+        let cfg = &self.cfg;
+        let layers = model.num_layers();
+        let flow_target = instance.target;
+        let index = FlowIndex::build(&instance.mp, layers, flow_target, cfg.max_flows)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "REVELIO: {e}; extract a smaller computation subgraph or raise max_flows"
+                )
+            });
+        let ne = instance.mp.layer_edge_count();
+
+        let mask_model = self.build_mask_model(model, instance, &index);
+        let mut opt = Adam::new(mask_model.params(), cfg.lr);
+
+        // "Skip layer edges unused by GNN layers" (Eq. 8): only layer edges
+        // that carry at least one (selected) flow enter the sparsity penalty.
+        let used: Vec<Vec<usize>> = (0..layers)
+            .map(|l| {
+                (0..ne)
+                    .filter(|&e| !mask_model.incidence[l].row(e).is_empty())
+                    .collect()
+            })
+            .collect();
+
+        for _ in 0..cfg.epochs {
+            opt.zero_grad();
+            let masks = mask_model.layer_masks(ne);
+
+            let logits =
+                model.target_logits(&instance.mp, &instance.x, Some(&masks), instance.target);
+            let logp = logits.log_softmax_rows();
+            let lp_c = logp.slice_cols(instance.class, instance.class + 1);
+            let objective = match cfg.objective {
+                // Eq. 1: -log P(Y = c | G, F̂).
+                Objective::Factual => lp_c.neg(),
+                // Eq. 2: -log(1 - P(Y = c | G, F̂)).
+                Objective::Counterfactual => {
+                    lp_c.exp().neg().add_scalar(1.0).clamp_min(1e-6).ln().neg()
+                }
+            };
+
+            // Eqs. 8–9: mean mask value over used layer edges.
+            let mut reg: Option<Tensor> = None;
+            let mut used_count = 0usize;
+            for (l, mask) in masks.iter().enumerate() {
+                if used[l].is_empty() {
+                    continue;
+                }
+                let vals = mask.gather_rows(&used[l]);
+                let term = match cfg.objective {
+                    Objective::Factual => vals.sum_all(),
+                    Objective::Counterfactual => vals.neg().add_scalar(1.0).sum_all(),
+                };
+                used_count += used[l].len();
+                reg = Some(match reg {
+                    None => term,
+                    Some(r) => r.add(&term),
+                });
+            }
+            let loss = match reg {
+                Some(r) if used_count > 0 => {
+                    objective.add(&r.mul_scalar(cfg.alpha / used_count as f32))
+                }
+                _ => objective,
+            };
+
+            loss.backward();
+            opt.step();
+        }
+
+        // Final scores. Counterfactual: ω'[F] = -ω[F] and
+        // ω'[e] = 1 - ω[e], so higher always means more important.
+        let masks = mask_model.layer_masks(ne);
+        let learned: Vec<f32> = mask_model.flow_scores().to_vec();
+        // Scatter learned scores back over the full flow set (unselected
+        // flows keep the neutral score 0).
+        let mut flow_scores = vec![0.0f32; index.num_flows()];
+        for (new_id, &f) in mask_model.selected.iter().enumerate() {
+            flow_scores[f as usize] = learned[new_id];
+        }
+        let mut layer_edge_scores: Vec<Vec<f32>> = masks.iter().map(Tensor::to_vec).collect();
+        if cfg.objective == Objective::Counterfactual {
+            for s in &mut flow_scores {
+                *s = -*s;
+            }
+            for ls in &mut layer_edge_scores {
+                for v in ls.iter_mut() {
+                    *v = 1.0 - *v;
+                }
+            }
+        }
+
+        // Edge scores: mean layer-edge mask across layers for original edges.
+        let m = instance.mp.num_orig_edges();
+        let mut edge_scores = vec![0.0f32; m];
+        for (e, es) in edge_scores.iter_mut().enumerate() {
+            let sum: f32 = layer_edge_scores.iter().map(|ls| ls[e]).sum();
+            *es = sum / layers as f32;
+        }
+
+        Explanation {
+            edge_scores,
+            layer_edge_scores: Some(layer_edge_scores),
+            flows: Some(FlowScores {
+                index,
+                scores: flow_scores,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revelio_gnn::{GnnConfig, GnnKind, Task, TrainConfig};
+    use revelio_graph::{Graph, Target};
+
+    /// Builds a node-classification toy where node 0's class is decided by
+    /// its neighbour 1's feature (and node 2 is noise), then checks REVELIO
+    /// scores the informative edge above the noise edge.
+    fn informative_neighbour_setup() -> (Gnn, Graph) {
+        // Star: 1 -> 0, 2 -> 0 (directed toward the target).
+        // Training set: many stars where the label of the centre equals the
+        // feature of node of type A; realised as one graph with several
+        // disjoint stars.
+        let stars = 30;
+        let mut b = Graph::builder(3 * stars, 3);
+        let mut labels = vec![0usize; 3 * stars];
+        for s in 0..stars {
+            let (c, a, n) = (3 * s, 3 * s + 1, 3 * s + 2);
+            b.edge(a, c).edge(n, c);
+            let class = s % 2;
+            // Node a's feature encodes the class; node n is random-ish noise.
+            b.node_features(a, &[1.0 - class as f32, class as f32, 0.0]);
+            b.node_features(n, &[0.3, 0.3, (s % 3) as f32 * 0.2]);
+            b.node_features(c, &[0.0, 0.0, 1.0]);
+            labels[c] = class;
+            labels[a] = class;
+            labels[n] = class;
+        }
+        b.node_labels(labels);
+        let g = b.build();
+        let model = Gnn::new(GnnConfig::standard(
+            GnnKind::Gcn,
+            Task::NodeClassification,
+            3,
+            2,
+            21,
+        ));
+        let centres: Vec<usize> = (0..stars).map(|s| 3 * s).collect();
+        revelio_gnn::train_node_classifier(
+            &model,
+            &g,
+            &centres,
+            &TrainConfig {
+                epochs: 150,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+        );
+        (model, g)
+    }
+
+    fn instance_for(model: &Gnn, g: &Graph) -> (Instance, revelio_graph::KhopSubgraph) {
+        let sub = revelio_graph::khop_subgraph(g, 0, 3);
+        let inst = Instance::for_prediction(model, sub.graph.clone(), Target::Node(sub.target));
+        (inst, sub)
+    }
+
+    #[test]
+    fn factual_scores_informative_edge_higher() {
+        let (model, g) = informative_neighbour_setup();
+        let acc = revelio_gnn::evaluate_node_accuracy(
+            &model,
+            &g,
+            &(0..10).map(|s| 3 * s).collect::<Vec<_>>(),
+        );
+        assert!(acc > 0.9, "model failed to learn the toy task: {acc}");
+
+        let (inst, sub) = instance_for(&model, &g);
+        let r = Revelio::new(RevelioConfig {
+            epochs: 150,
+            alpha: 0.01,
+            ..Default::default()
+        });
+        let exp = r.explain(&model, &inst);
+
+        // Edge from node a (old id 1) should outrank edge from noise node
+        // (old id 2).
+        let mut score_a = f32::NAN;
+        let mut score_n = f32::NAN;
+        for (eid, &(s, _)) in inst.graph.edges().iter().enumerate() {
+            match sub.original_node(s as usize) {
+                1 => score_a = exp.edge_scores[eid],
+                2 => score_n = exp.edge_scores[eid],
+                _ => {}
+            }
+        }
+        assert!(
+            score_a > score_n,
+            "informative edge ({score_a}) should beat noise edge ({score_n})"
+        );
+
+        // Structure invariants.
+        let flows = exp.flows.as_ref().unwrap();
+        assert!(flows.scores.iter().all(|s| (-1.0..=1.0).contains(s)));
+        let ls = exp.layer_edge_scores.as_ref().unwrap();
+        assert_eq!(ls.len(), 3);
+        assert!(ls
+            .iter()
+            .all(|l| l.iter().all(|v| (0.0..=1.0).contains(v))));
+    }
+
+    #[test]
+    fn counterfactual_scores_are_negated_flows() {
+        let (model, g) = informative_neighbour_setup();
+        let (inst, _) = instance_for(&model, &g);
+        let r = Revelio::new(RevelioConfig {
+            epochs: 30,
+            objective: Objective::Counterfactual,
+            ..Default::default()
+        });
+        let exp = r.explain(&model, &inst);
+        let ls = exp.layer_edge_scores.as_ref().unwrap();
+        // ω'[e] = 1 − σ(...) stays in (0, 1).
+        assert!(ls
+            .iter()
+            .all(|l| l.iter().all(|v| (0.0..=1.0).contains(v))));
+    }
+
+    #[test]
+    #[should_panic(expected = "REVELIO:")]
+    fn flow_cap_panics_with_context() {
+        let (model, g) = informative_neighbour_setup();
+        let (inst, _) = instance_for(&model, &g);
+        let r = Revelio::new(RevelioConfig {
+            max_flows: 1,
+            ..Default::default()
+        });
+        let _ = r.explain(&model, &inst);
+    }
+
+    #[test]
+    fn higher_alpha_yields_sparser_masks() {
+        let (model, g) = informative_neighbour_setup();
+        let (inst, _) = instance_for(&model, &g);
+        let mean_mask = |alpha: f32| {
+            let r = Revelio::new(RevelioConfig {
+                epochs: 120,
+                alpha,
+                ..Default::default()
+            });
+            let exp = r.explain(&model, &inst);
+            let ls = exp.layer_edge_scores.unwrap();
+            let total: f32 = ls.iter().flatten().sum();
+            total / ls.iter().map(|l| l.len()).sum::<usize>() as f32
+        };
+        let loose = mean_mask(0.0);
+        let tight = mean_mask(2.0);
+        assert!(
+            tight < loose,
+            "alpha=2 mean mask {tight} should be below alpha=0 mean mask {loose}"
+        );
+    }
+
+    #[test]
+    fn ablation_variants_run_and_score_all_flows() {
+        let (model, g) = informative_neighbour_setup();
+        let (inst, _) = instance_for(&model, &g);
+        for squash in [MaskSquash::Tanh, MaskSquash::Sigmoid] {
+            for lw in [LayerWeight::Exp, LayerWeight::Softplus, LayerWeight::None] {
+                let r = Revelio::new(RevelioConfig {
+                    epochs: 20,
+                    squash,
+                    layer_weight: lw,
+                    ..Default::default()
+                });
+                let exp = r.explain(&model, &inst);
+                let flows = exp.flows.expect("flow scores");
+                assert_eq!(flows.scores.len(), flows.index.num_flows());
+                if squash == MaskSquash::Sigmoid {
+                    assert!(flows.scores.iter().all(|s| (0.0..=1.0).contains(s)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preselection_limits_learned_flows_and_still_ranks_informative_edge() {
+        let (model, g) = informative_neighbour_setup();
+        let (inst, sub) = instance_for(&model, &g);
+        let full_flows = {
+            let r = Revelio::new(RevelioConfig {
+                epochs: 1,
+                ..Default::default()
+            });
+            r.explain(&model, &inst)
+                .flows
+                .expect("flows")
+                .index
+                .num_flows()
+        };
+        assert!(full_flows > 4, "toy instance should have several flows");
+
+        let r = Revelio::new(RevelioConfig {
+            epochs: 150,
+            alpha: 0.01,
+            preselect: Some(4),
+            ..Default::default()
+        });
+        let exp = r.explain(&model, &inst);
+        let flows = exp.flows.as_ref().expect("flows");
+        // Exactly 4 flows carry non-zero learned scores.
+        let nonzero = flows.scores.iter().filter(|s| **s != 0.0).count();
+        assert!(nonzero <= 4, "preselection must cap learned flows: {nonzero}");
+
+        // The informative edge still wins.
+        let mut score_a = f32::NAN;
+        let mut score_n = f32::NAN;
+        for (eid, &(s, _)) in inst.graph.edges().iter().enumerate() {
+            match sub.original_node(s as usize) {
+                1 => score_a = exp.edge_scores[eid],
+                2 => score_n = exp.edge_scores[eid],
+                _ => {}
+            }
+        }
+        assert!(score_a > score_n, "preselected REVELIO lost the signal");
+    }
+}

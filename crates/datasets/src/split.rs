@@ -1,0 +1,75 @@
+//! Train/validation/test splits.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Index-based split over nodes (node classification) or graphs (graph
+/// classification).
+#[derive(Debug, Clone)]
+pub struct Split {
+    pub train: Vec<usize>,
+    pub val: Vec<usize>,
+    pub test: Vec<usize>,
+}
+
+impl Split {
+    /// Total number of indexed items.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// Whether the split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Randomly splits `n` items into train/val/test by the given fractions
+/// (test receives the remainder).
+///
+/// # Panics
+///
+/// Panics if the fractions are negative or sum beyond 1.
+pub fn node_split(n: usize, train_frac: f64, val_frac: f64, seed: u64) -> Split {
+    assert!(train_frac >= 0.0 && val_frac >= 0.0 && train_frac + val_frac <= 1.0);
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_train = (n as f64 * train_frac).round() as usize;
+    let n_val = (n as f64 * val_frac).round() as usize;
+    let train = idx[..n_train].to_vec();
+    let val = idx[n_train..(n_train + n_val).min(n)].to_vec();
+    let test = idx[(n_train + n_val).min(n)..].to_vec();
+    Split { train, val, test }
+}
+
+/// Alias of [`node_split`] for graph-classification datasets.
+pub fn graph_split(n: usize, train_frac: f64, val_frac: f64, seed: u64) -> Split {
+    node_split(n, train_frac, val_frac, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_partitions_all_indices() {
+        let s = node_split(100, 0.6, 0.2, 7);
+        assert_eq!(s.len(), 100);
+        let all: HashSet<usize> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        assert_eq!(all.len(), 100);
+        assert_eq!(s.train.len(), 60);
+        assert_eq!(s.val.len(), 20);
+        assert_eq!(s.test.len(), 20);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let a = node_split(50, 0.5, 0.25, 3);
+        let b = node_split(50, 0.5, 0.25, 3);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+}

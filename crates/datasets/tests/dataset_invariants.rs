@@ -1,0 +1,99 @@
+//! Cross-dataset invariants: every generated benchmark must be structurally
+//! sound and match its Table III metadata.
+
+use proptest::prelude::*;
+use revelio_datasets::{by_name, Dataset, ALL_DATASETS};
+
+fn check_node_dataset(d: &revelio_datasets::NodeDataset) {
+    let g = &d.graph;
+    let labels = g.node_labels().expect("node labels");
+    assert_eq!(labels.len(), g.num_nodes());
+    assert!(labels.iter().all(|&l| l < d.num_classes));
+    // Edges are valid and have no self-loops.
+    for &(s, t) in g.edges() {
+        assert!((s as usize) < g.num_nodes());
+        assert!((t as usize) < g.num_nodes());
+        assert_ne!(s, t);
+    }
+    // Splits partition the node set.
+    assert_eq!(d.split.len(), g.num_nodes());
+    // Motif bookkeeping is internally consistent.
+    if let (Some(nm), Some(me)) = (&d.node_motif, &d.motif_edges) {
+        for (v, m) in nm.iter().enumerate() {
+            if let Some(m) = m {
+                assert!(*m < me.len(), "node {v} references missing motif {m}");
+            }
+        }
+        for edges in me {
+            for &e in edges {
+                assert!(e < g.num_edges());
+            }
+        }
+    }
+}
+
+fn check_graph_dataset(d: &revelio_datasets::GraphDataset) {
+    assert_eq!(d.split.len(), d.graphs.len());
+    for (i, g) in d.graphs.iter().enumerate() {
+        let label = g.graph_label().unwrap_or_else(|| panic!("graph {i} unlabeled"));
+        assert!(label < d.num_classes);
+        assert!(g.num_nodes() > 0);
+        for &(s, t) in g.edges() {
+            assert!((s as usize) < g.num_nodes());
+            assert_ne!(s, t);
+        }
+    }
+    if let Some(me) = &d.motif_edges {
+        assert_eq!(me.len(), d.graphs.len());
+        for (g, edges) in d.graphs.iter().zip(me) {
+            for &e in edges {
+                assert!(e < g.num_edges());
+            }
+        }
+    }
+}
+
+#[test]
+fn every_dataset_is_structurally_sound() {
+    for name in ALL_DATASETS {
+        // PubMed and BBBP are the largest; still fine to generate once.
+        match by_name(name, 0) {
+            Dataset::Node(d) => check_node_dataset(&d),
+            Dataset::Graph(d) => check_graph_dataset(&d),
+        }
+    }
+}
+
+#[test]
+fn table_iii_metadata_matches() {
+    let expected: &[(&str, usize)] = &[
+        ("Cora", 7),
+        ("Citeseer", 6),
+        ("PubMed", 3),
+        ("BA-Shapes", 4),
+        ("Tree-Cycles", 2),
+        ("MUTAG", 2),
+        ("BBBP", 2),
+        ("BA-2motifs", 2),
+    ];
+    for &(name, classes) in expected {
+        assert_eq!(by_name(name, 1).num_classes(), classes, "{name}");
+        assert_eq!(by_name(name, 1).name(), name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The small synthetic generators hold their invariants for any seed.
+    #[test]
+    fn synthetic_generators_sound_for_any_seed(seed in 0u64..1000) {
+        check_node_dataset(&revelio_datasets::ba_shapes(seed));
+        check_node_dataset(&revelio_datasets::tree_cycles(seed));
+    }
+
+    #[test]
+    fn mutag_sim_sound_for_any_seed(seed in 0u64..1000) {
+        check_graph_dataset(&revelio_datasets::mutag_sim(seed));
+    }
+}

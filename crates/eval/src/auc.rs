@@ -1,0 +1,86 @@
+//! ROC-AUC via the rank-sum (Mann–Whitney U) formulation with midrank tie
+//! handling — the explanation-plausibility metric of Table IV.
+
+/// Computes the area under the ROC curve for binary `labels` given `scores`.
+///
+/// Returns `None` when one class is absent (AUC undefined).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "one label per score");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return None;
+    }
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .expect("scores must not be NaN")
+    });
+
+    // Midranks for ties.
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = midrank;
+        }
+        i = j + 1;
+    }
+
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter(|(&l, _)| l)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    Some(u / (n_pos * n_neg) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_is_one() {
+        let auc = roc_auc(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]).unwrap();
+        assert!((auc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_separation_is_zero() {
+        let auc = roc_auc(&[0.1, 0.2, 0.8, 0.9], &[true, true, false, false]).unwrap();
+        assert!(auc.abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_scores_give_half() {
+        let auc = roc_auc(&[0.5; 6], &[true, false, true, false, true, false]).unwrap();
+        assert!((auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_is_undefined() {
+        assert!(roc_auc(&[0.1, 0.9], &[true, true]).is_none());
+        assert!(roc_auc(&[0.1, 0.9], &[false, false]).is_none());
+    }
+
+    #[test]
+    fn matches_hand_computed_value() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+        // Pairs won: (0.8>0.6), (0.8>0.2), (0.4<0.6 lose), (0.4>0.2) = 3/4.
+        let auc = roc_auc(&[0.8, 0.4, 0.6, 0.2], &[true, true, false, false]).unwrap();
+        assert!((auc - 0.75).abs() < 1e-12);
+    }
+}

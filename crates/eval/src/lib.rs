@@ -1,0 +1,18 @@
+//! Evaluation harness: metrics, instance sampling, the method registry, and
+//! report utilities backing every table and figure of the paper.
+
+mod auc;
+mod fidelity;
+mod instances;
+mod methods;
+mod models;
+mod report;
+mod viz;
+
+pub use auc::roc_auc;
+pub use fidelity::{fidelity_minus, fidelity_plus, perturbed_probability};
+pub use instances::{sample_instances, EvalInstance, SamplingConfig};
+pub use methods::{make_method, Effort, ALL_METHODS, FLOW_METHODS};
+pub use models::{model_accuracy, model_key, train_config_for, trained_model};
+pub use report::{experiments_dir, Table};
+pub use viz::{explanation_dot, DotOptions};

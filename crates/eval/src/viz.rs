@@ -1,0 +1,168 @@
+//! Graphviz DOT rendering of explanations (Fig. 6's visual vocabulary:
+//! motif nodes gold, target red, explanatory edges bold, missed ground-truth
+//! edges dashed red).
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use revelio_graph::{Graph, Target};
+
+/// Options for [`explanation_dot`].
+pub struct DotOptions<'a> {
+    /// Graph title (rendered as the DOT label).
+    pub title: &'a str,
+    /// Edge ids the explanation selected (typically `top_edges(k)`).
+    pub explanatory: &'a [usize],
+    /// Ground-truth motif edge ids, if known.
+    pub ground_truth: Option<&'a [usize]>,
+    /// The prediction target (its node is highlighted for node tasks).
+    pub target: Target,
+}
+
+/// Renders a graph with explanation overlays as Graphviz DOT.
+///
+/// Undirected edge pairs (both directions stored) are drawn once without an
+/// arrowhead; an undirected pair counts as explanatory / ground truth if
+/// either direction is flagged.
+pub fn explanation_dot(g: &Graph, opts: &DotOptions<'_>) -> String {
+    let chosen: HashSet<usize> = opts.explanatory.iter().copied().collect();
+    let gt: HashSet<usize> = opts
+        .ground_truth
+        .map(|v| v.iter().copied().collect())
+        .unwrap_or_default();
+    let target = match opts.target {
+        Target::Node(v) => Some(v),
+        Target::Graph => None,
+    };
+
+    // A node is "in the motif" when it touches a ground-truth edge.
+    let mut motif_nodes: HashSet<usize> = HashSet::new();
+    for &e in &gt {
+        let (s, d) = g.edges()[e];
+        motif_nodes.insert(s as usize);
+        motif_nodes.insert(d as usize);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", opts.title);
+    let _ = writeln!(out, "  label=\"{}\";", opts.title);
+    for v in 0..g.num_nodes() {
+        let color = if Some(v) == target {
+            "red"
+        } else if motif_nodes.contains(&v) {
+            "gold"
+        } else {
+            "lightgray"
+        };
+        let _ = writeln!(out, "  {v} [style=filled, fillcolor={color}];");
+    }
+
+    // Pair up reverse edges so undirected datasets render one line per bond.
+    let mut reverse_of = vec![None; g.num_edges()];
+    for (eid, &(s, d)) in g.edges().iter().enumerate() {
+        if reverse_of[eid].is_none() {
+            if let Some(r) = g
+                .edges()
+                .iter()
+                .position(|&(a, b)| a == d && b == s)
+            {
+                reverse_of[eid] = Some(r);
+                reverse_of[r] = Some(eid);
+            }
+        }
+    }
+
+    let mut drawn = vec![false; g.num_edges()];
+    for (eid, &(s, d)) in g.edges().iter().enumerate() {
+        if drawn[eid] {
+            continue;
+        }
+        drawn[eid] = true;
+        let mut explained = chosen.contains(&eid);
+        let mut in_gt = gt.contains(&eid);
+        let mut undirected = false;
+        if let Some(r) = reverse_of[eid] {
+            drawn[r] = true;
+            explained |= chosen.contains(&r);
+            in_gt |= gt.contains(&r);
+            undirected = true;
+        }
+        let attrs = match (explained, in_gt) {
+            (true, _) => "color=black, penwidth=3",
+            (false, true) => "color=red, style=dashed",
+            (false, false) => "color=gray",
+        };
+        let dir = if undirected { "dir=none, " } else { "" };
+        let _ = writeln!(out, "  {s} -> {d} [{dir}{attrs}];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        let mut b = Graph::builder(4, 1);
+        b.undirected_edge(0, 1)
+            .undirected_edge(1, 2)
+            .edge(2, 3); // one directed edge
+        b.build()
+    }
+
+    #[test]
+    fn renders_highlights_and_target() {
+        let g = diamond();
+        let dot = explanation_dot(
+            &g,
+            &DotOptions {
+                title: "demo",
+                explanatory: &[0],
+                ground_truth: Some(&[2]), // 1->2 direction of the second bond
+                target: Target::Node(1),
+            },
+        );
+        assert!(dot.contains("digraph \"demo\""));
+        assert!(dot.contains("1 [style=filled, fillcolor=red]"));
+        // Edge 0 (0->1 / 1->0 pair) is explanatory: bold, undirected.
+        assert!(dot.contains("0 -> 1 [dir=none, color=black, penwidth=3]"));
+        // Ground-truth bond not selected: dashed red.
+        assert!(dot.contains("1 -> 2 [dir=none, color=red, style=dashed]"));
+        // Lone directed edge keeps its arrow.
+        assert!(dot.contains("2 -> 3 [color=gray]"));
+    }
+
+    #[test]
+    fn motif_nodes_coloured_gold() {
+        let g = diamond();
+        let dot = explanation_dot(
+            &g,
+            &DotOptions {
+                title: "m",
+                explanatory: &[],
+                ground_truth: Some(&[0, 1]),
+                target: Target::Graph,
+            },
+        );
+        assert!(dot.contains("0 [style=filled, fillcolor=gold]"));
+        assert!(dot.contains("3 [style=filled, fillcolor=lightgray]"));
+    }
+
+    #[test]
+    fn each_undirected_pair_drawn_once() {
+        let g = diamond();
+        let dot = explanation_dot(
+            &g,
+            &DotOptions {
+                title: "d",
+                explanatory: &[],
+                ground_truth: None,
+                target: Target::Graph,
+            },
+        );
+        let arrows = dot.matches(" -> ").count();
+        // 2 undirected bonds + 1 directed edge = 3 drawn lines.
+        assert_eq!(arrows, 3);
+    }
+}

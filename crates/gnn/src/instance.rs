@@ -1,0 +1,91 @@
+//! The unit of explanation: one graph, one prediction target.
+
+use revelio_graph::{Graph, MpGraph, Target};
+use revelio_tensor::Tensor;
+
+use crate::model::Gnn;
+
+/// An explanation instance: the (sub)graph an explainer operates on, the
+/// prediction target, and the class to explain.
+///
+/// For node classification this is typically the `L`-hop computation
+/// subgraph around the target (see [`revelio_graph::khop_subgraph`]); for
+/// graph classification it is the whole input graph.
+pub struct Instance {
+    /// The graph being explained.
+    pub graph: Graph,
+    /// Cached message-passing view of `graph`.
+    pub mp: MpGraph,
+    /// Cached feature tensor of `graph`.
+    pub x: Tensor,
+    /// What is being predicted.
+    pub target: Target,
+    /// The class under explanation (usually the model's prediction).
+    pub class: usize,
+    /// The model's class probabilities on the unperturbed instance.
+    pub orig_probs: Vec<f32>,
+}
+
+impl Instance {
+    /// Builds an instance explaining the model's own prediction on
+    /// `(graph, target)`.
+    pub fn for_prediction(model: &Gnn, graph: Graph, target: Target) -> Instance {
+        let probs = model.predict_probs(&graph, target);
+        let class = crate::model::argmax(&probs);
+        Self::for_class(graph, target, class, probs)
+    }
+
+    /// Builds an instance explaining a specific class, with precomputed
+    /// original probabilities.
+    pub fn for_class(
+        graph: Graph,
+        target: Target,
+        class: usize,
+        orig_probs: Vec<f32>,
+    ) -> Instance {
+        let mp = MpGraph::new(&graph);
+        let x = Gnn::features_tensor(&graph);
+        Instance {
+            graph,
+            mp,
+            x,
+            target,
+            class,
+            orig_probs,
+        }
+    }
+
+    /// The model's probability of the explained class on the original graph.
+    pub fn orig_prob(&self) -> f32 {
+        self.orig_probs[self.class]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GnnConfig, GnnKind, Task};
+
+    #[test]
+    fn for_prediction_picks_argmax_class() {
+        let mut b = Graph::builder(3, 2);
+        b.undirected_edge(0, 1).undirected_edge(1, 2);
+        b.node_features(0, &[1.0, 0.0]);
+        let g = b.build();
+        let m = Gnn::new(GnnConfig::standard(
+            GnnKind::Gcn,
+            Task::NodeClassification,
+            2,
+            3,
+            7,
+        ));
+        let inst = Instance::for_prediction(&m, g, Target::Node(1));
+        let best = inst
+            .orig_probs
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert_eq!(inst.orig_prob(), best);
+        assert_eq!(inst.mp.num_nodes(), 3);
+    }
+}

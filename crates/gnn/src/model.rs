@@ -1,0 +1,387 @@
+//! The [`Gnn`] model: a stack of message-passing layers with task heads.
+
+use serde::{Deserialize, Serialize};
+
+use revelio_graph::{Graph, MpGraph, Target};
+use revelio_tensor::{glorot_uniform, Tensor};
+
+use crate::layer::Layer;
+
+/// Architecture family, matching the paper's evaluation (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GnnKind {
+    Gcn,
+    Gin,
+    Gat,
+}
+
+impl GnnKind {
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GnnKind::Gcn => "GCN",
+            GnnKind::Gin => "GIN",
+            GnnKind::Gat => "GAT",
+        }
+    }
+}
+
+/// Prediction task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Task {
+    NodeClassification,
+    GraphClassification,
+}
+
+/// Model hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GnnConfig {
+    pub kind: GnnKind,
+    pub task: Task,
+    pub in_dim: usize,
+    pub hidden_dim: usize,
+    pub num_classes: usize,
+    /// The paper uses three layers everywhere.
+    pub num_layers: usize,
+    /// GAT attention heads (the paper uses eight).
+    pub heads: usize,
+    pub seed: u64,
+}
+
+impl GnnConfig {
+    /// The paper's standard configuration: three layers, hidden width 32,
+    /// eight GAT heads.
+    pub fn standard(
+        kind: GnnKind,
+        task: Task,
+        in_dim: usize,
+        num_classes: usize,
+        seed: u64,
+    ) -> Self {
+        GnnConfig {
+            kind,
+            task,
+            in_dim,
+            hidden_dim: 32,
+            num_classes,
+            num_layers: 3,
+            heads: 8,
+            seed,
+        }
+    }
+}
+
+/// A trained (or trainable) GNN.
+pub struct Gnn {
+    cfg: GnnConfig,
+    layers: Vec<Layer>,
+    /// Graph-classification readout: `hidden -> classes` linear head.
+    readout: Option<(Tensor, Tensor)>,
+}
+
+impl Gnn {
+    /// Builds a model with freshly initialised weights.
+    pub fn new(cfg: GnnConfig) -> Self {
+        assert!(cfg.num_layers >= 1);
+        let mut layers = Vec::with_capacity(cfg.num_layers);
+        // For node classification the last GNN layer maps to classes; for
+        // graph classification all layers map to hidden and a linear readout
+        // follows the mean-pool.
+        let last_is_logits = cfg.task == Task::NodeClassification;
+        for l in 0..cfg.num_layers {
+            let in_dim = if l == 0 { cfg.in_dim } else { cfg.hidden_dim };
+            let is_last = l + 1 == cfg.num_layers;
+            let out_dim = if is_last && last_is_logits {
+                cfg.num_classes
+            } else {
+                cfg.hidden_dim
+            };
+            let seed = cfg.seed ^ ((l as u64 + 1) * 0x51_7c_c1);
+            let layer = match cfg.kind {
+                GnnKind::Gcn => Layer::gcn(in_dim, out_dim, seed),
+                GnnKind::Gin => Layer::gin(in_dim, out_dim, seed),
+                GnnKind::Gat => {
+                    let average = is_last && last_is_logits;
+                    Layer::gat(in_dim, out_dim, cfg.heads, average, seed)
+                }
+            };
+            layers.push(layer);
+        }
+        let readout = (cfg.task == Task::GraphClassification).then(|| {
+            (
+                glorot_uniform(cfg.hidden_dim, cfg.num_classes, cfg.seed ^ 0x0ead).requires_grad(),
+                Tensor::zeros(1, cfg.num_classes).requires_grad(),
+            )
+        });
+        Gnn {
+            cfg,
+            layers,
+            readout,
+        }
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &GnnConfig {
+        &self.cfg
+    }
+
+    /// Number of message-passing layers `L`.
+    pub fn num_layers(&self) -> usize {
+        self.cfg.num_layers
+    }
+
+    /// The message-passing layers (used by decomposition-based explainers
+    /// such as GNN-LRP that must inspect per-layer weights and messages).
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// The graph-classification readout head `(weight, bias)`, if any.
+    pub fn readout(&self) -> Option<(&Tensor, &Tensor)> {
+        self.readout.as_ref().map(|(w, b)| (w, b))
+    }
+
+    /// All trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        let mut p: Vec<Tensor> = self.layers.iter().flat_map(Layer::params).collect();
+        if let Some((w, b)) = &self.readout {
+            p.push(w.clone());
+            p.push(b.clone());
+        }
+        p
+    }
+
+    /// The node feature matrix of `g` as a tensor.
+    pub fn features_tensor(g: &Graph) -> Tensor {
+        Tensor::from_vec(g.features().to_vec(), g.num_nodes(), g.feat_dim())
+    }
+
+    /// The GCN normalisation vector of `mp` as a constant tensor.
+    pub fn norm_tensor(mp: &MpGraph) -> Tensor {
+        Tensor::from_vec(mp.gcn_norm(), mp.layer_edge_count(), 1)
+    }
+
+    /// Runs all message-passing layers, returning every layer's
+    /// post-activation output (`hidden` for intermediate layers; the last
+    /// entry is raw logits for node classification or the final hidden
+    /// representation for graph classification).
+    ///
+    /// `masks`, if given, supplies one `[|E|, 1]` mask per layer (Eq. 6).
+    pub fn forward_layers(
+        &self,
+        mp: &MpGraph,
+        x: &Tensor,
+        masks: Option<&[Tensor]>,
+    ) -> Vec<Tensor> {
+        if let Some(ms) = masks {
+            assert_eq!(ms.len(), self.cfg.num_layers, "one mask per layer required");
+        }
+        let norm = Self::norm_tensor(mp);
+        let mut outs = Vec::with_capacity(self.cfg.num_layers);
+        let mut h = x.clone();
+        for (l, layer) in self.layers.iter().enumerate() {
+            let mask = masks.map(|ms| &ms[l]);
+            let raw = layer.forward(mp, &h, mask, &norm);
+            let is_last = l + 1 == self.cfg.num_layers;
+            let keep_raw = is_last && self.cfg.task == Task::NodeClassification;
+            // Leaky activation between layers: plain ReLU can kill every
+            // unit at once under full-batch training (dying-ReLU), freezing
+            // the model at the class prior.
+            let out = if keep_raw { raw } else { raw.leaky_relu(0.01) };
+            outs.push(out.clone());
+            h = out;
+        }
+        outs
+    }
+
+    /// Node-classification logits `[n, C]`.
+    pub fn node_logits(&self, mp: &MpGraph, x: &Tensor, masks: Option<&[Tensor]>) -> Tensor {
+        assert_eq!(self.cfg.task, Task::NodeClassification);
+        self.forward_layers(mp, x, masks)
+            .pop()
+            .expect("at least one layer")
+    }
+
+    /// Graph-classification logits `[1, C]` (mean-pool readout).
+    pub fn graph_logits(&self, mp: &MpGraph, x: &Tensor, masks: Option<&[Tensor]>) -> Tensor {
+        assert_eq!(self.cfg.task, Task::GraphClassification);
+        let h = self
+            .forward_layers(mp, x, masks)
+            .pop()
+            .expect("at least one layer");
+        let (w, b) = self.readout.as_ref().expect("graph task has a readout");
+        // Sum pooling (realised as mean × n): standard for GIN-style graph
+        // classification and markedly easier to optimise than mean pooling
+        // when the discriminative motif covers few nodes.
+        let n = h.rows() as f32;
+        h.mean_rows().mul_scalar(n).matmul(w).add_row_broadcast(b)
+    }
+
+    /// Logits for an explanation target: `[1, C]` — the target node's row,
+    /// or the pooled graph logits.
+    pub fn target_logits(
+        &self,
+        mp: &MpGraph,
+        x: &Tensor,
+        masks: Option<&[Tensor]>,
+        target: Target,
+    ) -> Tensor {
+        match (self.cfg.task, target) {
+            (Task::NodeClassification, Target::Node(v)) => {
+                self.node_logits(mp, x, masks).gather_rows(&[v])
+            }
+            (Task::GraphClassification, Target::Graph) => self.graph_logits(mp, x, masks),
+            (task, target) => panic!("target {target:?} does not match task {task:?}"),
+        }
+    }
+
+    /// Class probabilities for an explanation target.
+    pub fn predict_probs(&self, g: &Graph, target: Target) -> Vec<f32> {
+        let mp = MpGraph::new(g);
+        let x = Self::features_tensor(g);
+        self.target_logits(&mp, &x, None, target)
+            .log_softmax_rows()
+            .to_vec()
+            .iter()
+            .map(|lp| lp.exp())
+            .collect()
+    }
+
+    /// The predicted class for an explanation target.
+    pub fn predict_class(&self, g: &Graph, target: Target) -> usize {
+        argmax(&self.predict_probs(g, target))
+    }
+
+    // ------------------------------------------------------------------
+    // Serialization (model zoo)
+    // ------------------------------------------------------------------
+
+    /// Copies all parameter buffers out, in [`Gnn::params`] order.
+    pub fn state_dict(&self) -> Vec<Vec<f32>> {
+        self.params().iter().map(Tensor::to_vec).collect()
+    }
+
+    /// Loads parameter buffers saved by [`Gnn::state_dict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number or shapes of buffers do not match.
+    pub fn load_state(&self, state: &[Vec<f32>]) {
+        let params = self.params();
+        assert_eq!(params.len(), state.len(), "state dict length mismatch");
+        for (p, s) in params.iter().zip(state) {
+            p.set_data(s);
+        }
+    }
+}
+
+/// Index of the maximum element (first on ties).
+pub(crate) fn argmax(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate().skip(1) {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star_graph() -> Graph {
+        let mut b = Graph::builder(5, 3);
+        for v in 1..5 {
+            b.undirected_edge(0, v);
+            b.node_features(v, &[v as f32, 1.0, 0.0]);
+        }
+        b.node_features(0, &[0.0, 0.0, 1.0]);
+        b.build()
+    }
+
+    #[test]
+    fn node_model_shapes() {
+        let g = star_graph();
+        let cfg = GnnConfig::standard(GnnKind::Gcn, Task::NodeClassification, 3, 4, 0);
+        let m = Gnn::new(cfg);
+        let mp = MpGraph::new(&g);
+        let x = Gnn::features_tensor(&g);
+        let logits = m.node_logits(&mp, &x, None);
+        assert_eq!(logits.shape(), (5, 4));
+        let probs = m.predict_probs(&g, Target::Node(0));
+        assert_eq!(probs.len(), 4);
+        let s: f32 = probs.iter().sum();
+        assert!((s - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn graph_model_shapes() {
+        let g = star_graph();
+        for kind in [GnnKind::Gcn, GnnKind::Gin, GnnKind::Gat] {
+            let cfg = GnnConfig::standard(kind, Task::GraphClassification, 3, 2, 1);
+            let m = Gnn::new(cfg);
+            let mp = MpGraph::new(&g);
+            let x = Gnn::features_tensor(&g);
+            assert_eq!(m.graph_logits(&mp, &x, None).shape(), (1, 2));
+            assert!(m.predict_class(&g, Target::Graph) < 2);
+        }
+    }
+
+    #[test]
+    fn gat_node_model_runs() {
+        let g = star_graph();
+        let cfg = GnnConfig::standard(GnnKind::Gat, Task::NodeClassification, 3, 4, 2);
+        let m = Gnn::new(cfg);
+        let probs = m.predict_probs(&g, Target::Node(3));
+        assert_eq!(probs.len(), 4);
+    }
+
+    #[test]
+    fn state_dict_roundtrip_preserves_outputs() {
+        let g = star_graph();
+        let cfg = GnnConfig::standard(GnnKind::Gin, Task::NodeClassification, 3, 4, 3);
+        let a = Gnn::new(cfg.clone());
+        let b = Gnn::new(GnnConfig { seed: 99, ..cfg });
+        let before = b.predict_probs(&g, Target::Node(1));
+        b.load_state(&a.state_dict());
+        let after = b.predict_probs(&g, Target::Node(1));
+        let reference = a.predict_probs(&g, Target::Node(1));
+        assert_ne!(before, after);
+        assert_eq!(after, reference);
+    }
+
+    #[test]
+    fn masks_change_predictions() {
+        let g = star_graph();
+        let cfg = GnnConfig::standard(GnnKind::Gcn, Task::NodeClassification, 3, 4, 4);
+        let m = Gnn::new(cfg);
+        let mp = MpGraph::new(&g);
+        let x = Gnn::features_tensor(&g);
+        let full = m.target_logits(&mp, &x, None, Target::Node(0)).to_vec();
+        let half_masks: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::full(0.5, mp.layer_edge_count(), 1))
+            .collect();
+        let masked = m
+            .target_logits(&mp, &x, Some(&half_masks), Target::Node(0))
+            .to_vec();
+        assert_ne!(full, masked);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match task")]
+    fn mismatched_target_panics() {
+        let g = star_graph();
+        let cfg = GnnConfig::standard(GnnKind::Gcn, Task::NodeClassification, 3, 4, 5);
+        let m = Gnn::new(cfg);
+        let mp = MpGraph::new(&g);
+        let x = Gnn::features_tensor(&g);
+        let _ = m.target_logits(&mp, &x, None, Target::Graph);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[0.1, 0.5, 0.5]), 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Training loops for node- and graph-classification models.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use revelio_graph::{Graph, MpGraph, Target};
+use revelio_tensor::{clip_grad_norm, Adam, Optimizer, Tensor};
+
+use crate::model::{Gnn, Task};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    pub epochs: usize,
+    pub lr: f32,
+    pub weight_decay: f32,
+    /// Graph-classification minibatch size (gradient accumulation).
+    pub batch_size: usize,
+    /// Global gradient-norm clip applied before each optimizer step
+    /// (guards against late-training loss spikes); `None` disables.
+    pub clip_norm: Option<f32>,
+    /// Shuffling / batching seed.
+    pub seed: u64,
+    /// Print progress every `report_every` epochs (0 = silent).
+    pub report_every: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 200,
+            lr: 1e-2,
+            weight_decay: 5e-4,
+            batch_size: 32,
+            clip_norm: Some(5.0),
+            seed: 0,
+            report_every: 0,
+        }
+    }
+}
+
+/// Trains a node classifier full-batch on `g`, using cross-entropy over
+/// `train_idx`. Returns the final training loss.
+///
+/// # Panics
+///
+/// Panics if the model is not a node-classification model or `g` lacks node
+/// labels.
+pub fn train_node_classifier(
+    model: &Gnn,
+    g: &Graph,
+    train_idx: &[usize],
+    cfg: &TrainConfig,
+) -> f32 {
+    assert_eq!(model.config().task, Task::NodeClassification);
+    let labels = g.node_labels().expect("node labels required for training");
+    let targets: Vec<usize> = train_idx.iter().map(|&v| labels[v]).collect();
+    let mp = MpGraph::new(g);
+    let x = Gnn::features_tensor(g);
+
+    let mut opt = Adam::with_config(
+        model.params(),
+        revelio_tensor::AdamConfig {
+            lr: cfg.lr,
+            weight_decay: cfg.weight_decay,
+            ..Default::default()
+        },
+    );
+
+    let mut last_loss = f32::NAN;
+    for epoch in 0..cfg.epochs {
+        opt.zero_grad();
+        let logits = model.node_logits(&mp, &x, None);
+        let loss = logits
+            .gather_rows(train_idx)
+            .log_softmax_rows()
+            .nll_loss(&targets);
+        loss.backward();
+        if let Some(max) = cfg.clip_norm {
+            clip_grad_norm(&model.params(), max);
+        }
+        opt.step();
+        last_loss = loss.item();
+        if cfg.report_every > 0 && epoch % cfg.report_every == 0 {
+            eprintln!("epoch {epoch}: loss {last_loss:.4}");
+        }
+    }
+    last_loss
+}
+
+/// Accuracy of a node classifier over the given node indices.
+pub fn evaluate_node_accuracy(model: &Gnn, g: &Graph, idx: &[usize]) -> f64 {
+    let labels = g.node_labels().expect("node labels required");
+    let mp = MpGraph::new(g);
+    let x = Gnn::features_tensor(g);
+    let logits = model.node_logits(&mp, &x, None);
+    let data = logits.data();
+    let c = logits.cols();
+    let correct = idx
+        .iter()
+        .filter(|&&v| {
+            let row = &data[v * c..(v + 1) * c];
+            crate::model::argmax(row) == labels[v]
+        })
+        .count();
+    correct as f64 / idx.len().max(1) as f64
+}
+
+/// Trains a graph classifier with minibatch gradient accumulation. Returns
+/// the mean loss of the final epoch.
+///
+/// # Panics
+///
+/// Panics if the model is not a graph-classification model or any graph
+/// lacks a label.
+pub fn train_graph_classifier(
+    model: &Gnn,
+    graphs: &[Graph],
+    train_idx: &[usize],
+    cfg: &TrainConfig,
+) -> f32 {
+    assert_eq!(model.config().task, Task::GraphClassification);
+    let prepared: Vec<(MpGraph, Tensor, usize)> = train_idx
+        .iter()
+        .map(|&i| {
+            let g = &graphs[i];
+            (
+                MpGraph::new(g),
+                Gnn::features_tensor(g),
+                g.graph_label().expect("graph label required"),
+            )
+        })
+        .collect();
+
+    let mut opt = Adam::with_config(
+        model.params(),
+        revelio_tensor::AdamConfig {
+            lr: cfg.lr,
+            weight_decay: cfg.weight_decay,
+            ..Default::default()
+        },
+    );
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..prepared.len()).collect();
+
+    let mut epoch_loss = f32::NAN;
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut total = 0.0f32;
+        for batch in order.chunks(cfg.batch_size) {
+            opt.zero_grad();
+            let scale = 1.0 / batch.len() as f32;
+            for &i in batch {
+                let (mp, x, label) = &prepared[i];
+                let loss = model
+                    .graph_logits(mp, x, None)
+                    .log_softmax_rows()
+                    .nll_loss(&[*label])
+                    .mul_scalar(scale);
+                loss.backward();
+                total += loss.item();
+            }
+            if let Some(max) = cfg.clip_norm {
+                clip_grad_norm(&model.params(), max);
+            }
+            opt.step();
+        }
+        epoch_loss = total / order.chunks(cfg.batch_size).count() as f32;
+        if cfg.report_every > 0 && epoch % cfg.report_every == 0 {
+            eprintln!("epoch {epoch}: loss {epoch_loss:.4}");
+        }
+    }
+    epoch_loss
+}
+
+/// Accuracy of a graph classifier over the given graph indices.
+pub fn evaluate_graph_accuracy(model: &Gnn, graphs: &[Graph], idx: &[usize]) -> f64 {
+    let correct = idx
+        .iter()
+        .filter(|&&i| {
+            let g = &graphs[i];
+            model.predict_class(g, Target::Graph) == g.graph_label().expect("label")
+        })
+        .count();
+    correct as f64 / idx.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GnnConfig, GnnKind};
+
+    /// A trivially separable node task: two cliques, features = clique id.
+    fn two_cliques() -> (Graph, Vec<usize>) {
+        let mut b = Graph::builder(8, 2);
+        for c in 0..2 {
+            let base = c * 4;
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.undirected_edge(base + i, base + j);
+                }
+                b.node_features(base + i, &[1.0 - c as f32, c as f32]);
+            }
+        }
+        b.node_labels(vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        let idx = (0..8).collect();
+        (b.build(), idx)
+    }
+
+    #[test]
+    fn node_training_reaches_full_accuracy_on_separable_task() {
+        let (g, idx) = two_cliques();
+        for kind in [GnnKind::Gcn, GnnKind::Gin, GnnKind::Gat] {
+            let m = Gnn::new(GnnConfig::standard(kind, Task::NodeClassification, 2, 2, 11));
+            let cfg = TrainConfig {
+                epochs: 120,
+                weight_decay: 0.0,
+                ..Default::default()
+            };
+            train_node_classifier(&m, &g, &idx, &cfg);
+            let acc = evaluate_node_accuracy(&m, &g, &idx);
+            assert!(acc > 0.99, "{} accuracy {acc}", kind.name());
+        }
+    }
+
+    /// Trivially separable graph task: triangle vs path, distinct features.
+    fn toy_graph_dataset() -> Vec<Graph> {
+        let mut graphs = Vec::new();
+        for i in 0..20 {
+            let class = i % 2;
+            let mut b = Graph::builder(3, 2);
+            b.undirected_edge(0, 1).undirected_edge(1, 2);
+            if class == 0 {
+                b.undirected_edge(0, 2);
+            }
+            for v in 0..3 {
+                b.node_features(v, &[1.0 - class as f32, class as f32]);
+            }
+            b.graph_label(class);
+            graphs.push(b.build());
+        }
+        graphs
+    }
+
+    #[test]
+    fn graph_training_learns_toy_task() {
+        let graphs = toy_graph_dataset();
+        let idx: Vec<usize> = (0..graphs.len()).collect();
+        let m = Gnn::new(GnnConfig::standard(
+            GnnKind::Gin,
+            Task::GraphClassification,
+            2,
+            2,
+            13,
+        ));
+        let cfg = TrainConfig {
+            epochs: 60,
+            batch_size: 4,
+            weight_decay: 0.0,
+            ..Default::default()
+        };
+        let loss = train_graph_classifier(&m, &graphs, &idx, &cfg);
+        assert!(loss.is_finite());
+        let acc = evaluate_graph_accuracy(&m, &graphs, &idx);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+}

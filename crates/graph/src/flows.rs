@@ -1,0 +1,327 @@
+//! Message-flow enumeration and the flow-incidence index.
+//!
+//! A *message flow* in an `L`-layer GNN is a sequence of `L` layer edges
+//! `(e^1, …, e^L)` with `dst(e^l) = src(e^{l+1})` (§III of the paper). For
+//! node-classification explanations all flows end at the target node; for
+//! graph classification every `L`-step path is a flow (the readout pools all
+//! nodes).
+//!
+//! [`FlowIndex::build`] enumerates the flows deterministically and
+//! constructs, per layer, the sparse binary incidence matrix
+//! `I_l ∈ {0,1}^{|E| × |F|}` of Eq. 7 with `I_l[e, f] = 1` iff flow `f`
+//! traverses layer edge `e` at layer `l`.
+
+use std::fmt;
+use std::rc::Rc;
+
+use revelio_tensor::BinCsr;
+
+use crate::mp::MpGraph;
+
+/// What the explained prediction is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Node classification: explain the prediction at this node; flows end
+    /// there.
+    Node(usize),
+    /// Graph classification: the readout pools every node, so all `L`-step
+    /// paths are flows.
+    Graph,
+}
+
+/// Error raised when flow enumeration would exceed the configured cap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TooManyFlows {
+    /// The exact (or saturated) number of flows the graph contains.
+    pub found: u64,
+    /// The configured cap.
+    pub max: usize,
+}
+
+impl fmt::Display for TooManyFlows {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flow enumeration would produce {} flows, exceeding the cap of {}",
+            self.found, self.max
+        )
+    }
+}
+
+impl std::error::Error for TooManyFlows {}
+
+/// Counts the message flows of an `L`-layer GNN on `mp` without enumerating
+/// them (saturating at `u64::MAX`).
+pub fn count_flows(mp: &MpGraph, layers: usize, target: Target) -> u64 {
+    let suffix = suffix_counts(mp, layers, target);
+    (0..mp.num_nodes()).map(|u| suffix[0][u]).fold(0u64, u64::saturating_add)
+}
+
+/// `suffix[l][u]` = number of `L - l`-edge paths starting at `u` that use
+/// layers `l+1..=L` and satisfy the target constraint.
+fn suffix_counts(mp: &MpGraph, layers: usize, target: Target) -> Vec<Vec<u64>> {
+    let n = mp.num_nodes();
+    let mut suffix = vec![vec![0u64; n]; layers + 1];
+    match target {
+        Target::Node(t) => suffix[layers][t] = 1,
+        Target::Graph => suffix[layers].iter_mut().for_each(|v| *v = 1),
+    }
+    for l in (0..layers).rev() {
+        for u in 0..n {
+            let mut acc = 0u64;
+            for &e in mp.out_edges(u) {
+                acc = acc.saturating_add(suffix[l + 1][mp.dst()[e as usize]]);
+            }
+            suffix[l][u] = acc;
+        }
+    }
+    suffix
+}
+
+/// All message flows of an instance plus the per-layer incidence matrices.
+///
+/// # Example
+///
+/// ```
+/// use revelio_graph::{FlowIndex, Graph, MpGraph, Target};
+///
+/// // 0 -> 1; the message-passing view adds self-loops.
+/// let mut b = Graph::builder(2, 1);
+/// b.edge(0, 1);
+/// let mp = MpGraph::new(&b.build());
+///
+/// let idx = FlowIndex::build(&mp, 2, Target::Node(1), 1000).unwrap();
+/// // 2-layer flows ending at node 1: 0→1→1, 0→0→1, 1→1→1.
+/// assert_eq!(idx.num_flows(), 3);
+/// let mut strings: Vec<String> =
+///     (0..3).map(|f| idx.flow_string(&mp, f)).collect();
+/// strings.sort();
+/// assert_eq!(strings, vec!["0→0→1", "0→1→1", "1→1→1"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowIndex {
+    num_layers: usize,
+    num_flows: usize,
+    /// Flattened `[num_flows, num_layers]`: entry `(f, l)` is the layer-edge
+    /// id flow `f` traverses at layer `l + 1`.
+    flow_edges: Vec<u32>,
+    /// Per layer, `|E| × |F|` binary incidence (Eq. 7).
+    incidence: Vec<Rc<BinCsr>>,
+}
+
+impl FlowIndex {
+    /// Enumerates all message flows deterministically (start nodes in
+    /// ascending order, out-edges in layer-edge-id order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TooManyFlows`] if the graph contains more than `max_flows`
+    /// flows — an explicit failure rather than silent truncation.
+    pub fn build(
+        mp: &MpGraph,
+        layers: usize,
+        target: Target,
+        max_flows: usize,
+    ) -> Result<FlowIndex, TooManyFlows> {
+        assert!(layers >= 1, "a GNN must have at least one layer");
+        if let Target::Node(t) = target {
+            assert!(t < mp.num_nodes(), "target node out of range");
+        }
+        let suffix = suffix_counts(mp, layers, target);
+        let total = (0..mp.num_nodes())
+            .map(|u| suffix[0][u])
+            .fold(0u64, u64::saturating_add);
+        if total > max_flows as u64 {
+            return Err(TooManyFlows {
+                found: total,
+                max: max_flows,
+            });
+        }
+        let total = total as usize;
+
+        let mut flow_edges = Vec::with_capacity(total * layers);
+        let mut path = vec![0u32; layers];
+        for start in 0..mp.num_nodes() {
+            if suffix[0][start] > 0 {
+                enumerate_from(mp, layers, &suffix, start, 0, &mut path, &mut flow_edges);
+            }
+        }
+        debug_assert_eq!(flow_edges.len(), total * layers);
+
+        let ne = mp.layer_edge_count();
+        let mut incidence = Vec::with_capacity(layers);
+        for l in 0..layers {
+            let mut rows: Vec<Vec<u32>> = vec![Vec::new(); ne];
+            for f in 0..total {
+                rows[flow_edges[f * layers + l] as usize].push(f as u32);
+            }
+            incidence.push(Rc::new(BinCsr::from_rows(ne, total, &rows)));
+        }
+
+        Ok(FlowIndex {
+            num_layers: layers,
+            num_flows: total,
+            flow_edges,
+            incidence,
+        })
+    }
+
+    /// Number of GNN layers `L`.
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// Number of enumerated flows `|F|`.
+    pub fn num_flows(&self) -> usize {
+        self.num_flows
+    }
+
+    /// The layer-edge ids of flow `f`, ordered layer `1..=L`.
+    pub fn flow(&self, f: usize) -> &[u32] {
+        &self.flow_edges[f * self.num_layers..(f + 1) * self.num_layers]
+    }
+
+    /// The `L + 1` node ids flow `f` visits, in order.
+    pub fn flow_nodes(&self, mp: &MpGraph, f: usize) -> Vec<usize> {
+        let edges = self.flow(f);
+        let mut nodes = Vec::with_capacity(self.num_layers + 1);
+        nodes.push(mp.src()[edges[0] as usize]);
+        for &e in edges {
+            nodes.push(mp.dst()[e as usize]);
+        }
+        nodes
+    }
+
+    /// Formats flow `f` as `i→j→…→k` (the paper's Table VI/VII style).
+    pub fn flow_string(&self, mp: &MpGraph, f: usize) -> String {
+        self.flow_nodes(mp, f)
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("→")
+    }
+
+    /// The incidence matrix `I_l` for layer `l` (0-based): `|E| × |F|`,
+    /// shared via `Rc` so it can be captured by autodiff ops.
+    pub fn incidence(&self, layer: usize) -> &Rc<BinCsr> {
+        &self.incidence[layer]
+    }
+
+    /// The flows traversing layer edge `e` at 0-based layer `l` — the set
+    /// `F_{?{l}ij*}` of Eq. 3.
+    pub fn flows_through(&self, layer: usize, edge: usize) -> &[u32] {
+        self.incidence[layer].row(edge)
+    }
+}
+
+fn enumerate_from(
+    mp: &MpGraph,
+    layers: usize,
+    suffix: &[Vec<u64>],
+    node: usize,
+    depth: usize,
+    path: &mut [u32],
+    out: &mut Vec<u32>,
+) {
+    if depth == layers {
+        out.extend_from_slice(path);
+        return;
+    }
+    for &e in mp.out_edges(node) {
+        let next = mp.dst()[e as usize];
+        if suffix[depth + 1][next] > 0 {
+            path[depth] = e;
+            enumerate_from(mp, layers, suffix, next, depth + 1, path, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// 0 -> 1 -> 2 plus self-loops from the MP view.
+    fn path_mp() -> MpGraph {
+        let mut b = Graph::builder(3, 1);
+        b.edge(0, 1).edge(1, 2);
+        MpGraph::new(&b.build())
+    }
+
+    #[test]
+    fn counts_match_enumeration_node_target() {
+        let mp = path_mp();
+        for layers in 1..=4 {
+            let count = count_flows(&mp, layers, Target::Node(2));
+            let idx = FlowIndex::build(&mp, layers, Target::Node(2), 10_000).unwrap();
+            assert_eq!(count as usize, idx.num_flows(), "layers={layers}");
+        }
+    }
+
+    #[test]
+    fn counts_match_enumeration_graph_target() {
+        let mp = path_mp();
+        let count = count_flows(&mp, 2, Target::Graph);
+        let idx = FlowIndex::build(&mp, 2, Target::Graph, 10_000).unwrap();
+        assert_eq!(count as usize, idx.num_flows());
+    }
+
+    #[test]
+    fn two_layer_flows_to_node2_are_exactly_the_paths() {
+        let mp = path_mp();
+        let idx = FlowIndex::build(&mp, 2, Target::Node(2), 10_000).unwrap();
+        let mut strings: Vec<String> = (0..idx.num_flows())
+            .map(|f| idx.flow_string(&mp, f))
+            .collect();
+        strings.sort();
+        // Paths of 2 layer-edges ending at node 2:
+        // 0→1→2, 1→1→2 (self then edge), 1→2→2 (edge then self), 2→2→2.
+        assert_eq!(strings, vec!["0→1→2", "1→1→2", "1→2→2", "2→2→2"]);
+    }
+
+    #[test]
+    fn all_flows_end_at_target() {
+        let mp = path_mp();
+        let idx = FlowIndex::build(&mp, 3, Target::Node(2), 10_000).unwrap();
+        for f in 0..idx.num_flows() {
+            assert_eq!(*idx.flow_nodes(&mp, f).last().unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn incidence_is_consistent_with_flows() {
+        let mp = path_mp();
+        let idx = FlowIndex::build(&mp, 2, Target::Graph, 10_000).unwrap();
+        for l in 0..2 {
+            let inc = idx.incidence(l);
+            assert_eq!(inc.rows(), mp.layer_edge_count());
+            assert_eq!(inc.cols(), idx.num_flows());
+            let mut total = 0;
+            for e in 0..inc.rows() {
+                for &f in inc.row(e) {
+                    assert_eq!(idx.flow(f as usize)[l], e as u32);
+                    total += 1;
+                }
+            }
+            // Every flow appears exactly once per layer.
+            assert_eq!(total, idx.num_flows());
+        }
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let mp = path_mp();
+        let err = FlowIndex::build(&mp, 3, Target::Graph, 2).unwrap_err();
+        assert!(err.found > 2);
+        assert_eq!(err.max, 2);
+    }
+
+    #[test]
+    fn flows_through_matches_incidence_rows() {
+        let mp = path_mp();
+        let idx = FlowIndex::build(&mp, 2, Target::Node(2), 10_000).unwrap();
+        // Layer 2 (index 1) edge 1 (1->2): flows 0→1→2 and 1→1→2 use it.
+        let through = idx.flows_through(1, 1);
+        assert_eq!(through.len(), 2);
+    }
+}

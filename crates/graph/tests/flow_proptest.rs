@@ -1,0 +1,128 @@
+//! Property-based invariants of flow enumeration and subgraph extraction on
+//! random graphs.
+
+use proptest::prelude::*;
+use revelio_graph::{count_flows, khop_subgraph, FlowIndex, Graph, MpGraph, Target};
+
+/// A random simple directed graph with `n` nodes and up to `m` edges.
+fn random_graph(n: usize, pairs: &[(usize, usize)]) -> Graph {
+    let mut b = Graph::builder(n, 1);
+    for &(u, v) in pairs {
+        let (u, v) = (u % n, v % n);
+        if u != v && !b.has_edge(u, v) {
+            b.edge(u, v);
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn enumeration_matches_count(
+        n in 2usize..8,
+        pairs in prop::collection::vec((0usize..8, 0usize..8), 0..20),
+        layers in 1usize..4,
+    ) {
+        let g = random_graph(n, &pairs);
+        let mp = MpGraph::new(&g);
+        for target in [Target::Node(0), Target::Graph] {
+            let count = count_flows(&mp, layers, target);
+            let idx = FlowIndex::build(&mp, layers, target, 1_000_000).unwrap();
+            prop_assert_eq!(count as usize, idx.num_flows());
+        }
+    }
+
+    #[test]
+    fn flows_are_valid_paths(
+        n in 2usize..7,
+        pairs in prop::collection::vec((0usize..7, 0usize..7), 0..15),
+        layers in 1usize..4,
+    ) {
+        let g = random_graph(n, &pairs);
+        let mp = MpGraph::new(&g);
+        let target = (pairs.len() + n) % n;
+        let idx = FlowIndex::build(&mp, layers, Target::Node(target), 1_000_000).unwrap();
+        for f in 0..idx.num_flows() {
+            let edges = idx.flow(f);
+            prop_assert_eq!(edges.len(), layers);
+            // Consecutive edges chain: dst(e_l) == src(e_{l+1}).
+            for w in edges.windows(2) {
+                prop_assert_eq!(mp.dst()[w[0] as usize], mp.src()[w[1] as usize]);
+            }
+            // Terminates at the target.
+            prop_assert_eq!(mp.dst()[edges[layers - 1] as usize], target);
+        }
+    }
+
+    #[test]
+    fn incidence_rows_partition_flows(
+        n in 2usize..6,
+        pairs in prop::collection::vec((0usize..6, 0usize..6), 0..12),
+    ) {
+        let g = random_graph(n, &pairs);
+        let mp = MpGraph::new(&g);
+        let idx = FlowIndex::build(&mp, 3, Target::Graph, 1_000_000).unwrap();
+        for l in 0..3 {
+            let mut seen = vec![false; idx.num_flows()];
+            for e in 0..mp.layer_edge_count() {
+                for &f in idx.flows_through(l, e) {
+                    prop_assert!(!seen[f as usize], "flow listed twice in one layer");
+                    seen[f as usize] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "flow missing from a layer");
+        }
+    }
+
+    #[test]
+    fn khop_subgraph_nodes_reach_target(
+        n in 2usize..10,
+        pairs in prop::collection::vec((0usize..10, 0usize..10), 0..25),
+        hops in 0usize..4,
+    ) {
+        let g = random_graph(n, &pairs);
+        let target = 0usize;
+        let sub = khop_subgraph(&g, target, hops);
+        // The target survives.
+        prop_assert_eq!(sub.original_node(sub.target), target);
+        // Every kept node has a directed path of length <= hops to target
+        // in the subgraph itself (BFS backwards from the target).
+        let sn = sub.graph.num_nodes();
+        let mut dist = vec![usize::MAX; sn];
+        dist[sub.target] = 0;
+        let mut frontier = vec![sub.target];
+        for d in 1..=hops {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for (s, t) in sub.graph.edges() {
+                    if *t as usize == v && dist[*s as usize] == usize::MAX {
+                        dist[*s as usize] = d;
+                        next.push(*s as usize);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        for &d in dist.iter().take(sn) {
+            prop_assert!(d != usize::MAX, "unreachable node kept in subgraph");
+        }
+    }
+
+    #[test]
+    fn mp_graph_degrees_consistent(
+        n in 1usize..8,
+        pairs in prop::collection::vec((0usize..8, 0usize..8), 0..20),
+    ) {
+        let g = random_graph(n, &pairs);
+        let mp = MpGraph::new(&g);
+        prop_assert_eq!(mp.layer_edge_count(), g.num_edges() + n);
+        let total_in: usize = (0..n).map(|v| mp.in_degree(v)).sum();
+        prop_assert_eq!(total_in, mp.layer_edge_count());
+        // Norms are positive and finite.
+        for w in mp.gcn_norm() {
+            prop_assert!(w > 0.0 && w.is_finite());
+        }
+    }
+}

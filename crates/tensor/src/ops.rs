@@ -1,0 +1,988 @@
+//! Differentiable operators.
+//!
+//! Each method on [`Tensor`] performs the forward computation eagerly and
+//! records an [`Op`] describing how to route gradients during
+//! [`Tensor::backward`]. Shapes are validated eagerly with panics, matching
+//! the conventions of dense math libraries.
+
+use std::rc::Rc;
+
+use crate::sparse::BinCsr;
+use crate::tensor::Tensor;
+
+/// The operation that produced a tensor, holding its parents and any saved
+/// context required by the backward pass.
+pub enum Op {
+    Add(Tensor, Tensor),
+    Sub(Tensor, Tensor),
+    Mul(Tensor, Tensor),
+    Div(Tensor, Tensor),
+    Neg(Tensor),
+    AddScalar(Tensor, f32),
+    MulScalar(Tensor, f32),
+    MatMul(Tensor, Tensor),
+    /// `[m,n] + [1,n]` (bias add).
+    AddRowBroadcast(Tensor, Tensor),
+    /// `[m,n] * [m,1]` (per-row scaling; used for edge masks, Eq. 6).
+    MulColBroadcast(Tensor, Tensor),
+    Relu(Tensor),
+    LeakyRelu(Tensor, f32),
+    Tanh(Tensor),
+    Sigmoid(Tensor),
+    Exp(Tensor),
+    Ln(Tensor),
+    Softplus(Tensor),
+    ClampMin(Tensor, f32),
+    SumAll(Tensor),
+    MeanAll(Tensor),
+    /// Mean over rows: `[m,n] -> [1,n]` (graph readout).
+    MeanRows(Tensor),
+    LogSoftmaxRows(Tensor),
+    /// Mean negative log-likelihood given per-row target classes.
+    NllLoss(Tensor, Rc<Vec<usize>>),
+    GatherRows(Tensor, Rc<Vec<usize>>),
+    /// `out[idx[i], :] += in[i, :]`, output has `n_out` rows.
+    ScatterAddRows(Tensor, Rc<Vec<usize>>, usize),
+    SliceCols(Tensor, usize, usize),
+    ConcatCols(Tensor, Tensor),
+    /// Column-independent softmax within row segments (GAT attention).
+    SegmentSoftmax(Tensor, Rc<Vec<usize>>),
+    /// Sparse binary matrix (`R × C`) times dense `[C,1]` vector (Eq. 7).
+    SpMatVec(Rc<BinCsr>, Tensor),
+}
+
+impl Op {
+    /// The tensors this operation reads.
+    pub(crate) fn parents(&self) -> Vec<Tensor> {
+        match self {
+            Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::Div(a, b)
+            | Op::MatMul(a, b)
+            | Op::AddRowBroadcast(a, b)
+            | Op::MulColBroadcast(a, b)
+            | Op::ConcatCols(a, b) => vec![a.clone(), b.clone()],
+            Op::Neg(a)
+            | Op::AddScalar(a, _)
+            | Op::MulScalar(a, _)
+            | Op::Relu(a)
+            | Op::LeakyRelu(a, _)
+            | Op::Tanh(a)
+            | Op::Sigmoid(a)
+            | Op::Exp(a)
+            | Op::Ln(a)
+            | Op::Softplus(a)
+            | Op::ClampMin(a, _)
+            | Op::SumAll(a)
+            | Op::MeanAll(a)
+            | Op::MeanRows(a)
+            | Op::LogSoftmaxRows(a)
+            | Op::NllLoss(a, _)
+            | Op::GatherRows(a, _)
+            | Op::ScatterAddRows(a, _, _)
+            | Op::SliceCols(a, _, _)
+            | Op::SegmentSoftmax(a, _)
+            | Op::SpMatVec(_, a) => vec![a.clone()],
+        }
+    }
+
+    /// Routes `grad_out` (the gradient w.r.t. `out`) to the parents.
+    pub(crate) fn backward(&self, out: &Tensor, grad_out: &[f32]) {
+        match self {
+            Op::Add(a, b) => {
+                a.accumulate_grad(grad_out);
+                b.accumulate_grad(grad_out);
+            }
+            Op::Sub(a, b) => {
+                a.accumulate_grad(grad_out);
+                let neg: Vec<f32> = grad_out.iter().map(|g| -g).collect();
+                b.accumulate_grad(&neg);
+            }
+            Op::Mul(a, b) => {
+                let (ad, bd) = (a.data(), b.data());
+                let ga: Vec<f32> = grad_out.iter().zip(bd.iter()).map(|(g, b)| g * b).collect();
+                let gb: Vec<f32> = grad_out.iter().zip(ad.iter()).map(|(g, a)| g * a).collect();
+                drop((ad, bd));
+                a.accumulate_grad(&ga);
+                b.accumulate_grad(&gb);
+            }
+            Op::Div(a, b) => {
+                let (ad, bd) = (a.data(), b.data());
+                let ga: Vec<f32> = grad_out.iter().zip(bd.iter()).map(|(g, b)| g / b).collect();
+                let gb: Vec<f32> = grad_out
+                    .iter()
+                    .zip(ad.iter().zip(bd.iter()))
+                    .map(|(g, (a, b))| -g * a / (b * b))
+                    .collect();
+                drop((ad, bd));
+                a.accumulate_grad(&ga);
+                b.accumulate_grad(&gb);
+            }
+            Op::Neg(a) => {
+                let g: Vec<f32> = grad_out.iter().map(|g| -g).collect();
+                a.accumulate_grad(&g);
+            }
+            Op::AddScalar(a, _) => a.accumulate_grad(grad_out),
+            Op::MulScalar(a, s) => {
+                let g: Vec<f32> = grad_out.iter().map(|g| g * s).collect();
+                a.accumulate_grad(&g);
+            }
+            Op::MatMul(a, b) => {
+                let (m, k) = a.shape();
+                let (_, n) = b.shape();
+                // ga = g . b^T  (m x n) . (n x k)
+                let ga = matmul_nt(grad_out, m, n, &b.data(), k);
+                // gb = a^T . g  (k x m) . (m x n)
+                let gb = matmul_tn(&a.data(), m, k, grad_out, n);
+                a.accumulate_grad(&ga);
+                b.accumulate_grad(&gb);
+            }
+            Op::AddRowBroadcast(a, b) => {
+                a.accumulate_grad(grad_out);
+                let (m, n) = a.shape();
+                let mut gb = vec![0.0f32; n];
+                for i in 0..m {
+                    for j in 0..n {
+                        gb[j] += grad_out[i * n + j];
+                    }
+                }
+                b.accumulate_grad(&gb);
+            }
+            Op::MulColBroadcast(a, b) => {
+                let (m, n) = a.shape();
+                let ad = a.data();
+                let bd = b.data();
+                let mut ga = vec![0.0f32; m * n];
+                let mut gb = vec![0.0f32; m];
+                for i in 0..m {
+                    let s = bd[i];
+                    for j in 0..n {
+                        let g = grad_out[i * n + j];
+                        ga[i * n + j] = g * s;
+                        gb[i] += g * ad[i * n + j];
+                    }
+                }
+                drop((ad, bd));
+                a.accumulate_grad(&ga);
+                b.accumulate_grad(&gb);
+            }
+            Op::Relu(a) => {
+                let ad = a.data();
+                let g: Vec<f32> = grad_out
+                    .iter()
+                    .zip(ad.iter())
+                    .map(|(g, x)| if *x > 0.0 { *g } else { 0.0 })
+                    .collect();
+                drop(ad);
+                a.accumulate_grad(&g);
+            }
+            Op::LeakyRelu(a, slope) => {
+                let ad = a.data();
+                let g: Vec<f32> = grad_out
+                    .iter()
+                    .zip(ad.iter())
+                    .map(|(g, x)| if *x > 0.0 { *g } else { g * slope })
+                    .collect();
+                drop(ad);
+                a.accumulate_grad(&g);
+            }
+            Op::Tanh(a) => {
+                let od = out.data();
+                let g: Vec<f32> = grad_out
+                    .iter()
+                    .zip(od.iter())
+                    .map(|(g, y)| g * (1.0 - y * y))
+                    .collect();
+                drop(od);
+                a.accumulate_grad(&g);
+            }
+            Op::Sigmoid(a) => {
+                let od = out.data();
+                let g: Vec<f32> = grad_out
+                    .iter()
+                    .zip(od.iter())
+                    .map(|(g, y)| g * y * (1.0 - y))
+                    .collect();
+                drop(od);
+                a.accumulate_grad(&g);
+            }
+            Op::Exp(a) => {
+                let od = out.data();
+                let g: Vec<f32> = grad_out.iter().zip(od.iter()).map(|(g, y)| g * y).collect();
+                drop(od);
+                a.accumulate_grad(&g);
+            }
+            Op::Ln(a) => {
+                let ad = a.data();
+                let g: Vec<f32> = grad_out.iter().zip(ad.iter()).map(|(g, x)| g / x).collect();
+                drop(ad);
+                a.accumulate_grad(&g);
+            }
+            Op::Softplus(a) => {
+                let ad = a.data();
+                let g: Vec<f32> = grad_out
+                    .iter()
+                    .zip(ad.iter())
+                    .map(|(g, x)| g * sigmoid_scalar(*x))
+                    .collect();
+                drop(ad);
+                a.accumulate_grad(&g);
+            }
+            Op::ClampMin(a, min) => {
+                let ad = a.data();
+                let g: Vec<f32> = grad_out
+                    .iter()
+                    .zip(ad.iter())
+                    .map(|(g, x)| if *x >= *min { *g } else { 0.0 })
+                    .collect();
+                drop(ad);
+                a.accumulate_grad(&g);
+            }
+            Op::SumAll(a) => {
+                let g = vec![grad_out[0]; a.len()];
+                a.accumulate_grad(&g);
+            }
+            Op::MeanAll(a) => {
+                let g = vec![grad_out[0] / a.len() as f32; a.len()];
+                a.accumulate_grad(&g);
+            }
+            Op::MeanRows(a) => {
+                let (m, n) = a.shape();
+                let inv = 1.0 / m as f32;
+                let mut g = vec![0.0f32; m * n];
+                for i in 0..m {
+                    for j in 0..n {
+                        g[i * n + j] = grad_out[j] * inv;
+                    }
+                }
+                a.accumulate_grad(&g);
+            }
+            Op::LogSoftmaxRows(a) => {
+                // d x = g - softmax(x) * sum_row(g); softmax = exp(out).
+                let (m, n) = a.shape();
+                let od = out.data();
+                let mut g = vec![0.0f32; m * n];
+                for i in 0..m {
+                    let row_sum: f32 = grad_out[i * n..(i + 1) * n].iter().sum();
+                    for j in 0..n {
+                        let s = od[i * n + j].exp();
+                        g[i * n + j] = grad_out[i * n + j] - s * row_sum;
+                    }
+                }
+                drop(od);
+                a.accumulate_grad(&g);
+            }
+            Op::NllLoss(a, targets) => {
+                let (m, n) = a.shape();
+                let scale = grad_out[0] / m as f32;
+                let mut g = vec![0.0f32; m * n];
+                for (i, &t) in targets.iter().enumerate() {
+                    g[i * n + t] = -scale;
+                }
+                a.accumulate_grad(&g);
+            }
+            Op::GatherRows(a, idx) => {
+                let n = a.cols();
+                let mut g = vec![0.0f32; a.len()];
+                for (i, &src) in idx.iter().enumerate() {
+                    for j in 0..n {
+                        g[src * n + j] += grad_out[i * n + j];
+                    }
+                }
+                a.accumulate_grad(&g);
+            }
+            Op::ScatterAddRows(a, idx, _) => {
+                let n = a.cols();
+                let mut g = vec![0.0f32; a.len()];
+                for (i, &dst) in idx.iter().enumerate() {
+                    for j in 0..n {
+                        g[i * n + j] = grad_out[dst * n + j];
+                    }
+                }
+                a.accumulate_grad(&g);
+            }
+            Op::SliceCols(a, c0, _c1) => {
+                let (m, n) = a.shape();
+                let w = out.cols();
+                let mut g = vec![0.0f32; m * n];
+                for i in 0..m {
+                    for j in 0..w {
+                        g[i * n + c0 + j] = grad_out[i * w + j];
+                    }
+                }
+                a.accumulate_grad(&g);
+            }
+            Op::ConcatCols(a, b) => {
+                let m = a.rows();
+                let (na, nb) = (a.cols(), b.cols());
+                let n = na + nb;
+                let mut ga = vec![0.0f32; m * na];
+                let mut gb = vec![0.0f32; m * nb];
+                for i in 0..m {
+                    ga[i * na..(i + 1) * na].copy_from_slice(&grad_out[i * n..i * n + na]);
+                    gb[i * nb..(i + 1) * nb].copy_from_slice(&grad_out[i * n + na..(i + 1) * n]);
+                }
+                a.accumulate_grad(&ga);
+                b.accumulate_grad(&gb);
+            }
+            Op::SegmentSoftmax(a, segs) => {
+                // Per column c and segment S: ds_i = s_i * (g_i - sum_{j in S} s_j g_j).
+                let (m, n) = a.shape();
+                let od = out.data();
+                let n_segs = segs.iter().copied().max().map_or(0, |s| s + 1);
+                let mut seg_dot = vec![0.0f32; n_segs * n];
+                for i in 0..m {
+                    let s = segs[i];
+                    for j in 0..n {
+                        seg_dot[s * n + j] += od[i * n + j] * grad_out[i * n + j];
+                    }
+                }
+                let mut g = vec![0.0f32; m * n];
+                for i in 0..m {
+                    let s = segs[i];
+                    for j in 0..n {
+                        g[i * n + j] =
+                            od[i * n + j] * (grad_out[i * n + j] - seg_dot[s * n + j]);
+                    }
+                }
+                drop(od);
+                a.accumulate_grad(&g);
+            }
+            Op::SpMatVec(mat, x) => {
+                let mut g = vec![0.0f32; x.len()];
+                for (r, &gr) in grad_out.iter().enumerate().take(mat.rows()) {
+                    if gr != 0.0 {
+                        for &c in mat.row(r) {
+                            g[c as usize] += gr;
+                        }
+                    }
+                }
+                x.accumulate_grad(&g);
+            }
+        }
+    }
+}
+
+#[inline]
+fn sigmoid_scalar(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// `a (m×k) · b (k×n)`, all row-major, ikj loop order.
+pub(crate) fn matmul_nn(a: &[f32], m: usize, k: usize, b: &[f32], n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `a (m×n) · bᵀ` where `b` is `(k×n)` row-major; result is `m×k`.
+fn matmul_nt(a: &[f32], m: usize, n: usize, b: &[f32], k: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * k];
+    for i in 0..m {
+        let arow = &a[i * n..(i + 1) * n];
+        for j in 0..k {
+            let brow = &b[j * n..(j + 1) * n];
+            let mut acc = 0.0f32;
+            for (av, bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            out[i * k + j] = acc;
+        }
+    }
+    out
+}
+
+/// `aᵀ · b` where `a` is `(m×k)` and `b` is `(m×n)` row-major; result `k×n`.
+fn matmul_tn(a: &[f32], m: usize, k: usize, b: &[f32], n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; k * n];
+    for i in 0..m {
+        let brow = &b[i * n..(i + 1) * n];
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[p * n..(p + 1) * n];
+            for (o, bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+macro_rules! elementwise_binary {
+    ($name:ident, $op_variant:ident, $f:expr) => {
+        /// Elementwise binary operation; both operands must share a shape.
+        pub fn $name(&self, other: &Tensor) -> Tensor {
+            assert_eq!(
+                self.shape(),
+                other.shape(),
+                concat!(stringify!($name), ": shape mismatch")
+            );
+            let f = $f;
+            let data: Vec<f32> = self
+                .data()
+                .iter()
+                .zip(other.data().iter())
+                .map(|(a, b)| f(*a, *b))
+                .collect();
+            Tensor::new_from_op(
+                data,
+                self.rows(),
+                self.cols(),
+                Op::$op_variant(self.clone(), other.clone()),
+            )
+        }
+    };
+}
+
+macro_rules! elementwise_unary {
+    ($name:ident, $op_variant:ident, $f:expr) => {
+        /// Elementwise unary operation.
+        pub fn $name(&self) -> Tensor {
+            let f = $f;
+            let data: Vec<f32> = self.data().iter().map(|x| f(*x)).collect();
+            Tensor::new_from_op(
+                data,
+                self.rows(),
+                self.cols(),
+                Op::$op_variant(self.clone()),
+            )
+        }
+    };
+}
+
+impl Tensor {
+    elementwise_binary!(add, Add, |a: f32, b: f32| a + b);
+    elementwise_binary!(sub, Sub, |a: f32, b: f32| a - b);
+    elementwise_binary!(mul, Mul, |a: f32, b: f32| a * b);
+    elementwise_binary!(div, Div, |a: f32, b: f32| a / b);
+
+    elementwise_unary!(neg, Neg, |x: f32| -x);
+    elementwise_unary!(relu, Relu, |x: f32| x.max(0.0));
+    elementwise_unary!(tanh_t, Tanh, |x: f32| x.tanh());
+    elementwise_unary!(sigmoid, Sigmoid, sigmoid_scalar);
+    elementwise_unary!(exp, Exp, |x: f32| x.exp());
+    elementwise_unary!(ln, Ln, |x: f32| x.ln());
+    elementwise_unary!(softplus, Softplus, |x: f32| {
+        // Numerically stable log(1 + e^x).
+        if x > 20.0 {
+            x
+        } else {
+            x.exp().ln_1p()
+        }
+    });
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|x| x + s).collect();
+        Tensor::new_from_op(data, self.rows(), self.cols(), Op::AddScalar(self.clone(), s))
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|x| x * s).collect();
+        Tensor::new_from_op(data, self.rows(), self.cols(), Op::MulScalar(self.clone(), s))
+    }
+
+    /// Elementwise `max(x, min)`; gradient is blocked where clamping occurs.
+    pub fn clamp_min(&self, min: f32) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|x| x.max(min)).collect();
+        Tensor::new_from_op(data, self.rows(), self.cols(), Op::ClampMin(self.clone(), min))
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn leaky_relu(&self, slope: f32) -> Tensor {
+        let data: Vec<f32> = self
+            .data()
+            .iter()
+            .map(|x| if *x > 0.0 { *x } else { x * slope })
+            .collect();
+        Tensor::new_from_op(
+            data,
+            self.rows(),
+            self.cols(),
+            Op::LeakyRelu(self.clone(), slope),
+        )
+    }
+
+    /// Dense matrix multiplication `self (m×k) · other (k×n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = self.shape();
+        let (k2, n) = other.shape();
+        assert_eq!(k, k2, "matmul: inner dimension mismatch ({k} vs {k2})");
+        let data = matmul_nn(&self.data(), m, k, &other.data(), n);
+        Tensor::new_from_op(data, m, n, Op::MatMul(self.clone(), other.clone()))
+    }
+
+    /// `self [m,n] + bias [1,n]`, broadcasting the bias across rows.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
+        let (m, n) = self.shape();
+        assert_eq!(bias.shape(), (1, n), "add_row_broadcast: bias must be [1,{n}]");
+        let bd = bias.data();
+        let data: Vec<f32> = self
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + bd[i % n])
+            .collect();
+        drop(bd);
+        Tensor::new_from_op(
+            data,
+            m,
+            n,
+            Op::AddRowBroadcast(self.clone(), bias.clone()),
+        )
+    }
+
+    /// `self [m,n] * scale [m,1]`, broadcasting the scale across columns.
+    ///
+    /// This is the mask-application primitive of Eq. 6: each edge message row
+    /// is scaled by its layer-edge importance.
+    pub fn mul_col_broadcast(&self, scale: &Tensor) -> Tensor {
+        let (m, n) = self.shape();
+        assert_eq!(scale.shape(), (m, 1), "mul_col_broadcast: scale must be [{m},1]");
+        let sd = scale.data();
+        let mut data = self.to_vec();
+        for i in 0..m {
+            let s = sd[i];
+            for v in &mut data[i * n..(i + 1) * n] {
+                *v *= s;
+            }
+        }
+        drop(sd);
+        Tensor::new_from_op(
+            data,
+            m,
+            n,
+            Op::MulColBroadcast(self.clone(), scale.clone()),
+        )
+    }
+
+    /// Sum of all elements as a `1 × 1` tensor.
+    pub fn sum_all(&self) -> Tensor {
+        let s: f32 = self.data().iter().sum();
+        Tensor::new_from_op(vec![s], 1, 1, Op::SumAll(self.clone()))
+    }
+
+    /// Mean of all elements as a `1 × 1` tensor.
+    pub fn mean_all(&self) -> Tensor {
+        let s: f32 = self.data().iter().sum();
+        Tensor::new_from_op(
+            vec![s / self.len() as f32],
+            1,
+            1,
+            Op::MeanAll(self.clone()),
+        )
+    }
+
+    /// Mean over rows: `[m,n] -> [1,n]` (mean-pool graph readout).
+    pub fn mean_rows(&self) -> Tensor {
+        let (m, n) = self.shape();
+        assert!(m > 0, "mean_rows on empty tensor");
+        let d = self.data();
+        let mut out = vec![0.0f32; n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j] += d[i * n + j];
+            }
+        }
+        let inv = 1.0 / m as f32;
+        for v in &mut out {
+            *v *= inv;
+        }
+        drop(d);
+        Tensor::new_from_op(out, 1, n, Op::MeanRows(self.clone()))
+    }
+
+    /// Row-wise log-softmax (numerically stabilised).
+    pub fn log_softmax_rows(&self) -> Tensor {
+        let (m, n) = self.shape();
+        let d = self.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let row = &d[i * n..(i + 1) * n];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|x| (x - max).exp()).sum::<f32>().ln() + max;
+            for j in 0..n {
+                out[i * n + j] = row[j] - lse;
+            }
+        }
+        drop(d);
+        Tensor::new_from_op(out, m, n, Op::LogSoftmaxRows(self.clone()))
+    }
+
+    /// Mean negative log-likelihood of `targets` under row-wise log-probs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the number of rows or a target
+    /// class index is out of range.
+    pub fn nll_loss(&self, targets: &[usize]) -> Tensor {
+        let (m, n) = self.shape();
+        assert_eq!(targets.len(), m, "nll_loss: one target per row required");
+        let d = self.data();
+        let mut acc = 0.0f32;
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < n, "nll_loss: target {t} out of range for {n} classes");
+            acc -= d[i * n + t];
+        }
+        drop(d);
+        Tensor::new_from_op(
+            vec![acc / m as f32],
+            1,
+            1,
+            Op::NllLoss(self.clone(), Rc::new(targets.to_vec())),
+        )
+    }
+
+    /// Gathers rows: `out[i, :] = self[idx[i], :]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
+        let (m, n) = self.shape();
+        let d = self.data();
+        let mut out = Vec::with_capacity(idx.len() * n);
+        for &i in idx {
+            assert!(i < m, "gather_rows: index {i} out of bounds for {m} rows");
+            out.extend_from_slice(&d[i * n..(i + 1) * n]);
+        }
+        drop(d);
+        Tensor::new_from_op(
+            out,
+            idx.len(),
+            n,
+            Op::GatherRows(self.clone(), Rc::new(idx.to_vec())),
+        )
+    }
+
+    /// Scatter-add rows into a fresh `[n_out, cols]` tensor:
+    /// `out[idx[i], :] += self[i, :]`.
+    ///
+    /// This is the message-aggregation primitive (sum aggregation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len()` differs from the number of rows or any index is
+    /// `>= n_out`.
+    pub fn scatter_add_rows(&self, idx: &[usize], n_out: usize) -> Tensor {
+        let (m, n) = self.shape();
+        assert_eq!(idx.len(), m, "scatter_add_rows: one index per row required");
+        let d = self.data();
+        let mut out = vec![0.0f32; n_out * n];
+        for (i, &dst) in idx.iter().enumerate() {
+            assert!(dst < n_out, "scatter_add_rows: index {dst} out of bounds");
+            for j in 0..n {
+                out[dst * n + j] += d[i * n + j];
+            }
+        }
+        drop(d);
+        Tensor::new_from_op(
+            out,
+            n_out,
+            n,
+            Op::ScatterAddRows(self.clone(), Rc::new(idx.to_vec()), n_out),
+        )
+    }
+
+    /// Slices columns `[c0, c1)`.
+    pub fn slice_cols(&self, c0: usize, c1: usize) -> Tensor {
+        let (m, n) = self.shape();
+        assert!(c0 < c1 && c1 <= n, "slice_cols: invalid range {c0}..{c1} for {n} cols");
+        let d = self.data();
+        let w = c1 - c0;
+        let mut out = Vec::with_capacity(m * w);
+        for i in 0..m {
+            out.extend_from_slice(&d[i * n + c0..i * n + c1]);
+        }
+        drop(d);
+        Tensor::new_from_op(out, m, w, Op::SliceCols(self.clone(), c0, c1))
+    }
+
+    /// Concatenates two tensors along columns.
+    pub fn concat_cols(&self, other: &Tensor) -> Tensor {
+        let (m, na) = self.shape();
+        let (m2, nb) = other.shape();
+        assert_eq!(m, m2, "concat_cols: row counts differ");
+        let (a, b) = (self.data(), other.data());
+        let mut out = Vec::with_capacity(m * (na + nb));
+        for i in 0..m {
+            out.extend_from_slice(&a[i * na..(i + 1) * na]);
+            out.extend_from_slice(&b[i * nb..(i + 1) * nb]);
+        }
+        drop((a, b));
+        Tensor::new_from_op(
+            out,
+            m,
+            na + nb,
+            Op::ConcatCols(self.clone(), other.clone()),
+        )
+    }
+
+    /// Softmax computed independently per column over row segments.
+    ///
+    /// Rows sharing a segment id form one softmax group — for GAT this
+    /// normalises edge attention logits over each destination node's in-edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments.len()` differs from the number of rows.
+    pub fn segment_softmax(&self, segments: &[usize]) -> Tensor {
+        let (m, n) = self.shape();
+        assert_eq!(segments.len(), m, "segment_softmax: one segment per row");
+        let n_segs = segments.iter().copied().max().map_or(0, |s| s + 1);
+        let d = self.data();
+        let mut seg_max = vec![f32::NEG_INFINITY; n_segs * n];
+        for i in 0..m {
+            let s = segments[i];
+            for j in 0..n {
+                let v = d[i * n + j];
+                if v > seg_max[s * n + j] {
+                    seg_max[s * n + j] = v;
+                }
+            }
+        }
+        let mut seg_sum = vec![0.0f32; n_segs * n];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let s = segments[i];
+            for j in 0..n {
+                let e = (d[i * n + j] - seg_max[s * n + j]).exp();
+                out[i * n + j] = e;
+                seg_sum[s * n + j] += e;
+            }
+        }
+        for i in 0..m {
+            let s = segments[i];
+            for j in 0..n {
+                out[i * n + j] /= seg_sum[s * n + j];
+            }
+        }
+        drop(d);
+        Tensor::new_from_op(
+            out,
+            m,
+            n,
+            Op::SegmentSoftmax(self.clone(), Rc::new(segments.to_vec())),
+        )
+    }
+
+    /// Sparse binary matrix (`R × C`) times this dense `[C,1]` vector.
+    ///
+    /// Implements the flow-incidence transform of Eq. 7:
+    /// `out[r] = Σ_{c ∈ row r} self[c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a `[C,1]` column vector matching the matrix.
+    pub fn sp_matvec(&self, mat: &Rc<BinCsr>) -> Tensor {
+        assert_eq!(
+            self.shape(),
+            (mat.cols(), 1),
+            "sp_matvec: vector must be [{},1]",
+            mat.cols()
+        );
+        let d = self.data();
+        let mut out = vec![0.0f32; mat.rows()];
+        for (r, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for &c in mat.row(r) {
+                acc += d[c as usize];
+            }
+            *o = acc;
+        }
+        drop(d);
+        Tensor::new_from_op(
+            out,
+            mat.rows(),
+            1,
+            Op::SpMatVec(Rc::clone(mat), self.clone()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f32, b: f32) {
+        assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+    }
+
+    #[test]
+    fn matmul_forward_and_backward() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2).requires_grad();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], 2, 2).requires_grad();
+        let c = a.matmul(&b);
+        assert_eq!(c.to_vec(), vec![19.0, 22.0, 43.0, 50.0]);
+        c.sum_all().backward();
+        // dC/dA = 1 . B^T
+        assert_eq!(a.grad_vec(), vec![11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(b.grad_vec(), vec![4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn log_softmax_rows_sums_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], 2, 3);
+        let ls = x.log_softmax_rows();
+        for i in 0..2 {
+            let s: f32 = (0..3).map(|j| ls.get(i, j).exp()).sum();
+            assert_close(s, 1.0);
+        }
+    }
+
+    #[test]
+    fn nll_loss_gradient_matches_softmax_minus_onehot() {
+        let x = Tensor::from_vec(vec![0.2, -0.4, 0.9], 1, 3).requires_grad();
+        let loss = x.log_softmax_rows().nll_loss(&[2]);
+        loss.backward();
+        let g = x.grad_vec();
+        let probs: Vec<f32> = {
+            let m = 0.9f32;
+            let e: Vec<f32> = [0.2, -0.4, 0.9].iter().map(|v: &f32| (v - m).exp()).collect();
+            let s: f32 = e.iter().sum();
+            e.iter().map(|v| v / s).collect()
+        };
+        assert_close(g[0], probs[0]);
+        assert_close(g[1], probs[1]);
+        assert_close(g[2], probs[2] - 1.0);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_gradients() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], 3, 1).requires_grad();
+        let gathered = x.gather_rows(&[0, 0, 2]);
+        let scattered = gathered.scatter_add_rows(&[1, 1, 0], 2);
+        assert_eq!(scattered.to_vec(), vec![3.0, 2.0]);
+        scattered.sum_all().backward();
+        assert_eq!(x.grad_vec(), vec![2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn mul_col_broadcast_masks_messages() {
+        let msgs = Tensor::from_vec(vec![1.0, 1.0, 2.0, 2.0], 2, 2).requires_grad();
+        let mask = Tensor::from_vec(vec![0.5, 0.0], 2, 1).requires_grad();
+        let out = msgs.mul_col_broadcast(&mask);
+        assert_eq!(out.to_vec(), vec![0.5, 0.5, 0.0, 0.0]);
+        out.sum_all().backward();
+        assert_eq!(mask.grad_vec(), vec![2.0, 4.0]);
+        assert_eq!(msgs.grad_vec(), vec![0.5, 0.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn segment_softmax_normalises_within_segments() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 10.0], 4, 1);
+        let sm = x.segment_softmax(&[0, 0, 1, 1]);
+        let d = sm.to_vec();
+        assert_close(d[0] + d[1], 1.0);
+        assert_close(d[2] + d[3], 1.0);
+        assert!(d[3] > d[2]);
+    }
+
+    #[test]
+    fn segment_softmax_gradient_sums_to_zero() {
+        let x = Tensor::from_vec(vec![0.3, -0.2, 0.8], 3, 1).requires_grad();
+        let sm = x.segment_softmax(&[0, 0, 0]);
+        // A weighted sum with distinct weights makes the gradient non-trivial.
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0], 3, 1);
+        sm.mul(&w).sum_all().backward();
+        let g = x.grad_vec();
+        let s: f32 = g.iter().sum();
+        assert_close(s, 0.0);
+    }
+
+    #[test]
+    fn sp_matvec_forward_backward() {
+        // rows: {0,2}, {1}
+        let m = Rc::new(BinCsr::from_rows(2, 3, &[vec![0, 2], vec![1]]));
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], 3, 1).requires_grad();
+        let y = x.sp_matvec(&m);
+        assert_eq!(y.to_vec(), vec![4.0, 2.0]);
+        let w = Tensor::from_vec(vec![10.0, 100.0], 2, 1);
+        y.mul(&w).sum_all().backward();
+        assert_eq!(x.grad_vec(), vec![10.0, 100.0, 10.0]);
+    }
+
+    #[test]
+    fn chained_activations_numerical_gradient() {
+        // f(x) = sigmoid(tanh(x) * 2 + 0.5) summed.
+        let f = |v: f32| {
+            let t = v.tanh() * 2.0 + 0.5;
+            1.0 / (1.0 + (-t).exp())
+        };
+        let x0 = 0.37f32;
+        let x = Tensor::scalar(x0).requires_grad();
+        let y = x.tanh_t().mul_scalar(2.0).add_scalar(0.5).sigmoid().sum_all();
+        y.backward();
+        let eps = 1e-3;
+        let num = (f(x0 + eps) - f(x0 - eps)) / (2.0 * eps);
+        assert!((x.grad_vec()[0] - num).abs() < 1e-3);
+    }
+
+    #[test]
+    fn div_gradient() {
+        let a = Tensor::scalar(6.0).requires_grad();
+        let b = Tensor::scalar(2.0).requires_grad();
+        a.div(&b).backward();
+        assert_close(a.grad_vec()[0], 0.5);
+        assert_close(b.grad_vec()[0], -1.5);
+    }
+
+    #[test]
+    fn concat_and_slice_are_inverse() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2).requires_grad();
+        let b = Tensor::from_vec(vec![5.0, 6.0], 2, 1).requires_grad();
+        let c = a.concat_cols(&b);
+        assert_eq!(c.shape(), (2, 3));
+        let back = c.slice_cols(0, 2);
+        assert_eq!(back.to_vec(), a.to_vec());
+        c.slice_cols(2, 3).sum_all().backward();
+        assert_eq!(b.grad_vec(), vec![1.0, 1.0]);
+        assert_eq!(a.grad_vec(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn mean_rows_readout() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], 2, 2).requires_grad();
+        let m = x.mean_rows();
+        assert_eq!(m.to_vec(), vec![3.0, 5.0]);
+        m.sum_all().backward();
+        assert_eq!(x.grad_vec(), vec![0.5; 4]);
+    }
+
+    #[test]
+    fn clamp_min_blocks_gradient_below_threshold() {
+        let x = Tensor::from_vec(vec![-1.0, 2.0], 1, 2).requires_grad();
+        x.clamp_min(0.0).sum_all().backward();
+        assert_eq!(x.grad_vec(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn softplus_matches_reference() {
+        let x = Tensor::from_vec(vec![-30.0, 0.0, 30.0], 1, 3);
+        let y = x.softplus();
+        assert!(y.get(0, 0).abs() < 1e-6);
+        assert_close(y.get(0, 1), std::f32::consts::LN_2);
+        assert_close(y.get(0, 2), 30.0);
+    }
+}

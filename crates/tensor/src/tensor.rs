@@ -1,0 +1,388 @@
+//! The [`Tensor`] type: a reference-counted 2-D `f32` matrix that records the
+//! operation which produced it, enabling reverse-mode differentiation.
+
+use std::cell::{Cell, Ref, RefCell};
+use std::collections::HashSet;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ops::Op;
+
+thread_local! {
+    static NEXT_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn fresh_id() -> u64 {
+    NEXT_ID.with(|c| {
+        let id = c.get();
+        c.set(id + 1);
+        id
+    })
+}
+
+pub(crate) struct Inner {
+    pub(crate) id: u64,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    pub(crate) data: RefCell<Vec<f32>>,
+    pub(crate) grad: RefCell<Option<Vec<f32>>>,
+    /// Leaf tensors flagged for gradient accumulation (model parameters,
+    /// explanation masks). Non-leaf tensors participate in backprop whenever
+    /// any ancestor requires a gradient.
+    pub(crate) requires_grad: Cell<bool>,
+    pub(crate) op: Option<Op>,
+}
+
+/// A 2-D `f32` matrix with optional gradient tracking.
+///
+/// Cloning a `Tensor` is cheap (it clones an `Rc`); both clones refer to the
+/// same storage and gradient buffer.
+#[derive(Clone)]
+pub struct Tensor {
+    pub(crate) inner: Rc<Inner>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tensor")
+            .field("id", &self.inner.id)
+            .field("rows", &self.inner.rows)
+            .field("cols", &self.inner.cols)
+            .field("requires_grad", &self.inner.requires_grad.get())
+            .field("is_leaf", &self.inner.op.is_none())
+            .finish()
+    }
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Creates a leaf tensor from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(data: Vec<f32>, rows: usize, cols: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Tensor::from_vec: data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self::new_leaf(data, rows, cols)
+    }
+
+    /// Creates a `rows × cols` tensor filled with `value`.
+    pub fn full(value: f32, rows: usize, cols: usize) -> Self {
+        Self::new_leaf(vec![value; rows * cols], rows, cols)
+    }
+
+    /// Creates a `rows × cols` tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::full(0.0, rows, cols)
+    }
+
+    /// Creates a `rows × cols` tensor of ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(1.0, rows, cols)
+    }
+
+    /// Creates a `1 × 1` scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self::full(value, 1, 1)
+    }
+
+    pub(crate) fn new_leaf(data: Vec<f32>, rows: usize, cols: usize) -> Self {
+        Tensor {
+            inner: Rc::new(Inner {
+                id: fresh_id(),
+                rows,
+                cols,
+                data: RefCell::new(data),
+                grad: RefCell::new(None),
+                requires_grad: Cell::new(false),
+                op: None,
+            }),
+        }
+    }
+
+    pub(crate) fn new_from_op(data: Vec<f32>, rows: usize, cols: usize, op: Op) -> Self {
+        assert_eq!(data.len(), rows * cols, "internal op produced wrong shape");
+        Tensor {
+            inner: Rc::new(Inner {
+                id: fresh_id(),
+                rows,
+                cols,
+                data: RefCell::new(data),
+                grad: RefCell::new(None),
+                requires_grad: Cell::new(false),
+                op: Some(op),
+            }),
+        }
+    }
+
+    /// Flags this tensor for gradient accumulation and returns it.
+    ///
+    /// Intended for leaf tensors (parameters, masks); calling it on a
+    /// non-leaf is harmless but has no additional effect because non-leaf
+    /// gradients are tracked automatically during [`Tensor::backward`].
+    #[must_use]
+    pub fn requires_grad(self) -> Self {
+        self.inner.requires_grad.set(true);
+        self
+    }
+
+    /// Whether this tensor accumulates gradients as a leaf.
+    pub fn requires_grad_flag(&self) -> bool {
+        self.inner.requires_grad.get()
+    }
+
+    // ------------------------------------------------------------------
+    // Shape / data access
+    // ------------------------------------------------------------------
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.inner.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.inner.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.inner.rows, self.inner.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.rows * self.inner.cols
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrows the row-major data.
+    pub fn data(&self) -> Ref<'_, Vec<f32>> {
+        self.inner.data.borrow()
+    }
+
+    /// Copies the row-major data out.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.inner.data.borrow().clone()
+    }
+
+    /// Returns element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows() && c < self.cols(), "index out of bounds");
+        self.inner.data.borrow()[r * self.cols() + c]
+    }
+
+    /// Returns the value of a `1 × 1` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not a scalar.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() requires a 1x1 tensor");
+        self.inner.data.borrow()[0]
+    }
+
+    /// Overwrites the data of a leaf tensor in place (used by optimizers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_data.len()` does not match the tensor length.
+    pub fn set_data(&self, new_data: &[f32]) {
+        let mut d = self.inner.data.borrow_mut();
+        assert_eq!(new_data.len(), d.len(), "set_data: length mismatch");
+        d.copy_from_slice(new_data);
+    }
+
+    /// Applies `f` to the data buffer in place (used by optimizers).
+    pub fn update_data(&self, f: impl FnOnce(&mut [f32])) {
+        f(&mut self.inner.data.borrow_mut());
+    }
+
+    /// A stable identifier unique to this tensor's storage.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Returns a detached copy: same data, no history, no gradient.
+    pub fn detach(&self) -> Tensor {
+        Tensor::new_leaf(self.to_vec(), self.rows(), self.cols())
+    }
+
+    // ------------------------------------------------------------------
+    // Gradients
+    // ------------------------------------------------------------------
+
+    /// Copies the accumulated gradient out, or zeros if none was recorded.
+    pub fn grad_vec(&self) -> Vec<f32> {
+        self.inner
+            .grad
+            .borrow()
+            .clone()
+            .unwrap_or_else(|| vec![0.0; self.len()])
+    }
+
+    /// Whether a gradient has been accumulated.
+    pub fn has_grad(&self) -> bool {
+        self.inner.grad.borrow().is_some()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.inner.grad.borrow_mut() = None;
+    }
+
+    /// Adds `g` into the accumulated gradient (used by gradient clipping).
+    pub fn accumulate_grad_public(&self, g: &[f32]) {
+        assert_eq!(g.len(), self.len(), "gradient shape mismatch");
+        self.accumulate_grad(g);
+    }
+
+    pub(crate) fn accumulate_grad(&self, g: &[f32]) {
+        let mut slot = self.inner.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(existing) => {
+                for (e, v) in existing.iter_mut().zip(g) {
+                    *e += v;
+                }
+            }
+            None => *slot = Some(g.to_vec()),
+        }
+    }
+
+    /// Runs reverse-mode differentiation from this tensor.
+    ///
+    /// The tensor must be a scalar (`1 × 1`); the seed gradient is `1.0`.
+    /// Gradients accumulate (are summed) into every leaf created with
+    /// [`Tensor::requires_grad`] and into intermediate nodes reachable from
+    /// them, so call [`Tensor::zero_grad`] on parameters between steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not `1 × 1`.
+    pub fn backward(&self) {
+        assert_eq!(
+            self.shape(),
+            (1, 1),
+            "backward() must be called on a scalar loss"
+        );
+        self.backward_with_grad(vec![1.0]);
+    }
+
+    /// Runs reverse-mode differentiation with an explicit seed gradient of
+    /// the same shape as `self`.
+    pub fn backward_with_grad(&self, seed: Vec<f32>) {
+        assert_eq!(seed.len(), self.len(), "seed gradient shape mismatch");
+
+        // Topological order over the op graph (parents before children when
+        // iterated in reverse).
+        let mut order: Vec<Tensor> = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        // Iterative DFS to avoid stack overflow on deep graphs (e.g. many
+        // mask-learning epochs chained by accident).
+        let mut stack: Vec<(Tensor, bool)> = vec![(self.clone(), false)];
+        while let Some((t, children_done)) = stack.pop() {
+            if children_done {
+                order.push(t);
+                continue;
+            }
+            if !visited.insert(t.inner.id) {
+                continue;
+            }
+            stack.push((t.clone(), true));
+            if let Some(op) = &t.inner.op {
+                for p in op.parents() {
+                    if !visited.contains(&p.inner.id) {
+                        stack.push((p, false));
+                    }
+                }
+            }
+        }
+
+        self.accumulate_grad(&seed);
+        for t in order.iter().rev() {
+            let Some(op) = &t.inner.op else { continue };
+            let grad_out = match t.inner.grad.borrow().clone() {
+                Some(g) => g,
+                None => continue,
+            };
+            op.backward(t, &grad_out);
+            // Match PyTorch semantics: intermediate (op-produced) tensors do
+            // not retain gradients across passes unless explicitly flagged
+            // via `requires_grad()` (retain_grad). Leaves always accumulate.
+            if !t.inner.requires_grad.get() {
+                *t.inner.grad.borrow_mut() = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_shapes() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.get(1, 2), 6.0);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_shape() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], 2, 3);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    fn detach_breaks_history() {
+        let a = Tensor::scalar(2.0).requires_grad();
+        let b = a.mul_scalar(3.0);
+        let d = b.detach();
+        assert!(d.inner.op.is_none());
+        assert_eq!(d.item(), 6.0);
+    }
+
+    #[test]
+    fn grad_accumulates_across_backward_calls() {
+        let a = Tensor::scalar(2.0).requires_grad();
+        let b = a.mul_scalar(3.0);
+        b.backward();
+        b.backward();
+        assert_eq!(a.grad_vec(), vec![6.0]);
+        a.zero_grad();
+        assert!(!a.has_grad());
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Tensor::scalar(1.0);
+        let b = a.clone();
+        a.set_data(&[9.0]);
+        assert_eq!(b.item(), 9.0);
+    }
+}

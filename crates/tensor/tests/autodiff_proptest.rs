@@ -1,0 +1,103 @@
+//! Property-based gradient checks: for randomly generated inputs, the
+//! analytic gradients of composed operators must match central finite
+//! differences.
+
+use proptest::prelude::*;
+use revelio_tensor::Tensor;
+
+/// Relative-tolerance comparison for gradient checks on f32.
+fn close(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 2e-2 * scale
+}
+
+/// Generic gradient check: `f` builds a scalar loss from a leaf tensor.
+fn gradcheck(data: Vec<f32>, rows: usize, cols: usize, f: impl Fn(&Tensor) -> Tensor) {
+    let x = Tensor::from_vec(data.clone(), rows, cols).requires_grad();
+    let loss = f(&x);
+    loss.backward();
+    let analytic = x.grad_vec();
+
+    let eps = 1e-2f32;
+    for i in 0..data.len() {
+        let mut plus = data.clone();
+        plus[i] += eps;
+        let mut minus = data.clone();
+        minus[i] -= eps;
+        let lp = f(&Tensor::from_vec(plus, rows, cols)).item() as f64;
+        let lm = f(&Tensor::from_vec(minus, rows, cols)).item() as f64;
+        let numeric = (lp - lm) / (2.0 * eps as f64);
+        assert!(
+            close(analytic[i] as f64, numeric),
+            "grad mismatch at {i}: analytic {} vs numeric {numeric}",
+            analytic[i]
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tanh_sigmoid_chain(data in prop::collection::vec(-1.5f32..1.5, 6)) {
+        gradcheck(data, 2, 3, |x| x.tanh_t().sigmoid().sum_all());
+    }
+
+    #[test]
+    fn matmul_with_activation(data in prop::collection::vec(-1.0f32..1.0, 6)) {
+        let w = Tensor::from_vec(vec![0.3, -0.7, 0.2, 0.9, -0.4, 0.1], 3, 2);
+        gradcheck(data, 2, 3, move |x| x.matmul(&w).tanh_t().sum_all());
+    }
+
+    #[test]
+    fn softplus_exp_mean(data in prop::collection::vec(-2.0f32..2.0, 4)) {
+        gradcheck(data, 4, 1, |x| x.softplus().mean_all());
+    }
+
+    #[test]
+    fn log_softmax_nll(data in prop::collection::vec(-2.0f32..2.0, 8)) {
+        gradcheck(data, 2, 4, |x| x.log_softmax_rows().nll_loss(&[1, 3]));
+    }
+
+    #[test]
+    fn div_and_mul(data in prop::collection::vec(0.5f32..2.0, 4)) {
+        let y = Tensor::from_vec(vec![1.5, 2.5, 0.7, 1.1], 2, 2);
+        gradcheck(data, 2, 2, move |x| x.mul(&y).div(&y.add_scalar(1.0)).sum_all());
+    }
+
+    #[test]
+    fn gather_scatter_broadcast(data in prop::collection::vec(-1.0f32..1.0, 6)) {
+        let scale = Tensor::from_vec(vec![0.5, 1.5, -0.5, 2.0], 4, 1);
+        gradcheck(data, 3, 2, move |x| {
+            x.gather_rows(&[0, 2, 1, 0])
+                .mul_col_broadcast(&scale)
+                .scatter_add_rows(&[1, 0, 1, 2], 3)
+                .sum_all()
+        });
+    }
+
+    #[test]
+    fn segment_softmax_weighted(data in prop::collection::vec(-2.0f32..2.0, 5)) {
+        let w = Tensor::from_vec(vec![1.0, -1.0, 2.0, 0.5, 1.5], 5, 1);
+        gradcheck(data, 5, 1, move |x| {
+            x.segment_softmax(&[0, 0, 1, 1, 1]).mul(&w).sum_all()
+        });
+    }
+
+    #[test]
+    fn forward_values_bounded(data in prop::collection::vec(-10.0f32..10.0, 12)) {
+        let x = Tensor::from_vec(data, 3, 4);
+        for v in x.sigmoid().to_vec() {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        for v in x.tanh_t().to_vec() {
+            prop_assert!((-1.0..=1.0).contains(&v));
+        }
+        // log-softmax rows exponentiate to a distribution.
+        let ls = x.log_softmax_rows();
+        for r in 0..3 {
+            let s: f32 = (0..4).map(|c| ls.get(r, c).exp()).sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+}

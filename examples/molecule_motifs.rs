@@ -1,0 +1,105 @@
+//! Graph classification on molecule-like graphs: train a GIN on the
+//! simulated MUTAG dataset, then compare all three flow-based explainers
+//! (GNN-LRP, FlowX, REVELIO) on how well their top edges recover the
+//! planted NO₂ motif — the drug-discovery use case from the paper's intro.
+//!
+//! ```text
+//! cargo run --release --example molecule_motifs
+//! ```
+
+use std::collections::HashSet;
+
+use revelio::prelude::*;
+
+fn main() {
+    let data = revelio::datasets::mutag_sim(0);
+    println!(
+        "MUTAG-sim: {} molecules, avg {:.1} atoms / {:.1} bonds",
+        data.graphs.len(),
+        data.avg_nodes(),
+        data.avg_edges()
+    );
+
+    let model = Gnn::new(GnnConfig::standard(
+        GnnKind::Gin,
+        Task::GraphClassification,
+        7,
+        2,
+        11,
+    ));
+    train_graph_classifier(
+        &model,
+        &data.graphs,
+        &data.split.train,
+        &TrainConfig {
+            epochs: 30,
+            weight_decay: 0.0,
+            ..Default::default()
+        },
+    );
+    let acc = revelio::gnn::evaluate_graph_accuracy(&model, &data.graphs, &data.split.test);
+    println!("test accuracy: {:.1}%", acc * 100.0);
+
+    // Pick a correctly-classified mutagenic molecule with a planted motif.
+    let target_graph = data
+        .split
+        .test
+        .iter()
+        .copied()
+        .find(|&gi| {
+            data.ground_truth_for(gi).is_some()
+                && model.predict_class(&data.graphs[gi], Target::Graph)
+                    == data.graphs[gi].graph_label().expect("label")
+        })
+        .expect("a correctly classified mutagenic molecule");
+    let g = &data.graphs[target_graph];
+    let gt: HashSet<usize> = data
+        .ground_truth_for(target_graph)
+        .expect("motif")
+        .iter()
+        .copied()
+        .collect();
+    println!(
+        "\nexplaining molecule #{target_graph}: {} atoms, NO2 motif spans {} directed bonds",
+        g.num_nodes(),
+        gt.len()
+    );
+
+    let instance = Instance::for_prediction(&model, g.clone(), Target::Graph);
+    let k = gt.len();
+
+    let explainers: Vec<Box<dyn Explainer>> = vec![
+        Box::new(GnnLrp::default()),
+        Box::new(FlowX::factual()),
+        Box::new(Revelio::new(RevelioConfig {
+            epochs: 200,
+            ..Default::default()
+        })),
+    ];
+
+    println!("\nmethod     motif bonds in top-{k}   top flow");
+    for explainer in &explainers {
+        let exp = explainer.explain(&model, &instance);
+        let hits = exp
+            .top_edges(k)
+            .iter()
+            .filter(|e| gt.contains(e))
+            .count();
+        let top_flow = exp
+            .flows
+            .as_ref()
+            .map(|fs| {
+                let (f, s) = fs.top_k(1)[0];
+                format!("{} ({s:+.4})", fs.index.flow_string(&instance.mp, f))
+            })
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<10} {hits:>3} / {:<3}              {top_flow}",
+            explainer.name(),
+            gt.len()
+        );
+    }
+
+    println!("\natom legend: the motif is a nitrogen (type 1) bonded to two");
+    println!("oxygens (type 2) and a ring carbon — the mutagenicity signal.");
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the REVELIO paper.
+#
+# Usage:
+#   ./run_experiments.sh           # quick budgets (default)
+#   ./run_experiments.sh --full    # paper-scale budgets (50 instances, 500 epochs)
+#
+# Results print to stdout and land as CSV under target/experiments/.
+set -euo pipefail
+
+FLAGS=("$@")
+
+cargo build --release -p revelio-bench
+
+run() {
+    echo
+    echo "### $1 ####################################################"
+    shift
+    "$@" "${FLAGS[@]}"
+}
+
+BIN=target/release
+
+run "Table III — dataset statistics and model accuracy" "$BIN/table3_datasets"
+run "Table IV — explanation AUC on synthetic datasets" "$BIN/table4_auc"
+run "Fig. 3 — Fidelity- vs sparsity (factual)" "$BIN/fig3_fidelity_minus"
+run "Fig. 4 — Fidelity+ vs sparsity (counterfactual)" "$BIN/fig4_fidelity_plus"
+run "Table V — running times" "$BIN/table5_runtime"
+run "Fig. 5 — alpha sensitivity" "$BIN/fig5_sensitivity"
+run "Fig. 6 — visualisations" "$BIN/fig6_visualization"
+run "Tables VI-VII — top-10 message flows" "$BIN/tables6_7_topflows"
+run "Table II — empirical complexity" "$BIN/table2_complexity"
+run "Ablation — mask-transform design choices" "$BIN/ablation_masks"
+
+echo
+echo "All experiment CSVs are under target/experiments/."

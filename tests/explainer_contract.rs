@@ -1,0 +1,141 @@
+//! Contract tests: every registered explanation method must produce valid,
+//! deterministic explanations on both tasks.
+
+use revelio::eval::{make_method, Effort, ALL_METHODS};
+use revelio::prelude::*;
+
+fn node_setup() -> (Gnn, Instance) {
+    let data = revelio::datasets::tree_cycles(0);
+    let model = Gnn::new(GnnConfig::standard(
+        GnnKind::Gcn,
+        Task::NodeClassification,
+        data.graph.feat_dim(),
+        data.num_classes,
+        0,
+    ));
+    train_node_classifier(
+        &model,
+        &data.graph,
+        &data.split.train,
+        &TrainConfig {
+            epochs: 30,
+            ..Default::default()
+        },
+    );
+    // A motif node with a compact 3-hop neighbourhood.
+    let sub = khop_subgraph(&data.graph, 511, 3);
+    let inst = Instance::for_prediction(&model, sub.graph.clone(), Target::Node(sub.target));
+    (model, inst)
+}
+
+fn graph_setup() -> (Gnn, Instance) {
+    let data = revelio::datasets::mutag_sim(0);
+    let model = Gnn::new(GnnConfig::standard(
+        GnnKind::Gin,
+        Task::GraphClassification,
+        7,
+        2,
+        0,
+    ));
+    let train: Vec<usize> = data.split.train.iter().copied().take(40).collect();
+    train_graph_classifier(
+        &model,
+        &data.graphs,
+        &train,
+        &TrainConfig {
+            epochs: 6,
+            batch_size: 8,
+            ..Default::default()
+        },
+    );
+    let g = data.graphs[0].clone();
+    let inst = Instance::for_prediction(&model, g, Target::Graph);
+    (model, inst)
+}
+
+#[test]
+fn all_methods_explain_node_instances() {
+    let (model, inst) = node_setup();
+    for name in ALL_METHODS {
+        let explainer = make_method(name, Objective::Factual, Effort::Quick, 0);
+        explainer.fit(&model, &[&inst]);
+        let exp = explainer.explain(&model, &inst);
+        assert_eq!(
+            exp.edge_scores.len(),
+            inst.graph.num_edges(),
+            "{name}: one score per edge"
+        );
+        assert!(
+            exp.edge_scores.iter().all(|s| s.is_finite()),
+            "{name}: finite scores"
+        );
+        // Ranked edges are a permutation.
+        let mut ranked = exp.ranked_edges();
+        ranked.sort_unstable();
+        assert_eq!(ranked, (0..inst.graph.num_edges()).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn all_methods_explain_graph_instances() {
+    let (model, inst) = graph_setup();
+    for name in ALL_METHODS {
+        if name == "GNN-LRP" {
+            // Supported (GIN) — included below.
+        }
+        let explainer = make_method(name, Objective::Factual, Effort::Quick, 0);
+        explainer.fit(&model, &[&inst]);
+        let exp = explainer.explain(&model, &inst);
+        assert_eq!(
+            exp.edge_scores.len(),
+            inst.graph.num_edges(),
+            "{name}: one score per edge"
+        );
+    }
+}
+
+#[test]
+fn explanations_are_deterministic_given_seed() {
+    let (model, inst) = node_setup();
+    for name in ALL_METHODS {
+        // Group-level methods retrain on fit; create two fresh instances.
+        let e1 = make_method(name, Objective::Factual, Effort::Quick, 42);
+        e1.fit(&model, &[&inst]);
+        let a = e1.explain(&model, &inst);
+        let e2 = make_method(name, Objective::Factual, Effort::Quick, 42);
+        e2.fit(&model, &[&inst]);
+        let b = e2.explain(&model, &inst);
+        assert_eq!(a.edge_scores, b.edge_scores, "{name}: nondeterministic");
+    }
+}
+
+#[test]
+fn flow_methods_attach_flow_scores() {
+    let (model, inst) = node_setup();
+    for name in ["GNN-LRP", "FlowX", "REVELIO"] {
+        let explainer = make_method(name, Objective::Factual, Effort::Quick, 0);
+        let exp = explainer.explain(&model, &inst);
+        let flows = exp.flows.unwrap_or_else(|| panic!("{name}: flow scores"));
+        assert!(flows.index.num_flows() > 0);
+        assert_eq!(flows.scores.len(), flows.index.num_flows());
+        let ls = exp
+            .layer_edge_scores
+            .unwrap_or_else(|| panic!("{name}: layer-edge scores"));
+        assert_eq!(ls.len(), model.num_layers());
+    }
+}
+
+#[test]
+fn counterfactual_mode_flips_learned_methods() {
+    let (model, inst) = node_setup();
+    for name in ["GNNExplainer", "FlowX", "REVELIO"] {
+        let f = make_method(name, Objective::Factual, Effort::Quick, 7)
+            .explain(&model, &inst);
+        let c = make_method(name, Objective::Counterfactual, Effort::Quick, 7)
+            .explain(&model, &inst);
+        assert_ne!(
+            f.edge_scores, c.edge_scores,
+            "{name}: objectives should differ"
+        );
+    }
+}
