@@ -1,0 +1,789 @@
+//! Static analysis over the autodiff tape and the graph containers.
+//!
+//! The autodiff engine in `revelio-tensor` records an [`Op`] graph while the
+//! forward pass runs. This crate walks that recorded tape **without executing
+//! anything** and reports typed [`Diagnostic`]s:
+//!
+//! * **Symbolic shape inference** ([`audit_tape`]) — re-derives every node's
+//!   shape from its operands and flags broadcast/matmul mismatches, bad
+//!   gather/scatter indices, and malformed reductions.
+//! * **Dead-gradient detection** ([`audit_tape_with_params`]) — finds
+//!   `requires_grad` leaves that are unreachable from the loss, i.e.
+//!   parameters that will silently never train (a detached mask is the
+//!   classic REVELIO failure mode).
+//! * **Numeric-stability lints** — structural pattern matches over the tape:
+//!   `ln(sigmoid(x))` instead of `softplus`, unstabilised `exp` chains
+//!   (`exp ∘ exp`), and hand-rolled softmax built from an unshifted `exp`.
+//! * **Flow-incidence / CSR invariant audits** ([`audit_flow_index`],
+//!   [`audit_incidence`], [`audit_mp_graph`]) — Eq. 7 requires every column
+//!   of each per-layer incidence matrix `I_l ∈ {0,1}^{|E|×|F|}` to sum to
+//!   exactly 1 (each flow crosses one layer edge per layer); the
+//!   message-passing view requires sorted in-edge lists and exactly one
+//!   self-loop per node.
+//!
+//! `revelio-core` calls [`audit_tape_with_params`] on the first mask-learning
+//! epoch in debug builds; the `audit` binary runs every audit over an example
+//! workload and a suite of deliberately seeded defects.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use revelio_graph::{FlowIndex, MpGraph};
+use revelio_tensor::{BinCsr, Op, Tensor};
+
+/// What a diagnostic is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagnosticKind {
+    /// A tape node whose shape is inconsistent with its operands.
+    ShapeMismatch,
+    /// A `requires_grad` leaf unreachable from the audited root: its
+    /// gradient will always be zero.
+    DetachedGradient,
+    /// A numerically fragile op pattern matched structurally on the tape.
+    UnstablePattern(StabilityPattern),
+    /// A violated invariant of a flow-incidence matrix or graph container.
+    IncidenceViolation(IncidenceCheck),
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiagnosticKind::ShapeMismatch => write!(f, "shape-mismatch"),
+            DiagnosticKind::DetachedGradient => write!(f, "detached-gradient"),
+            DiagnosticKind::UnstablePattern(p) => write!(f, "unstable-pattern/{p}"),
+            DiagnosticKind::IncidenceViolation(c) => write!(f, "incidence-violation/{c}"),
+        }
+    }
+}
+
+/// Numerically fragile patterns matched on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StabilityPattern {
+    /// `ln(sigmoid(x))`: overflows to `-inf` for moderately negative `x`;
+    /// `-softplus(-x)` is the stable identity.
+    LnOfSigmoid,
+    /// `exp` applied (possibly through scalar-affine ops) to the output of
+    /// another `exp`: doubly exponential growth overflows `f32` almost
+    /// immediately.
+    ExpOfExp,
+    /// A softmax hand-rolled as `exp(x) / Σ exp(x)` without subtracting the
+    /// row maximum first (`segment_softmax` / `log_softmax_rows` shift
+    /// internally).
+    SoftmaxWithoutShift,
+}
+
+impl fmt::Display for StabilityPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StabilityPattern::LnOfSigmoid => write!(f, "ln-of-sigmoid"),
+            StabilityPattern::ExpOfExp => write!(f, "exp-of-exp"),
+            StabilityPattern::SoftmaxWithoutShift => write!(f, "softmax-without-shift"),
+        }
+    }
+}
+
+/// Invariants checked on incidence matrices and the message-passing view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IncidenceCheck {
+    /// Eq. 7: every column of `I_l` must sum to exactly 1.
+    ColumnSum,
+    /// CSR rows must hold strictly ascending column indices.
+    UnsortedRow,
+    /// A stored column index is outside the matrix bounds.
+    ColumnBounds,
+    /// Incidence dimensions disagree with the layer-edge/flow counts, or an
+    /// incidence entry contradicts the flow's recorded path.
+    FlowConsistency,
+    /// A node does not have exactly one self-loop layer edge.
+    SelfLoopUniqueness,
+    /// A per-node in/out-edge list is unsorted or inconsistent with the
+    /// edge endpoint arrays.
+    AdjacencyConsistency,
+}
+
+impl fmt::Display for IncidenceCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncidenceCheck::ColumnSum => write!(f, "column-sum"),
+            IncidenceCheck::UnsortedRow => write!(f, "unsorted-row"),
+            IncidenceCheck::ColumnBounds => write!(f, "column-bounds"),
+            IncidenceCheck::FlowConsistency => write!(f, "flow-consistency"),
+            IncidenceCheck::SelfLoopUniqueness => write!(f, "self-loop-uniqueness"),
+            IncidenceCheck::AdjacencyConsistency => write!(f, "adjacency-consistency"),
+        }
+    }
+}
+
+/// One finding of the static analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// What was found.
+    pub kind: DiagnosticKind,
+    /// The tensor id of the tape node the finding anchors to, when the
+    /// finding is about a tape node.
+    pub tensor: Option<u64>,
+    /// The op name at that node, when applicable.
+    pub op: Option<&'static str>,
+    /// Human-readable description with the concrete values involved.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.kind)?;
+        if let Some(op) = self.op {
+            write!(f, " {op}")?;
+        }
+        if let Some(id) = self.tensor {
+            write!(f, " (tensor #{id})")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl Diagnostic {
+    fn tape(kind: DiagnosticKind, node: &Tensor, message: String) -> Diagnostic {
+        Diagnostic {
+            kind,
+            tensor: Some(node.id()),
+            op: node.op().map(Op::name),
+            message,
+        }
+    }
+
+    fn container(kind: DiagnosticKind, message: String) -> Diagnostic {
+        Diagnostic {
+            kind,
+            tensor: None,
+            op: None,
+            message,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tape walking
+// ---------------------------------------------------------------------------
+
+/// Every distinct tensor reachable from `root` through recorded ops
+/// (iterative DFS; the audits below are per-node, so order is irrelevant).
+fn tape_nodes(root: &Tensor) -> Vec<Tensor> {
+    let mut nodes = Vec::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut stack = vec![root.clone()];
+    while let Some(t) = stack.pop() {
+        if !seen.insert(t.id()) {
+            continue;
+        }
+        if let Some(op) = t.op() {
+            stack.extend(op.parents());
+        }
+        nodes.push(t);
+    }
+    nodes
+}
+
+/// Statically audits the tape below `root`: symbolic shape inference plus
+/// the numeric-stability lints. Nothing is executed; only recorded metadata
+/// (shapes, op kinds, saved indices) is inspected.
+pub fn audit_tape(root: &Tensor) -> Vec<Diagnostic> {
+    let nodes = tape_nodes(root);
+    let mut diags = Vec::new();
+    for node in &nodes {
+        if let Some(op) = node.op() {
+            match infer_shape(op) {
+                Ok(expected) if expected != node.shape() => {
+                    diags.push(Diagnostic::tape(
+                        DiagnosticKind::ShapeMismatch,
+                        node,
+                        format!(
+                            "recorded output shape {:?} but operands imply {:?}",
+                            node.shape(),
+                            expected
+                        ),
+                    ));
+                }
+                Ok(_) => {}
+                Err(msg) => {
+                    diags.push(Diagnostic::tape(DiagnosticKind::ShapeMismatch, node, msg));
+                }
+            }
+            diags.extend(stability_lints(node, op));
+        }
+    }
+    diags
+}
+
+/// [`audit_tape`] plus dead-gradient detection: every tensor in `params`
+/// that is flagged `requires_grad` must be reachable from `root`, otherwise
+/// its gradient is identically zero and it will never train.
+pub fn audit_tape_with_params(root: &Tensor, params: &[Tensor]) -> Vec<Diagnostic> {
+    let mut diags = audit_tape(root);
+    let reachable: HashSet<u64> = tape_nodes(root).iter().map(Tensor::id).collect();
+    for (i, p) in params.iter().enumerate() {
+        if p.requires_grad_flag() && !reachable.contains(&p.id()) {
+            diags.push(Diagnostic {
+                kind: DiagnosticKind::DetachedGradient,
+                tensor: Some(p.id()),
+                op: None,
+                message: format!(
+                    "parameter {i} (shape {:?}) requires a gradient but is unreachable \
+                     from the loss; it will never receive updates",
+                    p.shape()
+                ),
+            });
+        }
+    }
+    diags
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic shape inference
+// ---------------------------------------------------------------------------
+
+/// Re-derives the output shape of `op` from its operand shapes and saved
+/// context, or explains why no valid output shape exists.
+fn infer_shape(op: &Op) -> Result<(usize, usize), String> {
+    match op {
+        Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::Div(a, b) => {
+            if a.shape() != b.shape() {
+                return Err(format!(
+                    "elementwise operands differ in shape: {:?} vs {:?}",
+                    a.shape(),
+                    b.shape()
+                ));
+            }
+            Ok(a.shape())
+        }
+        Op::Neg(a)
+        | Op::AddScalar(a, _)
+        | Op::MulScalar(a, _)
+        | Op::Relu(a)
+        | Op::LeakyRelu(a, _)
+        | Op::Tanh(a)
+        | Op::Sigmoid(a)
+        | Op::Exp(a)
+        | Op::Ln(a)
+        | Op::Softplus(a)
+        | Op::ClampMin(a, _)
+        | Op::LogSoftmaxRows(a) => Ok(a.shape()),
+        Op::MatMul(a, b) => {
+            let (m, k) = a.shape();
+            let (k2, n) = b.shape();
+            if k != k2 {
+                return Err(format!(
+                    "matmul inner dimensions disagree: [{m},{k}] · [{k2},{n}]"
+                ));
+            }
+            Ok((m, n))
+        }
+        Op::AddRowBroadcast(a, b) => {
+            let (m, n) = a.shape();
+            if b.shape() != (1, n) {
+                return Err(format!(
+                    "row-broadcast bias must be [1,{n}] for a [{m},{n}] operand, got {:?}",
+                    b.shape()
+                ));
+            }
+            Ok((m, n))
+        }
+        Op::MulColBroadcast(a, b) => {
+            let (m, n) = a.shape();
+            if b.shape() != (m, 1) {
+                return Err(format!(
+                    "column-broadcast scale must be [{m},1] for a [{m},{n}] operand, got {:?}",
+                    b.shape()
+                ));
+            }
+            Ok((m, n))
+        }
+        Op::SumAll(_) | Op::MeanAll(_) => Ok((1, 1)),
+        Op::MeanRows(a) => {
+            let (m, n) = a.shape();
+            if m == 0 {
+                return Err("mean over zero rows is undefined".to_string());
+            }
+            Ok((1, n))
+        }
+        Op::NllLoss(a, targets) => {
+            let (m, n) = a.shape();
+            if targets.len() != m {
+                return Err(format!(
+                    "nll_loss has {} targets for {m} rows",
+                    targets.len()
+                ));
+            }
+            if let Some(&t) = targets.iter().find(|&&t| t >= n) {
+                return Err(format!(
+                    "nll_loss target class {t} out of range for {n} classes"
+                ));
+            }
+            Ok((1, 1))
+        }
+        Op::GatherRows(a, idx) => {
+            let (m, n) = a.shape();
+            if let Some(&i) = idx.iter().find(|&&i| i >= m) {
+                return Err(format!("gather index {i} out of bounds for {m} rows"));
+            }
+            Ok((idx.len(), n))
+        }
+        Op::ScatterAddRows(a, idx, n_out) => {
+            let (m, n) = a.shape();
+            if idx.len() != m {
+                return Err(format!(
+                    "scatter_add_rows has {} indices for {m} rows",
+                    idx.len()
+                ));
+            }
+            if let Some(&i) = idx.iter().find(|&&i| i >= *n_out) {
+                return Err(format!(
+                    "scatter index {i} out of bounds for {n_out} output rows"
+                ));
+            }
+            Ok((*n_out, n))
+        }
+        Op::SliceCols(a, c0, c1) => {
+            let (m, n) = a.shape();
+            if !(c0 < c1 && *c1 <= n) {
+                return Err(format!("column slice {c0}..{c1} invalid for {n} columns"));
+            }
+            Ok((m, c1 - c0))
+        }
+        Op::ConcatCols(a, b) => {
+            let (m, na) = a.shape();
+            let (m2, nb) = b.shape();
+            if m != m2 {
+                return Err(format!("concat_cols row counts differ: {m} vs {m2}"));
+            }
+            Ok((m, na + nb))
+        }
+        Op::SegmentSoftmax(a, segs) => {
+            let (m, n) = a.shape();
+            if segs.len() != m {
+                return Err(format!(
+                    "segment_softmax has {} segment ids for {m} rows",
+                    segs.len()
+                ));
+            }
+            Ok((m, n))
+        }
+        Op::SpMatVec(mat, x) => {
+            if x.shape() != (mat.cols(), 1) {
+                return Err(format!(
+                    "sp_matvec vector must be [{},1] for a {}×{} matrix, got {:?}",
+                    mat.cols(),
+                    mat.rows(),
+                    mat.cols(),
+                    x.shape()
+                ));
+            }
+            Ok((mat.rows(), 1))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Numeric-stability lints
+// ---------------------------------------------------------------------------
+
+/// Follows a chain of scalar-affine ops (`neg`, `add_scalar`, `mul_scalar`)
+/// upward to the first structurally interesting producer.
+fn through_affine(t: &Tensor) -> Tensor {
+    let mut cur = t.clone();
+    loop {
+        let next = match cur.op() {
+            Some(Op::Neg(a) | Op::AddScalar(a, _) | Op::MulScalar(a, _)) => a.clone(),
+            _ => return cur,
+        };
+        cur = next;
+    }
+}
+
+fn stability_lints(node: &Tensor, op: &Op) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    match op {
+        // ln(sigmoid(x)) → use -softplus(-x).
+        Op::Ln(a) => {
+            if matches!(through_affine(a).op(), Some(Op::Sigmoid(_))) {
+                diags.push(Diagnostic::tape(
+                    DiagnosticKind::UnstablePattern(StabilityPattern::LnOfSigmoid),
+                    node,
+                    "ln(sigmoid(x)) underflows to -inf for moderately negative x; \
+                     rewrite as -softplus(-x)"
+                        .to_string(),
+                ));
+            }
+        }
+        // exp(exp(x)) — possibly through scalar-affine ops.
+        Op::Exp(a) => {
+            if matches!(through_affine(a).op(), Some(Op::Exp(_))) {
+                diags.push(Diagnostic::tape(
+                    DiagnosticKind::UnstablePattern(StabilityPattern::ExpOfExp),
+                    node,
+                    "exp applied to the output of another exp overflows f32 for inputs \
+                     above ~4.6; restructure the chain or work in log space"
+                        .to_string(),
+                ));
+            }
+        }
+        // exp(x) / (something aggregating that same exp(x)) — a softmax
+        // hand-rolled without the max shift. The tell-tale is the numerator
+        // tensor itself appearing in the denominator's ancestry.
+        Op::Div(a, b) => {
+            let numerator = through_affine(a);
+            if matches!(numerator.op(), Some(Op::Exp(_)))
+                && tape_nodes(b).iter().any(|t| t.id() == numerator.id())
+            {
+                diags.push(Diagnostic::tape(
+                    DiagnosticKind::UnstablePattern(StabilityPattern::SoftmaxWithoutShift),
+                    node,
+                    "softmax built from an unshifted exp: subtract the per-group maximum \
+                     before exponentiating, or use segment_softmax / log_softmax_rows"
+                        .to_string(),
+                ));
+            }
+        }
+        _ => {}
+    }
+    diags
+}
+
+// ---------------------------------------------------------------------------
+// Incidence / graph-container audits
+// ---------------------------------------------------------------------------
+
+/// Structural CSR checks shared by every [`BinCsr`] audit: column indices in
+/// bounds and strictly ascending within each row (the builders emit sorted
+/// rows; downstream code relies on that for deterministic iteration).
+pub fn audit_bin_csr(mat: &BinCsr) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for r in 0..mat.rows() {
+        let row = mat.row(r);
+        if let Some(&c) = row.iter().find(|&&c| (c as usize) >= mat.cols()) {
+            diags.push(Diagnostic::container(
+                DiagnosticKind::IncidenceViolation(IncidenceCheck::ColumnBounds),
+                format!(
+                    "row {r} stores column {c}, out of bounds for {} columns",
+                    mat.cols()
+                ),
+            ));
+        }
+        if row.windows(2).any(|w| w[0] >= w[1]) {
+            diags.push(Diagnostic::container(
+                DiagnosticKind::IncidenceViolation(IncidenceCheck::UnsortedRow),
+                format!("row {r} is not strictly ascending: {row:?}"),
+            ));
+        }
+    }
+    diags
+}
+
+/// Audits one per-layer flow-incidence matrix `I_l` against Eq. 7: on top of
+/// the CSR checks, every column (flow) must appear in exactly one row (layer
+/// edge) — each flow crosses exactly one edge per layer.
+pub fn audit_incidence(mat: &BinCsr) -> Vec<Diagnostic> {
+    let mut diags = audit_bin_csr(mat);
+    let mut col_counts = vec![0usize; mat.cols()];
+    for (_, c) in mat.iter() {
+        if let Some(slot) = col_counts.get_mut(c as usize) {
+            *slot += 1;
+        }
+    }
+    for (f, &count) in col_counts.iter().enumerate() {
+        if count != 1 {
+            diags.push(Diagnostic::container(
+                DiagnosticKind::IncidenceViolation(IncidenceCheck::ColumnSum),
+                format!("flow {f} has column sum {count}, Eq. 7 requires exactly 1"),
+            ));
+        }
+    }
+    diags
+}
+
+/// Audits a complete [`FlowIndex`] against its graph: per-layer incidence
+/// dimensions, Eq. 7 column sums, and agreement between each incidence entry
+/// and the flow's recorded layer-edge path.
+pub fn audit_flow_index(mp: &MpGraph, index: &FlowIndex) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for l in 0..index.num_layers() {
+        let inc = index.incidence(l);
+        if inc.rows() != mp.layer_edge_count() || inc.cols() != index.num_flows() {
+            diags.push(Diagnostic::container(
+                DiagnosticKind::IncidenceViolation(IncidenceCheck::FlowConsistency),
+                format!(
+                    "layer {l} incidence is {}×{}, expected {}×{}",
+                    inc.rows(),
+                    inc.cols(),
+                    mp.layer_edge_count(),
+                    index.num_flows()
+                ),
+            ));
+            continue;
+        }
+        diags.extend(audit_incidence(inc));
+        for e in 0..inc.rows() {
+            for &f in inc.row(e) {
+                let path = index.flow(f as usize);
+                if path.get(l) != Some(&(e as u32)) {
+                    diags.push(Diagnostic::container(
+                        DiagnosticKind::IncidenceViolation(IncidenceCheck::FlowConsistency),
+                        format!(
+                            "layer {l} incidence places flow {f} on edge {e}, but the flow's \
+                             recorded path uses edge {:?} there",
+                            path.get(l)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Audits the message-passing view: edge endpoints in range, exactly one
+/// self-loop per node (at the id [`MpGraph::self_loop_edge`] reports), and
+/// per-node in/out-edge lists sorted and consistent with the endpoint
+/// arrays.
+pub fn audit_mp_graph(mp: &MpGraph) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n = mp.num_nodes();
+
+    for (e, (&s, &d)) in mp.src().iter().zip(mp.dst()).enumerate() {
+        if s >= n || d >= n {
+            diags.push(Diagnostic::container(
+                DiagnosticKind::IncidenceViolation(IncidenceCheck::AdjacencyConsistency),
+                format!("layer edge {e} has endpoints ({s}, {d}) outside {n} nodes"),
+            ));
+        }
+    }
+
+    for v in 0..n {
+        let loops: Vec<usize> = (0..mp.layer_edge_count())
+            .filter(|&e| mp.src()[e] == v && mp.dst()[e] == v)
+            .collect();
+        if loops != [mp.self_loop_edge(v)] {
+            diags.push(Diagnostic::container(
+                DiagnosticKind::IncidenceViolation(IncidenceCheck::SelfLoopUniqueness),
+                format!(
+                    "node {v} has self-loop edges {loops:?}, expected exactly [{}]",
+                    mp.self_loop_edge(v)
+                ),
+            ));
+        }
+
+        for (label, edges, key) in [
+            ("in", mp.in_edges(v), mp.dst()),
+            ("out", mp.out_edges(v), mp.src()),
+        ] {
+            if edges.windows(2).any(|w| w[0] >= w[1]) {
+                diags.push(Diagnostic::container(
+                    DiagnosticKind::IncidenceViolation(IncidenceCheck::AdjacencyConsistency),
+                    format!("node {v} {label}-edge list is not strictly ascending: {edges:?}"),
+                ));
+            }
+            let expected = key.iter().filter(|&&k| k == v).count();
+            let endpoint_ok = edges.iter().all(|&e| key.get(e as usize) == Some(&v));
+            if edges.len() != expected || !endpoint_ok {
+                diags.push(Diagnostic::container(
+                    DiagnosticKind::IncidenceViolation(IncidenceCheck::AdjacencyConsistency),
+                    format!(
+                        "node {v} {label}-edge list {edges:?} disagrees with the endpoint \
+                         arrays ({expected} edges expected)"
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revelio_graph::{Graph, Target};
+
+    fn kinds(diags: &[Diagnostic]) -> Vec<DiagnosticKind> {
+        diags.iter().map(|d| d.kind).collect()
+    }
+
+    // ---------------- tape: clean ----------------
+
+    #[test]
+    fn healthy_tape_is_clean() {
+        let w = Tensor::from_vec(vec![0.2, -0.4, 0.6, 0.1, 0.5, -0.2], 2, 3).requires_grad();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 0.5, -1.0, 0.0, 1.5], 3, 2);
+        let b = Tensor::from_vec(vec![0.1, -0.1], 1, 2).requires_grad();
+        let loss = w
+            .matmul(&x)
+            .add_row_broadcast(&b)
+            .tanh_t()
+            .log_softmax_rows()
+            .nll_loss(&[0, 1]);
+        assert!(audit_tape(&loss).is_empty());
+        assert!(audit_tape_with_params(&loss, &[w, b]).is_empty());
+    }
+
+    // ---------------- tape: shape mismatch ----------------
+
+    #[test]
+    fn detects_matmul_shape_mismatch() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 2); // inner dims 3 vs 2 disagree
+        let bad = Tensor::from_op_unchecked(vec![0.0; 4], 2, 2, Op::MatMul(a, b));
+        let diags = audit_tape(&bad.sum_all());
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::ShapeMismatch]);
+        assert!(diags[0].message.contains("inner dimensions"));
+    }
+
+    #[test]
+    fn detects_wrong_recorded_output_shape() {
+        let a = Tensor::zeros(2, 2);
+        let b = Tensor::zeros(2, 2);
+        // Valid matmul but the recorded output claims the wrong shape.
+        let bad = Tensor::from_op_unchecked(vec![0.0; 4], 1, 4, Op::MatMul(a, b));
+        let diags = audit_tape(&bad);
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::ShapeMismatch]);
+        assert!(diags[0].message.contains("operands imply"));
+    }
+
+    #[test]
+    fn detects_broadcast_and_index_defects() {
+        let a = Tensor::zeros(3, 2);
+        let bias = Tensor::zeros(1, 3); // should be [1,2]
+        let bad = Tensor::from_op_unchecked(vec![0.0; 6], 3, 2, Op::AddRowBroadcast(a, bias));
+        assert_eq!(
+            kinds(&audit_tape(&bad)),
+            vec![DiagnosticKind::ShapeMismatch]
+        );
+
+        let src = Tensor::zeros(2, 1);
+        let bad_gather = Tensor::from_op_unchecked(
+            vec![0.0; 2],
+            2,
+            1,
+            Op::GatherRows(src, std::rc::Rc::new(vec![0, 5])),
+        );
+        let diags = audit_tape(&bad_gather);
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::ShapeMismatch]);
+        assert!(diags[0].message.contains("gather index 5"));
+    }
+
+    // ---------------- tape: dead gradients ----------------
+
+    #[test]
+    fn detects_detached_parameter() {
+        let used = Tensor::scalar(1.0).requires_grad();
+        let detached = Tensor::scalar(2.0).requires_grad();
+        let loss = used.mul_scalar(3.0).sum_all();
+        let diags = audit_tape_with_params(&loss, &[used, detached.clone()]);
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::DetachedGradient]);
+        assert_eq!(diags[0].tensor, Some(detached.id()));
+    }
+
+    #[test]
+    fn detach_call_is_flagged() {
+        // The realistic bug: a mask whose history was severed by detach().
+        let mask = Tensor::from_vec(vec![0.5, 0.5], 2, 1).requires_grad();
+        let loss = mask.detach().sigmoid().sum_all();
+        let diags = audit_tape_with_params(&loss, &[mask]);
+        assert_eq!(kinds(&diags), vec![DiagnosticKind::DetachedGradient]);
+    }
+
+    // ---------------- tape: stability lints ----------------
+
+    #[test]
+    fn detects_ln_of_sigmoid() {
+        let x = Tensor::from_vec(vec![-3.0, 0.5], 2, 1).requires_grad();
+        let loss = x.sigmoid().ln().neg().sum_all();
+        let diags = audit_tape(&loss);
+        assert_eq!(
+            kinds(&diags),
+            vec![DiagnosticKind::UnstablePattern(
+                StabilityPattern::LnOfSigmoid
+            )]
+        );
+        // The stable rewrite passes.
+        let stable = x.neg().softplus().sum_all();
+        assert!(audit_tape(&stable).is_empty());
+    }
+
+    #[test]
+    fn detects_exp_of_exp_through_affine_ops() {
+        let x = Tensor::scalar(1.0).requires_grad();
+        let loss = x.exp().mul_scalar(0.5).exp().sum_all();
+        let diags = audit_tape(&loss);
+        assert_eq!(
+            kinds(&diags),
+            vec![DiagnosticKind::UnstablePattern(StabilityPattern::ExpOfExp)]
+        );
+    }
+
+    #[test]
+    fn detects_softmax_without_shift() {
+        // Hand-rolled segment softmax sharing the unshifted exp between
+        // numerator and denominator.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], 3, 1).requires_grad();
+        let e = x.exp();
+        let denom = e.scatter_add_rows(&[0, 0, 0], 1).gather_rows(&[0, 0, 0]);
+        let p = e.div(&denom);
+        let diags = audit_tape(&p.sum_all());
+        assert_eq!(
+            kinds(&diags),
+            vec![DiagnosticKind::UnstablePattern(
+                StabilityPattern::SoftmaxWithoutShift
+            )]
+        );
+        // The built-in (shifted) segment softmax is clean.
+        let clean = x.segment_softmax(&[0, 0, 0]).sum_all();
+        assert!(audit_tape(&clean).is_empty());
+    }
+
+    // ---------------- incidence / containers ----------------
+
+    #[test]
+    fn healthy_flow_index_is_clean() {
+        let mut b = Graph::builder(4, 1);
+        b.edge(0, 1).edge(1, 2).edge(2, 3).edge(0, 2);
+        let mp = MpGraph::new(&b.build());
+        assert!(audit_mp_graph(&mp).is_empty());
+        let index =
+            FlowIndex::build(&mp, 3, Target::Node(3), 100_000).expect("small graph fits cap");
+        assert!(audit_flow_index(&mp, &index).is_empty());
+    }
+
+    #[test]
+    fn detects_corrupted_incidence_column_sums() {
+        // 3 edges × 4 flows: flow 1 appears twice, flow 3 never.
+        let mat = BinCsr::from_rows(3, 4, &[vec![0, 1], vec![1, 2], vec![]]);
+        let diags = audit_incidence(&mat);
+        let ks = kinds(&diags);
+        assert_eq!(
+            ks,
+            vec![
+                DiagnosticKind::IncidenceViolation(IncidenceCheck::ColumnSum),
+                DiagnosticKind::IncidenceViolation(IncidenceCheck::ColumnSum),
+            ]
+        );
+        assert!(diags[0].message.contains("flow 1"));
+        assert!(diags[1].message.contains("flow 3"));
+    }
+
+    #[test]
+    fn detects_unsorted_incidence_row() {
+        let mat = BinCsr::from_rows(1, 2, &[vec![1, 0]]);
+        let ks = kinds(&audit_bin_csr(&mat));
+        assert_eq!(
+            ks,
+            vec![DiagnosticKind::IncidenceViolation(
+                IncidenceCheck::UnsortedRow
+            )]
+        );
+    }
+
+    #[test]
+    fn empty_bin_csr_is_clean() {
+        let mat = BinCsr::from_rows(0, 0, &[]);
+        assert!(audit_bin_csr(&mat).is_empty());
+        assert!(audit_incidence(&mat).is_empty());
+    }
+}

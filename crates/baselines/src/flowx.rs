@@ -71,12 +71,7 @@ impl FlowX {
     }
 
     /// Stage 1: Shapley-style marginal-contribution estimates per flow.
-    fn sample_marginals(
-        &self,
-        model: &Gnn,
-        instance: &Instance,
-        index: &FlowIndex,
-    ) -> Vec<f32> {
+    fn sample_marginals(&self, model: &Gnn, instance: &Instance, index: &FlowIndex) -> Vec<f32> {
         let cfg = &self.cfg;
         let layers = index.num_layers();
         let ne = instance.mp.layer_edge_count();
@@ -163,8 +158,7 @@ impl Explainer for FlowX {
             .fold(0.0f32, |a, &s| a.max(s.abs()))
             .max(1e-6);
         let init: Vec<f32> = shapley.iter().map(|&s| 3.0 * s / max_abs).collect();
-        let mask_params =
-            Tensor::from_vec(init, index.num_flows(), 1).requires_grad();
+        let mask_params = Tensor::from_vec(init, index.num_flows(), 1).requires_grad();
         let mut opt = Adam::new(vec![mask_params.clone()], cfg.lr);
 
         for _ in 0..cfg.epochs {
@@ -235,6 +229,7 @@ impl Explainer for FlowX {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use revelio_gnn::{GnnConfig, GnnKind, Task};
@@ -286,9 +281,6 @@ mod tests {
         let a = FlowX::new(cfg).explain(&model, &inst);
         let b = FlowX::new(cfg).explain(&model, &inst);
         assert_eq!(a.edge_scores, b.edge_scores);
-        assert_eq!(
-            a.flows.unwrap().scores,
-            b.flows.unwrap().scores
-        );
+        assert_eq!(a.flows.unwrap().scores, b.flows.unwrap().scores);
     }
 }

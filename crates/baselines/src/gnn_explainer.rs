@@ -90,11 +90,7 @@ impl Explainer for GnnExplainer {
             // Element entropy: -m log m - (1-m) log(1-m).
             let m = mask.clamp_min(1e-6);
             let om = mask.neg().add_scalar(1.0).clamp_min(1e-6);
-            let entropy = m
-                .mul(&m.ln())
-                .add(&om.mul(&om.ln()))
-                .neg()
-                .mean_all();
+            let entropy = m.mul(&m.ln()).add(&om.mul(&om.ln())).neg().mean_all();
             let loss = objective
                 .add(&size.mul_scalar(cfg.size_coeff))
                 .add(&entropy.mul_scalar(cfg.entropy_coeff));

@@ -32,12 +32,7 @@ impl Default for GnnLrp {
 impl GnnLrp {
     /// Positive message mass `p_e` per layer edge for one layer, given the
     /// layer's input `h` (row-major `[n, d]`).
-    fn positive_message_mass(
-        layer: &Layer,
-        instance: &Instance,
-        h: &[f32],
-        d: usize,
-    ) -> Vec<f32> {
+    fn positive_message_mass(layer: &Layer, instance: &Instance, h: &[f32], d: usize) -> Vec<f32> {
         let mp = &instance.mp;
         let norm = mp.gcn_norm();
         match layer {
@@ -96,8 +91,7 @@ impl Explainer for GnnLrp {
 
         // Layer inputs: features, then each layer's output.
         let outs = model.forward_layers(mp, &instance.x, None);
-        let mut inputs: Vec<(Vec<f32>, usize)> =
-            vec![(instance.x.to_vec(), instance.x.cols())];
+        let mut inputs: Vec<(Vec<f32>, usize)> = vec![(instance.x.to_vec(), instance.x.cols())];
         for out in outs.iter().take(layers - 1) {
             inputs.push((out.to_vec(), out.cols()));
         }
@@ -139,9 +133,7 @@ impl Explainer for GnnLrp {
                 let cols = w.cols();
                 let mut r: Vec<f32> = (0..mp.num_nodes())
                     .map(|v| {
-                        let contrib: f32 = (0..d)
-                            .map(|j| h[v * d + j] * wd[j * cols + c])
-                            .sum();
+                        let contrib: f32 = (0..d).map(|j| h[v * d + j] * wd[j * cols + c]).sum();
                         contrib.max(0.0)
                     })
                     .collect();
@@ -196,7 +188,13 @@ mod tests {
             b.node_features(v, &[1.0, v as f32 * 0.3]);
         }
         let g = b.build();
-        let model = Gnn::new(GnnConfig::standard(kind, Task::NodeClassification, 2, 2, 91));
+        let model = Gnn::new(GnnConfig::standard(
+            kind,
+            Task::NodeClassification,
+            2,
+            2,
+            91,
+        ));
         let inst = Instance::for_prediction(&model, g, Target::Node(1));
         (model, inst)
     }

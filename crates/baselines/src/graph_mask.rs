@@ -121,11 +121,7 @@ impl GraphMask {
         inputs
     }
 
-    fn masks_for(
-        gates: &[GateNet],
-        model: &Gnn,
-        instance: &Instance,
-    ) -> Vec<Tensor> {
+    fn masks_for(gates: &[GateNet], model: &Gnn, instance: &Instance) -> Vec<Tensor> {
         Self::layer_inputs(model, instance)
             .iter()
             .zip(gates)
@@ -228,6 +224,7 @@ impl Explainer for GraphMask {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use revelio_gnn::{GnnConfig, GnnKind, Task};

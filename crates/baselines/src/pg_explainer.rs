@@ -182,8 +182,7 @@ impl PgExplainer {
                     .collect();
                 let noise_t = Tensor::from_vec(noise, logits.rows(), 1);
                 let gate = logits.add(&noise_t).mul_scalar(1.0 / temp).sigmoid();
-                let masks: Vec<Tensor> =
-                    (0..model.num_layers()).map(|_| gate.clone()).collect();
+                let masks: Vec<Tensor> = (0..model.num_layers()).map(|_| gate.clone()).collect();
                 let out = model.target_logits(&inst.mp, &inst.x, Some(&masks), inst.target);
                 let lp_c = out
                     .log_softmax_rows()
@@ -198,9 +197,7 @@ impl PgExplainer {
                     Objective::Factual => gate.mean_all(),
                     Objective::Counterfactual => gate.neg().add_scalar(1.0).mean_all(),
                 };
-                objective
-                    .add(&size.mul_scalar(cfg.size_coeff))
-                    .backward();
+                objective.add(&size.mul_scalar(cfg.size_coeff)).backward();
                 opt.step();
             }
         }

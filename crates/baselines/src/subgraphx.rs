@@ -157,7 +157,9 @@ impl Explainer for SubgraphX {
                 let mut best: Option<(f64, &Vec<usize>)> = None;
                 for (_, child) in &children {
                     let ck = subset_key(child);
-                    let (v, w) = tree.get(&ck).map_or((0u32, 0.0f64), |s| (s.visits, s.total_value));
+                    let (v, w) = tree
+                        .get(&ck)
+                        .map_or((0u32, 0.0f64), |s| (s.visits, s.total_value));
                     let mean = if v == 0 { 0.5 } else { w / v as f64 };
                     let uct = mean + cfg.exploration * (total.ln() / (1.0 + v as f64)).sqrt();
                     if best.as_ref().is_none_or(|(b, _)| uct > *b) {

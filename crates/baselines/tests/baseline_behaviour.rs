@@ -6,9 +6,7 @@ use revelio_baselines::{
     PgmExplainerConfig, SubgraphX, SubgraphXConfig,
 };
 use revelio_core::{Explainer, Objective};
-use revelio_gnn::{
-    train_node_classifier, Gnn, GnnConfig, GnnKind, Instance, Task, TrainConfig,
-};
+use revelio_gnn::{train_node_classifier, Gnn, GnnConfig, GnnKind, Instance, Task, TrainConfig};
 use revelio_graph::{Graph, Target};
 
 /// A small trained model on a two-community graph where edges inside the
@@ -25,8 +23,8 @@ fn trained_setup() -> (Gnn, Instance) {
         .undirected_edge(6, 7)
         .undirected_edge(3, 4);
     let labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
-    for v in 0..8 {
-        let c = labels[v] as f32;
+    for (v, &label) in labels.iter().enumerate() {
+        let c = label as f32;
         b.node_features(v, &[1.0 - c, c]);
     }
     b.node_labels(labels);
@@ -120,7 +118,10 @@ fn gnnexplainer_size_penalty_shrinks_masks() {
     };
     let loose = mean_mask(0.0);
     let tight = mean_mask(2.0);
-    assert!(tight < loose, "size penalty must shrink masks: {loose} -> {tight}");
+    assert!(
+        tight < loose,
+        "size penalty must shrink masks: {loose} -> {tight}"
+    );
 }
 
 #[test]

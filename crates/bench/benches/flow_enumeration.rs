@@ -1,6 +1,8 @@
 //! Benchmarks message-flow enumeration and incidence-index construction as
 //! the computation graph grows (the substrate cost behind Table II).
 
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -33,9 +35,8 @@ fn bench_enumeration(c: &mut Criterion) {
         let flows = count_flows(&mp, 3, Target::Node(0));
         group.throughput(criterion::Throughput::Elements(flows));
         group.bench_with_input(BenchmarkId::from_parameter(spokes), &spokes, |bench, _| {
-            bench.iter(|| {
-                black_box(FlowIndex::build(&mp, 3, Target::Node(0), 10_000_000).unwrap())
-            });
+            bench
+                .iter(|| black_box(FlowIndex::build(&mp, 3, Target::Node(0), 10_000_000).unwrap()));
         });
     }
     group.finish();

@@ -44,9 +44,7 @@ fn bench_sp_matvec(c: &mut Criterion) {
         let edges = 200;
         // Each flow hits one random-ish edge, like one layer of an
         // incidence matrix.
-        let pairs: Vec<(u32, u32)> = (0..flows)
-            .map(|f| ((f % edges) as u32, f as u32))
-            .collect();
+        let pairs: Vec<(u32, u32)> = (0..flows).map(|f| ((f % edges) as u32, f as u32)).collect();
         let mat = Rc::new(BinCsr::from_pairs(edges, flows, &pairs));
         let x = Tensor::full(0.1, flows, 1);
         group.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |bench, _| {

@@ -60,7 +60,11 @@ fn main() {
                     ]);
                 }
             }
-            eprintln!("done: {name}/{} ({} instances)", kind.name(), instances.len());
+            eprintln!(
+                "done: {name}/{} ({} instances)",
+                kind.name(),
+                instances.len()
+            );
         }
     }
 

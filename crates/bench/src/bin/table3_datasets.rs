@@ -16,8 +16,15 @@ fn main() {
     let mut table = Table::new(
         "Table III: dataset statistics and model accuracy",
         &[
-            "Dataset", "#graphs", "#nodes", "#edges", "#features", "#classes", "GCN Acc.",
-            "GIN Acc.", "GAT Acc.",
+            "Dataset",
+            "#graphs",
+            "#nodes",
+            "#edges",
+            "#features",
+            "#classes",
+            "GCN Acc.",
+            "GIN Acc.",
+            "GAT Acc.",
         ],
     );
 

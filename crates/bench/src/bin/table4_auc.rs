@@ -9,7 +9,7 @@
 
 use revelio_bench::{combination_applicable, instances_for, load_dataset, model_for, HarnessArgs};
 use revelio_core::Objective;
-use revelio_eval::{experiments_dir, make_method, roc_auc, Table};
+use revelio_eval::{experiments_dir, make_method, try_roc_auc, Table};
 use revelio_gnn::{GnnKind, Instance, ModelZoo};
 
 fn main() {
@@ -69,8 +69,16 @@ fn main() {
                     for e in &with_gt {
                         let exp = explainer.explain(&model, &e.instance);
                         let gt = e.ground_truth.as_ref().expect("filtered");
-                        if let Some(a) = roc_auc(&exp.edge_scores, gt) {
-                            aucs.push(a);
+                        // A diverged explainer (NaN/inf scores) is reported
+                        // and dropped rather than silently ranked.
+                        match try_roc_auc(&exp.edge_scores, gt) {
+                            Ok(Some(a)) => aucs.push(a),
+                            Ok(None) => {}
+                            Err(err) => eprintln!(
+                                "{name}/{}/{method}: instance {} skipped ({err})",
+                                kind.name(),
+                                e.dataset_index
+                            ),
                         }
                     }
                     if aucs.is_empty() {

@@ -17,7 +17,14 @@ fn main() {
 
     let mut table = Table::new(
         "Tables VI-VII: top-10 message flows by flow-based methods",
-        &["Dataset", "Model", "Method", "Rank", "Message Flow", "Score"],
+        &[
+            "Dataset",
+            "Model",
+            "Method",
+            "Rank",
+            "Message Flow",
+            "Score",
+        ],
     );
 
     for (name, kind, label) in [

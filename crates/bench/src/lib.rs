@@ -205,9 +205,7 @@ pub fn run_fidelity(
                     .zip(&explanations)
                     .map(|(e, exp)| match objective {
                         Objective::Factual => fidelity_minus(model, &e.instance, exp, s),
-                        Objective::Counterfactual => {
-                            fidelity_plus(model, &e.instance, exp, s)
-                        }
+                        Objective::Counterfactual => fidelity_plus(model, &e.instance, exp, s),
                     })
                     .sum::<f32>()
                     / eval_instances.len().max(1) as f32;
@@ -239,7 +237,11 @@ mod tests {
 
     #[test]
     fn applicability_matrix_matches_paper() {
-        assert!(!combination_applicable("REVELIO", GnnKind::Gat, "BA-Shapes"));
+        assert!(!combination_applicable(
+            "REVELIO",
+            GnnKind::Gat,
+            "BA-Shapes"
+        ));
         assert!(!combination_applicable("GNN-LRP", GnnKind::Gat, "Cora"));
         assert!(combination_applicable("GNN-LRP", GnnKind::Gcn, "Cora"));
         assert!(combination_applicable("REVELIO", GnnKind::Gat, "MUTAG"));
@@ -272,11 +274,16 @@ mod tests {
     #[test]
     fn filters_parse_case_insensitively() {
         let a = parse(&[
-            "--datasets", "ba-shapes,MUTAG",
-            "--models", "GCN",
-            "--methods", "revelio,FlowX",
-            "--instances", "3",
-            "--seed", "9",
+            "--datasets",
+            "ba-shapes,MUTAG",
+            "--models",
+            "GCN",
+            "--methods",
+            "revelio,FlowX",
+            "--instances",
+            "3",
+            "--seed",
+            "9",
         ]);
         assert_eq!(a.datasets, vec!["BA-Shapes", "MUTAG"]);
         assert_eq!(a.models, vec![GnnKind::Gcn]);

@@ -27,14 +27,12 @@ pub struct FlowScores {
 }
 
 impl FlowScores {
-    /// Flow ids sorted by descending score.
+    /// Flow ids sorted by descending score (IEEE total order, so a `NaN`
+    /// score from a diverged run sorts deterministically instead of
+    /// panicking; ties broken by id).
     pub fn ranking(&self) -> Vec<usize> {
         let mut ids: Vec<usize> = (0..self.scores.len()).collect();
-        ids.sort_by(|&a, &b| {
-            self.scores[b]
-                .partial_cmp(&self.scores[a])
-                .expect("flow scores must not be NaN")
-        });
+        ids.sort_by(|&a, &b| self.scores[b].total_cmp(&self.scores[a]).then(a.cmp(&b)));
         ids
     }
 
@@ -71,14 +69,13 @@ impl Explanation {
         }
     }
 
-    /// Edge ids sorted by descending importance (ties broken by id for
-    /// determinism).
+    /// Edge ids sorted by descending importance (IEEE total order; ties
+    /// broken by id for determinism).
     pub fn ranked_edges(&self) -> Vec<usize> {
         let mut ids: Vec<usize> = (0..self.edge_scores.len()).collect();
         ids.sort_by(|&a, &b| {
             self.edge_scores[b]
-                .partial_cmp(&self.edge_scores[a])
-                .expect("edge scores must not be NaN")
+                .total_cmp(&self.edge_scores[a])
                 .then(a.cmp(&b))
         });
         ids
@@ -96,12 +93,7 @@ impl Explanation {
     pub fn layer_ranked_edges(&self, layer: usize) -> Option<Vec<usize>> {
         let scores = self.layer_edge_scores.as_ref()?.get(layer)?;
         let mut ids: Vec<usize> = (0..scores.len()).collect();
-        ids.sort_by(|&a, &b| {
-            scores[b]
-                .partial_cmp(&scores[a])
-                .expect("layer-edge scores must not be NaN")
-                .then(a.cmp(&b))
-        });
+        ids.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
         Some(ids)
     }
 }
@@ -151,6 +143,7 @@ pub fn aggregate_flow_scores(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use revelio_graph::{Graph, Target};
@@ -183,10 +176,7 @@ mod tests {
         let mp = MpGraph::new(&b.build());
         let index = FlowIndex::build(&mp, 2, Target::Node(1), 100).unwrap();
         let scores: Vec<f32> = (0..index.num_flows()).map(|i| i as f32).collect();
-        let fs = FlowScores {
-            index,
-            scores,
-        };
+        let fs = FlowScores { index, scores };
         let top = fs.top_k(2);
         assert_eq!(top[0].0, fs.index.num_flows() - 1);
     }

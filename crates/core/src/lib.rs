@@ -19,7 +19,5 @@
 mod explanation;
 mod revelio;
 
-pub use explanation::{
-    aggregate_flow_scores, Explainer, Explanation, FlowScores, Objective,
-};
-pub use revelio::{LayerWeight, MaskSquash, Revelio, RevelioConfig};
+pub use explanation::{aggregate_flow_scores, Explainer, Explanation, FlowScores, Objective};
+pub use revelio::{ExplainError, LayerWeight, MaskSquash, Revelio, RevelioConfig};

@@ -1,9 +1,10 @@
 //! The REVELIO algorithm (§IV of the paper).
 
+use std::fmt;
 use std::rc::Rc;
 
 use revelio_gnn::{Gnn, Instance};
-use revelio_graph::FlowIndex;
+use revelio_graph::{FlowIndex, TooManyFlows};
 use revelio_tensor::{uniform, Adam, BinCsr, Optimizer, Tensor};
 
 use crate::explanation::{Explainer, Explanation, FlowScores, Objective};
@@ -121,9 +122,7 @@ impl MaskModel {
             .map(|l| {
                 let s = omega_f.sp_matvec(&self.incidence[l]);
                 let weighted = match self.layer_weight {
-                    LayerWeight::Exp => {
-                        s.mul(&self.layer_weights[l].exp().gather_rows(&all_rows))
-                    }
+                    LayerWeight::Exp => s.mul(&self.layer_weights[l].exp().gather_rows(&all_rows)),
                     LayerWeight::Softplus => {
                         s.mul(&self.layer_weights[l].softplus().gather_rows(&all_rows))
                     }
@@ -200,12 +199,7 @@ impl Revelio {
                 lp_c.neg().backward();
                 let grad = probe.mask_params.grad_vec();
                 let mut order: Vec<u32> = (0..nf as u32).collect();
-                order.sort_by(|&a, &b| {
-                    grad[b as usize]
-                        .abs()
-                        .partial_cmp(&grad[a as usize].abs())
-                        .expect("finite gradients")
-                });
+                order.sort_by(|&a, &b| grad[b as usize].abs().total_cmp(&grad[a as usize].abs()));
                 let mut sel: Vec<u32> = order.into_iter().take(k).collect();
                 sel.sort_unstable();
                 sel
@@ -240,27 +234,52 @@ impl Revelio {
     }
 }
 
-impl Explainer for Revelio {
-    fn name(&self) -> &'static str {
-        "REVELIO"
-    }
+/// Why [`Revelio::try_explain`] could not produce an explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExplainError {
+    /// Flow enumeration exceeded [`RevelioConfig::max_flows`].
+    TooManyFlows(TooManyFlows),
+}
 
+impl fmt::Display for ExplainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplainError::TooManyFlows(e) => {
+                write!(
+                    f,
+                    "{e}; extract a smaller computation subgraph or raise max_flows"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExplainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExplainError::TooManyFlows(e) => Some(e),
+        }
+    }
+}
+
+impl Revelio {
     /// Learns flow masks for `instance` and returns flow, layer-edge, and
     /// edge scores.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the instance has more than `max_flows` message flows.
-    fn explain(&self, model: &Gnn, instance: &Instance) -> Explanation {
+    /// Returns [`ExplainError::TooManyFlows`] when the instance has more
+    /// than [`RevelioConfig::max_flows`] message flows.
+    pub fn try_explain(
+        &self,
+        model: &Gnn,
+        instance: &Instance,
+    ) -> Result<Explanation, ExplainError> {
         let cfg = &self.cfg;
         let layers = model.num_layers();
         let flow_target = instance.target;
         let index = FlowIndex::build(&instance.mp, layers, flow_target, cfg.max_flows)
-            .unwrap_or_else(|e| {
-                panic!(
-                    "REVELIO: {e}; extract a smaller computation subgraph or raise max_flows"
-                )
-            });
+            .map_err(ExplainError::TooManyFlows)?;
         let ne = instance.mp.layer_edge_count();
 
         let mask_model = self.build_mask_model(model, instance, &index);
@@ -276,8 +295,7 @@ impl Explainer for Revelio {
             })
             .collect();
 
-        for _ in 0..cfg.epochs {
-            opt.zero_grad();
+        let build_loss = || {
             let masks = mask_model.layer_masks(ne);
 
             let logits =
@@ -311,13 +329,36 @@ impl Explainer for Revelio {
                     Some(r) => r.add(&term),
                 });
             }
-            let loss = match reg {
+            match reg {
                 Some(r) if used_count > 0 => {
                     objective.add(&r.mul_scalar(cfg.alpha / used_count as f32))
                 }
                 _ => objective,
-            };
+            }
+        };
 
+        // Debug builds statically audit the first recorded loss tape before
+        // any training step: shape consistency, numeric-stability patterns,
+        // and that every mask parameter is reachable from the loss.
+        #[cfg(debug_assertions)]
+        {
+            let diags =
+                revelio_analysis::audit_tape_with_params(&build_loss(), &mask_model.params());
+            assert!(
+                diags.is_empty(),
+                "REVELIO: static tape audit found {} defect(s):\n{}",
+                diags.len(),
+                diags
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+
+        for _ in 0..cfg.epochs {
+            opt.zero_grad();
+            let loss = build_loss();
             loss.backward();
             opt.step();
         }
@@ -344,26 +385,60 @@ impl Explainer for Revelio {
             }
         }
 
-        // Edge scores: mean layer-edge mask across layers for original edges.
+        // Edge scores: Eq. 3 with `f = max` — an edge is as important as the
+        // strongest flow it carries. Sum/mask aggregation suffers the
+        // "excessive accumulation" problem of §IV-B (an edge crossed by many
+        // weakly-negative flows outranks a motif edge), which empirically
+        // inverts motif rankings; max does not. Edges carrying no flow
+        // cannot influence the target at all and rank strictly lowest.
         let m = instance.mp.num_orig_edges();
-        let mut edge_scores = vec![0.0f32; m];
-        for (e, es) in edge_scores.iter_mut().enumerate() {
-            let sum: f32 = layer_edge_scores.iter().map(|ls| ls[e]).sum();
-            *es = sum / layers as f32;
+        let mut edge_scores = vec![f32::NEG_INFINITY; m];
+        for l in 0..layers {
+            for (e, es) in edge_scores.iter_mut().enumerate() {
+                for &f in index.flows_through(l, e) {
+                    *es = es.max(flow_scores[f as usize]);
+                }
+            }
+        }
+        // Map from the squash range (-1, 1) into (0, 1), flowless edges to 0.
+        for es in &mut edge_scores {
+            *es = if es.is_finite() {
+                (1.0 + *es) / 2.0
+            } else {
+                0.0
+            };
         }
 
-        Explanation {
+        Ok(Explanation {
             edge_scores,
             layer_edge_scores: Some(layer_edge_scores),
             flows: Some(FlowScores {
                 index,
                 scores: flow_scores,
             }),
-        }
+        })
+    }
+}
+
+impl Explainer for Revelio {
+    fn name(&self) -> &'static str {
+        "REVELIO"
+    }
+
+    /// Infallible trait entry point, delegating to [`Revelio::try_explain`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance has more than `max_flows` message flows; call
+    /// [`Revelio::try_explain`] to handle that case as a value.
+    fn explain(&self, model: &Gnn, instance: &Instance) -> Explanation {
+        self.try_explain(model, instance)
+            .unwrap_or_else(|e| panic!("REVELIO: {e}"))
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use revelio_gnn::{GnnConfig, GnnKind, Task, TrainConfig};
@@ -460,9 +535,7 @@ mod tests {
         assert!(flows.scores.iter().all(|s| (-1.0..=1.0).contains(s)));
         let ls = exp.layer_edge_scores.as_ref().unwrap();
         assert_eq!(ls.len(), 3);
-        assert!(ls
-            .iter()
-            .all(|l| l.iter().all(|v| (0.0..=1.0).contains(v))));
+        assert!(ls.iter().all(|l| l.iter().all(|v| (0.0..=1.0).contains(v))));
     }
 
     #[test]
@@ -477,9 +550,7 @@ mod tests {
         let exp = r.explain(&model, &inst);
         let ls = exp.layer_edge_scores.as_ref().unwrap();
         // ω'[e] = 1 − σ(...) stays in (0, 1).
-        assert!(ls
-            .iter()
-            .all(|l| l.iter().all(|v| (0.0..=1.0).contains(v))));
+        assert!(ls.iter().all(|l| l.iter().all(|v| (0.0..=1.0).contains(v))));
     }
 
     #[test]
@@ -492,6 +563,20 @@ mod tests {
             ..Default::default()
         });
         let _ = r.explain(&model, &inst);
+    }
+
+    #[test]
+    fn flow_cap_surfaces_typed_error() {
+        let (model, g) = informative_neighbour_setup();
+        let (inst, _) = instance_for(&model, &g);
+        let r = Revelio::new(RevelioConfig {
+            max_flows: 1,
+            ..Default::default()
+        });
+        let err = r.try_explain(&model, &inst).err().expect("cap must trip");
+        let ExplainError::TooManyFlows(inner) = &err;
+        assert_eq!(inner.max, 1);
+        assert!(err.to_string().contains("smaller computation subgraph"));
     }
 
     #[test]
@@ -566,7 +651,10 @@ mod tests {
         let flows = exp.flows.as_ref().expect("flows");
         // Exactly 4 flows carry non-zero learned scores.
         let nonzero = flows.scores.iter().filter(|s| **s != 0.0).count();
-        assert!(nonzero <= 4, "preselection must cap learned flows: {nonzero}");
+        assert!(
+            nonzero <= 4,
+            "preselection must cap learned flows: {nonzero}"
+        );
 
         // The informative edge still wins.
         let mut score_a = f32::NAN;

@@ -196,6 +196,7 @@ pub fn pubmed_sim(seed: u64) -> NodeDataset {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

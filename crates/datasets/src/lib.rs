@@ -73,12 +73,20 @@ impl GraphDataset {
 
     /// Mean node count across graphs.
     pub fn avg_nodes(&self) -> f64 {
-        self.graphs.iter().map(|g| g.num_nodes() as f64).sum::<f64>() / self.graphs.len() as f64
+        self.graphs
+            .iter()
+            .map(|g| g.num_nodes() as f64)
+            .sum::<f64>()
+            / self.graphs.len() as f64
     }
 
     /// Mean (directed) edge count across graphs.
     pub fn avg_edges(&self) -> f64 {
-        self.graphs.iter().map(|g| g.num_edges() as f64).sum::<f64>() / self.graphs.len() as f64
+        self.graphs
+            .iter()
+            .map(|g| g.num_edges() as f64)
+            .sum::<f64>()
+            / self.graphs.len() as f64
     }
 }
 

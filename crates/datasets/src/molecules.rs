@@ -124,7 +124,7 @@ pub fn mutag_sim(seed: u64) -> GraphDataset {
         if rng.gen_bool(0.55) {
             let bridge = m.chain(CARBON, rng.gen_range(1..=2), ring1[0]);
             let (ring2, _) = m.ring(CARBON, rng.gen_range(5..=6));
-            m.bond(*bridge.last().unwrap(), ring2[0]);
+            m.bond(*bridge.last().expect("chain is non-empty"), ring2[0]);
             skeleton.extend(bridge);
             skeleton.extend(ring2);
         }
@@ -203,7 +203,7 @@ pub fn bbbp_sim(seed: u64) -> GraphDataset {
         skeleton.extend(bridge.clone());
         if rng.gen_bool(0.5) {
             let (ring2, _) = m.ring(CARBON, rng.gen_range(5..=6));
-            m.bond(*bridge.last().unwrap(), ring2[0]);
+            m.bond(*bridge.last().expect("chain is non-empty"), ring2[0]);
             skeleton.extend(ring2);
         }
         // Random heteroatom decorations in both classes.
@@ -243,6 +243,7 @@ pub fn bbbp_sim(seed: u64) -> GraphDataset {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

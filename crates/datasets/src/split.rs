@@ -58,7 +58,13 @@ mod tests {
     fn split_partitions_all_indices() {
         let s = node_split(100, 0.6, 0.2, 7);
         assert_eq!(s.len(), 100);
-        let all: HashSet<usize> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        let all: HashSet<usize> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .copied()
+            .collect();
         assert_eq!(all.len(), 100);
         assert_eq!(s.train.len(), 60);
         assert_eq!(s.val.len(), 20);

@@ -87,7 +87,6 @@ fn add_plain_undirected(b: &mut GraphBuilder, u: usize, v: usize, edge_count: &m
     *edge_count += 2;
 }
 
-
 /// Constant features with two degree-derived channels.
 ///
 /// The original synthetic benchmarks pair constant features with GNNs that
@@ -291,9 +290,8 @@ pub fn ba_2motifs(seed: u64) -> GraphDataset {
     }
 }
 
-
-
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -35,7 +35,9 @@ fn check_node_dataset(d: &revelio_datasets::NodeDataset) {
 fn check_graph_dataset(d: &revelio_datasets::GraphDataset) {
     assert_eq!(d.split.len(), d.graphs.len());
     for (i, g) in d.graphs.iter().enumerate() {
-        let label = g.graph_label().unwrap_or_else(|| panic!("graph {i} unlabeled"));
+        let label = g
+            .graph_label()
+            .unwrap_or_else(|| panic!("graph {i} unlabeled"));
         assert!(label < d.num_classes);
         assert!(g.num_nodes() > 0);
         for &(s, t) in g.edges() {

@@ -1,9 +1,49 @@
 //! ROC-AUC via the rank-sum (Mann–Whitney U) formulation with midrank tie
 //! handling — the explanation-plausibility metric of Table IV.
 
+use std::fmt;
+
+/// A score that is `NaN` or infinite, for which a ranking metric is
+/// meaningless. Returned by [`try_roc_auc`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFiniteScore {
+    /// Position of the offending score.
+    pub index: usize,
+    /// The score itself (`NaN` or `±inf`).
+    pub value: f32,
+}
+
+impl fmt::Display for NonFiniteScore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "non-finite score {} at index {}", self.value, self.index)
+    }
+}
+
+impl std::error::Error for NonFiniteScore {}
+
+/// [`roc_auc`] with non-finite scores rejected up front instead of silently
+/// ranked (`total_cmp` places `NaN` above every finite value, which would
+/// quietly corrupt the AUC of a diverged explainer).
+///
+/// # Errors
+///
+/// Returns the first [`NonFiniteScore`] encountered.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn try_roc_auc(scores: &[f32], labels: &[bool]) -> Result<Option<f64>, NonFiniteScore> {
+    if let Some((index, &value)) = scores.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+        return Err(NonFiniteScore { index, value });
+    }
+    Ok(roc_auc(scores, labels))
+}
+
 /// Computes the area under the ROC curve for binary `labels` given `scores`.
 ///
-/// Returns `None` when one class is absent (AUC undefined).
+/// Returns `None` when one class is absent (AUC undefined). Non-finite
+/// scores are ranked by IEEE total order (`NaN` highest); use
+/// [`try_roc_auc`] to reject them instead.
 ///
 /// # Panics
 ///
@@ -17,11 +57,7 @@ pub fn roc_auc(scores: &[f32], labels: &[bool]) -> Option<f64> {
     }
 
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[a]
-            .partial_cmp(&scores[b])
-            .expect("scores must not be NaN")
-    });
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
 
     // Midranks for ties.
     let mut ranks = vec![0.0f64; scores.len()];
@@ -49,6 +85,7 @@ pub fn roc_auc(scores: &[f32], labels: &[bool]) -> Option<f64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -74,6 +111,25 @@ mod tests {
     fn single_class_is_undefined() {
         assert!(roc_auc(&[0.1, 0.9], &[true, true]).is_none());
         assert!(roc_auc(&[0.1, 0.9], &[false, false]).is_none());
+    }
+
+    #[test]
+    fn try_roc_auc_rejects_non_finite_scores() {
+        let err = try_roc_auc(&[0.3, f32::NAN, 0.7], &[true, false, true]).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(err.value.is_nan());
+        let err = try_roc_auc(&[f32::INFINITY, 0.1], &[true, false]).unwrap_err();
+        assert_eq!(err.index, 0);
+        // Finite scores pass straight through.
+        let ok = try_roc_auc(&[0.9, 0.1], &[true, false]).unwrap().unwrap();
+        assert!((ok - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_scores_no_longer_panic_plain_roc_auc() {
+        // total_cmp ranks NaN above every finite score, deterministically.
+        let auc = roc_auc(&[f32::NAN, 0.5], &[false, true]).unwrap();
+        assert!(auc.abs() < 1e-12);
     }
 
     #[test]

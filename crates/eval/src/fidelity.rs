@@ -108,8 +108,7 @@ mod tests {
         // from the target in a 3-layer GCN — the prediction shifts but the
         // direct neighbourhood is intact.
         let g_direct = inst.graph.with_edges(&[0, 1, 2, 3]);
-        let expected = inst.orig_prob()
-            - model.predict_probs(&g_direct, inst.target)[inst.class];
+        let expected = inst.orig_prob() - model.predict_probs(&g_direct, inst.target)[inst.class];
         assert!((fm - expected).abs() < 1e-6);
     }
 

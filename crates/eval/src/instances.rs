@@ -2,6 +2,7 @@
 //! randomly selected target instances per dataset).
 
 use std::collections::HashSet;
+use std::fmt;
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -47,6 +48,52 @@ pub struct EvalInstance {
     pub ground_truth: Option<Vec<bool>>,
 }
 
+/// Why [`try_sample_instances`] could not sample from a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingError {
+    /// `only_motif_correct` needs node labels the dataset does not carry.
+    MissingNodeLabels,
+    /// `only_motif_correct` needs a graph label this graph does not carry.
+    MissingGraphLabel {
+        /// Index of the unlabelled graph in the dataset.
+        graph: usize,
+    },
+}
+
+impl fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingError::MissingNodeLabels => {
+                write!(
+                    f,
+                    "only_motif_correct requires node labels, but the dataset has none"
+                )
+            }
+            SamplingError::MissingGraphLabel { graph } => {
+                write!(
+                    f,
+                    "only_motif_correct requires a label for graph {graph}, which has none"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SamplingError {}
+
+/// Samples explanation instances from `dataset` for `model`.
+///
+/// Infallible wrapper over [`try_sample_instances`].
+///
+/// # Panics
+///
+/// Panics when `cfg.only_motif_correct` is set and the dataset lacks the
+/// labels the filter needs; use [`try_sample_instances`] to handle that as
+/// a value.
+pub fn sample_instances(dataset: &Dataset, model: &Gnn, cfg: &SamplingConfig) -> Vec<EvalInstance> {
+    try_sample_instances(dataset, model, cfg).unwrap_or_else(|e| panic!("sample_instances: {e}"))
+}
+
 /// Samples explanation instances from `dataset` for `model`.
 ///
 /// Node-classification instances are the 3-hop computation subgraphs around
@@ -54,7 +101,16 @@ pub struct EvalInstance {
 /// chosen graphs. Instances with no edges or with more than
 /// `cfg.max_flows` message flows are skipped (sampling continues until
 /// `cfg.count` instances are collected or candidates run out).
-pub fn sample_instances(dataset: &Dataset, model: &Gnn, cfg: &SamplingConfig) -> Vec<EvalInstance> {
+///
+/// # Errors
+///
+/// Returns a [`SamplingError`] when `cfg.only_motif_correct` is set and the
+/// dataset lacks the node or graph labels the filter needs.
+pub fn try_sample_instances(
+    dataset: &Dataset,
+    model: &Gnn,
+    cfg: &SamplingConfig,
+) -> Result<Vec<EvalInstance>, SamplingError> {
     let layers = model.num_layers();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut out = Vec::with_capacity(cfg.count);
@@ -68,10 +124,7 @@ pub fn sample_instances(dataset: &Dataset, model: &Gnn, cfg: &SamplingConfig) ->
                     break;
                 }
                 if cfg.only_motif_correct {
-                    let in_motif = d
-                        .node_motif
-                        .as_ref()
-                        .is_some_and(|nm| nm[v].is_some());
+                    let in_motif = d.node_motif.as_ref().is_some_and(|nm| nm[v].is_some());
                     if !in_motif {
                         continue;
                     }
@@ -87,7 +140,10 @@ pub fn sample_instances(dataset: &Dataset, model: &Gnn, cfg: &SamplingConfig) ->
                 let instance =
                     Instance::for_prediction(model, sub.graph.clone(), Target::Node(sub.target));
                 if cfg.only_motif_correct {
-                    let label = d.graph.node_labels().expect("labels")[v];
+                    let label = d
+                        .graph
+                        .node_labels()
+                        .ok_or(SamplingError::MissingNodeLabels)?[v];
                     if instance.class != label {
                         continue;
                     }
@@ -122,7 +178,9 @@ pub fn sample_instances(dataset: &Dataset, model: &Gnn, cfg: &SamplingConfig) ->
                 }
                 let instance = Instance::for_prediction(model, g.clone(), Target::Graph);
                 if cfg.only_motif_correct {
-                    let label = g.graph_label().expect("label");
+                    let label = g
+                        .graph_label()
+                        .ok_or(SamplingError::MissingGraphLabel { graph: gi })?;
                     if instance.class != label || d.ground_truth_for(gi).is_none() {
                         continue;
                     }
@@ -139,7 +197,7 @@ pub fn sample_instances(dataset: &Dataset, model: &Gnn, cfg: &SamplingConfig) ->
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -147,6 +205,7 @@ mod tests {
     use super::*;
     use revelio_datasets::{ba_2motifs, tree_cycles};
     use revelio_gnn::{GnnConfig, GnnKind, Task};
+    use revelio_graph::Graph;
 
     #[test]
     fn node_sampling_produces_subgraph_instances() {
@@ -193,6 +252,41 @@ mod tests {
             assert!(gt.iter().any(|&b| b));
             assert!(gt.iter().any(|&b| !b));
         }
+    }
+
+    #[test]
+    fn motif_filter_without_labels_is_a_typed_error() {
+        use revelio_datasets::{NodeDataset, Split};
+        let mut b = Graph::builder(3, 2);
+        b.edge(0, 1).edge(1, 2).edge(2, 0);
+        let d = NodeDataset {
+            name: "unlabelled",
+            graph: b.build(), // no node labels attached
+            num_classes: 2,
+            split: Split {
+                train: vec![],
+                val: vec![],
+                test: vec![],
+            },
+            node_motif: Some(vec![Some(0); 3]),
+            motif_edges: Some(vec![vec![0, 1, 2]]),
+        };
+        let model = Gnn::new(GnnConfig::standard(
+            GnnKind::Gcn,
+            Task::NodeClassification,
+            2,
+            2,
+            0,
+        ));
+        let cfg = SamplingConfig {
+            count: 1,
+            only_motif_correct: true,
+            ..Default::default()
+        };
+        let err = try_sample_instances(&Dataset::Node(d), &model, &cfg)
+            .err()
+            .expect("filter must fail on the unlabelled dataset");
+        assert_eq!(err, SamplingError::MissingNodeLabels);
     }
 
     #[test]

@@ -9,9 +9,11 @@ mod models;
 mod report;
 mod viz;
 
-pub use auc::roc_auc;
+pub use auc::{roc_auc, try_roc_auc, NonFiniteScore};
 pub use fidelity::{fidelity_minus, fidelity_plus, perturbed_probability};
-pub use instances::{sample_instances, EvalInstance, SamplingConfig};
+pub use instances::{
+    sample_instances, try_sample_instances, EvalInstance, SamplingConfig, SamplingError,
+};
 pub use methods::{make_method, Effort, ALL_METHODS, FLOW_METHODS};
 pub use models::{model_accuracy, model_key, train_config_for, trained_model};
 pub use report::{experiments_dir, Table};

@@ -2,15 +2,19 @@
 
 use revelio_datasets::Dataset;
 use revelio_gnn::{
-    evaluate_graph_accuracy, evaluate_node_accuracy, train_graph_classifier,
-    train_node_classifier, Gnn, GnnConfig, GnnKind, ModelZoo, Task, TrainConfig,
+    evaluate_graph_accuracy, evaluate_node_accuracy, train_graph_classifier, train_node_classifier,
+    Gnn, GnnConfig, GnnKind, ModelZoo, Task, TrainConfig,
 };
 
 use crate::methods::Effort;
 
 /// The zoo key for a (dataset, architecture) pair.
 pub fn model_key(dataset_name: &str, kind: GnnKind) -> String {
-    format!("{}_{}", dataset_name.to_lowercase().replace('-', "_"), kind.name().to_lowercase())
+    format!(
+        "{}_{}",
+        dataset_name.to_lowercase().replace('-', "_"),
+        kind.name().to_lowercase()
+    )
 }
 
 /// Training configuration tuned per dataset size and task.
@@ -23,7 +27,11 @@ pub fn train_config_for(dataset: &Dataset, effort: Effort, seed: u64) -> TrainCo
             let small = d.graph.num_nodes() < 5000;
             let epochs = if small { 500 } else { 250 };
             TrainConfig {
-                epochs: if quick { (epochs * 3 / 5).max(250) } else { epochs },
+                epochs: if quick {
+                    (epochs * 3 / 5).max(250)
+                } else {
+                    epochs
+                },
                 lr: 1e-2,
                 weight_decay: 5e-4,
                 seed,
@@ -37,7 +45,11 @@ pub fn train_config_for(dataset: &Dataset, effort: Effort, seed: u64) -> TrainCo
             // picked up at all; never go below that.
             let epochs = (40_000 / train_count).clamp(45, 80);
             TrainConfig {
-                epochs: if quick { (epochs * 2 / 3).max(45) } else { epochs },
+                epochs: if quick {
+                    (epochs * 2 / 3).max(45)
+                } else {
+                    epochs
+                },
                 lr: 1e-2,
                 weight_decay: 0.0,
                 batch_size: 32,

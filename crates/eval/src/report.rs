@@ -93,6 +93,7 @@ pub fn experiments_dir() -> PathBuf {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -61,11 +61,7 @@ pub fn explanation_dot(g: &Graph, opts: &DotOptions<'_>) -> String {
     let mut reverse_of = vec![None; g.num_edges()];
     for (eid, &(s, d)) in g.edges().iter().enumerate() {
         if reverse_of[eid].is_none() {
-            if let Some(r) = g
-                .edges()
-                .iter()
-                .position(|&(a, b)| a == d && b == s)
-            {
+            if let Some(r) = g.edges().iter().position(|&(a, b)| a == d && b == s) {
                 reverse_of[eid] = Some(r);
                 reverse_of[r] = Some(eid);
             }
@@ -105,9 +101,7 @@ mod tests {
 
     fn diamond() -> Graph {
         let mut b = Graph::builder(4, 1);
-        b.undirected_edge(0, 1)
-            .undirected_edge(1, 2)
-            .edge(2, 3); // one directed edge
+        b.undirected_edge(0, 1).undirected_edge(1, 2).edge(2, 3); // one directed edge
         b.build()
     }
 

@@ -37,12 +37,7 @@ impl Instance {
 
     /// Builds an instance explaining a specific class, with precomputed
     /// original probabilities.
-    pub fn for_class(
-        graph: Graph,
-        target: Target,
-        class: usize,
-        orig_probs: Vec<f32>,
-    ) -> Instance {
+    pub fn for_class(graph: Graph, target: Target, class: usize, orig_probs: Vec<f32>) -> Instance {
         let mp = MpGraph::new(&graph);
         let x = Gnn::features_tensor(&graph);
         Instance {

@@ -1,0 +1,305 @@
+//! A minimal JSON reader/writer for the model-zoo cache format.
+//!
+//! The build environment cannot fetch `serde`/`serde_json`, and the zoo only
+//! needs to round-trip one small document shape, so this module implements
+//! exactly that: parsing into a [`Json`] tree and field extraction helpers.
+//! Numbers keep their raw token so `u64` seeds and shortest-round-trip `f32`
+//! parameters survive exactly.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Json {
+    Null,
+    Bool(bool),
+    /// Raw number token, exactly as it appeared in the input.
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match).
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array value.
+    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number token parsed as `u64`.
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Number token parsed as `usize`.
+    pub(crate) fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Number token parsed as `f32`.
+    pub(crate) fn as_f32(&self) -> Option<f32> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+pub(crate) fn parse(text: &str) -> Option<Json> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    (pos == bytes.len()).then_some(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn eat(bytes: &[u8], pos: &mut usize, c: u8) -> Option<()> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos)? {
+        b'{' => parse_obj(bytes, pos),
+        b'[' => parse_arr(bytes, pos),
+        b'"' => parse_str(bytes, pos).map(Json::Str),
+        b't' => parse_lit(bytes, pos, "true").map(|()| Json::Bool(true)),
+        b'f' => parse_lit(bytes, pos, "false").map(|()| Json::Bool(false)),
+        b'n' => parse_lit(bytes, pos, "null").map(|()| Json::Null),
+        _ => parse_num(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str) -> Option<()> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    if *pos == start {
+        return None;
+    }
+    let raw = std::str::from_utf8(&bytes[start..*pos]).ok()?;
+    // Validate: every number token must at least parse as f64.
+    raw.parse::<f64>().ok()?;
+    Some(Json::Num(raw.to_owned()))
+}
+
+fn parse_str(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    eat(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    // The zoo never writes other escapes; reject them.
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Copy one UTF-8 character verbatim.
+                let rest = std::str::from_utf8(&bytes[*pos..]).ok()?;
+                let c = rest.chars().next()?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    eat(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Some(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(Json::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    eat(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Some(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_str(bytes, pos)?;
+        eat(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(Json::Obj(fields));
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Writes `["a","b",...]`-style string content for a quoted key or value.
+pub(crate) fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes an `f32` with Rust's shortest round-trip formatting.
+pub(crate) fn write_f32(out: &mut String, v: f32) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        // JSON has no Inf/NaN; the parser rejects these tokens on load,
+        // invalidating the cache entry rather than corrupting it silently.
+        let _ = write!(out, "\"{v}\"");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = r#" {"a": [1, -2.5e3, []], "b": {"c": "x\"y"}, "d": true, "e": null} "#;
+        let v = parse(doc).expect("valid json");
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+        assert_eq!(
+            v.get("a").and_then(|a| a.as_arr()?.first()?.as_u64()),
+            Some(1)
+        );
+        assert_eq!(v.get("b").and_then(|b| b.get("c")?.as_str()), Some("x\"y"));
+        assert_eq!(v.get("d"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("e"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "{not json",
+            "[1,]",
+            "{\"a\":}",
+            "[1] trailing",
+            "",
+            "{\"a\" 1}",
+        ] {
+            assert!(parse(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn f32_round_trips_exactly() {
+        for v in [0.1f32, -3.402_823_5e38, 1e-45, 0.0, 123.456] {
+            let mut s = String::new();
+            write_f32(&mut s, v);
+            let back = parse(&s).and_then(|j| j.as_f32()).expect("parses");
+            assert_eq!(v.to_bits(), back.to_bits(), "{v} -> {s}");
+        }
+    }
+
+    #[test]
+    fn u64_seeds_survive() {
+        let raw = u64::MAX.to_string();
+        let v = parse(&raw).expect("parses");
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn non_finite_floats_are_quarantined() {
+        let mut s = String::new();
+        write_f32(&mut s, f32::NAN);
+        // The writer produces a string token, so as_f32 on the parsed value
+        // fails and the zoo treats the entry as corrupt.
+        assert_eq!(parse(&s).and_then(|j| j.as_f32()), None);
+    }
+}

@@ -11,10 +11,7 @@ use revelio_tensor::{glorot_uniform, Tensor};
 /// A single GNN layer.
 pub enum Layer {
     /// Kipf & Welling graph convolution with symmetric normalisation.
-    Gcn {
-        weight: Tensor,
-        bias: Tensor,
-    },
+    Gcn { weight: Tensor, bias: Tensor },
     /// Graph Isomorphism Network layer; the `(1+ε)·h_v` self term is carried
     /// by the self-loop edge so flow masks gate it uniformly, and the update
     /// is a two-layer MLP.
@@ -63,7 +60,13 @@ impl Layer {
     /// When concatenating (`average_heads == false`), `out_dim` must be a
     /// multiple of `heads`; when averaging, every head has dimension
     /// `out_dim`.
-    pub fn gat(in_dim: usize, out_dim: usize, heads: usize, average_heads: bool, seed: u64) -> Layer {
+    pub fn gat(
+        in_dim: usize,
+        out_dim: usize,
+        heads: usize,
+        average_heads: bool,
+        seed: u64,
+    ) -> Layer {
         let head_dim = if average_heads {
             out_dim
         } else {
@@ -79,8 +82,7 @@ impl Layer {
             .collect();
         Layer::Gat {
             weight: glorot_uniform(in_dim, total, seed).requires_grad(),
-            bias: Tensor::zeros(1, if average_heads { head_dim } else { total })
-                .requires_grad(),
+            bias: Tensor::zeros(1, if average_heads { head_dim } else { total }).requires_grad(),
             att_src,
             att_dst,
             heads,
@@ -234,11 +236,7 @@ mod tests {
         b.undirected_edge(0, 1).undirected_edge(1, 2);
         let g = b.build();
         let mp = MpGraph::new(&g);
-        let x = Tensor::from_vec(
-            (0..12).map(|i| i as f32 * 0.1).collect(),
-            3,
-            4,
-        );
+        let x = Tensor::from_vec((0..12).map(|i| i as f32 * 0.1).collect(), 3, 4);
         (mp, x)
     }
 

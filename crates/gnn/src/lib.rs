@@ -13,6 +13,7 @@
 //! graph-classification via mean-pool readout plus a linear head.
 
 mod instance;
+mod json;
 mod layer;
 mod model;
 mod train;
@@ -22,7 +23,7 @@ pub use instance::Instance;
 pub use layer::Layer;
 pub use model::{Gnn, GnnConfig, GnnKind, Task};
 pub use train::{
-    evaluate_graph_accuracy, evaluate_node_accuracy, train_graph_classifier,
-    train_node_classifier, TrainConfig,
+    evaluate_graph_accuracy, evaluate_node_accuracy, train_graph_classifier, train_node_classifier,
+    TrainConfig,
 };
 pub use zoo::ModelZoo;

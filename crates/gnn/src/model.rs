@@ -1,14 +1,12 @@
 //! The [`Gnn`] model: a stack of message-passing layers with task heads.
 
-use serde::{Deserialize, Serialize};
-
 use revelio_graph::{Graph, MpGraph, Target};
 use revelio_tensor::{glorot_uniform, Tensor};
 
 use crate::layer::Layer;
 
 /// Architecture family, matching the paper's evaluation (§V-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GnnKind {
     Gcn,
     Gin,
@@ -27,14 +25,14 @@ impl GnnKind {
 }
 
 /// Prediction task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Task {
     NodeClassification,
     GraphClassification,
 }
 
 /// Model hyperparameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GnnConfig {
     pub kind: GnnKind,
     pub task: Task,

@@ -212,7 +212,13 @@ mod tests {
     fn node_training_reaches_full_accuracy_on_separable_task() {
         let (g, idx) = two_cliques();
         for kind in [GnnKind::Gcn, GnnKind::Gin, GnnKind::Gat] {
-            let m = Gnn::new(GnnConfig::standard(kind, Task::NodeClassification, 2, 2, 11));
+            let m = Gnn::new(GnnConfig::standard(
+                kind,
+                Task::NodeClassification,
+                2,
+                2,
+                11,
+            ));
             let cfg = TrainConfig {
                 epochs: 120,
                 weight_decay: 0.0,

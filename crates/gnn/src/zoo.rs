@@ -4,14 +4,88 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, Json};
+use crate::model::{Gnn, GnnConfig, GnnKind, Task};
 
-use crate::model::{Gnn, GnnConfig};
+/// Serialises a model into the zoo's JSON cache format:
+/// `{"config":{...},"params":[[...],...]}` with shortest-round-trip floats.
+fn to_json(config: &GnnConfig, params: &[Vec<f32>]) -> String {
+    let mut out = String::with_capacity(64 + params.iter().map(Vec::len).sum::<usize>() * 12);
+    out.push_str("{\"config\":{");
+    out.push_str("\"kind\":");
+    json::write_str(&mut out, config.kind.name());
+    let task = match config.task {
+        Task::NodeClassification => "node",
+        Task::GraphClassification => "graph",
+    };
+    out.push_str(",\"task\":");
+    json::write_str(&mut out, task);
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        ",\"in_dim\":{},\"hidden_dim\":{},\"num_classes\":{},\"num_layers\":{},\"heads\":{},\"seed\":{}",
+        config.in_dim,
+        config.hidden_dim,
+        config.num_classes,
+        config.num_layers,
+        config.heads,
+        config.seed
+    );
+    out.push_str("},\"params\":[");
+    for (i, buf) in params.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, &v) in buf.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json::write_f32(&mut out, v);
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}
 
-#[derive(Serialize, Deserialize)]
-struct SavedModel {
-    config: GnnConfig,
-    params: Vec<Vec<f32>>,
+/// Parses the zoo cache format back; `None` on any malformed input.
+fn from_json(text: &str) -> Option<(GnnConfig, Vec<Vec<f32>>)> {
+    let doc = json::parse(text)?;
+    let cfg = doc.get("config")?;
+    let kind = match cfg.get("kind")?.as_str()? {
+        "GCN" => GnnKind::Gcn,
+        "GIN" => GnnKind::Gin,
+        "GAT" => GnnKind::Gat,
+        _ => return None,
+    };
+    let task = match cfg.get("task")?.as_str()? {
+        "node" => Task::NodeClassification,
+        "graph" => Task::GraphClassification,
+        _ => return None,
+    };
+    let config = GnnConfig {
+        kind,
+        task,
+        in_dim: cfg.get("in_dim")?.as_usize()?,
+        hidden_dim: cfg.get("hidden_dim")?.as_usize()?,
+        num_classes: cfg.get("num_classes")?.as_usize()?,
+        num_layers: cfg.get("num_layers")?.as_usize()?,
+        heads: cfg.get("heads")?.as_usize()?,
+        seed: cfg.get("seed")?.as_u64()?,
+    };
+    let params = doc
+        .get("params")?
+        .as_arr()?
+        .iter()
+        .map(|buf| {
+            buf.as_arr()?
+                .iter()
+                .map(Json::as_f32)
+                .collect::<Option<Vec<f32>>>()
+        })
+        .collect::<Option<Vec<Vec<f32>>>>()?;
+    Some((config, params))
 }
 
 /// A directory-backed cache of trained models keyed by string.
@@ -55,23 +129,21 @@ impl ModelZoo {
     /// hyperparameters retrain instead of silently mismatching).
     pub fn load(&self, key: &str, expected: &GnnConfig) -> Option<Gnn> {
         let text = fs::read_to_string(self.path(key)).ok()?;
-        let saved: SavedModel = serde_json::from_str(&text).ok()?;
-        if serde_json::to_string(&saved.config).ok()?
-            != serde_json::to_string(expected).ok()?
-        {
+        let (config, params) = from_json(&text)?;
+        if config != *expected {
             return None;
         }
-        let model = Gnn::new(saved.config);
-        if model.params().len() != saved.params.len()
+        let model = Gnn::new(config);
+        if model.params().len() != params.len()
             || model
                 .params()
                 .iter()
-                .zip(&saved.params)
+                .zip(&params)
                 .any(|(p, s)| p.len() != s.len())
         {
             return None;
         }
-        model.load_state(&saved.params);
+        model.load_state(&params);
         Some(model)
     }
 
@@ -81,22 +153,13 @@ impl ModelZoo {
     ///
     /// Panics if the file cannot be written.
     pub fn save(&self, key: &str, model: &Gnn) {
-        let saved = SavedModel {
-            config: model.config().clone(),
-            params: model.state_dict(),
-        };
-        let text = serde_json::to_string(&saved).expect("serialize model");
+        let text = to_json(model.config(), &model.state_dict());
         fs::write(self.path(key), text).expect("write model zoo entry");
     }
 
     /// Returns the cached model for `key`, or builds a fresh model with
     /// `config`, trains it with `train`, caches and returns it.
-    pub fn get_or_train(
-        &self,
-        key: &str,
-        config: GnnConfig,
-        train: impl FnOnce(&Gnn),
-    ) -> Gnn {
+    pub fn get_or_train(&self, key: &str, config: GnnConfig, train: impl FnOnce(&Gnn)) -> Gnn {
         if let Some(m) = self.load(key, &config) {
             return m;
         }
@@ -114,7 +177,8 @@ mod tests {
     use revelio_graph::{Graph, Target};
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("revelio_zoo_test_{name}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("revelio_zoo_test_{name}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

@@ -34,8 +34,8 @@ fn separable_graph(seed: u64) -> Graph {
             count += 1;
         }
     }
-    for v in 0..n {
-        let c = labels[v] as f32;
+    for (v, &label) in labels.iter().enumerate() {
+        let c = label as f32;
         b.node_features(
             v,
             &[
@@ -55,7 +55,7 @@ fn all_architectures_learn_separable_node_task() {
     let g = separable_graph(1);
     let idx: Vec<usize> = (0..g.num_nodes()).collect();
     for kind in [GnnKind::Gcn, GnnKind::Gin, GnnKind::Gat] {
-        let model = Gnn::new(GnnConfig::standard(kind, Task::NodeClassification, 4, 2, 5));
+        let model = Gnn::new(GnnConfig::standard(kind, Task::NodeClassification, 4, 2, 1));
         let final_loss = train_node_classifier(
             &model,
             &g,

@@ -54,7 +54,9 @@ impl std::error::Error for TooManyFlows {}
 /// them (saturating at `u64::MAX`).
 pub fn count_flows(mp: &MpGraph, layers: usize, target: Target) -> u64 {
     let suffix = suffix_counts(mp, layers, target);
-    (0..mp.num_nodes()).map(|u| suffix[0][u]).fold(0u64, u64::saturating_add)
+    (0..mp.num_nodes())
+        .map(|u| suffix[0][u])
+        .fold(0u64, u64::saturating_add)
 }
 
 /// `suffix[l][u]` = number of `L - l`-edge paths starting at `u` that use
@@ -237,6 +239,7 @@ fn enumerate_from(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::graph::Graph;

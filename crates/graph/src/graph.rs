@@ -85,12 +85,18 @@ impl Graph {
 
     /// In-degree of `node` (number of stored edges ending at it).
     pub fn in_degree(&self, node: usize) -> usize {
-        self.edges.iter().filter(|&&(_, d)| d as usize == node).count()
+        self.edges
+            .iter()
+            .filter(|&&(_, d)| d as usize == node)
+            .count()
     }
 
     /// Out-degree of `node`.
     pub fn out_degree(&self, node: usize) -> usize {
-        self.edges.iter().filter(|&&(s, _)| s as usize == node).count()
+        self.edges
+            .iter()
+            .filter(|&&(s, _)| s as usize == node)
+            .count()
     }
 
     /// Returns a copy of this graph restricted to the edges whose ids appear
@@ -151,8 +157,14 @@ impl GraphBuilder {
     ///
     /// Panics on out-of-range endpoints, self-loops, or duplicates.
     pub fn edge(&mut self, src: usize, dst: usize) -> &mut Self {
-        assert!(src < self.num_nodes && dst < self.num_nodes, "edge endpoint out of range");
-        assert_ne!(src, dst, "self-loops are added by the message-passing view, not stored");
+        assert!(
+            src < self.num_nodes && dst < self.num_nodes,
+            "edge endpoint out of range"
+        );
+        assert_ne!(
+            src, dst,
+            "self-loops are added by the message-passing view, not stored"
+        );
         let key = (src as u32, dst as u32);
         assert!(self.seen.insert(key), "duplicate edge {src}->{dst}");
         self.edges.push(key);
@@ -178,7 +190,11 @@ impl GraphBuilder {
 
     /// Sets the full feature matrix at once.
     pub fn all_features(&mut self, feats: Vec<f32>) -> &mut Self {
-        assert_eq!(feats.len(), self.num_nodes * self.feat_dim, "feature matrix length mismatch");
+        assert_eq!(
+            feats.len(),
+            self.num_nodes * self.feat_dim,
+            "feature matrix length mismatch"
+        );
         self.features = feats;
         self
     }
@@ -210,12 +226,15 @@ impl GraphBuilder {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
     fn triangle() -> Graph {
         let mut b = Graph::builder(3, 2);
-        b.undirected_edge(0, 1).undirected_edge(1, 2).undirected_edge(0, 2);
+        b.undirected_edge(0, 1)
+            .undirected_edge(1, 2)
+            .undirected_edge(0, 2);
         b.node_features(0, &[1.0, 0.0]);
         b.node_labels(vec![0, 1, 0]);
         b.build()

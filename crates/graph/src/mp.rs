@@ -136,9 +136,11 @@ fn csr_by(keys: &[usize], n: usize) -> (Vec<usize>, Vec<u32>) {
         counts[k] += 1;
     }
     let mut ptr = Vec::with_capacity(n + 1);
-    ptr.push(0usize);
+    let mut running = 0usize;
+    ptr.push(running);
     for &c in &counts {
-        ptr.push(ptr.last().unwrap() + c);
+        running += c;
+        ptr.push(running);
     }
     let mut cursor = ptr.clone();
     let mut ids = vec![0u32; keys.len()];

@@ -68,7 +68,9 @@ pub fn khop_subgraph(g: &Graph, target: usize, hops: usize) -> KhopSubgraph {
         frontier = next;
     }
 
-    let nodes: Vec<usize> = (0..g.num_nodes()).filter(|&v| dist[v] != usize::MAX).collect();
+    let nodes: Vec<usize> = (0..g.num_nodes())
+        .filter(|&v| dist[v] != usize::MAX)
+        .collect();
     let mut new_id = vec![usize::MAX; g.num_nodes()];
     for (i, &v) in nodes.iter().enumerate() {
         new_id[v] = i;
@@ -103,6 +105,7 @@ pub fn khop_subgraph(g: &Graph, target: usize, hops: usize) -> KhopSubgraph {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

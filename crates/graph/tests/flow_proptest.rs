@@ -1,6 +1,8 @@
 //! Property-based invariants of flow enumeration and subgraph extraction on
 //! random graphs.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use revelio_graph::{count_flows, khop_subgraph, FlowIndex, Graph, MpGraph, Target};
 

@@ -1,0 +1,171 @@
+//! Finite-difference gradient checking.
+//!
+//! [`grad_check`] compares the gradients produced by reverse-mode
+//! differentiation against central differences, perturbing each element of
+//! each leaf tensor in place. The objective closure is re-evaluated from the
+//! leaves' *current* data on every call, so it composes with models that hold
+//! their parameters internally (pass `model.params()` as the leaves and
+//! rebuild the forward tape inside the closure).
+//!
+//! # Example
+//!
+//! ```
+//! use revelio_tensor::{grad_check, Tensor};
+//!
+//! let x = Tensor::from_vec(vec![0.3, -0.7], 1, 2).requires_grad();
+//! let report = grad_check(|| x.tanh_t().sum_all(), std::slice::from_ref(&x), 1e-2, 1e-2)
+//!     .expect("analytic and numeric gradients agree");
+//! assert!(report.max_rel_err < 1e-2);
+//! ```
+
+use std::fmt;
+
+use crate::tensor::Tensor;
+
+/// The first disagreement found by [`grad_check`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckFailure {
+    /// Index of the offending leaf in the `leaves` slice.
+    pub leaf: usize,
+    /// Flat element index within that leaf.
+    pub elem: usize,
+    /// The gradient reverse-mode differentiation produced.
+    pub analytic: f32,
+    /// The central-difference estimate.
+    pub numeric: f32,
+    /// `|analytic - numeric| / max(1, |analytic|, |numeric|)`.
+    pub rel_err: f32,
+}
+
+impl fmt::Display for GradCheckFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gradient mismatch at leaf {} element {}: analytic {} vs numeric {} (rel err {})",
+            self.leaf, self.elem, self.analytic, self.numeric, self.rel_err
+        )
+    }
+}
+
+impl std::error::Error for GradCheckFailure {}
+
+/// Summary of a successful [`grad_check`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// The largest relative error observed across all checked elements.
+    pub max_rel_err: f32,
+    /// How many leaf elements were perturbed and compared.
+    pub checked: usize,
+}
+
+/// Checks the reverse-mode gradient of a scalar objective against central
+/// differences.
+///
+/// `f` must rebuild the computation from the leaves' current data each time
+/// it is called and return a `1 × 1` tensor. Every element of every leaf is
+/// perturbed by `±eps`; the check fails when the relative error
+/// `|a - n| / max(1, |a|, |n|)` exceeds `tol` (or is non-finite).
+///
+/// Leaves are restored to their original data and their gradients cleared
+/// before returning.
+///
+/// # Errors
+///
+/// Returns the first [`GradCheckFailure`] encountered.
+///
+/// # Panics
+///
+/// Panics if `f` does not return a scalar tensor.
+pub fn grad_check(
+    mut f: impl FnMut() -> Tensor,
+    leaves: &[Tensor],
+    eps: f32,
+    tol: f32,
+) -> Result<GradCheckReport, GradCheckFailure> {
+    for leaf in leaves {
+        leaf.zero_grad();
+    }
+    let out = f();
+    assert_eq!(out.shape(), (1, 1), "grad_check objective must be scalar");
+    out.backward();
+    let analytic: Vec<Vec<f32>> = leaves.iter().map(Tensor::grad_vec).collect();
+    for leaf in leaves {
+        leaf.zero_grad();
+    }
+
+    let mut max_rel_err = 0.0f32;
+    let mut checked = 0usize;
+    for (li, leaf) in leaves.iter().enumerate() {
+        let base = leaf.to_vec();
+        let mut probe = base.clone();
+        for i in 0..base.len() {
+            probe[i] = base[i] + eps;
+            leaf.set_data(&probe);
+            let plus = f().item();
+            probe[i] = base[i] - eps;
+            leaf.set_data(&probe);
+            let minus = f().item();
+            probe[i] = base[i];
+            leaf.set_data(&probe);
+
+            let numeric = (plus - minus) / (2.0 * eps);
+            let a = analytic[li][i];
+            let rel_err = (a - numeric).abs() / a.abs().max(numeric.abs()).max(1.0);
+            checked += 1;
+            // `!(rel_err <= tol)` rather than `rel_err > tol`: the negated
+            // form is also true when rel_err is NaN, which must fail.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(rel_err <= tol) {
+                leaf.set_data(&base);
+                return Err(GradCheckFailure {
+                    leaf: li,
+                    elem: i,
+                    analytic: a,
+                    numeric,
+                    rel_err,
+                });
+            }
+            max_rel_err = max_rel_err.max(rel_err);
+        }
+        leaf.set_data(&base);
+    }
+    Ok(GradCheckReport {
+        max_rel_err,
+        checked,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_correct_gradient() {
+        let x = Tensor::from_vec(vec![0.5, -0.25, 1.5], 3, 1).requires_grad();
+        let r = grad_check(|| x.mul(&x).sum_all(), std::slice::from_ref(&x), 1e-3, 1e-2).unwrap();
+        assert_eq!(r.checked, 3);
+        assert!(r.max_rel_err < 1e-2);
+        // Leaves restored and grads cleared.
+        assert_eq!(x.to_vec(), vec![0.5, -0.25, 1.5]);
+        assert!(!x.has_grad());
+    }
+
+    #[test]
+    fn rejects_wrong_gradient() {
+        // relu at a kink: analytic subgradient is 0 there but the central
+        // difference straddles it, so the check must fail.
+        let x = Tensor::from_vec(vec![0.0], 1, 1).requires_grad();
+        let err =
+            grad_check(|| x.relu().sum_all(), std::slice::from_ref(&x), 1e-2, 1e-3).unwrap_err();
+        assert_eq!(err.leaf, 0);
+        assert_eq!(err.elem, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be scalar")]
+    fn rejects_non_scalar_objective() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], 1, 2).requires_grad();
+        let _ = grad_check(|| x.relu(), std::slice::from_ref(&x), 1e-2, 1e-2);
+    }
+}

@@ -31,14 +31,16 @@
 //! assert_eq!(w.grad_vec(), vec![3.0, 4.0]);
 //! ```
 
+mod gradcheck;
 mod init;
 mod ops;
 mod optim;
 mod sparse;
 mod tensor;
 
+pub use gradcheck::{grad_check, GradCheckFailure, GradCheckReport};
 pub use init::{glorot_uniform, kaiming_uniform, uniform};
-pub use ops::Op;
+pub use ops::{IndexOutOfRange, Op};
 pub use optim::{clip_grad_norm, Adam, AdamConfig, Optimizer, Sgd};
 pub use sparse::BinCsr;
 pub use tensor::Tensor;

@@ -5,10 +5,33 @@
 //! [`Tensor::backward`]. Shapes are validated eagerly with panics, matching
 //! the conventions of dense math libraries.
 
+use std::fmt;
 use std::rc::Rc;
 
 use crate::sparse::BinCsr;
 use crate::tensor::Tensor;
+
+/// Error returned by [`Tensor::try_gather_rows`] when a row index is out of
+/// bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexOutOfRange {
+    /// The offending index value.
+    pub index: usize,
+    /// The exclusive bound it violated (the number of rows).
+    pub bound: usize,
+}
+
+impl fmt::Display for IndexOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "index {} out of bounds for {} rows",
+            self.index, self.bound
+        )
+    }
+}
+
+impl std::error::Error for IndexOutOfRange {}
 
 /// The operation that produced a tensor, holding its parents and any saved
 /// context required by the backward pass.
@@ -52,8 +75,43 @@ pub enum Op {
 }
 
 impl Op {
-    /// The tensors this operation reads.
-    pub(crate) fn parents(&self) -> Vec<Tensor> {
+    /// The operator name, for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::Div(..) => "div",
+            Op::Neg(..) => "neg",
+            Op::AddScalar(..) => "add_scalar",
+            Op::MulScalar(..) => "mul_scalar",
+            Op::MatMul(..) => "matmul",
+            Op::AddRowBroadcast(..) => "add_row_broadcast",
+            Op::MulColBroadcast(..) => "mul_col_broadcast",
+            Op::Relu(..) => "relu",
+            Op::LeakyRelu(..) => "leaky_relu",
+            Op::Tanh(..) => "tanh",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Exp(..) => "exp",
+            Op::Ln(..) => "ln",
+            Op::Softplus(..) => "softplus",
+            Op::ClampMin(..) => "clamp_min",
+            Op::SumAll(..) => "sum_all",
+            Op::MeanAll(..) => "mean_all",
+            Op::MeanRows(..) => "mean_rows",
+            Op::LogSoftmaxRows(..) => "log_softmax_rows",
+            Op::NllLoss(..) => "nll_loss",
+            Op::GatherRows(..) => "gather_rows",
+            Op::ScatterAddRows(..) => "scatter_add_rows",
+            Op::SliceCols(..) => "slice_cols",
+            Op::ConcatCols(..) => "concat_cols",
+            Op::SegmentSoftmax(..) => "segment_softmax",
+            Op::SpMatVec(..) => "sp_matvec",
+        }
+    }
+
+    /// The tensors this operation reads (exposed for static tape analysis).
+    pub fn parents(&self) -> Vec<Tensor> {
         match self {
             Op::Add(a, b)
             | Op::Sub(a, b)
@@ -342,8 +400,7 @@ impl Op {
                 for i in 0..m {
                     let s = segs[i];
                     for j in 0..n {
-                        g[i * n + j] =
-                            od[i * n + j] * (grad_out[i * n + j] - seg_dot[s * n + j]);
+                        g[i * n + j] = od[i * n + j] * (grad_out[i * n + j] - seg_dot[s * n + j]);
                     }
                 }
                 drop(od);
@@ -490,19 +547,34 @@ impl Tensor {
     /// Adds a scalar to every element.
     pub fn add_scalar(&self, s: f32) -> Tensor {
         let data: Vec<f32> = self.data().iter().map(|x| x + s).collect();
-        Tensor::new_from_op(data, self.rows(), self.cols(), Op::AddScalar(self.clone(), s))
+        Tensor::new_from_op(
+            data,
+            self.rows(),
+            self.cols(),
+            Op::AddScalar(self.clone(), s),
+        )
     }
 
     /// Multiplies every element by a scalar.
     pub fn mul_scalar(&self, s: f32) -> Tensor {
         let data: Vec<f32> = self.data().iter().map(|x| x * s).collect();
-        Tensor::new_from_op(data, self.rows(), self.cols(), Op::MulScalar(self.clone(), s))
+        Tensor::new_from_op(
+            data,
+            self.rows(),
+            self.cols(),
+            Op::MulScalar(self.clone(), s),
+        )
     }
 
     /// Elementwise `max(x, min)`; gradient is blocked where clamping occurs.
     pub fn clamp_min(&self, min: f32) -> Tensor {
         let data: Vec<f32> = self.data().iter().map(|x| x.max(min)).collect();
-        Tensor::new_from_op(data, self.rows(), self.cols(), Op::ClampMin(self.clone(), min))
+        Tensor::new_from_op(
+            data,
+            self.rows(),
+            self.cols(),
+            Op::ClampMin(self.clone(), min),
+        )
     }
 
     /// Leaky ReLU with the given negative slope.
@@ -536,7 +608,11 @@ impl Tensor {
     /// `self [m,n] + bias [1,n]`, broadcasting the bias across rows.
     pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
         let (m, n) = self.shape();
-        assert_eq!(bias.shape(), (1, n), "add_row_broadcast: bias must be [1,{n}]");
+        assert_eq!(
+            bias.shape(),
+            (1, n),
+            "add_row_broadcast: bias must be [1,{n}]"
+        );
         let bd = bias.data();
         let data: Vec<f32> = self
             .data()
@@ -545,12 +621,7 @@ impl Tensor {
             .map(|(i, x)| x + bd[i % n])
             .collect();
         drop(bd);
-        Tensor::new_from_op(
-            data,
-            m,
-            n,
-            Op::AddRowBroadcast(self.clone(), bias.clone()),
-        )
+        Tensor::new_from_op(data, m, n, Op::AddRowBroadcast(self.clone(), bias.clone()))
     }
 
     /// `self [m,n] * scale [m,1]`, broadcasting the scale across columns.
@@ -559,7 +630,11 @@ impl Tensor {
     /// is scaled by its layer-edge importance.
     pub fn mul_col_broadcast(&self, scale: &Tensor) -> Tensor {
         let (m, n) = self.shape();
-        assert_eq!(scale.shape(), (m, 1), "mul_col_broadcast: scale must be [{m},1]");
+        assert_eq!(
+            scale.shape(),
+            (m, 1),
+            "mul_col_broadcast: scale must be [{m},1]"
+        );
         let sd = scale.data();
         let mut data = self.to_vec();
         for i in 0..m {
@@ -569,12 +644,7 @@ impl Tensor {
             }
         }
         drop(sd);
-        Tensor::new_from_op(
-            data,
-            m,
-            n,
-            Op::MulColBroadcast(self.clone(), scale.clone()),
-        )
+        Tensor::new_from_op(data, m, n, Op::MulColBroadcast(self.clone(), scale.clone()))
     }
 
     /// Sum of all elements as a `1 × 1` tensor.
@@ -586,12 +656,7 @@ impl Tensor {
     /// Mean of all elements as a `1 × 1` tensor.
     pub fn mean_all(&self) -> Tensor {
         let s: f32 = self.data().iter().sum();
-        Tensor::new_from_op(
-            vec![s / self.len() as f32],
-            1,
-            1,
-            Op::MeanAll(self.clone()),
-        )
+        Tensor::new_from_op(vec![s / self.len() as f32], 1, 1, Op::MeanAll(self.clone()))
     }
 
     /// Mean over rows: `[m,n] -> [1,n]` (mean-pool graph readout).
@@ -658,22 +723,41 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics if any index is out of bounds.
+    /// Panics if any index is out of bounds; use
+    /// [`Tensor::try_gather_rows`] to get an error instead.
     pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
+        match self.try_gather_rows(idx) {
+            Ok(t) => t,
+            Err(e) => panic!(
+                "gather_rows: index {} out of bounds for {} rows",
+                e.index, e.bound
+            ),
+        }
+    }
+
+    /// Gathers rows, returning [`IndexOutOfRange`] instead of panicking when
+    /// an index exceeds the row count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first out-of-bounds index encountered.
+    pub fn try_gather_rows(&self, idx: &[usize]) -> Result<Tensor, IndexOutOfRange> {
         let (m, n) = self.shape();
         let d = self.data();
         let mut out = Vec::with_capacity(idx.len() * n);
         for &i in idx {
-            assert!(i < m, "gather_rows: index {i} out of bounds for {m} rows");
+            if i >= m {
+                return Err(IndexOutOfRange { index: i, bound: m });
+            }
             out.extend_from_slice(&d[i * n..(i + 1) * n]);
         }
         drop(d);
-        Tensor::new_from_op(
+        Ok(Tensor::new_from_op(
             out,
             idx.len(),
             n,
             Op::GatherRows(self.clone(), Rc::new(idx.to_vec())),
-        )
+        ))
     }
 
     /// Scatter-add rows into a fresh `[n_out, cols]` tensor:
@@ -708,7 +792,10 @@ impl Tensor {
     /// Slices columns `[c0, c1)`.
     pub fn slice_cols(&self, c0: usize, c1: usize) -> Tensor {
         let (m, n) = self.shape();
-        assert!(c0 < c1 && c1 <= n, "slice_cols: invalid range {c0}..{c1} for {n} cols");
+        assert!(
+            c0 < c1 && c1 <= n,
+            "slice_cols: invalid range {c0}..{c1} for {n} cols"
+        );
         let d = self.data();
         let w = c1 - c0;
         let mut out = Vec::with_capacity(m * w);
@@ -731,12 +818,7 @@ impl Tensor {
             out.extend_from_slice(&b[i * nb..(i + 1) * nb]);
         }
         drop((a, b));
-        Tensor::new_from_op(
-            out,
-            m,
-            na + nb,
-            Op::ConcatCols(self.clone(), other.clone()),
-        )
+        Tensor::new_from_op(out, m, na + nb, Op::ConcatCols(self.clone(), other.clone()))
     }
 
     /// Softmax computed independently per column over row segments.
@@ -859,7 +941,10 @@ mod tests {
         let g = x.grad_vec();
         let probs: Vec<f32> = {
             let m = 0.9f32;
-            let e: Vec<f32> = [0.2, -0.4, 0.9].iter().map(|v: &f32| (v - m).exp()).collect();
+            let e: Vec<f32> = [0.2, -0.4, 0.9]
+                .iter()
+                .map(|v: &f32| (v - m).exp())
+                .collect();
             let s: f32 = e.iter().sum();
             e.iter().map(|v| v / s).collect()
         };
@@ -932,7 +1017,12 @@ mod tests {
         };
         let x0 = 0.37f32;
         let x = Tensor::scalar(x0).requires_grad();
-        let y = x.tanh_t().mul_scalar(2.0).add_scalar(0.5).sigmoid().sum_all();
+        let y = x
+            .tanh_t()
+            .mul_scalar(2.0)
+            .add_scalar(0.5)
+            .sigmoid()
+            .sum_all();
         y.backward();
         let eps = 1e-3;
         let num = (f(x0 + eps) - f(x0 - eps)) / (2.0 * eps);

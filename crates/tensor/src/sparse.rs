@@ -21,7 +21,11 @@ impl BinCsr {
     ///
     /// Panics if `row_cols.len() != rows` or any column index is `>= cols`.
     pub fn from_rows(rows: usize, cols: usize, row_cols: &[Vec<u32>]) -> Self {
-        assert_eq!(row_cols.len(), rows, "BinCsr::from_rows: row count mismatch");
+        assert_eq!(
+            row_cols.len(),
+            rows,
+            "BinCsr::from_rows: row count mismatch"
+        );
         let nnz: usize = row_cols.iter().map(Vec::len).sum();
         let mut row_ptr = Vec::with_capacity(rows + 1);
         let mut col_idx = Vec::with_capacity(nnz);
@@ -53,13 +57,18 @@ impl BinCsr {
     pub fn from_pairs(rows: usize, cols: usize, pairs: &[(u32, u32)]) -> Self {
         let mut counts = vec![0usize; rows];
         for &(r, c) in pairs {
-            assert!((r as usize) < rows && (c as usize) < cols, "index out of bounds");
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "index out of bounds"
+            );
             counts[r as usize] += 1;
         }
         let mut row_ptr = Vec::with_capacity(rows + 1);
-        row_ptr.push(0usize);
+        let mut running = 0usize;
+        row_ptr.push(running);
         for &c in &counts {
-            row_ptr.push(row_ptr.last().unwrap() + c);
+            running += c;
+            row_ptr.push(running);
         }
         let mut cursor = row_ptr.clone();
         let mut col_idx = vec![0u32; pairs.len()];

@@ -221,6 +221,29 @@ impl Tensor {
         self.inner.id
     }
 
+    /// The recorded operation that produced this tensor, or `None` for a
+    /// leaf. This is the entry point for static tape analysis
+    /// (`revelio-analysis` walks the op graph through it without executing
+    /// anything).
+    pub fn op(&self) -> Option<&Op> {
+        self.inner.op.as_ref()
+    }
+
+    /// Records `op` as the producer of a fresh tensor **without** validating
+    /// that the claimed shape is consistent with the operand shapes.
+    ///
+    /// Exists so the static analyzer's tests can seed deliberately defective
+    /// tapes; real forward code must go through the checked op methods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` (the data buffer itself must be
+    /// coherent; only op-vs-operand consistency is left unchecked).
+    #[doc(hidden)]
+    pub fn from_op_unchecked(data: Vec<f32>, rows: usize, cols: usize, op: Op) -> Tensor {
+        Tensor::new_from_op(data, rows, cols, op)
+    }
+
     /// Returns a detached copy: same data, no history, no gradient.
     pub fn detach(&self) -> Tensor {
         Tensor::new_leaf(self.to_vec(), self.rows(), self.cols())

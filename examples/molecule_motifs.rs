@@ -80,11 +80,7 @@ fn main() {
     println!("\nmethod     motif bonds in top-{k}   top flow");
     for explainer in &explainers {
         let exp = explainer.explain(&model, &instance);
-        let hits = exp
-            .top_edges(k)
-            .iter()
-            .filter(|e| gt.contains(e))
-            .count();
+        let hits = exp.top_edges(k).iter().filter(|e| gt.contains(e)).count();
         let top_flow = exp
             .flows
             .as_ref()

@@ -59,7 +59,10 @@ fn main() {
     let explanation = revelio.explain(&model, &instance);
 
     // 4. Report the top message flows (in original node ids).
-    let flows = explanation.flows.as_ref().expect("REVELIO returns flow scores");
+    let flows = explanation
+        .flows
+        .as_ref()
+        .expect("REVELIO returns flow scores");
     println!("\ntop-10 message flows (original node ids):");
     for (rank, (f, score)) in flows.top_k(10).into_iter().enumerate() {
         let path: Vec<String> = flows
@@ -68,7 +71,11 @@ fn main() {
             .into_iter()
             .map(|v| sub.original_node(v).to_string())
             .collect();
-        println!("  {:>2}. {}  (score {score:+.3})", rank + 1, path.join(" → "));
+        println!(
+            "  {:>2}. {}  (score {score:+.3})",
+            rank + 1,
+            path.join(" → ")
+        );
     }
 
     // 5. And the top edges, checked against the planted motif.

@@ -111,7 +111,10 @@ fn main() {
     );
     let user_idx: Vec<usize> = (0..USERS).collect();
     let acc = revelio::gnn::evaluate_node_accuracy(&model, &graph, &user_idx);
-    println!("category prediction accuracy over users: {:.1}%", acc * 100.0);
+    println!(
+        "category prediction accuracy over users: {:.1}%",
+        acc * 100.0
+    );
 
     // Explain one user's predicted preference.
     let user = 0usize;
@@ -119,7 +122,9 @@ fn main() {
     let instance = Instance::for_prediction(&model, sub.graph.clone(), Target::Node(sub.target));
     println!(
         "\nwhy does the model think user{user} prefers cat{}? (true: cat{}, p = {:.3})",
-        instance.class, user_pref[user], instance.orig_prob()
+        instance.class,
+        user_pref[user],
+        instance.orig_prob()
     );
 
     let revelio = Revelio::new(RevelioConfig {
@@ -139,5 +144,8 @@ fn main() {
             .collect();
         println!("  {:>2}. {}  ({score:+.3})", rank + 1, path.join(" → "));
     }
-    println!("\nflows chaining category-{} items into user{user} should dominate.", instance.class);
+    println!(
+        "\nflows chaining category-{} items into user{user} should dominate.",
+        instance.class
+    );
 }

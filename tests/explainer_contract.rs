@@ -129,10 +129,9 @@ fn flow_methods_attach_flow_scores() {
 fn counterfactual_mode_flips_learned_methods() {
     let (model, inst) = node_setup();
     for name in ["GNNExplainer", "FlowX", "REVELIO"] {
-        let f = make_method(name, Objective::Factual, Effort::Quick, 7)
-            .explain(&model, &inst);
-        let c = make_method(name, Objective::Counterfactual, Effort::Quick, 7)
-            .explain(&model, &inst);
+        let f = make_method(name, Objective::Factual, Effort::Quick, 7).explain(&model, &inst);
+        let c =
+            make_method(name, Objective::Counterfactual, Effort::Quick, 7).explain(&model, &inst);
         assert_ne!(
             f.edge_scores, c.edge_scores,
             "{name}: objectives should differ"

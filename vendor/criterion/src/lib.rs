@@ -1,0 +1,266 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the criterion API surface the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — as a plain wall-clock harness: each benchmark runs a short
+//! warm-up, then a fixed number of timed samples, and prints median time per
+//! iteration. No statistics, plots, or baselines; numbers are indicative,
+//! not rigorous.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation attached to a benchmark (reported, not analysed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id made of the parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the closure under test; [`Bencher::iter`] runs the timing loop.
+pub struct Bencher {
+    samples: usize,
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the median of several samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that takes a
+        // measurable slice of time without running forever.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let per_sample = (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+
+        let mut sample_times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            sample_times.push(start.elapsed() / per_sample as u32);
+        }
+        sample_times.sort_unstable();
+        self.elapsed_per_iter = sample_times[sample_times.len() / 2];
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Attaches a throughput annotation to subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, f);
+        self
+    }
+
+    /// Runs one benchmark, passing `input` to the closure alongside the
+    /// [`Bencher`].
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (output is flushed per benchmark; kept for API
+    /// compatibility).
+    pub fn finish(&mut self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mut line = format!(
+            "{}/{id}: {} per iter",
+            self.name,
+            format_duration(bencher.elapsed_per_iter)
+        );
+        if let Some(t) = self.throughput {
+            let secs = bencher.elapsed_per_iter.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => {
+                    let _ = write!(line, " ({:.3e} elem/s)", n as f64 / secs);
+                }
+                Throughput::Bytes(n) => {
+                    let _ = write!(line, " ({:.3e} B/s)", n as f64 / secs);
+                }
+            }
+        }
+        self.criterion.report(&line);
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    /// Suppresses printing (used by the harness's own tests).
+    quiet: bool,
+}
+
+impl Criterion {
+    /// Starts a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_owned();
+        self.benchmark_group(name).bench_function("iter", f);
+        self
+    }
+
+    fn report(&self, line: &str) {
+        if !self.quiet {
+            println!("{line}");
+        }
+    }
+}
+
+/// Declares a benchmark group runner, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_benchmarks_run_closures() {
+        let mut c = Criterion { quiet: true };
+        let mut calls = 0u64;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| {
+                calls += n;
+                std::hint::black_box(n * 2)
+            });
+        });
+        group.finish();
+        assert!(calls >= 4, "routine never ran");
+    }
+
+    #[test]
+    fn bench_function_measures_time() {
+        let mut c = Criterion { quiet: true };
+        c.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+
+    #[test]
+    fn durations_format() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}
