@@ -9,10 +9,15 @@
 //! masks use a plain `σ(I · M)` transform without the tanh squashing or
 //! per-layer `exp(w)` weights.
 
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use revelio_core::{Explainer, Explanation, FlowScores, Objective};
+use revelio_core::{
+    ControlledExplanation, Deadline, Degradation, ExplainControl, Explainer, Explanation,
+    FlowScores, Objective,
+};
 use revelio_gnn::{Gnn, Instance};
 use revelio_graph::FlowIndex;
 use revelio_tensor::{Adam, Optimizer, Tensor};
@@ -71,7 +76,15 @@ impl FlowX {
     }
 
     /// Stage 1: Shapley-style marginal-contribution estimates per flow.
-    fn sample_marginals(&self, model: &Gnn, instance: &Instance, index: &FlowIndex) -> Vec<f32> {
+    /// Stops sampling early (keeping the estimates accumulated so far) once
+    /// `deadline` expires.
+    fn sample_marginals(
+        &self,
+        model: &Gnn,
+        instance: &Instance,
+        index: &FlowIndex,
+        deadline: &Deadline,
+    ) -> Vec<f32> {
         let cfg = &self.cfg;
         let layers = index.num_layers();
         let ne = instance.mp.layer_edge_count();
@@ -83,6 +96,9 @@ impl FlowX {
         let mut count = vec![0u32; nf];
         let mut removed_flags = vec![false; nf];
         for _ in 0..cfg.samples {
+            if deadline.expired() {
+                break;
+            }
             // Random removal pattern over layer edges, independent per layer.
             let removed: Vec<Vec<bool>> = (0..layers)
                 .map(|_| (0..ne).map(|_| rng.gen_bool(cfg.remove_prob)).collect())
@@ -144,13 +160,42 @@ impl Explainer for FlowX {
     }
 
     fn explain(&self, model: &Gnn, instance: &Instance) -> Explanation {
+        self.explain_controlled(model, instance, &ExplainControl::default())
+            .explanation
+    }
+
+    /// Budget-aware entry point: reuses a cache-shared flow index, shrinks
+    /// oversized flow sets instead of failing when `shrink_on_overflow` is
+    /// set, and polls the deadline in both the sampling and the refinement
+    /// stage, returning the masks learned so far on expiry.
+    fn explain_controlled(
+        &self,
+        model: &Gnn,
+        instance: &Instance,
+        ctl: &ExplainControl,
+    ) -> ControlledExplanation {
         let cfg = &self.cfg;
         let layers = model.num_layers();
-        let index = FlowIndex::build(&instance.mp, layers, instance.target, cfg.max_flows)
-            .unwrap_or_else(|e| panic!("FlowX: {e}"));
+        let mut degradation = Degradation {
+            epochs_planned: cfg.epochs,
+            ..Default::default()
+        };
+        let index: Arc<FlowIndex> = match &ctl.flow_index {
+            Some(idx) if idx.num_layers() == layers => Arc::clone(idx),
+            _ if ctl.shrink_on_overflow => {
+                let capped =
+                    FlowIndex::build_capped(&instance.mp, layers, instance.target, cfg.max_flows);
+                degradation.flows_dropped = capped.dropped;
+                Arc::new(capped.index)
+            }
+            _ => Arc::new(
+                FlowIndex::build(&instance.mp, layers, instance.target, cfg.max_flows)
+                    .unwrap_or_else(|e| panic!("FlowX: {e}")),
+            ),
+        };
         let ne = instance.mp.layer_edge_count();
 
-        let shapley = self.sample_marginals(model, instance, &index);
+        let shapley = self.sample_marginals(model, instance, &index, &ctl.deadline);
 
         // Stage 2: learning refinement, masks seeded from the estimates.
         let max_abs = shapley
@@ -161,7 +206,12 @@ impl Explainer for FlowX {
         let mask_params = Tensor::from_vec(init, index.num_flows(), 1).requires_grad();
         let mut opt = Adam::new(vec![mask_params.clone()], cfg.lr);
 
-        for _ in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
+            if ctl.deadline.expired() {
+                degradation.deadline_hit = true;
+                break;
+            }
+            degradation.epochs_run = epoch + 1;
             opt.zero_grad();
             let masks: Vec<Tensor> = (0..layers)
                 .map(|l| mask_params.sp_matvec(index.incidence(l)).sigmoid())
@@ -217,13 +267,16 @@ impl Explainer for FlowX {
             Objective::Counterfactual => shapley.iter().map(|s| -s).collect(),
         };
 
-        Explanation {
-            edge_scores,
-            layer_edge_scores: Some(final_masks),
-            flows: Some(FlowScores {
-                index,
-                scores: flow_scores,
-            }),
+        ControlledExplanation {
+            explanation: Explanation {
+                edge_scores,
+                layer_edge_scores: Some(final_masks),
+                flows: Some(FlowScores {
+                    index,
+                    scores: flow_scores,
+                }),
+            },
+            degradation,
         }
     }
 }

@@ -1,7 +1,9 @@
 //! GNNExplainer (Ying et al., 2019): a learnable edge mask, shared across
 //! GNN layers, optimised per instance.
 
-use revelio_core::{Explainer, Explanation, Objective};
+use revelio_core::{
+    ControlledExplanation, Degradation, ExplainControl, Explainer, Explanation, Objective,
+};
 use revelio_gnn::{Gnn, Instance};
 use revelio_tensor::{uniform, Adam, Optimizer, Tensor};
 
@@ -60,14 +62,37 @@ impl Explainer for GnnExplainer {
     }
 
     fn explain(&self, model: &Gnn, instance: &Instance) -> Explanation {
+        self.explain_controlled(model, instance, &ExplainControl::default())
+            .explanation
+    }
+
+    /// Deadline-aware entry point: stops the mask optimisation early when the
+    /// deadline expires; the sigmoid mask at any epoch is a structurally
+    /// valid (if less converged) explanation. Flow-index controls do not
+    /// apply — this method never enumerates flows.
+    fn explain_controlled(
+        &self,
+        model: &Gnn,
+        instance: &Instance,
+        ctl: &ExplainControl,
+    ) -> ControlledExplanation {
         let cfg = &self.cfg;
         let ne = instance.mp.layer_edge_count();
         let layers = model.num_layers();
+        let mut degradation = Degradation {
+            epochs_planned: cfg.epochs,
+            ..Default::default()
+        };
 
         let mask_params = uniform(ne, 1, 0.1, cfg.seed).requires_grad();
         let mut opt = Adam::new(vec![mask_params.clone()], cfg.lr);
 
-        for _ in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
+            if ctl.deadline.expired() {
+                degradation.deadline_hit = true;
+                break;
+            }
+            degradation.epochs_run = epoch + 1;
             opt.zero_grad();
             let mask = mask_params.sigmoid();
             let masks: Vec<Tensor> = (0..layers).map(|_| mask.clone()).collect();
@@ -104,10 +129,13 @@ impl Explainer for GnnExplainer {
             Objective::Factual => mask[..m].to_vec(),
             Objective::Counterfactual => mask[..m].iter().map(|v| 1.0 - v).collect(),
         };
-        Explanation {
-            edge_scores,
-            layer_edge_scores: None,
-            flows: None,
+        ControlledExplanation {
+            explanation: Explanation {
+                edge_scores,
+                layer_edge_scores: None,
+                flows: None,
+            },
+            degradation,
         }
     }
 }

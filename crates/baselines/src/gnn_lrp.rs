@@ -11,7 +11,12 @@
 //! Like the original, the method is **model-specific**: it supports GCN and
 //! GIN but not GAT (the paper notes the same limitation).
 
-use revelio_core::{aggregate_flow_scores, Explainer, Explanation, FlowScores};
+use std::sync::Arc;
+
+use revelio_core::{
+    aggregate_flow_scores, ControlledExplanation, Degradation, ExplainControl, Explainer,
+    Explanation, FlowScores,
+};
 use revelio_gnn::{Gnn, Instance, Layer, Task};
 use revelio_graph::{FlowIndex, Target};
 
@@ -84,10 +89,36 @@ impl Explainer for GnnLrp {
     }
 
     fn explain(&self, model: &Gnn, instance: &Instance) -> Explanation {
+        self.explain_controlled(model, instance, &ExplainControl::default())
+            .explanation
+    }
+
+    /// Budget-aware entry point: reuses a cache-shared flow index when one
+    /// is supplied and (with `shrink_on_overflow`) decomposes over the
+    /// capped flow prefix instead of failing on oversized instances. The
+    /// method itself is single-pass, so deadlines cannot interrupt it
+    /// mid-way.
+    fn explain_controlled(
+        &self,
+        model: &Gnn,
+        instance: &Instance,
+        ctl: &ExplainControl,
+    ) -> ControlledExplanation {
         let layers = model.num_layers();
         let mp = &instance.mp;
-        let index = FlowIndex::build(mp, layers, instance.target, self.max_flows)
-            .unwrap_or_else(|e| panic!("GNN-LRP: {e}"));
+        let mut degradation = Degradation::default();
+        let index: Arc<FlowIndex> = match &ctl.flow_index {
+            Some(idx) if idx.num_layers() == layers => Arc::clone(idx),
+            _ if ctl.shrink_on_overflow => {
+                let capped = FlowIndex::build_capped(mp, layers, instance.target, self.max_flows);
+                degradation.flows_dropped = capped.dropped;
+                Arc::new(capped.index)
+            }
+            _ => Arc::new(
+                FlowIndex::build(mp, layers, instance.target, self.max_flows)
+                    .unwrap_or_else(|e| panic!("GNN-LRP: {e}")),
+            ),
+        };
 
         // Layer inputs: features, then each layer's output.
         let outs = model.forward_layers(mp, &instance.x, None);
@@ -164,10 +195,13 @@ impl Explainer for GnnLrp {
             .collect();
 
         let (layer_edge_scores, edge_scores) = aggregate_flow_scores(mp, &index, &scores);
-        Explanation {
-            edge_scores,
-            layer_edge_scores: Some(layer_edge_scores),
-            flows: Some(FlowScores { index, scores }),
+        ControlledExplanation {
+            explanation: Explanation {
+                edge_scores,
+                layer_edge_scores: Some(layer_edge_scores),
+                flows: Some(FlowScores { index, scores }),
+            },
+            degradation,
         }
     }
 }

@@ -2,7 +2,7 @@
 //! learning: dense matmul, gather/scatter message passing, and the sparse
 //! flow-incidence matvec of Eq. 7.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -45,7 +45,7 @@ fn bench_sp_matvec(c: &mut Criterion) {
         // Each flow hits one random-ish edge, like one layer of an
         // incidence matrix.
         let pairs: Vec<(u32, u32)> = (0..flows).map(|f| ((f % edges) as u32, f as u32)).collect();
-        let mat = Rc::new(BinCsr::from_pairs(edges, flows, &pairs));
+        let mat = Arc::new(BinCsr::from_pairs(edges, flows, &pairs));
         let x = Tensor::full(0.1, flows, 1);
         group.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |bench, _| {
             bench.iter(|| black_box(x.sp_matvec(&mat)));

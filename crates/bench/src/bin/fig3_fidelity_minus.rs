@@ -7,7 +7,8 @@
 //! ```
 
 use revelio_bench::{
-    combination_applicable, instances_for, load_dataset, model_for, run_fidelity, HarnessArgs,
+    combination_applicable, instances_for_runtime, load_dataset, model_for, run_fidelity,
+    HarnessArgs,
 };
 use revelio_core::Objective;
 use revelio_eval::{experiments_dir, Table};
@@ -15,6 +16,7 @@ use revelio_gnn::ModelZoo;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let rt = args.runtime();
     let zoo = ModelZoo::default_location();
     let mut table = Table::new(
         "Fig. 3: Fidelity- vs sparsity (factual explanation; lower is better)",
@@ -28,7 +30,7 @@ fn main() {
                 continue;
             }
             let model = model_for(&zoo, &dataset, kind, &args);
-            let instances = instances_for(&dataset, &model, &args, false);
+            let instances = instances_for_runtime(&dataset, &model, &args, false, &rt);
             if instances.is_empty() {
                 eprintln!("skipping {name}/{}: no instances sampled", kind.name());
                 continue;
@@ -40,6 +42,7 @@ fn main() {
                 .filter(|m| combination_applicable(m, kind, name))
                 .collect();
             let results = run_fidelity(
+                &rt,
                 &model,
                 &instances,
                 &methods,
@@ -67,6 +70,7 @@ fn main() {
         }
     }
 
+    eprintln!("\n{}", rt.metrics_report());
     table.print();
     table.write_csv(experiments_dir().join("fig3_fidelity_minus.csv"));
     println!("\nCSV written to target/experiments/fig3_fidelity_minus.csv");

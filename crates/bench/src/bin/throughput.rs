@@ -1,0 +1,226 @@
+//! Serving-throughput benchmark: explanations/sec through the
+//! `revelio-runtime` worker pool at worker counts {1, 2, 4, N_cores} on a
+//! synthetic workload, written to `target/experiments/BENCH_runtime.json`
+//! (machine-readable; new fields are only ever added, never renamed).
+//!
+//! ```text
+//! cargo run -p revelio-bench --release --bin throughput [--smoke] \
+//!     [--jobs N] [--epochs N]
+//! ```
+//!
+//! `--smoke` shrinks the run to 2 jobs on 2 workers (CI wiring check, not a
+//! measurement). On a single-core machine the scaling numbers are honest
+//! but flat; the JSON records `cores` so consumers can tell.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use revelio_bench::available_workers;
+use revelio_core::{Objective, Revelio, RevelioConfig};
+use revelio_eval::experiments_dir;
+use revelio_gnn::{Gnn, GnnConfig, GnnKind, Task, TrainConfig};
+use revelio_graph::{Graph, Target};
+use revelio_runtime::{ExplainJob, Runtime, RuntimeConfig};
+
+struct Args {
+    smoke: bool,
+    jobs: usize,
+    epochs: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        jobs: 24,
+        epochs: 30,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs needs a number");
+            }
+            "--epochs" => {
+                args.epochs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--epochs needs a number");
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    if args.smoke {
+        args.jobs = 2;
+        args.epochs = 3;
+    }
+    args
+}
+
+/// The synthetic workload: a family of small labelled graphs that the
+/// trained model classifies, each one the subject of one REVELIO job.
+fn workload(n: usize) -> (Gnn, Vec<Graph>) {
+    let graphs: Vec<Graph> = (0..n)
+        .map(|variant| {
+            let mut b = Graph::builder(6, 2);
+            b.undirected_edge(0, 1)
+                .undirected_edge(1, 2)
+                .undirected_edge(2, 3)
+                .undirected_edge(3, 4)
+                .undirected_edge(4, 5);
+            if variant % 3 == 1 {
+                b.undirected_edge(0, 2);
+            }
+            if variant % 3 == 2 {
+                b.undirected_edge(1, 3);
+            }
+            for v in 0..6 {
+                b.node_features(v, &[1.0, (v + variant) as f32 * 0.25]);
+            }
+            b.node_labels((0..6).map(|v| (v + variant) % 2).collect());
+            b.build()
+        })
+        .collect();
+    let model = Gnn::new(GnnConfig {
+        kind: GnnKind::Gcn,
+        task: Task::NodeClassification,
+        in_dim: 2,
+        hidden_dim: 8,
+        num_classes: 2,
+        num_layers: 2,
+        heads: 1,
+        seed: 7,
+    });
+    revelio_gnn::train_node_classifier(
+        &model,
+        &graphs[0],
+        &[0, 1, 2, 3, 4, 5],
+        &TrainConfig {
+            epochs: 20,
+            ..Default::default()
+        },
+    );
+    (model, graphs)
+}
+
+fn jobs_for(graphs: &[Graph], epochs: usize) -> Vec<ExplainJob> {
+    graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            // Distinct graph_ids: each job enumerates its own flows, so the
+            // measurement exercises the full per-job pipeline rather than
+            // the cache.
+            ExplainJob::flow_based(
+                g.clone(),
+                Target::Node(2),
+                i as u64,
+                100_000,
+                Box::new(move |seed| {
+                    Box::new(Revelio::new(RevelioConfig {
+                        epochs,
+                        objective: Objective::Factual,
+                        seed,
+                        ..Default::default()
+                    }))
+                }),
+            )
+        })
+        .collect()
+}
+
+struct Measurement {
+    workers: usize,
+    jobs: usize,
+    seconds: f64,
+    per_sec: f64,
+    degraded: u64,
+    failed: u64,
+}
+
+fn measure(model: &Gnn, graphs: &[Graph], workers: usize, epochs: usize) -> Measurement {
+    let rt = Runtime::with_config(RuntimeConfig {
+        workers,
+        seed: 42,
+        ..Default::default()
+    });
+    let handle = rt.register_model(model);
+    let start = Instant::now();
+    let results = rt.explain_batch(handle, jobs_for(graphs, epochs));
+    let seconds = start.elapsed().as_secs_f64();
+    let failed = results.iter().filter(|r| r.is_err()).count() as u64;
+    let m = rt.metrics();
+    Measurement {
+        workers,
+        jobs: graphs.len(),
+        seconds,
+        per_sec: graphs.len() as f64 / seconds.max(1e-9),
+        degraded: m.jobs_degraded,
+        failed,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = available_workers();
+    let (model, graphs) = workload(args.jobs);
+
+    let mut worker_counts: Vec<usize> = if args.smoke {
+        vec![2]
+    } else {
+        let mut c = vec![1, 2, 4, cores];
+        c.sort_unstable();
+        c.dedup();
+        c
+    };
+    worker_counts.retain(|&w| w > 0);
+
+    let mut rows = Vec::new();
+    for &workers in &worker_counts {
+        let m = measure(&model, &graphs, workers, args.epochs);
+        eprintln!(
+            "workers={:>2}  jobs={:>3}  {:.2}s total  {:.2} explanations/sec",
+            m.workers, m.jobs, m.seconds, m.per_sec
+        );
+        rows.push(m);
+    }
+
+    let baseline = rows
+        .iter()
+        .find(|m| m.workers == 1)
+        .map(|m| m.per_sec)
+        .unwrap_or(0.0);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"revelio-runtime throughput\",");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
+    let _ = writeln!(json, "  \"jobs\": {},", args.jobs);
+    let _ = writeln!(json, "  \"epochs_per_job\": {},", args.epochs);
+    json.push_str("  \"runs\": [\n");
+    for (i, m) in rows.iter().enumerate() {
+        let speedup = if baseline > 0.0 {
+            m.per_sec / baseline
+        } else {
+            0.0
+        };
+        let _ = write!(
+            json,
+            "    {{\"workers\": {}, \"jobs\": {}, \"seconds\": {:.4}, \
+             \"explanations_per_sec\": {:.4}, \"speedup_vs_1\": {:.3}, \
+             \"degraded\": {}, \"failed\": {}}}",
+            m.workers, m.jobs, m.seconds, m.per_sec, speedup, m.degraded, m.failed
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = experiments_dir().join("BENCH_runtime.json");
+    std::fs::write(&path, &json).expect("write BENCH_runtime.json");
+    println!("{json}");
+    println!("written to {}", path.display());
+}

@@ -15,10 +15,12 @@ use std::time::Instant;
 use revelio_core::Objective;
 use revelio_datasets::{by_name, Dataset, ALL_DATASETS};
 use revelio_eval::{
-    fidelity_minus, fidelity_plus, make_method, sample_instances, trained_model, Effort,
-    EvalInstance, SamplingConfig, ALL_METHODS,
+    fidelity_minus, fidelity_plus, flow_cap, is_flow_based, is_group_level, make_method,
+    method_factory, sample_instances, sample_instances_cached, trained_model, Effort, EvalInstance,
+    SamplingConfig, ALL_METHODS,
 };
 use revelio_gnn::{Gnn, GnnKind, ModelZoo};
+use revelio_runtime::{ExplainJob, Runtime, RuntimeConfig};
 
 /// Parsed command-line options shared by all harness binaries.
 #[derive(Debug, Clone)]
@@ -120,18 +122,32 @@ impl HarnessArgs {
         }
     }
 
-    /// The sampling configuration matching these arguments.
+    /// The sampling configuration matching these arguments. The flow cap is
+    /// [`flow_cap`], the same value the runtime's artifact-prep stage uses,
+    /// so cache keys align between sampling and serving.
     pub fn sampling(&self, only_motif_correct: bool) -> SamplingConfig {
         SamplingConfig {
             count: self.instances,
-            max_flows: match self.effort {
-                Effort::Quick => 60_000,
-                Effort::Paper => 300_000,
-            },
+            max_flows: flow_cap(self.effort) as u64,
             only_motif_correct,
             seed: self.seed ^ 0x1257,
         }
     }
+
+    /// The serving runtime for a harness run: one worker per available
+    /// core, seeded from the harness seed.
+    pub fn runtime(&self) -> Runtime {
+        Runtime::with_config(RuntimeConfig {
+            workers: available_workers(),
+            seed: self.seed,
+            ..Default::default()
+        })
+    }
+}
+
+/// Worker threads to use by default: one per available core.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// The synthetic datasets on which the paper does not run GAT.
@@ -173,7 +189,17 @@ pub struct FidelityResult {
 /// Runs one (dataset, model) fidelity experiment across methods, returning
 /// per-method mean Fidelity−/Fidelity+ at each sparsity, plus timings
 /// (shared by Figs. 3–4 and Table V).
+///
+/// Instance-level methods are served through `rt`'s worker pool: each
+/// instance is one deadline-capable job, flow enumerations are shared via
+/// the runtime's artifact cache across methods, and results are
+/// deterministic for a given runtime seed regardless of worker count.
+/// Group-level methods (PGExplainer, GraphMask) train shared state that
+/// cannot cross threads, so they run on the serial path against the same
+/// instances.
+#[allow(clippy::too_many_arguments)] // mirrors the experiment grid's axes
 pub fn run_fidelity(
+    rt: &Runtime,
     model: &Gnn,
     eval_instances: &[EvalInstance],
     methods: &[&'static str],
@@ -182,18 +208,40 @@ pub fn run_fidelity(
     effort: Effort,
     seed: u64,
 ) -> Vec<FidelityResult> {
+    let handle = rt.register_model(model);
     let mut out = Vec::new();
     for &method in methods {
-        let explainer = make_method(method, objective, effort, seed);
-        let refs: Vec<&revelio_gnn::Instance> =
-            eval_instances.iter().map(|e| &e.instance).collect();
-        explainer.fit(model, &refs);
-
         let start = Instant::now();
-        let explanations: Vec<_> = eval_instances
-            .iter()
-            .map(|e| explainer.explain(model, &e.instance))
-            .collect();
+        let explanations: Vec<revelio_core::Explanation> = if is_group_level(method) {
+            let explainer = make_method(method, objective, effort, seed);
+            let refs: Vec<&revelio_gnn::Instance> =
+                eval_instances.iter().map(|e| &e.instance).collect();
+            explainer.fit(model, &refs);
+            eval_instances
+                .iter()
+                .map(|e| explainer.explain(model, &e.instance))
+                .collect()
+        } else {
+            let jobs: Vec<ExplainJob> = eval_instances
+                .iter()
+                .map(|e| ExplainJob {
+                    graph: e.instance.graph.clone(),
+                    target: e.instance.target,
+                    graph_id: e.graph_id,
+                    make_explainer: method_factory(method, objective, effort),
+                    needs_flows: is_flow_based(method),
+                    max_flows: flow_cap(effort),
+                    deadline: None,
+                })
+                .collect();
+            rt.explain_batch(handle, jobs)
+                .into_iter()
+                .map(|r| {
+                    r.unwrap_or_else(|e| panic!("{method}: job failed: {e}"))
+                        .explanation
+                })
+                .collect()
+        };
         let seconds_per_instance =
             start.elapsed().as_secs_f64() / eval_instances.len().max(1) as f64;
 
@@ -229,6 +277,24 @@ pub fn instances_for(
     only_motif_correct: bool,
 ) -> Vec<EvalInstance> {
     sample_instances(dataset, model, &args.sampling(only_motif_correct))
+}
+
+/// [`instances_for`], warming the runtime's artifact cache: subgraph
+/// extraction goes through the cache and each accepted instance's flow
+/// index is pre-built, so the first explainer already hits.
+pub fn instances_for_runtime(
+    dataset: &Dataset,
+    model: &Gnn,
+    args: &HarnessArgs,
+    only_motif_correct: bool,
+    rt: &Runtime,
+) -> Vec<EvalInstance> {
+    sample_instances_cached(
+        dataset,
+        model,
+        &args.sampling(only_motif_correct),
+        rt.cache(),
+    )
 }
 
 #[cfg(test)]
@@ -302,6 +368,62 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn unknown_flag_panics() {
         let _ = parse(&["--explode"]);
+    }
+
+    #[test]
+    fn run_fidelity_serves_instance_methods_through_the_runtime() {
+        use revelio_datasets::tree_cycles;
+        use revelio_gnn::{GnnConfig, Task};
+
+        let d = tree_cycles(2);
+        let model = Gnn::new(GnnConfig::standard(
+            GnnKind::Gcn,
+            Task::NodeClassification,
+            d.graph.feat_dim(),
+            d.num_classes,
+            5,
+        ));
+        let ds = Dataset::Node(d);
+        let cfg = SamplingConfig {
+            count: 2,
+            max_flows: flow_cap(Effort::Quick) as u64,
+            ..Default::default()
+        };
+        let rt = Runtime::with_config(RuntimeConfig {
+            workers: 2,
+            seed: 11,
+            ..Default::default()
+        });
+        let instances = sample_instances_cached(&ds, &model, &cfg, rt.cache());
+        assert_eq!(instances.len(), 2);
+        let (_, misses_after_sampling) = rt.cache().stats();
+
+        let results = run_fidelity(
+            &rt,
+            &model,
+            &instances,
+            &["GNN-LRP", "GradCAM"],
+            Objective::Factual,
+            &[0.5, 0.7],
+            Effort::Quick,
+            11,
+        );
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.rows.len(), 2);
+            for &(_, f) in &r.rows {
+                assert!(f.is_finite());
+            }
+        }
+        // Sampling already warmed every instance's flow index, so the
+        // flow-based method's jobs are pure cache hits.
+        let (hits, misses) = rt.cache().stats();
+        assert_eq!(
+            misses, misses_after_sampling,
+            "run_fidelity must not rebuild any warmed artifact"
+        );
+        assert!(hits >= instances.len() as u64);
+        assert_eq!(rt.metrics().jobs_failed, 0);
     }
 
     #[test]

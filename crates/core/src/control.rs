@@ -1,0 +1,198 @@
+//! Cancellable / budgeted explanation control.
+//!
+//! The serving runtime (`revelio-runtime`) enforces per-job deadlines and
+//! flow budgets; this module defines the vocabulary it shares with the
+//! explainers: a [`Deadline`] the per-epoch optimisation loops check
+//! cooperatively, an [`ExplainControl`] block carrying the deadline plus any
+//! pre-built (cache-shared) flow index, and the [`ControlledExplanation`]
+//! result that reports *how* the answer was degraded instead of erroring.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use revelio_graph::FlowIndex;
+
+use crate::explanation::Explanation;
+
+/// A soft wall-clock deadline plus an optional cooperative cancel flag.
+///
+/// Explainers poll [`Deadline::expired`] between optimisation epochs and
+/// return their best-so-far answer once it trips; they never abort
+/// mid-epoch, so a deadline is honoured within one epoch's latency.
+#[derive(Debug, Clone, Default)]
+pub struct Deadline {
+    at: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Deadline {
+    /// No deadline: [`Deadline::expired`] is always `false`.
+    pub fn none() -> Deadline {
+        Deadline::default()
+    }
+
+    /// Expires `budget` from now.
+    pub fn within(budget: Duration) -> Deadline {
+        Deadline {
+            at: Some(Instant::now() + budget),
+            cancel: None,
+        }
+    }
+
+    /// Expires at the given instant.
+    pub fn at(instant: Instant) -> Deadline {
+        Deadline {
+            at: Some(instant),
+            cancel: None,
+        }
+    }
+
+    /// Attaches a cancel flag: the deadline also counts as expired once the
+    /// flag is set (used to abandon queued work on shutdown).
+    #[must_use]
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Deadline {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Whether any bound (deadline or cancel flag) is attached; callers use
+    /// this to skip best-so-far bookkeeping on unbounded runs.
+    pub fn is_set(&self) -> bool {
+        self.at.is_some() || self.cancel.is_some()
+    }
+
+    /// Whether the deadline has passed or the job was cancelled.
+    pub fn expired(&self) -> bool {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        self.at.is_some_and(|t| Instant::now() >= t)
+    }
+
+    /// Time left, if a deadline is set (`None` means unbounded).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.map(|t| t.saturating_duration_since(Instant::now()))
+    }
+}
+
+/// Per-job controls passed to [`Explainer::explain_controlled`].
+///
+/// [`Explainer`]: crate::Explainer
+/// [`Explainer::explain_controlled`]: crate::Explainer::explain_controlled
+#[derive(Clone, Default)]
+pub struct ExplainControl {
+    /// Cooperative deadline checked each optimisation epoch.
+    pub deadline: Deadline,
+    /// A pre-built flow index for this instance, typically shared through
+    /// the serving runtime's artifact cache so concurrent requests against
+    /// the same instance enumerate flows once. Flow-based explainers use it
+    /// when its layer count matches; others ignore it.
+    pub flow_index: Option<Arc<FlowIndex>>,
+    /// When the instance exceeds the explainer's flow cap, shrink the flow
+    /// set to the cap (degrading the answer) instead of failing the job.
+    pub shrink_on_overflow: bool,
+}
+
+impl ExplainControl {
+    /// A control block with the given deadline and defaults otherwise.
+    pub fn with_deadline(deadline: Deadline) -> ExplainControl {
+        ExplainControl {
+            deadline,
+            ..Default::default()
+        }
+    }
+}
+
+/// How (and how much) an explanation was degraded to meet its budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// The optimisation loop stopped early because the deadline expired.
+    pub deadline_hit: bool,
+    /// Optimisation epochs actually run (equals the configured count when
+    /// the deadline never tripped; `0` for non-iterative methods).
+    pub epochs_run: usize,
+    /// Optimisation epochs the configuration asked for.
+    pub epochs_planned: usize,
+    /// Message flows dropped by cap-shrinking (`0` when the full flow set
+    /// was scored).
+    pub flows_dropped: u64,
+}
+
+impl Degradation {
+    /// Whether the answer is degraded in any way.
+    pub fn is_degraded(&self) -> bool {
+        self.deadline_hit || self.flows_dropped > 0
+    }
+}
+
+/// An explanation plus the record of any budget-driven degradation.
+pub struct ControlledExplanation {
+    /// The (possibly degraded, always structurally valid) explanation.
+    pub explanation: Explanation,
+    /// What was cut to meet the budget; check
+    /// [`Degradation::is_degraded`].
+    pub degradation: Degradation,
+}
+
+impl ControlledExplanation {
+    /// Wraps a fully converged explanation (no degradation).
+    pub fn complete(explanation: Explanation) -> ControlledExplanation {
+        ControlledExplanation {
+            explanation,
+            degradation: Degradation::default(),
+        }
+    }
+
+    /// Whether any budget enforcement degraded this answer.
+    pub fn degraded(&self) -> bool {
+        self.degradation.is_degraded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_deadline_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.expired());
+        assert!(d.remaining().is_none());
+    }
+
+    #[test]
+    fn elapsed_deadline_expires() {
+        let d = Deadline::within(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+        let far = Deadline::within(Duration::from_secs(3600));
+        assert!(!far.expired());
+    }
+
+    #[test]
+    fn cancel_flag_expires_any_deadline() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let d = Deadline::none().with_cancel(Arc::clone(&flag));
+        assert!(!d.expired());
+        flag.store(true, Ordering::Relaxed);
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn degradation_flags() {
+        assert!(!Degradation::default().is_degraded());
+        assert!(Degradation {
+            deadline_hit: true,
+            ..Default::default()
+        }
+        .is_degraded());
+        assert!(Degradation {
+            flows_dropped: 3,
+            ..Default::default()
+        }
+        .is_degraded());
+    }
+}

@@ -1,8 +1,12 @@
 //! The [`Explainer`] trait and [`Explanation`] output type shared by
 //! REVELIO and every baseline.
 
+use std::sync::Arc;
+
 use revelio_gnn::{Gnn, Instance};
 use revelio_graph::{FlowIndex, MpGraph};
+
+use crate::control::{ControlledExplanation, ExplainControl};
 
 /// Explanation objective (§IV-A).
 ///
@@ -20,8 +24,9 @@ pub enum Objective {
 /// Flow-level scores attached to an explanation by flow-based methods
 /// (REVELIO, GNN-LRP, FlowX).
 pub struct FlowScores {
-    /// The enumerated flows this explanation scored.
-    pub index: FlowIndex,
+    /// The enumerated flows this explanation scored, shared via `Arc` so a
+    /// cache-resident index is referenced rather than copied.
+    pub index: Arc<FlowIndex>,
     /// One importance score per flow, aligned with `index`.
     pub scores: Vec<f32>,
 }
@@ -110,6 +115,30 @@ pub trait Explainer {
     /// over a set of instances before explaining; instance-level methods
     /// ignore this call.
     fn fit(&self, _model: &Gnn, _instances: &[&Instance]) {}
+
+    /// Deadline- and budget-aware entry point used by the serving runtime.
+    ///
+    /// Implementations should (a) reuse `ctl.flow_index` when compatible
+    /// instead of re-enumerating flows, (b) poll `ctl.deadline` between
+    /// optimisation epochs and return the best answer seen so far once it
+    /// expires, and (c) when `ctl.shrink_on_overflow` is set, degrade (shrink
+    /// the flow set to the cap) rather than fail on oversized instances —
+    /// reporting everything through [`Degradation`].
+    ///
+    /// The default implementation ignores the controls and wraps
+    /// [`Explainer::explain`], which keeps every method servable; methods
+    /// with per-instance optimisation loops override it.
+    ///
+    /// [`Degradation`]: crate::Degradation
+    fn explain_controlled(
+        &self,
+        model: &Gnn,
+        instance: &Instance,
+        ctl: &ExplainControl,
+    ) -> ControlledExplanation {
+        let _ = ctl;
+        ControlledExplanation::complete(self.explain(model, instance))
+    }
 }
 
 /// Translates flow scores into layer-edge and original-edge scores.
@@ -174,7 +203,7 @@ mod tests {
         let mut b = Graph::builder(2, 1);
         b.edge(0, 1);
         let mp = MpGraph::new(&b.build());
-        let index = FlowIndex::build(&mp, 2, Target::Node(1), 100).unwrap();
+        let index = Arc::new(FlowIndex::build(&mp, 2, Target::Node(1), 100).unwrap());
         let scores: Vec<f32> = (0..index.num_flows()).map(|i| i as f32).collect();
         let fs = FlowScores { index, scores };
         let top = fs.top_k(2);

@@ -16,8 +16,10 @@
 //! This crate also defines the [`Explainer`] trait and [`Explanation`] type
 //! shared with every baseline in `revelio-baselines`.
 
+mod control;
 mod explanation;
 mod revelio;
 
+pub use control::{ControlledExplanation, Deadline, Degradation, ExplainControl};
 pub use explanation::{aggregate_flow_scores, Explainer, Explanation, FlowScores, Objective};
 pub use revelio::{ExplainError, LayerWeight, MaskSquash, Revelio, RevelioConfig};

@@ -1,12 +1,13 @@
 //! The REVELIO algorithm (§IV of the paper).
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use revelio_gnn::{Gnn, Instance};
 use revelio_graph::{FlowIndex, TooManyFlows};
 use revelio_tensor::{uniform, Adam, BinCsr, Optimizer, Tensor};
 
+use crate::control::{ControlledExplanation, Degradation, ExplainControl};
 use crate::explanation::{Explainer, Explanation, FlowScores, Objective};
 
 /// How flow-mask parameters are squashed into flow scores (Eq. 4).
@@ -93,7 +94,7 @@ struct MaskModel {
     /// One `[1, 1]` weight per layer (empty when `LayerWeight::None`).
     layer_weights: Vec<Tensor>,
     /// Per layer, `|E| × k` incidence over the selected flows.
-    incidence: Vec<Rc<BinCsr>>,
+    incidence: Vec<Arc<BinCsr>>,
     /// Selected flow ids (identity when no preselection ran).
     selected: Vec<u32>,
     squash: MaskSquash,
@@ -186,7 +187,9 @@ impl Revelio {
                 let probe = MaskModel {
                     mask_params: Tensor::zeros(nf, 1).requires_grad(),
                     layer_weights: self.fresh_layer_weights(layers),
-                    incidence: (0..layers).map(|l| Rc::clone(index.incidence(l))).collect(),
+                    incidence: (0..layers)
+                        .map(|l| Arc::clone(index.incidence(l)))
+                        .collect(),
                     selected: (0..nf as u32).collect(),
                     squash: cfg.squash,
                     layer_weight: cfg.layer_weight,
@@ -208,8 +211,10 @@ impl Revelio {
         };
 
         // Incidence restricted to the selected flows (columns renumbered).
-        let incidence: Vec<Rc<BinCsr>> = if selected.len() == nf {
-            (0..layers).map(|l| Rc::clone(index.incidence(l))).collect()
+        let incidence: Vec<Arc<BinCsr>> = if selected.len() == nf {
+            (0..layers)
+                .map(|l| Arc::clone(index.incidence(l)))
+                .collect()
         } else {
             (0..layers)
                 .map(|l| {
@@ -218,7 +223,7 @@ impl Revelio {
                         let e = index.flow(f as usize)[l] as usize;
                         rows[e].push(new_id as u32);
                     }
-                    Rc::new(BinCsr::from_rows(ne, selected.len(), &rows))
+                    Arc::new(BinCsr::from_rows(ne, selected.len(), &rows))
                 })
                 .collect()
         };
@@ -275,11 +280,53 @@ impl Revelio {
         model: &Gnn,
         instance: &Instance,
     ) -> Result<Explanation, ExplainError> {
+        self.try_explain_controlled(model, instance, &ExplainControl::default())
+            .map(|c| c.explanation)
+    }
+
+    /// Deadline- and budget-aware variant of [`Revelio::try_explain`]
+    /// (the serving runtime's entry point).
+    ///
+    /// * Reuses `ctl.flow_index` when its layer count matches the model,
+    ///   skipping flow enumeration entirely.
+    /// * When `ctl.shrink_on_overflow` is set, an instance over
+    ///   [`RevelioConfig::max_flows`] is explained over the deterministic
+    ///   enumeration prefix of `max_flows` flows instead of failing
+    ///   (`flows_dropped` records the cut).
+    /// * Polls `ctl.deadline` each learning epoch; on expiry the best
+    ///   (lowest-loss) mask seen so far is returned with
+    ///   `deadline_hit = true`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExplainError::TooManyFlows`] only when the cap trips and
+    /// `ctl.shrink_on_overflow` is off.
+    pub fn try_explain_controlled(
+        &self,
+        model: &Gnn,
+        instance: &Instance,
+        ctl: &ExplainControl,
+    ) -> Result<ControlledExplanation, ExplainError> {
         let cfg = &self.cfg;
         let layers = model.num_layers();
         let flow_target = instance.target;
-        let index = FlowIndex::build(&instance.mp, layers, flow_target, cfg.max_flows)
-            .map_err(ExplainError::TooManyFlows)?;
+        let mut degradation = Degradation {
+            epochs_planned: cfg.epochs,
+            ..Default::default()
+        };
+        let index: Arc<FlowIndex> = match &ctl.flow_index {
+            Some(idx) if idx.num_layers() == layers => Arc::clone(idx),
+            _ if ctl.shrink_on_overflow => {
+                let capped =
+                    FlowIndex::build_capped(&instance.mp, layers, flow_target, cfg.max_flows);
+                degradation.flows_dropped = capped.dropped;
+                Arc::new(capped.index)
+            }
+            _ => Arc::new(
+                FlowIndex::build(&instance.mp, layers, flow_target, cfg.max_flows)
+                    .map_err(ExplainError::TooManyFlows)?,
+            ),
+        };
         let ne = instance.mp.layer_edge_count();
 
         let mask_model = self.build_mask_model(model, instance, &index);
@@ -356,11 +403,43 @@ impl Revelio {
             );
         }
 
-        for _ in 0..cfg.epochs {
+        // Deadline-bounded runs track the best (lowest-loss) parameters so
+        // an early stop returns the best mask seen, not the latest one.
+        let track_best = ctl.deadline.is_set();
+        let mut best: Option<(f32, Vec<f32>, Vec<Vec<f32>>)> = None;
+        for epoch in 0..cfg.epochs {
+            if ctl.deadline.expired() {
+                degradation.deadline_hit = true;
+                break;
+            }
             opt.zero_grad();
             let loss = build_loss();
             loss.backward();
+            if track_best {
+                // The loss corresponds to the parameters *before* the step.
+                let l = loss.item();
+                if l.is_finite() && best.as_ref().is_none_or(|(b, _, _)| l < *b) {
+                    best = Some((
+                        l,
+                        mask_model.mask_params.to_vec(),
+                        mask_model
+                            .layer_weights
+                            .iter()
+                            .map(Tensor::to_vec)
+                            .collect(),
+                    ));
+                }
+            }
             opt.step();
+            degradation.epochs_run = epoch + 1;
+        }
+        if degradation.deadline_hit {
+            if let Some((_, mask, weights)) = best {
+                mask_model.mask_params.set_data(&mask);
+                for (w, data) in mask_model.layer_weights.iter().zip(&weights) {
+                    w.set_data(data);
+                }
+            }
         }
 
         // Final scores. Counterfactual: ω'[F] = -ω[F] and
@@ -409,13 +488,16 @@ impl Revelio {
             };
         }
 
-        Ok(Explanation {
-            edge_scores,
-            layer_edge_scores: Some(layer_edge_scores),
-            flows: Some(FlowScores {
-                index,
-                scores: flow_scores,
-            }),
+        Ok(ControlledExplanation {
+            explanation: Explanation {
+                edge_scores,
+                layer_edge_scores: Some(layer_edge_scores),
+                flows: Some(FlowScores {
+                    index,
+                    scores: flow_scores,
+                }),
+            },
+            degradation,
         })
     }
 }
@@ -433,6 +515,22 @@ impl Explainer for Revelio {
     /// [`Revelio::try_explain`] to handle that case as a value.
     fn explain(&self, model: &Gnn, instance: &Instance) -> Explanation {
         self.try_explain(model, instance)
+            .unwrap_or_else(|e| panic!("REVELIO: {e}"))
+    }
+
+    /// Budget-aware entry point (see [`Revelio::try_explain_controlled`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`ExplainError::TooManyFlows`], which can only occur when
+    /// `ctl.shrink_on_overflow` is off.
+    fn explain_controlled(
+        &self,
+        model: &Gnn,
+        instance: &Instance,
+        ctl: &ExplainControl,
+    ) -> ControlledExplanation {
+        self.try_explain_controlled(model, instance, ctl)
             .unwrap_or_else(|e| panic!("REVELIO: {e}"))
     }
 }
@@ -622,6 +720,81 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn expired_deadline_degrades_but_masks_stay_valid() {
+        use crate::control::Deadline;
+        let (model, g) = informative_neighbour_setup();
+        let (inst, _) = instance_for(&model, &g);
+        let r = Revelio::new(RevelioConfig {
+            epochs: 200,
+            ..Default::default()
+        });
+        let ctl = ExplainControl::with_deadline(Deadline::within(std::time::Duration::ZERO));
+        let out = r.try_explain_controlled(&model, &inst, &ctl).unwrap();
+        assert!(out.degraded());
+        assert!(out.degradation.deadline_hit);
+        assert!(out.degradation.epochs_run < 200);
+        assert_eq!(out.degradation.epochs_planned, 200);
+        // Degraded results are still structurally valid explanations.
+        let exp = &out.explanation;
+        let flows = exp.flows.as_ref().unwrap();
+        assert_eq!(flows.scores.len(), flows.index.num_flows());
+        assert!(flows.scores.iter().all(|s| (-1.0..=1.0).contains(s)));
+        assert!(exp.edge_scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    }
+
+    #[test]
+    fn shrink_on_overflow_degrades_instead_of_failing() {
+        let (model, g) = informative_neighbour_setup();
+        let (inst, _) = instance_for(&model, &g);
+        let r = Revelio::new(RevelioConfig {
+            epochs: 10,
+            max_flows: 2,
+            ..Default::default()
+        });
+        // Without shrink the cap trips...
+        assert!(r.try_explain(&model, &inst).is_err());
+        // ...with shrink the job degrades to the 2-flow prefix instead.
+        let ctl = ExplainControl {
+            shrink_on_overflow: true,
+            ..Default::default()
+        };
+        let out = r.try_explain_controlled(&model, &inst, &ctl).unwrap();
+        assert!(out.degraded());
+        assert!(out.degradation.flows_dropped > 0);
+        let flows = out.explanation.flows.as_ref().unwrap();
+        assert_eq!(flows.index.num_flows(), 2);
+    }
+
+    #[test]
+    fn prebuilt_flow_index_is_reused_and_matches_fresh_run() {
+        let (model, g) = informative_neighbour_setup();
+        let (inst, _) = instance_for(&model, &g);
+        let cfg = RevelioConfig {
+            epochs: 25,
+            ..Default::default()
+        };
+        let r = Revelio::new(cfg);
+        let index = Arc::new(
+            FlowIndex::build(&inst.mp, model.num_layers(), inst.target, cfg.max_flows).unwrap(),
+        );
+        let ctl = ExplainControl {
+            flow_index: Some(Arc::clone(&index)),
+            ..Default::default()
+        };
+        let cached = r.try_explain_controlled(&model, &inst, &ctl).unwrap();
+        assert!(!cached.degraded());
+        // The explanation references the caller's index, not a rebuild.
+        let flows = cached.explanation.flows.as_ref().unwrap();
+        assert!(Arc::ptr_eq(&flows.index, &index));
+        // Scores are bit-identical to a from-scratch run (same seed).
+        let fresh = r.try_explain(&model, &inst).unwrap();
+        assert_eq!(
+            cached.explanation.edge_scores, fresh.edge_scores,
+            "cache-shared index must not change results"
+        );
     }
 
     #[test]

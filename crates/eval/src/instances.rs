@@ -3,6 +3,7 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -11,6 +12,7 @@ use rand::SeedableRng;
 use revelio_datasets::Dataset;
 use revelio_gnn::{Gnn, Instance};
 use revelio_graph::{count_flows, khop_subgraph, MpGraph, Target};
+use revelio_runtime::ArtifactCache;
 
 /// How instances are sampled.
 #[derive(Debug, Clone, Copy)]
@@ -43,9 +45,30 @@ pub struct EvalInstance {
     pub instance: Instance,
     /// The sampled node or graph id in the original dataset.
     pub dataset_index: usize,
+    /// Stable content id of `instance.graph`, derived from the dataset name
+    /// and the sampled index. Used as the serving runtime's artifact-cache
+    /// key, so every explainer run against this instance shares one flow
+    /// enumeration.
+    pub graph_id: u64,
     /// Ground-truth motif edge labels per instance-graph edge, when the
     /// dataset has planted motifs.
     pub ground_truth: Option<Vec<bool>>,
+}
+
+/// FNV-1a over the dataset name plus a task/index tag: a stable,
+/// collision-resistant-enough id for artifact-cache keys (distinct datasets
+/// and indices map to distinct ids with overwhelming probability).
+fn stable_graph_id(dataset_name: &str, tag: u8, index: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in dataset_name
+        .bytes()
+        .chain([tag])
+        .chain((index as u64).to_le_bytes())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// Why [`try_sample_instances`] could not sample from a dataset.
@@ -94,6 +117,21 @@ pub fn sample_instances(dataset: &Dataset, model: &Gnn, cfg: &SamplingConfig) ->
     try_sample_instances(dataset, model, cfg).unwrap_or_else(|e| panic!("sample_instances: {e}"))
 }
 
+/// [`sample_instances`], routed through a runtime artifact cache.
+///
+/// # Panics
+///
+/// As [`sample_instances`].
+pub fn sample_instances_cached(
+    dataset: &Dataset,
+    model: &Gnn,
+    cfg: &SamplingConfig,
+    cache: &ArtifactCache,
+) -> Vec<EvalInstance> {
+    try_sample_instances_cached(dataset, model, cfg, cache)
+        .unwrap_or_else(|e| panic!("sample_instances: {e}"))
+}
+
 /// Samples explanation instances from `dataset` for `model`.
 ///
 /// Node-classification instances are the 3-hop computation subgraphs around
@@ -111,7 +149,35 @@ pub fn try_sample_instances(
     model: &Gnn,
     cfg: &SamplingConfig,
 ) -> Result<Vec<EvalInstance>, SamplingError> {
+    sample_inner(dataset, model, cfg, None)
+}
+
+/// [`try_sample_instances`], routed through a runtime artifact cache:
+/// `L`-hop subgraphs are fetched from (or inserted into) the cache, and the
+/// flow index of every *accepted* instance is pre-built into it, so the
+/// explainers served against these instances start with cache hits instead
+/// of re-enumerating flows per method.
+///
+/// # Errors
+///
+/// As [`try_sample_instances`].
+pub fn try_sample_instances_cached(
+    dataset: &Dataset,
+    model: &Gnn,
+    cfg: &SamplingConfig,
+    cache: &ArtifactCache,
+) -> Result<Vec<EvalInstance>, SamplingError> {
+    sample_inner(dataset, model, cfg, Some(cache))
+}
+
+fn sample_inner(
+    dataset: &Dataset,
+    model: &Gnn,
+    cfg: &SamplingConfig,
+    cache: Option<&ArtifactCache>,
+) -> Result<Vec<EvalInstance>, SamplingError> {
     let layers = model.num_layers();
+    let warm_cap = usize::try_from(cfg.max_flows).unwrap_or(usize::MAX);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut out = Vec::with_capacity(cfg.count);
 
@@ -129,7 +195,11 @@ pub fn try_sample_instances(
                         continue;
                     }
                 }
-                let sub = khop_subgraph(&d.graph, v, layers);
+                let dataset_id = stable_graph_id(d.name, 0, 0);
+                let sub = match cache {
+                    Some(c) => c.subgraph(dataset_id, &d.graph, v, layers),
+                    None => Arc::new(khop_subgraph(&d.graph, v, layers)),
+                };
                 if sub.graph.num_edges() == 0 {
                     continue;
                 }
@@ -137,8 +207,16 @@ pub fn try_sample_instances(
                 if count_flows(&mp, layers, Target::Node(sub.target)) > cfg.max_flows {
                     continue;
                 }
+                let graph_id = stable_graph_id(d.name, 1, v);
                 let instance =
                     Instance::for_prediction(model, sub.graph.clone(), Target::Node(sub.target));
+                if let Some(c) = cache {
+                    // Warm the flow index for the accepted instance; every
+                    // flow-based explainer served against it reuses this
+                    // enumeration (the count check above guarantees the
+                    // build completes uncapped).
+                    let _ = c.flow_index(graph_id, &instance.mp, layers, instance.target, warm_cap);
+                }
                 if cfg.only_motif_correct {
                     let label = d
                         .graph
@@ -157,6 +235,7 @@ pub fn try_sample_instances(
                 out.push(EvalInstance {
                     instance,
                     dataset_index: v,
+                    graph_id,
                     ground_truth,
                 });
             }
@@ -176,7 +255,11 @@ pub fn try_sample_instances(
                 if count_flows(&mp, layers, Target::Graph) > cfg.max_flows {
                     continue;
                 }
+                let graph_id = stable_graph_id(d.name, 2, gi);
                 let instance = Instance::for_prediction(model, g.clone(), Target::Graph);
+                if let Some(c) = cache {
+                    let _ = c.flow_index(graph_id, &instance.mp, layers, instance.target, warm_cap);
+                }
                 if cfg.only_motif_correct {
                     let label = g
                         .graph_label()
@@ -192,6 +275,7 @@ pub fn try_sample_instances(
                 out.push(EvalInstance {
                     instance,
                     dataset_index: gi,
+                    graph_id,
                     ground_truth,
                 });
             }
@@ -287,6 +371,114 @@ mod tests {
             .err()
             .expect("filter must fail on the unlabelled dataset");
         assert_eq!(err, SamplingError::MissingNodeLabels);
+    }
+
+    #[test]
+    fn cached_sampling_warms_the_flow_cache_for_every_explainer() {
+        use crate::Effort;
+        use revelio_core::ExplainControl;
+
+        let d = tree_cycles(2);
+        let model = Gnn::new(GnnConfig::standard(
+            GnnKind::Gcn,
+            Task::NodeClassification,
+            d.graph.feat_dim(),
+            d.num_classes,
+            5,
+        ));
+        let ds = Dataset::Node(d);
+        let cfg = SamplingConfig {
+            count: 2,
+            ..Default::default()
+        };
+        let cache = ArtifactCache::new(2, 64);
+        let instances = sample_instances_cached(&ds, &model, &cfg, &cache);
+        assert_eq!(instances.len(), 2);
+        let (_, misses_after_sampling) = cache.stats();
+
+        // Serve two different flow-based explainers against the same
+        // instance, each resolving its flow index through the cache the way
+        // the runtime's prep stage does.
+        let e = &instances[0];
+        let layers = model.num_layers();
+        let cap = usize::try_from(cfg.max_flows).unwrap_or(usize::MAX);
+        let mut indexes = Vec::new();
+        for explainer in [
+            crate::make_method(
+                "GNN-LRP",
+                revelio_core::Objective::Factual,
+                Effort::Quick,
+                0,
+            ),
+            crate::make_method(
+                "REVELIO",
+                revelio_core::Objective::Factual,
+                Effort::Quick,
+                0,
+            ),
+        ] {
+            let cached =
+                cache.flow_index(e.graph_id, &e.instance.mp, layers, e.instance.target, cap);
+            assert_eq!(cached.dropped, 0);
+            let ctl = ExplainControl {
+                flow_index: Some(Arc::clone(&cached.index)),
+                ..Default::default()
+            };
+            let out = explainer.explain_controlled(&model, &e.instance, &ctl);
+            indexes.push(out.explanation.flows.expect("flow scores").index);
+        }
+        // Sampling built each accepted instance's index exactly once; both
+        // explainers were pure cache hits on the same Arc.
+        let (hits, misses) = cache.stats();
+        assert_eq!(
+            misses, misses_after_sampling,
+            "explainers must not re-enumerate flows"
+        );
+        assert!(hits >= 2, "each explainer prep must hit the warmed cache");
+        assert!(Arc::ptr_eq(&indexes[0], &indexes[1]));
+    }
+
+    #[test]
+    fn cached_and_uncached_sampling_agree() {
+        let d = tree_cycles(4);
+        let model = Gnn::new(GnnConfig::standard(
+            GnnKind::Gcn,
+            Task::NodeClassification,
+            d.graph.feat_dim(),
+            d.num_classes,
+            6,
+        ));
+        let ds = Dataset::Node(d);
+        let cfg = SamplingConfig {
+            count: 5,
+            ..Default::default()
+        };
+        let cache = ArtifactCache::new(4, 64);
+        let plain = sample_instances(&ds, &model, &cfg);
+        let cached = sample_instances_cached(&ds, &model, &cfg, &cache);
+        assert_eq!(plain.len(), cached.len());
+        for (a, b) in plain.iter().zip(&cached) {
+            assert_eq!(a.dataset_index, b.dataset_index);
+            assert_eq!(a.graph_id, b.graph_id);
+            assert_eq!(a.instance.graph.num_edges(), b.instance.graph.num_edges());
+            assert_eq!(a.instance.class, b.instance.class);
+        }
+    }
+
+    #[test]
+    fn graph_ids_are_unique_per_dataset_and_index() {
+        assert_ne!(
+            super::stable_graph_id("Tree-Cycles", 1, 3),
+            super::stable_graph_id("Tree-Cycles", 1, 4)
+        );
+        assert_ne!(
+            super::stable_graph_id("Tree-Cycles", 1, 3),
+            super::stable_graph_id("BA-Shapes", 1, 3)
+        );
+        assert_ne!(
+            super::stable_graph_id("MUTAG", 1, 3),
+            super::stable_graph_id("MUTAG", 2, 3)
+        );
     }
 
     #[test]

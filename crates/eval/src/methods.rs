@@ -34,6 +34,44 @@ pub const ALL_METHODS: [&str; 10] = [
 /// The flow-based methods (Tables VI–VII).
 pub const FLOW_METHODS: [&str; 3] = ["GNN-LRP", "FlowX", "REVELIO"];
 
+/// Methods that train a shared network over the whole instance set via
+/// [`Explainer::fit`]. Their fit state lives in `RefCell`s, so they cannot
+/// cross threads: the harness serves them on its serial path instead of the
+/// worker pool.
+pub const GROUP_LEVEL_METHODS: [&str; 2] = ["PGExplainer", "GraphMask"];
+
+/// Whether `name` is a group-level method (see [`GROUP_LEVEL_METHODS`]).
+pub fn is_group_level(name: &str) -> bool {
+    GROUP_LEVEL_METHODS.contains(&name)
+}
+
+/// Whether `name` enumerates message flows (and so benefits from the
+/// runtime's shared flow-index cache).
+pub fn is_flow_based(name: &str) -> bool {
+    FLOW_METHODS.contains(&name)
+}
+
+/// The flow cap shared by instance sampling and runtime flow-index
+/// preparation. Using one value keeps the artifact-cache keys aligned, so
+/// an index warmed at sampling time is a hit at explain time.
+pub fn flow_cap(effort: Effort) -> usize {
+    match effort {
+        Effort::Quick => 60_000,
+        Effort::Paper => 300_000,
+    }
+}
+
+/// A `Send` explainer factory for the serving runtime: the worker thread
+/// builds the method from the job's derived seed, which is what makes
+/// results independent of scheduling.
+pub fn method_factory(
+    name: &'static str,
+    objective: Objective,
+    effort: Effort,
+) -> Box<dyn Fn(u64) -> Box<dyn Explainer> + Send> {
+    Box::new(move |seed| make_method(name, objective, effort, seed))
+}
+
 /// Instantiates a method by its paper name.
 ///
 /// `objective` selects the factual or counterfactual variant for the
@@ -124,5 +162,26 @@ mod tests {
     #[should_panic(expected = "unknown method")]
     fn unknown_method_panics() {
         let _ = make_method("Oracle", Objective::Factual, Effort::Quick, 0);
+    }
+
+    #[test]
+    fn method_classifications_are_consistent() {
+        for name in GROUP_LEVEL_METHODS {
+            assert!(ALL_METHODS.contains(&name));
+            assert!(is_group_level(name));
+            assert!(!is_flow_based(name), "group-level methods are edge-mask");
+        }
+        for name in FLOW_METHODS {
+            assert!(is_flow_based(name));
+            assert!(!is_group_level(name));
+        }
+        assert!(flow_cap(Effort::Quick) < flow_cap(Effort::Paper));
+    }
+
+    #[test]
+    fn factory_builds_the_named_method_with_the_given_seed() {
+        let factory = method_factory("REVELIO", Objective::Factual, Effort::Quick);
+        let m = factory(123);
+        assert_eq!(m.name(), "REVELIO");
     }
 }

@@ -12,14 +12,14 @@
 //! traverses layer edge `e` at layer `l`.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use revelio_tensor::BinCsr;
 
 use crate::mp::MpGraph;
 
 /// What the explained prediction is about.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Target {
     /// Node classification: explain the prediction at this node; flows end
     /// there.
@@ -108,7 +108,20 @@ pub struct FlowIndex {
     /// id flow `f` traverses at layer `l + 1`.
     flow_edges: Vec<u32>,
     /// Per layer, `|E| × |F|` binary incidence (Eq. 7).
-    incidence: Vec<Rc<BinCsr>>,
+    incidence: Vec<Arc<BinCsr>>,
+}
+
+/// The result of [`FlowIndex::build_capped`]: the (possibly truncated)
+/// index plus how much was dropped to stay under the cap.
+#[derive(Debug, Clone)]
+pub struct CappedFlows {
+    /// The enumerated prefix of the flow set (at most `max_flows` flows).
+    pub index: FlowIndex,
+    /// The exact (or saturated) number of flows the instance contains.
+    pub found: u64,
+    /// How many flows were dropped (`found - kept`); `0` means the index
+    /// is complete.
+    pub dropped: u64,
 }
 
 impl FlowIndex {
@@ -125,47 +138,79 @@ impl FlowIndex {
         target: Target,
         max_flows: usize,
     ) -> Result<FlowIndex, TooManyFlows> {
-        assert!(layers >= 1, "a GNN must have at least one layer");
-        if let Target::Node(t) = target {
-            assert!(t < mp.num_nodes(), "target node out of range");
-        }
-        let suffix = suffix_counts(mp, layers, target);
-        let total = (0..mp.num_nodes())
-            .map(|u| suffix[0][u])
-            .fold(0u64, u64::saturating_add);
+        let (suffix, total) = prepare(mp, layers, target);
         if total > max_flows as u64 {
             return Err(TooManyFlows {
                 found: total,
                 max: max_flows,
             });
         }
-        let total = total as usize;
+        Ok(Self::build_prefix(mp, layers, &suffix, total as usize))
+    }
 
-        let mut flow_edges = Vec::with_capacity(total * layers);
+    /// Enumerates at most `max_flows` flows, truncating instead of failing.
+    ///
+    /// The kept flows are the deterministic enumeration prefix (the same
+    /// order [`FlowIndex::build`] would produce), so the result is
+    /// reproducible and a strict subset of the full flow set. Used by the
+    /// serving runtime's graceful-degradation path: an oversized instance
+    /// yields a degraded explanation over the kept flows rather than an
+    /// error.
+    pub fn build_capped(
+        mp: &MpGraph,
+        layers: usize,
+        target: Target,
+        max_flows: usize,
+    ) -> CappedFlows {
+        let (suffix, total) = prepare(mp, layers, target);
+        let kept = total.min(max_flows as u64) as usize;
+        CappedFlows {
+            index: Self::build_prefix(mp, layers, &suffix, kept),
+            found: total,
+            dropped: total - kept as u64,
+        }
+    }
+
+    /// Enumerates the first `keep` flows (in deterministic order) and builds
+    /// their incidence matrices.
+    fn build_prefix(mp: &MpGraph, layers: usize, suffix: &[Vec<u64>], keep: usize) -> FlowIndex {
+        let mut flow_edges = Vec::with_capacity(keep * layers);
         let mut path = vec![0u32; layers];
         for start in 0..mp.num_nodes() {
+            if flow_edges.len() >= keep * layers {
+                break;
+            }
             if suffix[0][start] > 0 {
-                enumerate_from(mp, layers, &suffix, start, 0, &mut path, &mut flow_edges);
+                enumerate_from(
+                    mp,
+                    layers,
+                    suffix,
+                    start,
+                    0,
+                    &mut path,
+                    &mut flow_edges,
+                    keep,
+                );
             }
         }
-        debug_assert_eq!(flow_edges.len(), total * layers);
+        debug_assert_eq!(flow_edges.len(), keep * layers);
 
         let ne = mp.layer_edge_count();
         let mut incidence = Vec::with_capacity(layers);
         for l in 0..layers {
             let mut rows: Vec<Vec<u32>> = vec![Vec::new(); ne];
-            for f in 0..total {
+            for f in 0..keep {
                 rows[flow_edges[f * layers + l] as usize].push(f as u32);
             }
-            incidence.push(Rc::new(BinCsr::from_rows(ne, total, &rows)));
+            incidence.push(Arc::new(BinCsr::from_rows(ne, keep, &rows)));
         }
 
-        Ok(FlowIndex {
+        FlowIndex {
             num_layers: layers,
-            num_flows: total,
+            num_flows: keep,
             flow_edges,
             incidence,
-        })
+        }
     }
 
     /// Number of GNN layers `L`.
@@ -204,8 +249,9 @@ impl FlowIndex {
     }
 
     /// The incidence matrix `I_l` for layer `l` (0-based): `|E| × |F|`,
-    /// shared via `Rc` so it can be captured by autodiff ops.
-    pub fn incidence(&self, layer: usize) -> &Rc<BinCsr> {
+    /// shared via `Arc` so it can be captured by autodiff ops and reused
+    /// across threads through the serving runtime's artifact cache.
+    pub fn incidence(&self, layer: usize) -> &Arc<BinCsr> {
         &self.incidence[layer]
     }
 
@@ -216,6 +262,21 @@ impl FlowIndex {
     }
 }
 
+/// Shared preamble of [`FlowIndex::build`] / [`FlowIndex::build_capped`]:
+/// validates inputs and counts flows.
+fn prepare(mp: &MpGraph, layers: usize, target: Target) -> (Vec<Vec<u64>>, u64) {
+    assert!(layers >= 1, "a GNN must have at least one layer");
+    if let Target::Node(t) = target {
+        assert!(t < mp.num_nodes(), "target node out of range");
+    }
+    let suffix = suffix_counts(mp, layers, target);
+    let total = (0..mp.num_nodes())
+        .map(|u| suffix[0][u])
+        .fold(0u64, u64::saturating_add);
+    (suffix, total)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn enumerate_from(
     mp: &MpGraph,
     layers: usize,
@@ -224,7 +285,11 @@ fn enumerate_from(
     depth: usize,
     path: &mut [u32],
     out: &mut Vec<u32>,
+    keep: usize,
 ) {
+    if out.len() >= keep * layers {
+        return;
+    }
     if depth == layers {
         out.extend_from_slice(path);
         return;
@@ -233,7 +298,7 @@ fn enumerate_from(
         let next = mp.dst()[e as usize];
         if suffix[depth + 1][next] > 0 {
             path[depth] = e;
-            enumerate_from(mp, layers, suffix, next, depth + 1, path, out);
+            enumerate_from(mp, layers, suffix, next, depth + 1, path, out, keep);
         }
     }
 }
@@ -317,6 +382,36 @@ mod tests {
         let err = FlowIndex::build(&mp, 3, Target::Graph, 2).unwrap_err();
         assert!(err.found > 2);
         assert_eq!(err.max, 2);
+    }
+
+    #[test]
+    fn capped_build_keeps_deterministic_prefix() {
+        let mp = path_mp();
+        let full = FlowIndex::build(&mp, 3, Target::Graph, 10_000).unwrap();
+        let capped = FlowIndex::build_capped(&mp, 3, Target::Graph, 4);
+        assert_eq!(capped.found, full.num_flows() as u64);
+        assert_eq!(capped.dropped, capped.found - 4);
+        assert_eq!(capped.index.num_flows(), 4);
+        // The kept flows are exactly the first 4 of the full enumeration.
+        for f in 0..4 {
+            assert_eq!(capped.index.flow(f), full.flow(f));
+        }
+        // Incidence stays consistent on the truncated set.
+        for l in 0..3 {
+            let inc = capped.index.incidence(l);
+            assert_eq!(inc.cols(), 4);
+            let nnz: usize = (0..inc.rows()).map(|e| inc.row(e).len()).sum();
+            assert_eq!(nnz, 4);
+        }
+    }
+
+    #[test]
+    fn capped_build_below_cap_is_complete() {
+        let mp = path_mp();
+        let full = FlowIndex::build(&mp, 2, Target::Node(2), 10_000).unwrap();
+        let capped = FlowIndex::build_capped(&mp, 2, Target::Node(2), 10_000);
+        assert_eq!(capped.dropped, 0);
+        assert_eq!(capped.index.num_flows(), full.num_flows());
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! Sharded LRU cache for pure explanation artifacts.
+//!
+//! Flow enumeration and `L`-hop subgraph extraction are pure functions of
+//! `(graph, target, L)`; when several explainers (or several requests) hit
+//! the same instance, the runtime computes each artifact once and shares it
+//! behind an `Arc`. The cache is sharded — each shard owns an independent
+//! LRU under its own mutex — so concurrent workers rarely contend on the
+//! same lock.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use revelio_graph::{khop_subgraph, FlowIndex, Graph, KhopSubgraph, MpGraph, Target};
+
+/// One LRU shard: a key→value map plus a recency index. `tick` is a
+/// shard-local logical clock; the `order` map's smallest tick is the
+/// least-recently-used entry.
+struct Shard<K, V> {
+    map: HashMap<K, (u64, V)>,
+    order: BTreeMap<u64, K>,
+    tick: u64,
+}
+
+impl<K: Clone + Eq + Hash, V: Clone> Shard<K, V> {
+    fn new() -> Shard<K, V> {
+        Shard {
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        let tick = self.tick;
+        self.tick += 1;
+        let (old_tick, value) = self.map.get_mut(key)?;
+        self.order.remove(&std::mem::replace(old_tick, tick));
+        self.order.insert(tick, key.clone());
+        Some(value.clone())
+    }
+
+    fn insert(&mut self, key: K, value: V, capacity: usize) {
+        let tick = self.tick;
+        self.tick += 1;
+        if let Some((old_tick, _)) = self.map.insert(key.clone(), (tick, value)) {
+            self.order.remove(&old_tick);
+        }
+        self.order.insert(tick, key);
+        while self.map.len() > capacity {
+            if let Some((_, victim)) = self.order.pop_first() {
+                self.map.remove(&victim);
+            }
+        }
+    }
+}
+
+/// A sharded LRU cache. Values are cloned out, so `V` is typically an
+/// `Arc<T>`. Capacity is enforced per shard; total capacity is
+/// `shards * capacity_per_shard`.
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    capacity_per_shard: usize,
+    hasher: RandomState,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Clone + Eq + Hash, V: Clone> ShardedLru<K, V> {
+    /// `shards` is rounded up to 1; `capacity` is the *total* entry budget,
+    /// split evenly across shards (at least one entry per shard).
+    pub fn new(shards: usize, capacity: usize) -> ShardedLru<K, V> {
+        let shards = shards.max(1);
+        let capacity_per_shard = capacity.div_ceil(shards).max(1);
+        ShardedLru {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            capacity_per_shard,
+            hasher: RandomState::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a key lives in (stable for the lifetime of the cache).
+    pub fn shard_of(&self, key: &K) -> usize {
+        (self.hasher.hash_one(key) % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        &self.shards[self.shard_of(key)]
+    }
+
+    pub fn get(&self, key: &K) -> Option<V> {
+        let got = match self.shard(key).lock() {
+            Ok(mut s) => s.get(key),
+            Err(poisoned) => poisoned.into_inner().get(key),
+        };
+        match &got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    pub fn insert(&self, key: K, value: V) {
+        match self.shard(&key).lock() {
+            Ok(mut s) => s.insert(key, value, self.capacity_per_shard),
+            Err(poisoned) => poisoned
+                .into_inner()
+                .insert(key, value, self.capacity_per_shard),
+        }
+    }
+
+    /// Returns the cached value, or computes, caches, and returns it. The
+    /// shard lock is *not* held during `compute` — two racing workers may
+    /// both compute a missing value (the artifacts are pure, so both results
+    /// are identical and the second insert is harmless); holding the lock
+    /// would serialise every cache user behind one slow enumeration.
+    pub fn get_or_insert_with(&self, key: &K, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.get(key) {
+            return v;
+        }
+        let v = compute();
+        self.insert(key.clone(), v.clone());
+        v
+    }
+
+    /// Entries currently resident, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| match s.lock() {
+                Ok(s) => s.map.len(),
+                Err(poisoned) => poisoned.into_inner().map.len(),
+            })
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Keys in least-recently-used → most-recently-used order, per shard.
+    /// Test/introspection helper: the outer index is the shard id.
+    pub fn lru_order_by_shard(&self) -> Vec<Vec<K>> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = match s.lock() {
+                    Ok(s) => s,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                shard.order.values().cloned().collect()
+            })
+            .collect()
+    }
+}
+
+/// Cache key for an `L`-hop computation subgraph: `(graph id, target node,
+/// hops)`.
+pub type SubgraphKey = (u64, usize, usize);
+
+/// Cache key for an enumerated flow index: `(graph id, target, layers,
+/// flow cap)`. The cap is part of the key because a capped build is a
+/// *prefix* of the full enumeration — different caps give different
+/// artifacts.
+pub type FlowKey = (u64, Target, usize, usize);
+
+/// A cached (possibly capped) flow enumeration: the index plus how many
+/// flows the cap dropped (`0` when complete).
+#[derive(Clone)]
+pub struct CachedFlows {
+    pub index: Arc<FlowIndex>,
+    pub dropped: u64,
+}
+
+/// The runtime's artifact cache: `L`-hop subgraphs and flow indexes, keyed
+/// by caller-assigned graph ids. Ids must identify graph *content* — reusing
+/// an id for a different graph serves stale artifacts.
+pub struct ArtifactCache {
+    subgraphs: ShardedLru<SubgraphKey, Arc<KhopSubgraph>>,
+    flows: ShardedLru<FlowKey, CachedFlows>,
+}
+
+impl ArtifactCache {
+    pub fn new(shards: usize, capacity: usize) -> ArtifactCache {
+        ArtifactCache {
+            subgraphs: ShardedLru::new(shards, capacity),
+            flows: ShardedLru::new(shards, capacity),
+        }
+    }
+
+    /// The `hops`-hop computation subgraph around `target` in `graph`,
+    /// extracted once per `(graph_id, target, hops)`.
+    pub fn subgraph(
+        &self,
+        graph_id: u64,
+        graph: &Graph,
+        target: usize,
+        hops: usize,
+    ) -> Arc<KhopSubgraph> {
+        self.subgraphs
+            .get_or_insert_with(&(graph_id, target, hops), || {
+                Arc::new(khop_subgraph(graph, target, hops))
+            })
+    }
+
+    /// The flow enumeration for `(graph_id, target, layers)` under
+    /// `max_flows`, built once and shared. Oversized instances are capped
+    /// to a deterministic prefix; `CachedFlows::dropped` reports the cut.
+    pub fn flow_index(
+        &self,
+        graph_id: u64,
+        mp: &MpGraph,
+        layers: usize,
+        target: Target,
+        max_flows: usize,
+    ) -> CachedFlows {
+        self.flows
+            .get_or_insert_with(&(graph_id, target, layers, max_flows), || {
+                let capped = FlowIndex::build_capped(mp, layers, target, max_flows);
+                CachedFlows {
+                    index: Arc::new(capped.index),
+                    dropped: capped.dropped,
+                }
+            })
+    }
+
+    /// `(hits, misses)` across both artifact kinds.
+    pub fn stats(&self) -> (u64, u64) {
+        let (sh, sm) = self.subgraphs.stats();
+        let (fh, fm) = self.flows.stats();
+        (sh + fh, sm + fm)
+    }
+
+    /// Resident entries across both artifact kinds.
+    pub fn len(&self) -> usize {
+        self.subgraphs.len() + self.flows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revelio_graph::Graph;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(1, 2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.get(&1), Some(10)); // refresh 1; 2 is now LRU
+        cache.insert(3, 30);
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.get(&3), Some(30));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn get_or_insert_computes_once() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(4, 16);
+        let mut calls = 0;
+        let v = cache.get_or_insert_with(&7, || {
+            calls += 1;
+            42
+        });
+        assert_eq!(v, 42);
+        let v = cache.get_or_insert_with(&7, || {
+            calls += 1;
+            0
+        });
+        assert_eq!(v, 42);
+        assert_eq!(calls, 1);
+        assert_eq!(cache.stats(), (1, 1)); // one miss to fill, one hit after
+    }
+
+    #[test]
+    fn artifact_cache_shares_flow_index() {
+        let mut b = Graph::builder(3, 1);
+        b.undirected_edge(0, 1).undirected_edge(1, 2);
+        let g = b.build();
+        let mp = MpGraph::new(&g);
+        let cache = ArtifactCache::new(2, 8);
+        let a = cache.flow_index(9, &mp, 2, Target::Node(1), 10_000);
+        let b2 = cache.flow_index(9, &mp, 2, Target::Node(1), 10_000);
+        assert!(Arc::ptr_eq(&a.index, &b2.index));
+        assert_eq!(a.dropped, 0);
+        // Different cap is a different artifact.
+        let c = cache.flow_index(9, &mp, 2, Target::Node(1), 1);
+        assert!(!Arc::ptr_eq(&a.index, &c.index));
+        assert!(c.dropped > 0);
+    }
+
+    #[test]
+    fn artifact_cache_shares_subgraph() {
+        let mut b = Graph::builder(4, 1);
+        b.undirected_edge(0, 1)
+            .undirected_edge(1, 2)
+            .undirected_edge(2, 3);
+        let g = b.build();
+        let cache = ArtifactCache::new(2, 8);
+        let s1 = cache.subgraph(1, &g, 2, 2);
+        let s2 = cache.subgraph(1, &g, 2, 2);
+        assert!(Arc::ptr_eq(&s1, &s2));
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+}

@@ -1,0 +1,215 @@
+//! Job, model-spec, and result types for the serving runtime.
+//!
+//! The tensor engine is single-threaded (`Rc`-based autograd tapes), so a
+//! `Gnn` cannot cross threads. Jobs therefore carry only plain data — the
+//! (sub)graph, the target, and a *factory* that builds the explainer on the
+//! worker — and models are registered once as a [`ModelSpec`] (config +
+//! weights) that each worker materialises locally.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use revelio_core::{Degradation, Explainer, Explanation};
+use revelio_gnn::{Gnn, GnnConfig};
+use revelio_graph::{Graph, Target};
+
+/// Builds the job's explainer *on the worker thread*, from the job's
+/// deterministic seed. Taking the seed through the factory (rather than
+/// baking it in at submission) is what makes results independent of which
+/// worker runs the job.
+pub type ExplainerFactory = Box<dyn Fn(u64) -> Box<dyn Explainer> + Send>;
+
+/// A registered model: everything needed to rebuild the `Gnn` on any
+/// thread.
+pub struct ModelSpec {
+    config: GnnConfig,
+    state: Vec<Vec<f32>>,
+}
+
+impl ModelSpec {
+    /// Captures `model`'s architecture and weights.
+    pub fn of(model: &Gnn) -> ModelSpec {
+        ModelSpec {
+            config: model.config().clone(),
+            state: model.state_dict(),
+        }
+    }
+
+    /// Rebuilds the model (fresh tensors, identical weights).
+    pub fn materialize(&self) -> Gnn {
+        let model = Gnn::new(self.config.clone());
+        model.load_state(&self.state);
+        model
+    }
+}
+
+/// Handle returned by [`Runtime::register_model`]; cheap to copy into every
+/// job that targets the model.
+///
+/// [`Runtime::register_model`]: crate::Runtime::register_model
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelHandle(pub(crate) usize);
+
+/// One explanation request.
+///
+/// The graph should already be the computation subgraph the caller wants
+/// explained (for node classification, the `L`-hop subgraph with `target`
+/// remapped to its local id — see [`ArtifactCache::subgraph`]).
+///
+/// [`ArtifactCache::subgraph`]: crate::ArtifactCache::subgraph
+pub struct ExplainJob {
+    /// The instance graph (moved into the job; plain data, crosses threads).
+    pub graph: Graph,
+    /// What to explain.
+    pub target: Target,
+    /// Caller-assigned content id for `graph`, used as the artifact-cache
+    /// key. Jobs with the same `graph_id` must carry identical graphs.
+    pub graph_id: u64,
+    /// Builds the explainer on the worker from the job's derived seed.
+    pub make_explainer: ExplainerFactory,
+    /// Pre-build (or fetch from cache) the flow index and hand it to the
+    /// explainer. Set for flow-based methods (REVELIO, GNN-LRP, FlowX);
+    /// edge-mask methods skip the enumeration entirely.
+    pub needs_flows: bool,
+    /// Flow cap for `needs_flows` preparation; oversized instances are
+    /// shrunk to this cap (reported via [`Degradation::flows_dropped`])
+    /// rather than rejected.
+    pub max_flows: usize,
+    /// Per-job latency budget, measured from *submission* (queue wait
+    /// counts). `None` falls back to the runtime's default deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl ExplainJob {
+    /// A job with flow preparation enabled and the runtime's default
+    /// deadline.
+    pub fn flow_based(
+        graph: Graph,
+        target: Target,
+        graph_id: u64,
+        max_flows: usize,
+        make_explainer: ExplainerFactory,
+    ) -> ExplainJob {
+        ExplainJob {
+            graph,
+            target,
+            graph_id,
+            make_explainer,
+            needs_flows: true,
+            max_flows,
+            deadline: None,
+        }
+    }
+
+    /// A job for an edge-mask method (no flow enumeration).
+    pub fn edge_based(
+        graph: Graph,
+        target: Target,
+        graph_id: u64,
+        make_explainer: ExplainerFactory,
+    ) -> ExplainJob {
+        ExplainJob {
+            graph,
+            target,
+            graph_id,
+            make_explainer,
+            needs_flows: false,
+            max_flows: usize::MAX,
+            deadline: None,
+        }
+    }
+
+    /// Sets a per-job deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, budget: Duration) -> ExplainJob {
+        self.deadline = Some(budget);
+        self
+    }
+}
+
+/// Per-stage wall-clock timing of a completed job.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobTiming {
+    /// Submission → picked up by a worker.
+    pub queue_wait: Duration,
+    /// Model materialisation + instance forward pass + flow preparation.
+    pub prep: Duration,
+    /// The explainer call itself.
+    pub explain: Duration,
+}
+
+/// A successfully served explanation.
+pub struct JobOutput {
+    /// Submission-order id (also the determinism seed input).
+    pub job_id: u64,
+    pub explanation: Explanation,
+    /// What, if anything, was cut to meet the budget.
+    pub degradation: Degradation,
+    pub timing: JobTiming,
+}
+
+impl JobOutput {
+    /// Whether the answer was degraded to meet its budget.
+    pub fn degraded(&self) -> bool {
+        self.degradation.is_degraded()
+    }
+}
+
+/// Why a job produced no explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The explainer panicked; the payload is the panic message. The worker
+    /// survives and keeps serving.
+    Panicked(String),
+    /// The runtime was shut down before the job ran.
+    Cancelled,
+    /// The job referenced a model handle that was never registered.
+    UnknownModel,
+    /// The worker disappeared without reporting a result (a runtime bug;
+    /// surfaced instead of hanging the caller).
+    Lost,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "explainer panicked: {msg}"),
+            JobError::Cancelled => write!(f, "job cancelled at shutdown"),
+            JobError::UnknownModel => write!(f, "unknown model handle"),
+            JobError::Lost => write!(f, "worker dropped the job without a result"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// The outcome of one job.
+pub type JobResult = Result<JobOutput, JobError>;
+
+/// A claim on one submitted job's result.
+pub struct Ticket {
+    pub(crate) job_id: u64,
+    pub(crate) rx: mpsc::Receiver<JobResult>,
+}
+
+impl Ticket {
+    /// The job's submission-order id.
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    /// Blocks until the job finishes.
+    pub fn wait(self) -> JobResult {
+        self.rx.recv().unwrap_or(Err(JobError::Lost))
+    }
+
+    /// Returns the result if the job already finished, `Err(self)`
+    /// otherwise (so the caller can keep waiting).
+    pub fn try_wait(self) -> Result<JobResult, Ticket> {
+        match self.rx.try_recv() {
+            Ok(result) => Ok(result),
+            Err(mpsc::TryRecvError::Empty) => Err(self),
+            Err(mpsc::TryRecvError::Disconnected) => Ok(Err(JobError::Lost)),
+        }
+    }
+}

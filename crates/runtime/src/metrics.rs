@@ -1,0 +1,228 @@
+//! Always-on runtime metrics: lock-free counters and latency histograms.
+//!
+//! Every counter is a relaxed atomic, so recording costs a few nanoseconds
+//! and the registry can stay enabled in production. [`Metrics::snapshot`]
+//! reads a consistent-enough point-in-time copy (individual counters are
+//! exact; cross-counter skew is bounded by in-flight jobs), and
+//! [`MetricsSnapshot::report`] renders it for humans.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (µs) of the latency histogram buckets; the last bucket is
+/// unbounded. Spans 100µs … 10s, which covers both cache-hit flow prep and
+/// full REVELIO optimisation runs.
+pub const LATENCY_BUCKETS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+const NUM_BUCKETS: usize = LATENCY_BUCKETS_US.len() + 1;
+
+/// A fixed-bucket latency histogram with atomic counters.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Histogram {
+    pub fn observe(&self, d: Duration) {
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(NUM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            total_us: self.total_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; bucket `i` covers `(LATENCY_BUCKETS_US[i-1],
+    /// LATENCY_BUCKETS_US[i]]` µs, the last bucket is unbounded above.
+    pub buckets: [u64; NUM_BUCKETS],
+    pub count: u64,
+    pub total_us: u64,
+    pub max_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.total_us.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// The runtime's metrics registry. One instance per [`Runtime`], shared by
+/// every worker.
+///
+/// [`Runtime`]: crate::Runtime
+#[derive(Default)]
+pub struct Metrics {
+    pub jobs_submitted: AtomicU64,
+    pub jobs_started: AtomicU64,
+    pub jobs_completed: AtomicU64,
+    /// Completed jobs whose answer was degraded (deadline hit or flow cap
+    /// shrink); a subset of `jobs_completed`.
+    pub jobs_degraded: AtomicU64,
+    /// Jobs that panicked or were cancelled before producing an answer.
+    pub jobs_failed: AtomicU64,
+    /// Jobs submitted but not yet picked up by a worker.
+    pub queue_depth: AtomicU64,
+    pub queue_wait: Histogram,
+    /// Artifact-preparation stage (subgraph/flow enumeration or cache hit).
+    pub prep_latency: Histogram,
+    /// Explainer stage proper (mask optimisation / decomposition).
+    pub explain_latency: Histogram,
+}
+
+impl Metrics {
+    pub fn snapshot(&self, cache_hits: u64, cache_misses: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_started: self.jobs_started.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_degraded: self.jobs_degraded.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            queue_wait: self.queue_wait.snapshot(),
+            prep_latency: self.prep_latency.snapshot(),
+            explain_latency: self.explain_latency.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time copy of every runtime metric; plain data, safe to ship
+/// across threads or serialise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub jobs_submitted: u64,
+    pub jobs_started: u64,
+    pub jobs_completed: u64,
+    pub jobs_degraded: u64,
+    pub jobs_failed: u64,
+    pub queue_depth: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub queue_wait: HistogramSnapshot,
+    pub prep_latency: HistogramSnapshot,
+    pub explain_latency: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Cache hit rate in `[0, 1]` (0 when the cache was never probed).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Renders the snapshot as an aligned human-readable report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("runtime metrics\n");
+        out.push_str(&format!(
+            "  jobs      submitted={} started={} completed={} degraded={} failed={}\n",
+            self.jobs_submitted,
+            self.jobs_started,
+            self.jobs_completed,
+            self.jobs_degraded,
+            self.jobs_failed,
+        ));
+        out.push_str(&format!(
+            "  queue     depth={} wait mean={}us max={}us\n",
+            self.queue_depth,
+            self.queue_wait.mean_us(),
+            self.queue_wait.max_us,
+        ));
+        out.push_str(&format!(
+            "  cache     hits={} misses={} hit_rate={:.1}%\n",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.cache_hit_rate(),
+        ));
+        for (name, h) in [
+            ("prep", &self.prep_latency),
+            ("explain", &self.explain_latency),
+        ] {
+            out.push_str(&format!(
+                "  {name:<9} n={} mean={}us max={}us buckets",
+                h.count,
+                h.mean_us(),
+                h.max_us,
+            ));
+            for (i, b) in h.buckets.iter().enumerate() {
+                let label = match LATENCY_BUCKETS_US.get(i) {
+                    Some(&us) if us < 1_000 => format!("<={us}us"),
+                    Some(&us) if us < 1_000_000 => format!("<={}ms", us / 1_000),
+                    Some(&us) => format!("<={}s", us / 1_000_000),
+                    None => "inf".to_owned(),
+                };
+                out.push_str(&format!(" {label}:{b}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = Histogram::default();
+        h.observe(Duration::from_micros(50)); // bucket 0 (<=100us)
+        h.observe(Duration::from_micros(500)); // bucket 1 (<=1ms)
+        h.observe(Duration::from_secs(20)); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[NUM_BUCKETS - 1], 1);
+        assert_eq!(s.max_us, 20_000_000);
+        assert_eq!(s.mean_us(), (50 + 500 + 20_000_000) / 3);
+    }
+
+    #[test]
+    fn snapshot_and_report() {
+        let m = Metrics::default();
+        m.jobs_submitted.fetch_add(4, Ordering::Relaxed);
+        m.jobs_completed.fetch_add(3, Ordering::Relaxed);
+        m.jobs_degraded.fetch_add(1, Ordering::Relaxed);
+        m.explain_latency.observe(Duration::from_millis(5));
+        let s = m.snapshot(3, 1);
+        assert_eq!(s.jobs_submitted, 4);
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-9);
+        let report = s.report();
+        assert!(report.contains("submitted=4"));
+        assert!(report.contains("hit_rate=75.0%"));
+        assert!(report.contains("explain"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = Metrics::default().snapshot(0, 0);
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.queue_wait.mean_us(), 0);
+    }
+}

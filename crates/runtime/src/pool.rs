@@ -1,0 +1,389 @@
+//! The explanation-serving worker pool.
+//!
+//! A [`Runtime`] owns a fixed set of `std::thread` workers fed from one
+//! mpsc queue. Because the tensor engine's autograd tape is `Rc`-based,
+//! nothing tensor-shaped ever crosses a thread boundary: jobs carry plain
+//! graph data, each worker materialises registered models locally from
+//! their [`ModelSpec`], and results come back as plain score vectors.
+//!
+//! Determinism: every job's explainer is seeded from
+//! `mix(runtime seed, job id)`, where the job id is the *submission* order.
+//! Scheduling decides only *where* and *when* a job runs — never its
+//! answer — so any worker count produces bit-identical scores.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use revelio_core::{Deadline, ExplainControl};
+use revelio_gnn::{Gnn, Instance};
+
+use crate::cache::ArtifactCache;
+use crate::job::{
+    ExplainJob, JobError, JobOutput, JobResult, JobTiming, ModelHandle, ModelSpec, Ticket,
+};
+use crate::metrics::{Metrics, MetricsSnapshot};
+
+/// Runtime construction parameters; [`RuntimeConfig::default`] matches
+/// `Runtime::new(1)` except for the worker count.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker threads (at least 1).
+    pub workers: usize,
+    /// Base seed mixed into every job's explainer seed.
+    pub seed: u64,
+    /// Total artifact-cache entries per artifact kind.
+    pub cache_capacity: usize,
+    /// Artifact-cache shards (lock-contention granularity).
+    pub cache_shards: usize,
+    /// Deadline applied to jobs that don't set their own (`None` =
+    /// unbounded).
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 1,
+            seed: 0,
+            cache_capacity: 256,
+            cache_shards: 8,
+            default_deadline: None,
+        }
+    }
+}
+
+/// State shared between the runtime handle and every worker.
+struct Shared {
+    models: Mutex<Vec<Arc<ModelSpec>>>,
+    cache: ArtifactCache,
+    metrics: Metrics,
+    cancel: Arc<AtomicBool>,
+    alive_workers: AtomicUsize,
+    base_seed: u64,
+}
+
+/// One queued request, as it travels to a worker.
+struct QueuedJob {
+    job_id: u64,
+    handle: ModelHandle,
+    job: ExplainJob,
+    submitted: Instant,
+    deadline_at: Option<Instant>,
+    result_tx: mpsc::Sender<JobResult>,
+}
+
+/// The concurrent explanation-serving runtime.
+///
+/// Dropping the runtime closes the queue, lets the workers drain any
+/// remaining jobs, and joins every thread. Call [`Runtime::cancel_all`]
+/// first to abandon queued work instead of draining it.
+pub struct Runtime {
+    tx: Option<mpsc::Sender<QueuedJob>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+    next_job_id: AtomicU64,
+    default_deadline: Option<Duration>,
+}
+
+impl Runtime {
+    /// A runtime with `workers` threads and default cache/deadline settings.
+    pub fn new(workers: usize) -> Runtime {
+        Runtime::with_config(RuntimeConfig {
+            workers,
+            ..Default::default()
+        })
+    }
+
+    pub fn with_config(cfg: RuntimeConfig) -> Runtime {
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            models: Mutex::new(Vec::new()),
+            cache: ArtifactCache::new(cfg.cache_shards, cfg.cache_capacity),
+            metrics: Metrics::default(),
+            cancel: Arc::new(AtomicBool::new(false)),
+            alive_workers: AtomicUsize::new(workers),
+            base_seed: cfg.seed,
+        });
+        let (tx, rx) = mpsc::channel::<QueuedJob>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("revelio-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .unwrap_or_else(|e| panic!("failed to spawn worker {i}: {e}"))
+            })
+            .collect();
+        Runtime {
+            tx: Some(tx),
+            workers: handles,
+            shared,
+            next_job_id: AtomicU64::new(0),
+            default_deadline: cfg.default_deadline,
+        }
+    }
+
+    /// Registers a model for serving; the returned handle is what jobs
+    /// reference. The model's weights are captured *now* — later training
+    /// on the original does not affect registered jobs.
+    pub fn register_model(&self, model: &Gnn) -> ModelHandle {
+        let spec = Arc::new(ModelSpec::of(model));
+        let mut models = lock(&self.shared.models);
+        models.push(spec);
+        ModelHandle(models.len() - 1)
+    }
+
+    /// Enqueues one job; returns immediately with a [`Ticket`] for its
+    /// result.
+    pub fn submit(&self, handle: ModelHandle, job: ExplainJob) -> Ticket {
+        let job_id = self.next_job_id.fetch_add(1, Ordering::Relaxed);
+        let (result_tx, result_rx) = mpsc::channel();
+        let budget = job.deadline.or(self.default_deadline);
+        let queued = QueuedJob {
+            job_id,
+            handle,
+            job,
+            submitted: Instant::now(),
+            deadline_at: budget.map(|b| Instant::now() + b),
+            result_tx,
+        };
+        self.shared
+            .metrics
+            .jobs_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .metrics
+            .queue_depth
+            .fetch_add(1, Ordering::Relaxed);
+        match &self.tx {
+            Some(tx) => {
+                if let Err(mpsc::SendError(q)) = tx.send(queued) {
+                    // Every worker exited (cannot normally happen while the
+                    // runtime is alive); fail the job rather than hang.
+                    self.shared
+                        .metrics
+                        .queue_depth
+                        .fetch_sub(1, Ordering::Relaxed);
+                    self.shared
+                        .metrics
+                        .jobs_failed
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = q.result_tx.send(Err(JobError::Lost));
+                }
+            }
+            None => {
+                let _ = queued.result_tx.send(Err(JobError::Cancelled));
+            }
+        }
+        Ticket {
+            job_id,
+            rx: result_rx,
+        }
+    }
+
+    /// Submits every job and blocks until all results are in, returned in
+    /// submission order.
+    pub fn explain_batch(&self, handle: ModelHandle, jobs: Vec<ExplainJob>) -> Vec<JobResult> {
+        let tickets: Vec<Ticket> = jobs.into_iter().map(|j| self.submit(handle, j)).collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// Abandons queued (and in-flight, at the next deadline poll) work:
+    /// queued jobs fail with [`JobError::Cancelled`], running optimisation
+    /// loops stop at their next epoch and report a degraded answer.
+    pub fn cancel_all(&self) {
+        self.shared.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Point-in-time metrics (counters, histograms, cache hit rate).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let (hits, misses) = self.shared.cache.stats();
+        self.shared.metrics.snapshot(hits, misses)
+    }
+
+    /// Renders [`Runtime::metrics`] as a human-readable report.
+    pub fn metrics_report(&self) -> String {
+        self.metrics().report()
+    }
+
+    /// The shared artifact cache (also usable directly, e.g. by the eval
+    /// harness on its serial path).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.shared.cache
+    }
+
+    /// Workers currently alive; drops to 0 only after the runtime is
+    /// dropped (exposed for leak tests).
+    pub fn alive_workers(&self) -> usize {
+        self.shared.alive_workers.load(Ordering::Relaxed)
+    }
+
+    /// A clone of the shared worker-liveness counter, for observing the
+    /// drain *after* the runtime is dropped.
+    pub fn worker_probe(&self) -> WorkerProbe {
+        WorkerProbe {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Closing the channel is the shutdown signal: workers drain the
+        // remaining queue, then `recv` errors and they exit.
+        drop(self.tx.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Observes worker liveness independently of the [`Runtime`]'s lifetime.
+pub struct WorkerProbe {
+    shared: Arc<Shared>,
+}
+
+impl WorkerProbe {
+    /// Workers still running.
+    pub fn alive_workers(&self) -> usize {
+        self.shared.alive_workers.load(Ordering::Relaxed)
+    }
+}
+
+/// Locks a mutex, riding through poisoning (a panicked job cannot corrupt
+/// the registry or cache: panics are caught per job, and the data is
+/// only ever appended/replaced atomically).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// SplitMix64-style mix of the runtime seed and the job's submission id.
+/// Job ids are assigned at submission, so the derived seed — and therefore
+/// the explainer's answer — is independent of scheduling.
+fn derive_seed(base: u64, job_id: u64) -> u64 {
+    let mut z = base ^ job_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Decrements the liveness counter when the worker exits, however it exits.
+struct AliveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for AliveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn worker_loop(rx: &Mutex<mpsc::Receiver<QueuedJob>>, shared: &Shared) {
+    let _alive = AliveGuard(&shared.alive_workers);
+    // Models this worker has already materialised, keyed by handle index.
+    let mut local_models: HashMap<usize, Gnn> = HashMap::new();
+    loop {
+        // Hold the receiver lock only for the dequeue itself.
+        let queued = { lock(rx).recv() };
+        let Ok(q) = queued else {
+            break; // queue closed and drained: shutdown
+        };
+        let metrics = &shared.metrics;
+        metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        metrics.jobs_started.fetch_add(1, Ordering::Relaxed);
+        let queue_wait = q.submitted.elapsed();
+        metrics.queue_wait.observe(queue_wait);
+
+        if shared.cancel.load(Ordering::Relaxed) {
+            metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            let _ = q.result_tx.send(Err(JobError::Cancelled));
+            continue;
+        }
+
+        let spec = lock(&shared.models).get(q.handle.0).map(Arc::clone);
+        let Some(spec) = spec else {
+            metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            let _ = q.result_tx.send(Err(JobError::UnknownModel));
+            continue;
+        };
+
+        // Prep stage: local model, instance forward pass, flow artifacts.
+        let prep_start = Instant::now();
+        let model = local_models
+            .entry(q.handle.0)
+            .or_insert_with(|| spec.materialize());
+        let job = q.job;
+        let instance = Instance::for_prediction(model, job.graph, job.target);
+        let (flow_index, cache_flows_dropped) = if job.needs_flows {
+            let cached = shared.cache.flow_index(
+                job.graph_id,
+                &instance.mp,
+                model.num_layers(),
+                instance.target,
+                job.max_flows,
+            );
+            (Some(cached.index), cached.dropped)
+        } else {
+            (None, 0)
+        };
+        metrics.prep_latency.observe(prep_start.elapsed());
+
+        let deadline = match q.deadline_at {
+            Some(at) => Deadline::at(at),
+            None => Deadline::none(),
+        }
+        .with_cancel(Arc::clone(&shared.cancel));
+        let ctl = ExplainControl {
+            deadline,
+            flow_index,
+            shrink_on_overflow: true,
+        };
+
+        let seed = derive_seed(shared.base_seed, q.job_id);
+        let explain_start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let explainer = (job.make_explainer)(seed);
+            explainer.explain_controlled(model, &instance, &ctl)
+        }));
+        let explain_elapsed = explain_start.elapsed();
+        metrics.explain_latency.observe(explain_elapsed);
+
+        match outcome {
+            Ok(mut controlled) => {
+                // Flows dropped by the shared cache's capped build degrade
+                // the answer just like an explainer-side shrink.
+                controlled.degradation.flows_dropped += cache_flows_dropped;
+                metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                if controlled.degradation.is_degraded() {
+                    metrics.jobs_degraded.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = q.result_tx.send(Ok(JobOutput {
+                    job_id: q.job_id,
+                    explanation: controlled.explanation,
+                    degradation: controlled.degradation,
+                    timing: JobTiming {
+                        queue_wait,
+                        prep: explain_start - prep_start,
+                        explain: explain_elapsed,
+                    },
+                }));
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_owned());
+                metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                let _ = q.result_tx.send(Err(JobError::Panicked(msg)));
+            }
+        }
+    }
+}

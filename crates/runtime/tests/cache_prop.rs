@@ -1,0 +1,127 @@
+//! Property tests for the sharded LRU: eviction order, capacity, and shard
+//! stability under arbitrary interleavings of gets and inserts.
+
+use proptest::prelude::*;
+
+use revelio_runtime::ShardedLru;
+
+/// A reference (model) LRU: a plain vector in LRU→MRU order.
+struct ModelLru {
+    capacity: usize,
+    entries: Vec<(u32, u32)>,
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> ModelLru {
+        ModelLru {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, key: u32) -> Option<u32> {
+        let pos = self.entries.iter().position(|(k, _)| *k == key)?;
+        let entry = self.entries.remove(pos);
+        let value = entry.1;
+        self.entries.push(entry);
+        Some(value)
+    }
+
+    fn insert(&mut self, key: u32, value: u32) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        }
+        self.entries.push((key, value));
+        while self.entries.len() > self.capacity {
+            self.entries.remove(0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A single-shard cache behaves exactly like the reference LRU under
+    /// any operation sequence: same hits, same values, same eviction
+    /// victims, same final recency order.
+    #[test]
+    fn single_shard_matches_reference_lru(
+        capacity in 1usize..6,
+        ops in prop::collection::vec((0u32..10, 0u32..2), 1..60),
+    ) {
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(1, capacity);
+        let mut model = ModelLru::new(capacity);
+        for (i, &(key, op)) in ops.iter().enumerate() {
+            if op == 1 {
+                let value = i as u32;
+                cache.insert(key, value);
+                model.insert(key, value);
+            } else {
+                prop_assert_eq!(cache.get(&key), model.get(key), "get({}) diverged", key);
+            }
+            prop_assert_eq!(cache.len(), model.entries.len());
+        }
+        let order = cache.lru_order_by_shard();
+        prop_assert_eq!(order.len(), 1);
+        let expected: Vec<u32> = model.entries.iter().map(|(k, _)| *k).collect();
+        prop_assert_eq!(&order[0], &expected, "LRU→MRU order diverged");
+    }
+
+    /// Sharding invariants: a key's shard never changes, every resident
+    /// entry is in the shard `shard_of` names, no shard exceeds its
+    /// capacity share, and values read back exactly what was written.
+    #[test]
+    fn sharded_cache_routes_keys_stably(
+        shards in 1usize..5,
+        capacity in 1usize..12,
+        keys in prop::collection::vec(0u32..40, 1..80),
+    ) {
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(shards, capacity);
+        prop_assert_eq!(cache.num_shards(), shards.max(1));
+        let per_shard_cap = capacity.div_ceil(shards).max(1);
+        for &key in &keys {
+            let before = cache.shard_of(&key);
+            cache.insert(key, key.wrapping_mul(3));
+            prop_assert_eq!(cache.shard_of(&key), before, "shard moved on insert");
+            prop_assert_eq!(cache.get(&key), Some(key.wrapping_mul(3)));
+            let order = cache.lru_order_by_shard();
+            for (shard_id, shard_keys) in order.iter().enumerate() {
+                prop_assert!(shard_keys.len() <= per_shard_cap, "shard over capacity");
+                for k in shard_keys {
+                    prop_assert_eq!(cache.shard_of(k), shard_id, "entry in wrong shard");
+                }
+            }
+        }
+        prop_assert!(cache.len() <= per_shard_cap * shards.max(1));
+    }
+
+    /// Total eviction pressure: after inserting many distinct keys, the
+    /// most recently touched keys of each shard survive.
+    #[test]
+    fn eviction_keeps_most_recent_per_shard(
+        shards in 1usize..4,
+        keys in prop::collection::vec(0u32..60, 10..60),
+    ) {
+        let capacity = 4usize;
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(shards, capacity);
+        for &key in &keys {
+            cache.insert(key, key);
+        }
+        // Replay the insert sequence against per-shard reference LRUs.
+        let per_shard_cap = capacity.div_ceil(shards).max(1);
+        let mut models: Vec<ModelLru> =
+            (0..shards).map(|_| ModelLru::new(per_shard_cap)).collect();
+        for &key in &keys {
+            models[cache.shard_of(&key)].insert(key, key);
+        }
+        for (shard_id, model) in models.iter().enumerate() {
+            let expected: Vec<u32> = model.entries.iter().map(|(k, _)| *k).collect();
+            prop_assert_eq!(
+                &cache.lru_order_by_shard()[shard_id],
+                &expected,
+                "shard {} diverged from reference",
+                shard_id
+            );
+        }
+    }
+}

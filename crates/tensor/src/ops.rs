@@ -7,6 +7,7 @@
 
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::sparse::BinCsr;
 use crate::tensor::Tensor;
@@ -71,7 +72,7 @@ pub enum Op {
     /// Column-independent softmax within row segments (GAT attention).
     SegmentSoftmax(Tensor, Rc<Vec<usize>>),
     /// Sparse binary matrix (`R × C`) times dense `[C,1]` vector (Eq. 7).
-    SpMatVec(Rc<BinCsr>, Tensor),
+    SpMatVec(Arc<BinCsr>, Tensor),
 }
 
 impl Op {
@@ -877,7 +878,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if `self` is not a `[C,1]` column vector matching the matrix.
-    pub fn sp_matvec(&self, mat: &Rc<BinCsr>) -> Tensor {
+    pub fn sp_matvec(&self, mat: &Arc<BinCsr>) -> Tensor {
         assert_eq!(
             self.shape(),
             (mat.cols(), 1),
@@ -898,7 +899,7 @@ impl Tensor {
             out,
             mat.rows(),
             1,
-            Op::SpMatVec(Rc::clone(mat), self.clone()),
+            Op::SpMatVec(Arc::clone(mat), self.clone()),
         )
     }
 }
@@ -999,7 +1000,7 @@ mod tests {
     #[test]
     fn sp_matvec_forward_backward() {
         // rows: {0,2}, {1}
-        let m = Rc::new(BinCsr::from_rows(2, 3, &[vec![0, 2], vec![1]]));
+        let m = Arc::new(BinCsr::from_rows(2, 3, &[vec![0, 2], vec![1]]));
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], 3, 1).requires_grad();
         let y = x.sp_matvec(&m);
         assert_eq!(y.to_vec(), vec![4.0, 2.0]);

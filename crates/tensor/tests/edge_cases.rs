@@ -3,7 +3,7 @@
 
 #![allow(clippy::unwrap_used)]
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use revelio_tensor::{BinCsr, Tensor};
 
@@ -67,7 +67,7 @@ fn bin_csr_zero_cols_with_empty_rows() {
 #[test]
 fn sp_matvec_with_zero_column_matrix() {
     // 2×0 matrix times a [0,1] vector: a defined, all-zero [2,1] result.
-    let m = Rc::new(BinCsr::from_rows(2, 0, &[vec![], vec![]]));
+    let m = Arc::new(BinCsr::from_rows(2, 0, &[vec![], vec![]]));
     let x = Tensor::from_vec(vec![], 0, 1).requires_grad();
     let y = x.sp_matvec(&m);
     assert_eq!(y.shape(), (2, 1));

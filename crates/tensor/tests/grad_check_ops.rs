@@ -7,7 +7,7 @@
 
 #![allow(clippy::unwrap_used)]
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use revelio_tensor::{grad_check, BinCsr, Tensor};
 
@@ -265,7 +265,7 @@ fn grad_concat_cols() {
 #[test]
 fn grad_sp_matvec() {
     // 3×4 incidence-like matrix with an empty row and a shared column.
-    let mat = Rc::new(BinCsr::from_rows(
+    let mat = Arc::new(BinCsr::from_rows(
         3,
         4,
         &[vec![0, 2], vec![], vec![1, 2, 3]],

@@ -1,7 +1,7 @@
 //! Edge-case and contract tests for tensor operators: empty inputs,
 //! boundary values, and shape-mismatch panics.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use revelio_tensor::{Adam, BinCsr, Optimizer, Sgd, Tensor};
 
@@ -76,7 +76,7 @@ fn exp_ln_roundtrip() {
 
 #[test]
 fn sp_matvec_empty_rows_produce_zeros() {
-    let m = Rc::new(BinCsr::from_rows(3, 2, &[vec![], vec![0, 1], vec![]]));
+    let m = Arc::new(BinCsr::from_rows(3, 2, &[vec![], vec![0, 1], vec![]]));
     let x = Tensor::from_vec(vec![2.0, 3.0], 2, 1);
     assert_eq!(x.sp_matvec(&m).to_vec(), vec![0.0, 5.0, 0.0]);
 }

@@ -62,6 +62,7 @@ pub use revelio_datasets as datasets;
 pub use revelio_eval as eval;
 pub use revelio_gnn as gnn;
 pub use revelio_graph as graph;
+pub use revelio_runtime as runtime;
 pub use revelio_tensor as tensor;
 
 /// The most common imports in one place.
@@ -77,5 +78,6 @@ pub mod prelude {
         Task, TrainConfig,
     };
     pub use revelio_graph::{khop_subgraph, FlowIndex, Graph, MpGraph, Target};
+    pub use revelio_runtime::{ExplainJob, Runtime, RuntimeConfig};
     pub use revelio_tensor::Tensor;
 }
