@@ -226,21 +226,18 @@ impl Explainer for FlowX {
                     lp_c.exp().neg().add_scalar(1.0).clamp_min(1e-6).ln().neg()
                 }
             };
-            let mut reg: Option<Tensor> = None;
+            // Fold the per-layer regulariser terms straight into the loss so
+            // the sum needs no non-empty witness (layers ≥ 1 holds, but
+            // nothing here depends on it).
+            let scale = cfg.alpha / layers as f32;
+            let mut loss = objective;
             for mask in &masks {
                 let term = match cfg.objective {
                     Objective::Factual => mask.mean_all(),
                     Objective::Counterfactual => mask.neg().add_scalar(1.0).mean_all(),
                 };
-                reg = Some(match reg {
-                    None => term,
-                    Some(r) => r.add(&term),
-                });
+                loss = loss.add(&term.mul_scalar(scale));
             }
-            let loss = objective.add(
-                &reg.expect("at least one layer")
-                    .mul_scalar(cfg.alpha / layers as f32),
-            );
             loss.backward();
             opt.step();
         }

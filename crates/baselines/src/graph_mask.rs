@@ -10,6 +10,8 @@ use std::cell::RefCell;
 
 use revelio_core::{Explainer, Explanation, Objective};
 use revelio_gnn::{Gnn, Instance};
+
+use crate::NotFitted;
 use revelio_tensor::{glorot_uniform, Adam, Optimizer, Tensor};
 
 /// GraphMask hyperparameters (paper setup: learning rate 1e-2, 200 epochs).
@@ -162,45 +164,33 @@ impl GraphMask {
                         lp_c.exp().neg().add_scalar(1.0).clamp_min(1e-6).ln().neg()
                     }
                 };
-                let mut penalty: Option<Tensor> = None;
+                // Fold the per-layer penalty terms straight into the loss so
+                // the sum needs no non-empty witness (layers ≥ 1 holds, but
+                // nothing here depends on it).
+                let scale = cfg.l0_coeff / layers as f32;
+                let mut loss = objective;
                 for mask in &masks {
                     let term = match cfg.objective {
                         Objective::Factual => mask.mean_all(),
                         Objective::Counterfactual => mask.neg().add_scalar(1.0).mean_all(),
                     };
-                    penalty = Some(match penalty {
-                        None => term,
-                        Some(p) => p.add(&term),
-                    });
+                    loss = loss.add(&term.mul_scalar(scale));
                 }
-                let loss = objective.add(
-                    &penalty
-                        .expect("at least one layer")
-                        .mul_scalar(cfg.l0_coeff / layers as f32),
-                );
                 loss.backward();
                 opt.step();
             }
         }
         *self.gates.borrow_mut() = Some(gates);
     }
-}
 
-impl Explainer for GraphMask {
-    fn name(&self) -> &'static str {
-        "GraphMask"
-    }
-
-    fn fit(&self, model: &Gnn, instances: &[&Instance]) {
-        self.fit_group(model, instances);
-    }
-
-    fn explain(&self, model: &Gnn, instance: &Instance) -> Explanation {
-        if !self.is_fitted() {
-            self.fit_group(model, &[instance]);
-        }
+    /// Pure inference through the fitted gate networks; refuses with
+    /// [`NotFitted`] instead of self-fitting, so callers that require the
+    /// group-level semantics never silently degrade to instance-level.
+    pub fn try_explain(&self, model: &Gnn, instance: &Instance) -> Result<Explanation, NotFitted> {
         let gates_ref = self.gates.borrow();
-        let gates = gates_ref.as_ref().expect("fitted");
+        let gates = gates_ref.as_ref().ok_or(NotFitted {
+            method: "GraphMask",
+        })?;
         let masks = Self::masks_for(gates, model, instance);
         let mut layer_edge_scores: Vec<Vec<f32>> = masks.iter().map(Tensor::to_vec).collect();
         if self.cfg.objective == Objective::Counterfactual {
@@ -215,10 +205,34 @@ impl Explainer for GraphMask {
         let edge_scores: Vec<f32> = (0..m)
             .map(|e| layer_edge_scores.iter().map(|ls| ls[e]).sum::<f32>() / layers)
             .collect();
-        Explanation {
+        Ok(Explanation {
             edge_scores,
             layer_edge_scores: Some(layer_edge_scores),
             flows: None,
+        })
+    }
+}
+
+impl Explainer for GraphMask {
+    fn name(&self) -> &'static str {
+        "GraphMask"
+    }
+
+    fn fit(&self, model: &Gnn, instances: &[&Instance]) {
+        self.fit_group(model, instances);
+    }
+
+    fn explain(&self, model: &Gnn, instance: &Instance) -> Explanation {
+        match self.try_explain(model, instance) {
+            Ok(exp) => exp,
+            Err(NotFitted { .. }) => {
+                self.fit_group(model, &[instance]);
+                // fit_group unconditionally installs the gate networks.
+                match self.try_explain(model, instance) {
+                    Ok(exp) => exp,
+                    Err(e) => unreachable!("{e}"),
+                }
+            }
         }
     }
 }

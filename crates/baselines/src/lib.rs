@@ -18,6 +18,9 @@
 //! treat them uniformly. The algorithmic variant implemented for each method
 //! is documented in `DESIGN.md` §4.
 
+use std::error::Error;
+use std::fmt;
+
 mod flowx;
 mod gnn_explainer;
 mod gnn_lrp;
@@ -35,3 +38,24 @@ pub use graph_mask::{GraphMask, GraphMaskConfig};
 pub use pg_explainer::{PgExplainer, PgExplainerConfig};
 pub use pgm_explainer::{PgmExplainer, PgmExplainerConfig};
 pub use subgraphx::{SubgraphX, SubgraphXConfig};
+
+/// A group-level explainer ([`PgExplainer`], [`GraphMask`]) was asked to
+/// explain before `fit` installed its shared parameters.
+///
+/// The `Explainer::explain` trait method never surfaces this — it fits on
+/// the single instance it was handed (degrading to instance-level) — but
+/// the inherent `try_explain` methods return it so callers that require
+/// the group-level semantics can refuse instead of silently degrading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotFitted {
+    /// The explainer's `name()`.
+    pub method: &'static str,
+}
+
+impl fmt::Display for NotFitted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} has not been fitted; call fit first", self.method)
+    }
+}
+
+impl Error for NotFitted {}

@@ -8,6 +8,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use revelio_core::{Explainer, Explanation, Objective};
+
+use crate::NotFitted;
 use revelio_gnn::{Gnn, Instance, Task};
 use revelio_graph::Target;
 use revelio_tensor::{glorot_uniform, Adam, Optimizer, Tensor};
@@ -203,6 +205,25 @@ impl PgExplainer {
         }
         *self.mlp.borrow_mut() = Some(mlp);
     }
+
+    /// Pure inference through the fitted MLP; refuses with [`NotFitted`]
+    /// instead of self-fitting, so callers that require the group-level
+    /// semantics never silently degrade to instance-level.
+    pub fn try_explain(&self, model: &Gnn, instance: &Instance) -> Result<Explanation, NotFitted> {
+        let mlp_ref = self.mlp.borrow();
+        let mlp = mlp_ref.as_ref().ok_or(NotFitted {
+            method: "PGExplainer",
+        })?;
+        let z = Self::embeddings(model, instance);
+        let inputs = Self::edge_inputs(instance, &z);
+        let gate = mlp.forward(&inputs).sigmoid().to_vec();
+        let m = instance.mp.num_orig_edges();
+        let edge_scores = match self.cfg.objective {
+            Objective::Factual => gate[..m].to_vec(),
+            Objective::Counterfactual => gate[..m].iter().map(|v| 1.0 - v).collect(),
+        };
+        Ok(Explanation::from_edge_scores(edge_scores))
+    }
 }
 
 impl Explainer for PgExplainer {
@@ -215,24 +236,22 @@ impl Explainer for PgExplainer {
     }
 
     fn explain(&self, model: &Gnn, instance: &Instance) -> Explanation {
-        if !self.is_fitted() {
-            self.fit_group(model, &[instance]);
+        match self.try_explain(model, instance) {
+            Ok(exp) => exp,
+            Err(NotFitted { .. }) => {
+                self.fit_group(model, &[instance]);
+                // fit_group unconditionally installs the MLP.
+                match self.try_explain(model, instance) {
+                    Ok(exp) => exp,
+                    Err(e) => unreachable!("{e}"),
+                }
+            }
         }
-        let mlp_ref = self.mlp.borrow();
-        let mlp = mlp_ref.as_ref().expect("fitted");
-        let z = Self::embeddings(model, instance);
-        let inputs = Self::edge_inputs(instance, &z);
-        let gate = mlp.forward(&inputs).sigmoid().to_vec();
-        let m = instance.mp.num_orig_edges();
-        let edge_scores = match self.cfg.objective {
-            Objective::Factual => gate[..m].to_vec(),
-            Objective::Counterfactual => gate[..m].iter().map(|v| 1.0 - v).collect(),
-        };
-        Explanation::from_edge_scores(edge_scores)
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use revelio_gnn::{GnnConfig, GnnKind};
@@ -264,6 +283,32 @@ mod tests {
         let b2 = pg.explain(&model, &i1);
         assert_eq!(a.edge_scores, b2.edge_scores);
         assert_eq!(a.edge_scores.len(), 6);
+    }
+
+    #[test]
+    fn try_explain_refuses_before_fit() {
+        let mut b = Graph::builder(3, 2);
+        b.undirected_edge(0, 1).undirected_edge(1, 2);
+        let g = b.build();
+        let model = Gnn::new(GnnConfig::standard(
+            GnnKind::Gcn,
+            Task::NodeClassification,
+            2,
+            2,
+            53,
+        ));
+        let inst = Instance::for_prediction(&model, g, Target::Node(1));
+        let pg = PgExplainer::new(PgExplainerConfig {
+            epochs: 2,
+            ..Default::default()
+        });
+        match pg.try_explain(&model, &inst) {
+            Err(err) => assert_eq!(err.method, "PGExplainer"),
+            Ok(_) => panic!("unfitted try_explain must refuse"),
+        }
+        assert!(!pg.is_fitted());
+        pg.fit_group(&model, &[&inst]);
+        assert!(pg.try_explain(&model, &inst).is_ok());
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! Load generator for `revelio-server`: drives the wire protocol over
+//! loopback at several client-concurrency levels and writes
+//! `target/experiments/BENCH_server.json` (machine-readable; new fields
+//! are only ever added, never renamed).
+//!
+//! ```text
+//! cargo run -p revelio-bench --release --bin loadgen [--smoke] \
+//!     [--addr HOST:PORT] [--requests N] [--levels 1,2,4,8] \
+//!     [--max-in-flight N] [--shutdown]
+//! ```
+//!
+//! Without `--addr`, a server is started in-process on a free loopback
+//! port (self-contained benchmark). With `--addr`, an already-running
+//! `revelio-serve` is driven instead — that is the CI smoke path:
+//! `revelio-serve &` + `loadgen --smoke --addr ... --shutdown` proves the
+//! binary protocol end to end across processes.
+//!
+//! Every client thread ships `Busy`-aware retries, so shed requests are
+//! *counted* but still served eventually; the run fails (non-zero exit)
+//! if any request ultimately errors or the server reports protocol
+//! errors.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use revelio_bench::{available_workers, serving_workload};
+use revelio_core::wire::ControlSpec;
+use revelio_core::Objective;
+use revelio_eval::Effort;
+use revelio_graph::{Graph, Target};
+use revelio_runtime::RuntimeConfig;
+use revelio_server::{
+    Client, ClientConfig, ClientError, ExplainRequest, Server, ServerConfig, ServerStats,
+};
+
+struct Args {
+    smoke: bool,
+    addr: Option<String>,
+    requests: usize,
+    levels: Vec<usize>,
+    max_in_flight: usize,
+    shutdown: bool,
+}
+
+const USAGE: &str = "usage: loadgen [--smoke] [--addr HOST:PORT] [--requests N] \
+[--levels 1,2,4] [--max-in-flight N] [--shutdown]";
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        addr: None,
+        requests: 16,
+        levels: vec![1, 2, 4, 8],
+        max_in_flight: 64,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--shutdown" => args.shutdown = true,
+            "--addr" => args.addr = Some(it.next().expect(USAGE)),
+            "--requests" => {
+                args.requests = it.next().and_then(|v| v.parse().ok()).expect(USAGE);
+            }
+            "--max-in-flight" => {
+                args.max_in_flight = it.next().and_then(|v| v.parse().ok()).expect(USAGE);
+            }
+            "--levels" => {
+                args.levels = it
+                    .next()
+                    .expect(USAGE)
+                    .split(',')
+                    .map(|v| v.trim().parse().expect("--levels: not a number"))
+                    .collect();
+            }
+            other => panic!("unknown argument: {other}\n{USAGE}"),
+        }
+    }
+    if args.smoke {
+        args.requests = 4;
+        args.levels = vec![1, 2];
+    }
+    assert!(
+        !args.levels.is_empty(),
+        "--levels must name at least one level"
+    );
+    args
+}
+
+struct LevelResult {
+    clients: usize,
+    requests: usize,
+    seconds: f64,
+    per_sec: f64,
+    busy_answers: u64,
+    degraded: u64,
+    failures: u64,
+}
+
+/// Drives `requests` explanations per client from `clients` parallel
+/// connections. Every request retries on `Busy`/transient errors; a
+/// request that still fails after the budget counts as a failure.
+fn drive_level(
+    addr: std::net::SocketAddr,
+    model_id: u32,
+    graphs: &[Graph],
+    clients: usize,
+    requests: usize,
+) -> LevelResult {
+    let busy_answers = Arc::new(AtomicU64::new(0));
+    let degraded = Arc::new(AtomicU64::new(0));
+    let failures = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let busy_answers = Arc::clone(&busy_answers);
+            let degraded = Arc::clone(&degraded);
+            let failures = Arc::clone(&failures);
+            scope.spawn(move || {
+                let cfg = ClientConfig {
+                    max_attempts: 12,
+                    backoff_base: Duration::from_millis(5),
+                    ..Default::default()
+                };
+                let mut client = match Client::connect_with_retry(addr, cfg) {
+                    Ok(cl) => cl,
+                    Err(_) => {
+                        failures.fetch_add(requests as u64, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                for r in 0..requests {
+                    // Distinct graphs/ids per (client, request): the server
+                    // must enumerate flows per job rather than ride one
+                    // cache entry.
+                    let ix = (c * requests + r) % graphs.len();
+                    let req = ExplainRequest {
+                        model: model_id,
+                        graph_id: ix as u64,
+                        method: "REVELIO".to_owned(),
+                        objective: Objective::Factual,
+                        effort: Effort::Quick,
+                        target: Target::Node(2),
+                        control: ControlSpec::default(),
+                        graph: graphs[ix].clone(),
+                    };
+                    // Count Busy answers by probing once without retry,
+                    // then fall back to the retrying path.
+                    match client.explain(&req) {
+                        Ok(served) => {
+                            if served.degradation.is_degraded() {
+                                degraded.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(ClientError::Busy { .. }) => {
+                            busy_answers.fetch_add(1, Ordering::Relaxed);
+                            match client.explain_with_retry(&req) {
+                                Ok(served) => {
+                                    if served.degradation.is_degraded() {
+                                        degraded.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                Err(_) => {
+                                    failures.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let total = clients * requests;
+    LevelResult {
+        clients,
+        requests: total,
+        seconds,
+        per_sec: total as f64 / seconds.max(1e-9),
+        busy_answers: busy_answers.load(Ordering::Relaxed),
+        degraded: degraded.load(Ordering::Relaxed),
+        failures: failures.load(Ordering::Relaxed),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let (model, graphs) = serving_workload(args.requests.max(8));
+
+    // Either drive an external server (--addr) or host one in-process.
+    let local_server = if args.addr.is_none() {
+        Some(
+            Server::start(ServerConfig {
+                runtime: RuntimeConfig {
+                    workers: available_workers(),
+                    seed: 42,
+                    ..Default::default()
+                },
+                max_in_flight: args.max_in_flight,
+                ..Default::default()
+            })
+            .expect("start in-process server"),
+        )
+    } else {
+        None
+    };
+    let addr: std::net::SocketAddr = match (&args.addr, &local_server) {
+        (Some(a), _) => a.parse().expect("--addr must be HOST:PORT"),
+        (None, Some(s)) => s.local_addr(),
+        (None, None) => unreachable!(),
+    };
+
+    let mut admin = Client::connect_with_retry(
+        addr,
+        ClientConfig {
+            max_attempts: 20,
+            backoff_base: Duration::from_millis(25),
+            ..Default::default()
+        },
+    )
+    .expect("connect to server");
+    admin.ping().expect("server did not answer ping");
+    let model_id = admin
+        .register_model(&model)
+        .expect("register model over wire");
+
+    let mut rows = Vec::new();
+    for &clients in &args.levels {
+        let r = drive_level(addr, model_id, &graphs, clients, args.requests);
+        eprintln!(
+            "clients={:>2}  requests={:>4}  {:.2}s  {:.2} explanations/sec  busy={} failures={}",
+            r.clients, r.requests, r.seconds, r.per_sec, r.busy_answers, r.failures
+        );
+        rows.push(r);
+    }
+
+    let stats: ServerStats = admin.stats().expect("fetch final stats");
+    let failures: u64 = rows.iter().map(|r| r.failures).sum();
+
+    if args.shutdown {
+        admin.shutdown().expect("server acknowledged shutdown");
+    }
+    if let Some(server) = local_server {
+        server.stop();
+        let final_stats = server.shutdown();
+        debug_assert_eq!(final_stats.protocol_errors, stats.protocol_errors);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"revelio-server loadgen\",");
+    let _ = writeln!(json, "  \"cores\": {},", available_workers());
+    let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
+    let _ = writeln!(json, "  \"external_server\": {},", args.addr.is_some());
+    let _ = writeln!(json, "  \"requests_per_client\": {},", args.requests);
+    json.push_str("  \"levels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"clients\": {}, \"requests\": {}, \"seconds\": {:.4}, \
+             \"explanations_per_sec\": {:.4}, \"busy_answers\": {}, \
+             \"degraded\": {}, \"failures\": {}}}",
+            r.clients, r.requests, r.seconds, r.per_sec, r.busy_answers, r.degraded, r.failures
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"server\": {{\"requests\": {}, \"shed\": {}, \"protocol_errors\": {}, \
+         \"bytes_in\": {}, \"bytes_out\": {}, \"jobs_completed\": {}, \
+         \"jobs_rejected\": {}, \"mean_request_us\": {}}}",
+        stats.requests,
+        stats.shed,
+        stats.protocol_errors,
+        stats.bytes_in,
+        stats.bytes_out,
+        stats.runtime.jobs_completed,
+        stats.runtime.jobs_rejected,
+        stats.request_latency.mean_us()
+    );
+    json.push_str("}\n");
+
+    let path = revelio_eval::experiments_dir().join("BENCH_server.json");
+    std::fs::write(&path, &json).expect("write BENCH_server.json");
+    println!("{json}");
+    println!("written to {}", path.display());
+
+    if failures > 0 {
+        eprintln!("loadgen: {failures} requests ultimately failed");
+        return ExitCode::FAILURE;
+    }
+    if stats.protocol_errors > 0 {
+        eprintln!(
+            "loadgen: server reported {} protocol errors",
+            stats.protocol_errors
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("loadgen: all requests served, zero protocol errors");
+    ExitCode::SUCCESS
+}

@@ -82,6 +82,7 @@ fn main() {
                             make_explainer: method_factory(method, Objective::Factual, args.effort),
                             needs_flows: is_flow_based(method),
                             max_flows: flow_cap(args.effort),
+                            shrink_on_overflow: true,
                             deadline: None,
                         })
                         .collect();

@@ -1,7 +1,9 @@
 //! Serving-throughput benchmark: explanations/sec through the
 //! `revelio-runtime` worker pool at worker counts {1, 2, 4, N_cores} on a
-//! synthetic workload, written to `target/experiments/BENCH_runtime.json`
-//! (machine-readable; new fields are only ever added, never renamed).
+//! synthetic workload, plus an in-process vs loopback-TCP overhead
+//! comparison through `revelio-server`, written to
+//! `target/experiments/BENCH_runtime.json` (machine-readable; new fields
+//! are only ever added, never renamed).
 //!
 //! ```text
 //! cargo run -p revelio-bench --release --bin throughput [--smoke] \
@@ -15,12 +17,14 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use revelio_bench::available_workers;
+use revelio_bench::{available_workers, serving_workload};
+use revelio_core::wire::ControlSpec;
 use revelio_core::{Objective, Revelio, RevelioConfig};
 use revelio_eval::experiments_dir;
-use revelio_gnn::{Gnn, GnnConfig, GnnKind, Task, TrainConfig};
+use revelio_gnn::Gnn;
 use revelio_graph::{Graph, Target};
 use revelio_runtime::{ExplainJob, Runtime, RuntimeConfig};
+use revelio_server::{Client, ExplainRequest, Server, ServerConfig};
 
 struct Args {
     smoke: bool,
@@ -60,52 +64,6 @@ fn parse_args() -> Args {
     args
 }
 
-/// The synthetic workload: a family of small labelled graphs that the
-/// trained model classifies, each one the subject of one REVELIO job.
-fn workload(n: usize) -> (Gnn, Vec<Graph>) {
-    let graphs: Vec<Graph> = (0..n)
-        .map(|variant| {
-            let mut b = Graph::builder(6, 2);
-            b.undirected_edge(0, 1)
-                .undirected_edge(1, 2)
-                .undirected_edge(2, 3)
-                .undirected_edge(3, 4)
-                .undirected_edge(4, 5);
-            if variant % 3 == 1 {
-                b.undirected_edge(0, 2);
-            }
-            if variant % 3 == 2 {
-                b.undirected_edge(1, 3);
-            }
-            for v in 0..6 {
-                b.node_features(v, &[1.0, (v + variant) as f32 * 0.25]);
-            }
-            b.node_labels((0..6).map(|v| (v + variant) % 2).collect());
-            b.build()
-        })
-        .collect();
-    let model = Gnn::new(GnnConfig {
-        kind: GnnKind::Gcn,
-        task: Task::NodeClassification,
-        in_dim: 2,
-        hidden_dim: 8,
-        num_classes: 2,
-        num_layers: 2,
-        heads: 1,
-        seed: 7,
-    });
-    revelio_gnn::train_node_classifier(
-        &model,
-        &graphs[0],
-        &[0, 1, 2, 3, 4, 5],
-        &TrainConfig {
-            epochs: 20,
-            ..Default::default()
-        },
-    );
-    (model, graphs)
-}
-
 fn jobs_for(graphs: &[Graph], epochs: usize) -> Vec<ExplainJob> {
     graphs
         .iter()
@@ -141,6 +99,85 @@ struct Measurement {
     failed: u64,
 }
 
+struct Overhead {
+    jobs: usize,
+    inprocess_seconds: f64,
+    inprocess_per_sec: f64,
+    loopback_seconds: f64,
+    loopback_per_sec: f64,
+    /// `loopback_seconds / inprocess_seconds`: ≥ 1 unless noise wins.
+    overhead_ratio: f64,
+}
+
+/// In-process vs loopback-TCP cost of the *same* serial job stream:
+/// submit-and-wait through the runtime directly, then the identical
+/// requests through `revelio-server` over 127.0.0.1. Both sides use the
+/// registry's REVELIO factory (Quick effort) on one worker, so the only
+/// difference is the wire: framing, checksums, syscalls, and a second
+/// model materialisation server-side.
+fn measure_wire_overhead(model: &Gnn, graphs: &[Graph]) -> Overhead {
+    use revelio_eval::{method_factory, Effort};
+
+    let runtime_cfg = RuntimeConfig {
+        workers: 1,
+        seed: 42,
+        ..Default::default()
+    };
+
+    let rt = Runtime::with_config(runtime_cfg.clone());
+    let handle = rt.register_model(model);
+    let start = Instant::now();
+    for (i, g) in graphs.iter().enumerate() {
+        let job = ExplainJob::flow_based(
+            g.clone(),
+            Target::Node(2),
+            i as u64,
+            100_000,
+            method_factory("REVELIO", Objective::Factual, Effort::Quick),
+        );
+        rt.submit(handle, job)
+            .wait()
+            .expect("in-process job served");
+    }
+    let inprocess_seconds = start.elapsed().as_secs_f64();
+    drop(rt);
+
+    let server = Server::start(ServerConfig {
+        runtime: runtime_cfg,
+        ..Default::default()
+    })
+    .expect("loopback server");
+    let mut client = Client::connect(server.local_addr()).expect("loopback connect");
+    let model_id = client.register_model(model).expect("register over wire");
+    let start = Instant::now();
+    for (i, g) in graphs.iter().enumerate() {
+        client
+            .explain(&ExplainRequest {
+                model: model_id,
+                graph_id: i as u64,
+                method: "REVELIO".to_owned(),
+                objective: Objective::Factual,
+                effort: Effort::Quick,
+                target: Target::Node(2),
+                control: ControlSpec::default(),
+                graph: g.clone(),
+            })
+            .expect("loopback job served");
+    }
+    let loopback_seconds = start.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+    assert_eq!(stats.protocol_errors, 0, "loopback run hit protocol errors");
+
+    Overhead {
+        jobs: graphs.len(),
+        inprocess_seconds,
+        inprocess_per_sec: graphs.len() as f64 / inprocess_seconds.max(1e-9),
+        loopback_seconds,
+        loopback_per_sec: graphs.len() as f64 / loopback_seconds.max(1e-9),
+        overhead_ratio: loopback_seconds / inprocess_seconds.max(1e-9),
+    }
+}
+
 fn measure(model: &Gnn, graphs: &[Graph], workers: usize, epochs: usize) -> Measurement {
     let rt = Runtime::with_config(RuntimeConfig {
         workers,
@@ -166,7 +203,7 @@ fn measure(model: &Gnn, graphs: &[Graph], workers: usize, epochs: usize) -> Meas
 fn main() {
     let args = parse_args();
     let cores = available_workers();
-    let (model, graphs) = workload(args.jobs);
+    let (model, graphs) = serving_workload(args.jobs);
 
     let mut worker_counts: Vec<usize> = if args.smoke {
         vec![2]
@@ -194,6 +231,12 @@ fn main() {
         .map(|m| m.per_sec)
         .unwrap_or(0.0);
 
+    let overhead = measure_wire_overhead(&model, &graphs);
+    eprintln!(
+        "overhead: in-process {:.2}/s vs loopback {:.2}/s (x{:.3} wall-clock)",
+        overhead.inprocess_per_sec, overhead.loopback_per_sec, overhead.overhead_ratio
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"revelio-runtime throughput\",");
@@ -217,7 +260,21 @@ fn main() {
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"overhead\": {{\"workers\": 1, \"jobs\": {}, \
+         \"inprocess_seconds\": {:.4}, \"inprocess_per_sec\": {:.4}, \
+         \"loopback_seconds\": {:.4}, \"loopback_per_sec\": {:.4}, \
+         \"loopback_over_inprocess\": {:.4}}}",
+        overhead.jobs,
+        overhead.inprocess_seconds,
+        overhead.inprocess_per_sec,
+        overhead.loopback_seconds,
+        overhead.loopback_per_sec,
+        overhead.overhead_ratio
+    );
+    json.push_str("}\n");
 
     let path = experiments_dir().join("BENCH_runtime.json");
     std::fs::write(&path, &json).expect("write BENCH_runtime.json");

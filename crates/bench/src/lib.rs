@@ -150,6 +150,54 @@ pub fn available_workers() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
+/// The synthetic serving workload shared by the `throughput` and `loadgen`
+/// benchmarks: a family of `n` small labelled graph variants and a model
+/// trained to classify their nodes. Variants differ in one chord so jobs
+/// with distinct `graph_id`s genuinely enumerate distinct flow sets.
+pub fn serving_workload(n: usize) -> (Gnn, Vec<revelio_graph::Graph>) {
+    let graphs: Vec<revelio_graph::Graph> = (0..n)
+        .map(|variant| {
+            let mut b = revelio_graph::Graph::builder(6, 2);
+            b.undirected_edge(0, 1)
+                .undirected_edge(1, 2)
+                .undirected_edge(2, 3)
+                .undirected_edge(3, 4)
+                .undirected_edge(4, 5);
+            if variant % 3 == 1 {
+                b.undirected_edge(0, 2);
+            }
+            if variant % 3 == 2 {
+                b.undirected_edge(1, 3);
+            }
+            for v in 0..6 {
+                b.node_features(v, &[1.0, (v + variant) as f32 * 0.25]);
+            }
+            b.node_labels((0..6).map(|v| (v + variant) % 2).collect());
+            b.build()
+        })
+        .collect();
+    let model = Gnn::new(revelio_gnn::GnnConfig {
+        kind: GnnKind::Gcn,
+        task: revelio_gnn::Task::NodeClassification,
+        in_dim: 2,
+        hidden_dim: 8,
+        num_classes: 2,
+        num_layers: 2,
+        heads: 1,
+        seed: 7,
+    });
+    revelio_gnn::train_node_classifier(
+        &model,
+        &graphs[0],
+        &[0, 1, 2, 3, 4, 5],
+        &revelio_gnn::TrainConfig {
+            epochs: 20,
+            ..Default::default()
+        },
+    );
+    (model, graphs)
+}
+
 /// The synthetic datasets on which the paper does not run GAT.
 pub fn is_synthetic(dataset: &str) -> bool {
     matches!(dataset, "BA-Shapes" | "Tree-Cycles" | "BA-2motifs")
@@ -231,6 +279,7 @@ pub fn run_fidelity(
                     make_explainer: method_factory(method, objective, effort),
                     needs_flows: is_flow_based(method),
                     max_flows: flow_cap(effort),
+                    shrink_on_overflow: true,
                     deadline: None,
                 })
                 .collect();

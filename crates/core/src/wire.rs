@@ -1,0 +1,454 @@
+//! Serde-free binary encoding for the serving vocabulary.
+//!
+//! The network layer (`revelio-server`) speaks a hand-rolled little-endian
+//! wire format; this module owns the byte-level primitives plus the codecs
+//! for the types *this* crate defines — [`Degradation`], score vectors, and
+//! the serialisable [`ControlSpec`] subset of [`ExplainControl`] — so the
+//! wire representation of core vocabulary lives next to the vocabulary
+//! itself. Everything is explicit and versioned by the frame protocol above
+//! it; there is no reflection and no derive machinery.
+//!
+//! Decoding never trusts a length before checking it against the bytes that
+//! are actually present, so a truncated or hostile buffer costs at most the
+//! bytes received — never an unbounded allocation.
+//!
+//! [`ExplainControl`]: crate::ExplainControl
+
+use std::fmt;
+
+use crate::control::Degradation;
+
+/// Error raised by [`WireReader`] when a buffer does not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireDecodeError {
+    /// The buffer ended before the announced content did.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A field held a value its type forbids (bad enum tag, non-UTF-8
+    /// string, inconsistent lengths, …).
+    Invalid(&'static str),
+    /// Decoding finished with unread bytes left over — the sender and
+    /// receiver disagree about the message layout.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireDecodeError::Truncated { needed, remaining } => write!(
+                f,
+                "truncated message: needed {needed} more bytes, {remaining} remaining"
+            ),
+            WireDecodeError::Invalid(what) => write!(f, "invalid field: {what}"),
+            WireDecodeError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after a complete message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireDecodeError {}
+
+// ---------------------------------------------------------------------------
+// Writer primitives: plain functions appending to a Vec<u8>.
+// ---------------------------------------------------------------------------
+
+/// Appends a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a little-endian `u16`.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f32` as its little-endian IEEE-754 bits (bit-exact: `NaN`
+/// payloads and signed zeros survive the round trip).
+pub fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Appends a `bool` as one byte (`0` / `1`).
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+/// Appends `Some(v)` as `1` + the value, `None` as `0`.
+pub fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+/// Appends a `u32` length prefix followed by each value's IEEE bits.
+pub fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_f32(out, v);
+    }
+}
+
+/// Appends a `u32` length prefix followed by the values.
+pub fn put_u32s(out: &mut Vec<u8>, vs: &[u32]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_u32(out, v);
+    }
+}
+
+/// Appends a `u16` length prefix followed by the UTF-8 bytes.
+///
+/// # Panics
+///
+/// Panics if `s` is longer than `u16::MAX` bytes; wire strings are short
+/// identifiers (method names, error messages are truncated by callers).
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    assert!(s.len() <= u16::MAX as usize, "wire string too long");
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Reader: bounds-checked cursor over a received buffer.
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked little-endian cursor over a received byte buffer.
+///
+/// Every getter checks the remaining length first and returns
+/// [`WireDecodeError::Truncated`] instead of panicking; length-prefixed
+/// getters additionally verify the prefix against the remaining bytes
+/// *before* allocating.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over the whole buffer.
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireDecodeError> {
+        if self.remaining() < n {
+            return Err(WireDecodeError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireDecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireDecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireDecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireDecodeError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads an `f32` from its IEEE bits.
+    pub fn f32(&mut self) -> Result<f32, WireDecodeError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Reads a `bool`; any byte other than `0`/`1` is invalid.
+    pub fn bool(&mut self) -> Result<bool, WireDecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireDecodeError::Invalid("bool byte")),
+        }
+    }
+
+    /// Reads an optional `u64` written by [`put_opt_u64`].
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, WireDecodeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            _ => Err(WireDecodeError::Invalid("option tag")),
+        }
+    }
+
+    /// Reads a `u32`-prefixed `f32` vector, validating the prefix against
+    /// the remaining bytes before allocating.
+    pub fn f32s(&mut self) -> Result<Vec<f32>, WireDecodeError> {
+        let n = self.u32()? as usize;
+        let needed = n.checked_mul(4).ok_or(WireDecodeError::Invalid(
+            "f32 vector length overflows usize",
+        ))?;
+        if self.remaining() < needed {
+            return Err(WireDecodeError::Truncated {
+                needed,
+                remaining: self.remaining(),
+            });
+        }
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    /// Reads a `u32`-prefixed `u32` vector, validating the prefix first.
+    pub fn u32s(&mut self) -> Result<Vec<u32>, WireDecodeError> {
+        let n = self.u32()? as usize;
+        let needed = n.checked_mul(4).ok_or(WireDecodeError::Invalid(
+            "u32 vector length overflows usize",
+        ))?;
+        if self.remaining() < needed {
+            return Err(WireDecodeError::Truncated {
+                needed,
+                remaining: self.remaining(),
+            });
+        }
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    /// Reads a `u16`-prefixed UTF-8 string written by [`put_str`].
+    pub fn str(&mut self) -> Result<String, WireDecodeError> {
+        let n = self.u16()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireDecodeError::Invalid("string is not UTF-8"))
+    }
+
+    /// Asserts the buffer is fully consumed (a layout-drift tripwire).
+    pub fn expect_end(&self) -> Result<(), WireDecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireDecodeError::TrailingBytes(self.remaining()))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codecs for core vocabulary.
+// ---------------------------------------------------------------------------
+
+/// The serialisable subset of [`ExplainControl`]: what a *remote* caller can
+/// ask for. The process-local parts (the cancel flag, the cached flow
+/// index) are attached server-side; the deadline crosses the wire as a
+/// relative budget because `Instant`s are meaningless across machines.
+///
+/// [`ExplainControl`]: crate::ExplainControl
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlSpec {
+    /// Per-request latency budget in milliseconds (`None` = the server's
+    /// default deadline).
+    pub deadline_ms: Option<u64>,
+    /// Flow-enumeration cap; oversized instances are shrunk (and the drop
+    /// reported via [`Degradation::flows_dropped`]) when
+    /// `shrink_on_overflow` is set.
+    pub max_flows: u64,
+    /// Degrade oversized instances instead of failing them.
+    pub shrink_on_overflow: bool,
+}
+
+impl Default for ControlSpec {
+    fn default() -> Self {
+        ControlSpec {
+            deadline_ms: None,
+            max_flows: 100_000,
+            shrink_on_overflow: true,
+        }
+    }
+}
+
+impl ControlSpec {
+    /// Appends the spec to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        put_opt_u64(out, self.deadline_ms);
+        put_u64(out, self.max_flows);
+        put_bool(out, self.shrink_on_overflow);
+    }
+
+    /// Reads a spec written by [`ControlSpec::encode`].
+    pub fn decode(r: &mut WireReader<'_>) -> Result<ControlSpec, WireDecodeError> {
+        Ok(ControlSpec {
+            deadline_ms: r.opt_u64()?,
+            max_flows: r.u64()?,
+            shrink_on_overflow: r.bool()?,
+        })
+    }
+}
+
+impl Degradation {
+    /// Appends the degradation record to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        put_bool(out, self.deadline_hit);
+        put_u64(out, self.epochs_run as u64);
+        put_u64(out, self.epochs_planned as u64);
+        put_u64(out, self.flows_dropped);
+    }
+
+    /// Reads a record written by [`Degradation::encode`].
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Degradation, WireDecodeError> {
+        Ok(Degradation {
+            deadline_hit: r.bool()?,
+            epochs_run: r.u64()? as usize,
+            epochs_planned: r.u64()? as usize,
+            flows_dropped: r.u64()?,
+        })
+    }
+}
+
+/// Appends a score vector (importance scores are just `f32`s, but the named
+/// helper keeps call sites self-describing).
+pub fn put_scores(out: &mut Vec<u8>, scores: &[f32]) {
+    put_f32s(out, scores);
+}
+
+/// Reads a score vector written by [`put_scores`].
+pub fn read_scores(r: &mut WireReader<'_>) -> Result<Vec<f32>, WireDecodeError> {
+    r.f32s()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u16(&mut buf, 513);
+        put_u32(&mut buf, 70_000);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f32(&mut buf, -0.0);
+        put_bool(&mut buf, true);
+        put_opt_u64(&mut buf, None);
+        put_opt_u64(&mut buf, Some(42));
+        put_str(&mut buf, "REVELIO");
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8(), Ok(7));
+        assert_eq!(r.u16(), Ok(513));
+        assert_eq!(r.u32(), Ok(70_000));
+        assert_eq!(r.u64(), Ok(u64::MAX - 1));
+        assert_eq!(r.f32().map(f32::to_bits), Ok((-0.0f32).to_bits()));
+        assert_eq!(r.bool(), Ok(true));
+        assert_eq!(r.opt_u64(), Ok(None));
+        assert_eq!(r.opt_u64(), Ok(Some(42)));
+        assert_eq!(r.str().as_deref(), Ok("REVELIO"));
+        assert_eq!(r.expect_end(), Ok(()));
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 99);
+        let mut r = WireReader::new(&buf[..5]);
+        assert!(matches!(
+            r.u64(),
+            Err(WireDecodeError::Truncated {
+                needed: 8,
+                remaining: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn length_prefix_is_validated_before_allocation() {
+        // Claims 2^31 floats but carries none: must fail fast.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX / 2);
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(r.f32s(), Err(WireDecodeError::Truncated { .. })));
+    }
+
+    #[test]
+    fn nan_scores_survive_bit_exact() {
+        let weird = f32::from_bits(0x7FC0_0001); // NaN with a payload
+        let mut buf = Vec::new();
+        put_scores(&mut buf, &[1.5, weird, f32::NEG_INFINITY]);
+        let mut r = WireReader::new(&buf);
+        let back = read_scores(&mut r).expect("decodes");
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0].to_bits(), 1.5f32.to_bits());
+        assert_eq!(back[1].to_bits(), weird.to_bits());
+        assert_eq!(back[2].to_bits(), f32::NEG_INFINITY.to_bits());
+    }
+
+    #[test]
+    fn control_spec_and_degradation_round_trip() {
+        let spec = ControlSpec {
+            deadline_ms: Some(250),
+            max_flows: 60_000,
+            shrink_on_overflow: false,
+        };
+        let mut buf = Vec::new();
+        spec.encode(&mut buf);
+        let deg = Degradation {
+            deadline_hit: true,
+            epochs_run: 17,
+            epochs_planned: 500,
+            flows_dropped: 1234,
+        };
+        deg.encode(&mut buf);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(ControlSpec::decode(&mut r), Ok(spec));
+        assert_eq!(Degradation::decode(&mut r), Ok(deg));
+        assert_eq!(r.expect_end(), Ok(()));
+    }
+
+    #[test]
+    fn invalid_tags_are_rejected() {
+        let mut r = WireReader::new(&[2]);
+        assert_eq!(r.bool(), Err(WireDecodeError::Invalid("bool byte")));
+        let mut r = WireReader::new(&[9, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(r.opt_u64(), Err(WireDecodeError::Invalid("option tag")));
+        let mut r = WireReader::new(&[2, 0, 0xFF, 0xFE]);
+        assert_eq!(
+            r.str(),
+            Err(WireDecodeError::Invalid("string is not UTF-8"))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let buf = [1u8, 2, 3];
+        let mut r = WireReader::new(&buf);
+        let _ = r.u8();
+        assert_eq!(r.expect_end(), Err(WireDecodeError::TrailingBytes(2)));
+    }
+}

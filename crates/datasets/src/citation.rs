@@ -131,8 +131,11 @@ fn cumulative(w: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// Samples an index proportionally to the weight increments behind `cum`.
+/// Total over its inputs: an empty table yields index 0 (callers always
+/// pass non-empty weights, but nothing here depends on it).
 fn sample_cum(cum: &[f64], rng: &mut SmallRng) -> usize {
-    let total = *cum.last().expect("non-empty weights");
+    let Some(&total) = cum.last() else { return 0 };
     let t = rng.gen_range(0.0..total);
     cum.partition_point(|&c| c <= t).min(cum.len() - 1)
 }

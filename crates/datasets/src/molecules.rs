@@ -68,7 +68,10 @@ impl MoleculeBuilder {
         (nodes, edge_ids)
     }
 
-    fn chain(&mut self, ty: usize, len: usize, attach_to: usize) -> Vec<usize> {
+    /// Grows a chain off `attach_to`, returning the new atoms and the tip
+    /// (the last chain atom, or `attach_to` itself when `len == 0`) so
+    /// callers can extend from the end without a non-emptiness witness.
+    fn chain(&mut self, ty: usize, len: usize, attach_to: usize) -> (Vec<usize>, usize) {
         let mut prev = attach_to;
         let mut nodes = Vec::with_capacity(len);
         for _ in 0..len {
@@ -77,7 +80,7 @@ impl MoleculeBuilder {
             nodes.push(v);
             prev = v;
         }
-        nodes
+        (nodes, prev)
     }
 
     fn finish(mut self, feat_dim: usize, label: usize) -> Graph {
@@ -122,16 +125,16 @@ pub fn mutag_sim(seed: u64) -> GraphDataset {
         let (ring1, _) = m.ring(CARBON, 6);
         let mut skeleton: Vec<usize> = ring1.clone();
         if rng.gen_bool(0.55) {
-            let bridge = m.chain(CARBON, rng.gen_range(1..=2), ring1[0]);
+            let (bridge, tip) = m.chain(CARBON, rng.gen_range(1..=2), ring1[0]);
             let (ring2, _) = m.ring(CARBON, rng.gen_range(5..=6));
-            m.bond(*bridge.last().expect("chain is non-empty"), ring2[0]);
+            m.bond(tip, ring2[0]);
             skeleton.extend(bridge);
             skeleton.extend(ring2);
         }
         let tail_len = rng.gen_range(0..=3);
         if tail_len > 0 {
             let anchor = skeleton[rng.gen_range(0..skeleton.len())];
-            let tail = m.chain(CARBON, tail_len, anchor);
+            let (tail, _) = m.chain(CARBON, tail_len, anchor);
             skeleton.extend(tail);
         }
 
@@ -199,11 +202,11 @@ pub fn bbbp_sim(seed: u64) -> GraphDataset {
 
         let (ring1, _) = m.ring(CARBON, 6);
         let mut skeleton = ring1.clone();
-        let bridge = m.chain(CARBON, rng.gen_range(2..=4), ring1[2]);
-        skeleton.extend(bridge.clone());
+        let (bridge, bridge_tip) = m.chain(CARBON, rng.gen_range(2..=4), ring1[2]);
+        skeleton.extend(bridge);
         if rng.gen_bool(0.5) {
             let (ring2, _) = m.ring(CARBON, rng.gen_range(5..=6));
-            m.bond(*bridge.last().expect("chain is non-empty"), ring2[0]);
+            m.bond(bridge_tip, ring2[0]);
             skeleton.extend(ring2);
         }
         // Random heteroatom decorations in both classes.

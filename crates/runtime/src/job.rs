@@ -75,6 +75,11 @@ pub struct ExplainJob {
     /// shrunk to this cap (reported via [`Degradation::flows_dropped`])
     /// rather than rejected.
     pub max_flows: usize,
+    /// When the instance exceeds `max_flows`: `true` degrades the answer to
+    /// a deterministic flow prefix, `false` fails the job with
+    /// [`JobError::TooManyFlows`] instead (for callers that would rather
+    /// retry against a bigger budget than act on a partial answer).
+    pub shrink_on_overflow: bool,
     /// Per-job latency budget, measured from *submission* (queue wait
     /// counts). `None` falls back to the runtime's default deadline.
     pub deadline: Option<Duration>,
@@ -97,6 +102,7 @@ impl ExplainJob {
             make_explainer,
             needs_flows: true,
             max_flows,
+            shrink_on_overflow: true,
             deadline: None,
         }
     }
@@ -115,6 +121,7 @@ impl ExplainJob {
             make_explainer,
             needs_flows: false,
             max_flows: usize::MAX,
+            shrink_on_overflow: true,
             deadline: None,
         }
     }
@@ -165,6 +172,13 @@ pub enum JobError {
     Cancelled,
     /// The job referenced a model handle that was never registered.
     UnknownModel,
+    /// The instance exceeded the job's flow cap and the job opted out of
+    /// shrinking (`shrink_on_overflow == false`); carries how many flows
+    /// were over budget.
+    TooManyFlows {
+        /// Flows beyond the cap.
+        dropped: u64,
+    },
     /// The worker disappeared without reporting a result (a runtime bug;
     /// surfaced instead of hanging the caller).
     Lost,
@@ -176,6 +190,10 @@ impl std::fmt::Display for JobError {
             JobError::Panicked(msg) => write!(f, "explainer panicked: {msg}"),
             JobError::Cancelled => write!(f, "job cancelled at shutdown"),
             JobError::UnknownModel => write!(f, "unknown model handle"),
+            JobError::TooManyFlows { dropped } => write!(
+                f,
+                "instance exceeds the flow cap by {dropped} flows and shrinking was disabled"
+            ),
             JobError::Lost => write!(f, "worker dropped the job without a result"),
         }
     }
@@ -187,6 +205,24 @@ impl std::error::Error for JobError {}
 pub type JobResult = Result<JobOutput, JobError>;
 
 /// A claim on one submitted job's result.
+///
+/// Semantics:
+///
+/// * A ticket **always resolves** — completion, [`JobError::Panicked`],
+///   [`JobError::Cancelled`] after [`Runtime::cancel_all`], or
+///   [`JobError::Lost`] if the runtime disappears — so `wait` cannot hang
+///   on a healthy runtime.
+/// * Dropping a ticket does **not** cancel the job; the worker still runs
+///   it (and its side effects, like cache warming, still happen). The
+///   result is discarded on arrival.
+/// * Tickets are single-use claims: [`Ticket::wait`] consumes the ticket,
+///   and [`Ticket::try_wait`] hands it back until the result is in.
+/// * Waiting does not require the [`Runtime`] to stay alive: dropping the
+///   runtime drains the queue first, so queued tickets resolve before the
+///   last worker exits.
+///
+/// [`Runtime`]: crate::Runtime
+/// [`Runtime::cancel_all`]: crate::Runtime::cancel_all
 pub struct Ticket {
     pub(crate) job_id: u64,
     pub(crate) rx: mpsc::Receiver<JobResult>,

@@ -58,4 +58,4 @@ pub use job::{
     ModelSpec, Ticket,
 };
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, LATENCY_BUCKETS_US};
-pub use pool::{Runtime, RuntimeConfig, WorkerProbe};
+pub use pool::{Runtime, RuntimeConfig, RuntimeConfigError, WorkerProbe};

@@ -38,7 +38,9 @@ impl Histogram {
         self.max_us.fetch_max(us, Ordering::Relaxed);
     }
 
-    fn snapshot(&self) -> HistogramSnapshot {
+    /// Point-in-time copy of the counters (relaxed loads; buckets may be
+    /// mutually slightly stale under concurrent `observe`).
+    pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
             count: self.count.load(Ordering::Relaxed),
@@ -80,6 +82,11 @@ pub struct Metrics {
     pub jobs_degraded: AtomicU64,
     /// Jobs that panicked or were cancelled before producing an answer.
     pub jobs_failed: AtomicU64,
+    /// Jobs shed by [`Runtime::try_submit`] admission control (never
+    /// queued; not counted in `jobs_submitted`).
+    ///
+    /// [`Runtime::try_submit`]: crate::Runtime::try_submit
+    pub jobs_rejected: AtomicU64,
     /// Jobs submitted but not yet picked up by a worker.
     pub queue_depth: AtomicU64,
     pub queue_wait: Histogram,
@@ -97,6 +104,7 @@ impl Metrics {
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             jobs_degraded: self.jobs_degraded.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             cache_hits,
             cache_misses,
@@ -116,6 +124,8 @@ pub struct MetricsSnapshot {
     pub jobs_completed: u64,
     pub jobs_degraded: u64,
     pub jobs_failed: u64,
+    /// Jobs shed by admission control before queueing.
+    pub jobs_rejected: u64,
     pub queue_depth: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
@@ -140,12 +150,13 @@ impl MetricsSnapshot {
         let mut out = String::new();
         out.push_str("runtime metrics\n");
         out.push_str(&format!(
-            "  jobs      submitted={} started={} completed={} degraded={} failed={}\n",
+            "  jobs      submitted={} started={} completed={} degraded={} failed={} rejected={}\n",
             self.jobs_submitted,
             self.jobs_started,
             self.jobs_completed,
             self.jobs_degraded,
             self.jobs_failed,
+            self.jobs_rejected,
         ));
         out.push_str(&format!(
             "  queue     depth={} wait mean={}us max={}us\n",

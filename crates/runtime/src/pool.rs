@@ -44,6 +44,51 @@ pub struct RuntimeConfig {
     pub default_deadline: Option<Duration>,
 }
 
+/// A [`RuntimeConfig`] value the runtime refuses to run with.
+///
+/// Zero-sized resources used to be silently clamped up to 1, which made a
+/// misconfigured deployment look like a deliberately tiny one; they are now
+/// typed errors surfaced at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeConfigError {
+    /// `workers == 0`: a runtime with no workers can never serve a job.
+    ZeroWorkers,
+    /// `cache_capacity == 0`: every artifact would be evicted before reuse.
+    ZeroCacheCapacity,
+    /// `cache_shards == 0`: the cache needs at least one shard.
+    ZeroCacheShards,
+}
+
+impl std::fmt::Display for RuntimeConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeConfigError::ZeroWorkers => write!(f, "workers must be at least 1"),
+            RuntimeConfigError::ZeroCacheCapacity => {
+                write!(f, "cache_capacity must be at least 1")
+            }
+            RuntimeConfigError::ZeroCacheShards => write!(f, "cache_shards must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeConfigError {}
+
+impl RuntimeConfig {
+    /// Checks the configuration for values the runtime cannot honour.
+    pub fn validate(&self) -> Result<(), RuntimeConfigError> {
+        if self.workers == 0 {
+            return Err(RuntimeConfigError::ZeroWorkers);
+        }
+        if self.cache_capacity == 0 {
+            return Err(RuntimeConfigError::ZeroCacheCapacity);
+        }
+        if self.cache_shards == 0 {
+            return Err(RuntimeConfigError::ZeroCacheShards);
+        }
+        Ok(())
+    }
+}
+
 impl Default for RuntimeConfig {
     fn default() -> Self {
         RuntimeConfig {
@@ -63,7 +108,21 @@ struct Shared {
     metrics: Metrics,
     cancel: Arc<AtomicBool>,
     alive_workers: AtomicUsize,
+    /// Jobs accepted but not yet answered (queued + running); the
+    /// admission-control signal read by [`Runtime::try_submit`].
+    in_flight: AtomicUsize,
     base_seed: u64,
+}
+
+/// Decrements the in-flight gauge exactly once per accepted job, however
+/// the job leaves the runtime (answered, failed, cancelled, or dropped by a
+/// panicking worker mid-explain).
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// One queued request, as it travels to a worker.
@@ -91,6 +150,11 @@ pub struct Runtime {
 
 impl Runtime {
     /// A runtime with `workers` threads and default cache/deadline settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` (see [`Runtime::try_with_config`] for the
+    /// non-panicking constructor).
     pub fn new(workers: usize) -> Runtime {
         Runtime::with_config(RuntimeConfig {
             workers,
@@ -98,14 +162,18 @@ impl Runtime {
         })
     }
 
-    pub fn with_config(cfg: RuntimeConfig) -> Runtime {
-        let workers = cfg.workers.max(1);
+    /// Builds a runtime, or reports *why* the configuration is unusable
+    /// (zero workers, zero cache capacity/shards) as a typed error.
+    pub fn try_with_config(cfg: RuntimeConfig) -> Result<Runtime, RuntimeConfigError> {
+        cfg.validate()?;
+        let workers = cfg.workers;
         let shared = Arc::new(Shared {
             models: Mutex::new(Vec::new()),
             cache: ArtifactCache::new(cfg.cache_shards, cfg.cache_capacity),
             metrics: Metrics::default(),
             cancel: Arc::new(AtomicBool::new(false)),
             alive_workers: AtomicUsize::new(workers),
+            in_flight: AtomicUsize::new(0),
             base_seed: cfg.seed,
         });
         let (tx, rx) = mpsc::channel::<QueuedJob>();
@@ -120,13 +188,23 @@ impl Runtime {
                     .unwrap_or_else(|e| panic!("failed to spawn worker {i}: {e}"))
             })
             .collect();
-        Runtime {
+        Ok(Runtime {
             tx: Some(tx),
             workers: handles,
             shared,
             next_job_id: AtomicU64::new(0),
             default_deadline: cfg.default_deadline,
-        }
+        })
+    }
+
+    /// [`Runtime::try_with_config`], panicking on an invalid configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`RuntimeConfigError`] message when `cfg` fails
+    /// [`RuntimeConfig::validate`].
+    pub fn with_config(cfg: RuntimeConfig) -> Runtime {
+        Runtime::try_with_config(cfg).unwrap_or_else(|e| panic!("invalid RuntimeConfig: {e}"))
     }
 
     /// Registers a model for serving; the returned handle is what jobs
@@ -139,8 +217,47 @@ impl Runtime {
         ModelHandle(models.len() - 1)
     }
 
+    /// Enqueues one job if the runtime has room, or hands the job back.
+    ///
+    /// Admission control for callers that must bound latency: when
+    /// [`Runtime::in_flight`] (queued + running jobs) is already at
+    /// `max_in_flight`, the job is *not* queued — it is returned unchanged
+    /// so the caller can shed it (e.g. answer `Busy` over the network) —
+    /// and the rejection is counted in
+    /// [`MetricsSnapshot::jobs_rejected`].
+    ///
+    /// The check and the enqueue are not atomic with respect to other
+    /// submitters, so the bound is approximate under concurrent submission
+    /// (off by at most the number of simultaneous submitters) — fine for
+    /// load shedding, where the limit is a watermark rather than an exact
+    /// capacity.
+    ///
+    /// [`MetricsSnapshot::jobs_rejected`]: crate::MetricsSnapshot
+    // The large Err variant is the point: the rejected job goes back to
+    // the caller intact so nothing about it is lost in the shed path.
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit(
+        &self,
+        handle: ModelHandle,
+        job: ExplainJob,
+        max_in_flight: usize,
+    ) -> Result<Ticket, ExplainJob> {
+        if self.in_flight() >= max_in_flight {
+            self.shared
+                .metrics
+                .jobs_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(job);
+        }
+        Ok(self.submit(handle, job))
+    }
+
     /// Enqueues one job; returns immediately with a [`Ticket`] for its
     /// result.
+    ///
+    /// `submit` never blocks and never refuses: the queue is unbounded.
+    /// Servers that must shed load instead of queueing use
+    /// [`Runtime::try_submit`].
     pub fn submit(&self, handle: ModelHandle, job: ExplainJob) -> Ticket {
         let job_id = self.next_job_id.fetch_add(1, Ordering::Relaxed);
         let (result_tx, result_rx) = mpsc::channel();
@@ -161,6 +278,7 @@ impl Runtime {
             .metrics
             .queue_depth
             .fetch_add(1, Ordering::Relaxed);
+        self.shared.in_flight.fetch_add(1, Ordering::Relaxed);
         match &self.tx {
             Some(tx) => {
                 if let Err(mpsc::SendError(q)) = tx.send(queued) {
@@ -170,6 +288,7 @@ impl Runtime {
                         .metrics
                         .queue_depth
                         .fetch_sub(1, Ordering::Relaxed);
+                    self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
                     self.shared
                         .metrics
                         .jobs_failed
@@ -178,6 +297,7 @@ impl Runtime {
                 }
             }
             None => {
+                self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
                 let _ = queued.result_tx.send(Err(JobError::Cancelled));
             }
         }
@@ -197,8 +317,41 @@ impl Runtime {
     /// Abandons queued (and in-flight, at the next deadline poll) work:
     /// queued jobs fail with [`JobError::Cancelled`], running optimisation
     /// loops stop at their next epoch and report a degraded answer.
+    ///
+    /// Semantics in detail:
+    ///
+    /// * Cancellation is **sticky and runtime-wide** — there is no per-job
+    ///   cancel and no un-cancel; jobs submitted after the call also fail
+    ///   with [`JobError::Cancelled`].
+    /// * Jobs a worker has already started are **not** killed: their
+    ///   deadline polls observe the cancel flag at the next optimisation
+    ///   epoch, so they return their best-so-far answer with
+    ///   `degradation.deadline_hit == true` (non-iterative explainers run
+    ///   to completion).
+    /// * Every outstanding [`Ticket`] still resolves — cancellation never
+    ///   strands a waiter.
+    ///
+    /// The typical shutdown sequence is `cancel_all()` followed by dropping
+    /// the runtime; dropping *without* cancelling instead drains the queue
+    /// completely.
     pub fn cancel_all(&self) {
         self.shared.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Jobs submitted but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> u64 {
+        self.shared.metrics.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Jobs accepted and not yet answered (queued **plus** running) — the
+    /// signal [`Runtime::try_submit`] sheds on.
+    ///
+    /// The gauge is released an instant *after* a job's result is
+    /// delivered (the worker's accounting guard drops at the end of the
+    /// iteration), so a caller that just observed a ticket resolve may
+    /// still see the slot occupied for a moment.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Relaxed)
     }
 
     /// Point-in-time metrics (counters, histograms, cache hit rate).
@@ -295,6 +448,7 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<QueuedJob>>, shared: &Shared) {
         let Ok(q) = queued else {
             break; // queue closed and drained: shutdown
         };
+        let _in_flight = InFlightGuard(&shared.in_flight);
         let metrics = &shared.metrics;
         metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
         metrics.jobs_started.fetch_add(1, Ordering::Relaxed);
@@ -335,6 +489,16 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<QueuedJob>>, shared: &Shared) {
         };
         metrics.prep_latency.observe(prep_start.elapsed());
 
+        if !job.shrink_on_overflow && cache_flows_dropped > 0 {
+            // The job asked for an exact answer and the instance is over
+            // budget: fail it instead of serving a silent prefix.
+            metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            let _ = q.result_tx.send(Err(JobError::TooManyFlows {
+                dropped: cache_flows_dropped,
+            }));
+            continue;
+        }
+
         let deadline = match q.deadline_at {
             Some(at) => Deadline::at(at),
             None => Deadline::none(),
@@ -343,7 +507,7 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<QueuedJob>>, shared: &Shared) {
         let ctl = ExplainControl {
             deadline,
             flow_index,
-            shrink_on_overflow: true,
+            shrink_on_overflow: job.shrink_on_overflow,
         };
 
         let seed = derive_seed(shared.base_seed, q.job_id);

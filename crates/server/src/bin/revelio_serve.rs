@@ -1,0 +1,103 @@
+//! `revelio-serve`: the explanation server as a process.
+//!
+//! ```text
+//! revelio-serve [--addr HOST:PORT] [--workers N] [--max-in-flight N]
+//!               [--cache-capacity N] [--seed S] [--default-deadline-ms MS]
+//! ```
+//!
+//! The process prints the bound address on stdout (`listening on ...`) so
+//! scripts binding port 0 can discover the port, serves until a client
+//! sends `Shutdown` (or the process receives SIGTERM/ctrl-C, which the OS
+//! turns into process exit), and prints the final unified metrics report
+//! on the way out.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use revelio_runtime::RuntimeConfig;
+use revelio_server::{Server, ServerConfig};
+
+struct Args {
+    cfg: ServerConfig,
+}
+
+const USAGE: &str = "usage: revelio-serve [--addr HOST:PORT] [--workers N] \
+[--max-in-flight N] [--cache-capacity N] [--seed S] [--default-deadline-ms MS]";
+
+fn value(argv: &[String], i: &mut usize, name: &str) -> Result<String, String> {
+    *i += 1;
+    argv.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut cfg = ServerConfig {
+        runtime: RuntimeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+            ..RuntimeConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    cfg.addr = "127.0.0.1:7137".to_owned();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => cfg.addr = value(&argv, &mut i, "--addr")?,
+            "--workers" => {
+                cfg.runtime.workers = value(&argv, &mut i, "--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--max-in-flight" => {
+                cfg.max_in_flight = value(&argv, &mut i, "--max-in-flight")?
+                    .parse()
+                    .map_err(|e| format!("--max-in-flight: {e}"))?;
+            }
+            "--cache-capacity" => {
+                cfg.runtime.cache_capacity = value(&argv, &mut i, "--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--cache-capacity: {e}"))?;
+            }
+            "--seed" => {
+                cfg.runtime.seed = value(&argv, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--default-deadline-ms" => {
+                let ms: u64 = value(&argv, &mut i, "--default-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--default-deadline-ms: {e}"))?;
+                cfg.runtime.default_deadline = Some(Duration::from_millis(ms));
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(Args { cfg })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(args.cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("revelio-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    let stats = server.wait();
+    println!("{}", stats.report());
+    ExitCode::SUCCESS
+}

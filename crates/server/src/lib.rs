@@ -1,0 +1,30 @@
+//! Network serving layer over the explanation runtime.
+//!
+//! The crate is the paper's explanation engine turned into a service:
+//! a versioned binary wire protocol ([`wire`]), a blocking TCP server that
+//! funnels decoded requests into the [`revelio_runtime::Runtime`] worker
+//! pool ([`server`]), and a small client library with retry/backoff
+//! ([`client`]). Everything is `std`-only — the transport is plain TCP,
+//! the codec hand-rolled and validated, the concurrency model
+//! thread-per-connection over the runtime's fixed worker pool.
+//!
+//! ```no_run
+//! use revelio_server::{Client, Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default()).unwrap();
+//! let addr = server.local_addr();
+//! // ... in another process or thread:
+//! let mut client = Client::connect(addr).unwrap();
+//! client.ping().unwrap();
+//! ```
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientConfig, ClientError};
+pub use server::{Server, ServerConfig, ServerStartError};
+pub use wire::{
+    ErrorKind, ExplainRequest, Request, Response, ServedExplanation, ServerStats, WireError,
+    WireTiming, DEFAULT_MAX_FRAME_LEN, MAGIC, PROTOCOL_VERSION,
+};

@@ -1,0 +1,645 @@
+//! The blocking TCP server: acceptor + per-connection handler threads over
+//! the explanation runtime.
+//!
+//! Concurrency model: one acceptor thread polls a non-blocking listener;
+//! each accepted connection gets its own handler thread that decodes
+//! frames, submits jobs to the shared [`Runtime`] worker pool, and writes
+//! responses. Parallelism of the *explanations* is bounded by the pool's
+//! worker count, not the connection count, and admission control bounds
+//! the number of jobs in flight: an `Explain` arriving past
+//! [`ServerConfig::max_in_flight`] is answered with [`Response::Busy`]
+//! instead of queued (the connection stays usable).
+//!
+//! Shutdown is graceful: the stop flag halts the acceptor and the
+//! handlers *between frames*, in-flight jobs run to completion (handlers
+//! block on their tickets), and [`Server::shutdown`] joins every thread
+//! before returning the final stats.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use revelio_eval::{is_flow_based, is_group_level, method_factory, ALL_METHODS};
+use revelio_gnn::{Gnn, GnnConfig};
+use revelio_graph::Target;
+use revelio_runtime::{
+    ExplainJob, Histogram, JobError, ModelHandle, Runtime, RuntimeConfig, RuntimeConfigError,
+};
+
+use crate::wire::{
+    parse_header, write_frame, ErrorKind, ExplainRequest, Request, Response, ServedExplanation,
+    ServerStats, WireError, WireTiming, DEFAULT_MAX_FRAME_LEN, HEADER_LEN, PROTOCOL_VERSION,
+};
+
+/// How the server binds, times out, and sheds load.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker pool configuration (validated at startup).
+    pub runtime: RuntimeConfig,
+    /// Admission limit: `Explain` requests arriving while this many jobs
+    /// are queued or running are answered with `Busy` instead of queued.
+    pub max_in_flight: usize,
+    /// Per-frame payload cap; larger frames are rejected before allocation.
+    pub max_frame_len: usize,
+    /// Once a frame has *begun* arriving, the rest of it must arrive
+    /// within this budget or the connection is dropped. Idle connections
+    /// (no frame in progress) are never timed out.
+    pub read_timeout: Duration,
+    /// Budget for writing one response frame.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            runtime: RuntimeConfig::default(),
+            max_in_flight: 64,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Interval at which blocked reads wake up to poll the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Wire-level counters, updated by handler threads.
+#[derive(Default)]
+struct WireCounters {
+    connections_accepted: AtomicU64,
+    connections_active: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    requests: AtomicU64,
+    shed: AtomicU64,
+    protocol_errors: AtomicU64,
+    request_latency: Histogram,
+}
+
+struct Shared {
+    runtime: Runtime,
+    stop: AtomicBool,
+    counters: WireCounters,
+    /// Wire model id → runtime handle.
+    models: Mutex<Vec<ModelHandle>>,
+    cfg: ServerConfig,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        let c = &self.counters;
+        ServerStats {
+            connections_accepted: c.connections_accepted.load(Ordering::Relaxed),
+            connections_active: c.connections_active.load(Ordering::Relaxed),
+            bytes_in: c.bytes_in.load(Ordering::Relaxed),
+            bytes_out: c.bytes_out.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            request_latency: c.request_latency.snapshot(),
+            runtime: self.runtime.metrics(),
+        }
+    }
+}
+
+/// A running server; dropping it without calling [`Server::shutdown`]
+/// still stops and joins every thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the acceptor, and returns
+    /// immediately; the server is accepting once this returns.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding, or an invalid [`RuntimeConfig`].
+    pub fn start(cfg: ServerConfig) -> Result<Server, ServerStartError> {
+        let runtime = Runtime::try_with_config(cfg.runtime.clone())?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            runtime,
+            stop: AtomicBool::new(false),
+            counters: WireCounters::default(),
+            models: Mutex::new(Vec::new()),
+            cfg,
+        });
+        let handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            thread::Builder::new()
+                .name("revelio-acceptor".to_owned())
+                .spawn(move || accept_loop(&listener, &shared, &handlers))?
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            handlers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether a shutdown has been requested (by [`Server::stop`] or a
+    /// `Shutdown` request over the wire).
+    pub fn stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Requests shutdown without blocking: stops accepting and tells
+    /// handlers to exit at the next frame boundary.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+    }
+
+    /// Current unified wire + runtime stats.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Graceful shutdown: stop accepting, let every in-flight job finish,
+    /// join all threads, and return the final stats.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop();
+        self.join_threads();
+        self.shared.stats()
+    }
+
+    /// Blocks until the server stops on its own (a `Shutdown` request over
+    /// the wire) and all threads are joined; returns the final stats.
+    pub fn wait(mut self) -> ServerStats {
+        while !self.stopping() {
+            thread::sleep(POLL_INTERVAL);
+        }
+        self.join_threads();
+        self.shared.stats()
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // The acceptor has exited, so no new handlers can appear.
+        let drained: Vec<_> = match self.handlers.lock() {
+            Ok(mut hs) => hs.drain(..).collect(),
+            Err(poisoned) => poisoned.into_inner().drain(..).collect(),
+        };
+        for h in drained {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+        self.join_threads();
+    }
+}
+
+/// Why [`Server::start`] failed.
+#[derive(Debug)]
+pub enum ServerStartError {
+    /// Binding or configuring the listener failed.
+    Io(std::io::Error),
+    /// The embedded [`RuntimeConfig`] was rejected.
+    Runtime(RuntimeConfigError),
+}
+
+impl std::fmt::Display for ServerStartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerStartError::Io(e) => write!(f, "bind failed: {e}"),
+            ServerStartError::Runtime(e) => write!(f, "runtime config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerStartError {}
+
+impl From<std::io::Error> for ServerStartError {
+    fn from(e: std::io::Error) -> Self {
+        ServerStartError::Io(e)
+    }
+}
+
+impl From<RuntimeConfigError> for ServerStartError {
+    fn from(e: RuntimeConfigError) -> Self {
+        ServerStartError::Runtime(e)
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+) {
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared
+                    .counters
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .connections_active
+                    .fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(shared);
+                let spawn = thread::Builder::new()
+                    .name("revelio-conn".to_owned())
+                    .spawn(move || {
+                        handle_connection(stream, &conn_shared);
+                        conn_shared
+                            .counters
+                            .connections_active
+                            .fetch_sub(1, Ordering::Relaxed);
+                    });
+                match spawn {
+                    Ok(h) => {
+                        if let Ok(mut hs) = handlers.lock() {
+                            hs.push(h);
+                        }
+                    }
+                    Err(_) => {
+                        // Thread spawn failed (resource exhaustion); the
+                        // stream drops and the peer sees a reset.
+                        shared
+                            .counters
+                            .connections_active
+                            .fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Reads one frame, waking every [`POLL_INTERVAL`] to poll the stop flag.
+///
+/// Returns `Ok(None)` on a clean end of the connection: peer EOF between
+/// frames, or a stop request while no frame is in progress. A frame that
+/// *started* is given [`ServerConfig::read_timeout`] to finish even during
+/// shutdown (the peer paid for the bytes; cutting mid-frame would just
+/// produce a protocol error on their side).
+fn read_frame_polling(
+    stream: &mut TcpStream,
+    shared: &Shared,
+) -> Result<Option<Vec<u8>>, WireError> {
+    let max_len = shared.cfg.max_frame_len;
+    let mut buf: Vec<u8> = Vec::with_capacity(HEADER_LEN);
+    let mut chunk = [0u8; 64 * 1024];
+    let mut started_at: Option<Instant> = None;
+    let mut need = HEADER_LEN;
+    let mut expected_crc = 0u32;
+    let mut header_parsed = false;
+
+    loop {
+        if let Some(t0) = started_at {
+            if t0.elapsed() > shared.cfg.read_timeout {
+                return Err(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "frame did not complete within the read timeout",
+                )));
+            }
+        } else if shared.stop.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        let want = (need - buf.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(WireError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    )))
+                };
+            }
+            Ok(n) => {
+                if started_at.is_none() {
+                    started_at = Some(Instant::now());
+                }
+                buf.extend_from_slice(&chunk[..n]);
+                if !header_parsed && buf.len() == HEADER_LEN {
+                    let mut header = [0u8; HEADER_LEN];
+                    header.copy_from_slice(&buf);
+                    let (len, crc) = parse_header(&header, max_len)?;
+                    header_parsed = true;
+                    expected_crc = crc;
+                    need = HEADER_LEN + len;
+                    if len == 0 {
+                        // Fall through to the completion check below.
+                    }
+                }
+                if header_parsed && buf.len() == need {
+                    let payload = buf.split_off(HEADER_LEN);
+                    let got = crate::wire::crc32(&payload);
+                    if got != expected_crc {
+                        return Err(WireError::ChecksumMismatch {
+                            expected: expected_crc,
+                            got,
+                        });
+                    }
+                    shared
+                        .counters
+                        .bytes_in
+                        .fetch_add(need as u64, Ordering::Relaxed);
+                    return Ok(Some(payload));
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    // Short socket timeouts turn blocking reads into a stop-flag poll loop;
+    // `read_frame_polling` enforces the real per-frame budget itself.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+
+    loop {
+        let payload = match read_frame_polling(&mut stream, shared) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(e) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                // Best-effort diagnostic, then drop the connection: framing
+                // is lost, so nothing later on this stream can be trusted.
+                let resp = Response::Error {
+                    kind: ErrorKind::Malformed,
+                    message: e.to_string(),
+                };
+                let _ = send_response(&mut stream, shared, &resp);
+                return;
+            }
+        };
+        let t0 = Instant::now();
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
+                    kind: ErrorKind::Malformed,
+                    message: e.to_string(),
+                };
+                let _ = send_response(&mut stream, shared, &resp);
+                return;
+            }
+        };
+        let (response, close_after) = serve_request(request, shared, t0);
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        shared.counters.request_latency.observe(t0.elapsed());
+        if send_response(&mut stream, shared, &response).is_err() || close_after {
+            return;
+        }
+    }
+}
+
+fn send_response(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    resp: &Response,
+) -> Result<(), WireError> {
+    let n = write_frame(stream, &resp.encode(), shared.cfg.max_frame_len)?;
+    shared
+        .counters
+        .bytes_out
+        .fetch_add(n as u64, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Serves one decoded request; the second return value asks the handler to
+/// close the connection after writing the response.
+fn serve_request(request: Request, shared: &Shared, t0: Instant) -> (Response, bool) {
+    if shared.stop.load(Ordering::Acquire) && !matches!(request, Request::Stats) {
+        return (
+            Response::Error {
+                kind: ErrorKind::ShuttingDown,
+                message: "server is shutting down".to_owned(),
+            },
+            true,
+        );
+    }
+    match request {
+        Request::Ping => (
+            Response::Pong {
+                version: PROTOCOL_VERSION,
+            },
+            false,
+        ),
+        Request::RegisterModel { config, state } => (register_model(shared, config, &state), false),
+        Request::Explain(req) => (serve_explain(shared, req, t0), false),
+        Request::Stats => (Response::Stats(Box::new(shared.stats())), false),
+        Request::Shutdown => {
+            shared.stop.store(true, Ordering::Release);
+            (Response::ShutdownAck, true)
+        }
+    }
+}
+
+fn register_model(shared: &Shared, config: GnnConfig, state: &[Vec<f32>]) -> Response {
+    if let Err(msg) = validate_gnn_config(&config) {
+        return Response::Error {
+            kind: ErrorKind::Malformed,
+            message: msg.to_owned(),
+        };
+    }
+    // `Gnn::load_state` panics on shape mismatch, so the shapes are checked
+    // against a freshly initialised model first.
+    let model = Gnn::new(config);
+    let reference = model.state_dict();
+    if reference.len() != state.len() {
+        return Response::Error {
+            kind: ErrorKind::Malformed,
+            message: format!(
+                "state dict has {} parameter buffers, the architecture needs {}",
+                state.len(),
+                reference.len()
+            ),
+        };
+    }
+    for (i, (r, s)) in reference.iter().zip(state).enumerate() {
+        if r.len() != s.len() {
+            return Response::Error {
+                kind: ErrorKind::Malformed,
+                message: format!(
+                    "parameter {i} has {} values, the architecture needs {}",
+                    s.len(),
+                    r.len()
+                ),
+            };
+        }
+        if let Some(bad) = s.iter().find(|v| !v.is_finite()) {
+            return Response::Error {
+                kind: ErrorKind::Malformed,
+                message: format!("parameter {i} contains a non-finite weight {bad}"),
+            };
+        }
+    }
+    model.load_state(state);
+    let handle = shared.runtime.register_model(&model);
+    let mut models = match shared.models.lock() {
+        Ok(m) => m,
+        Err(p) => p.into_inner(),
+    };
+    models.push(handle);
+    Response::ModelRegistered {
+        model: (models.len() - 1) as u32,
+    }
+}
+
+fn validate_gnn_config(c: &GnnConfig) -> Result<(), &'static str> {
+    if c.in_dim == 0 || c.hidden_dim == 0 || c.num_classes == 0 {
+        return Err("model dimensions must be at least 1");
+    }
+    if c.num_layers == 0 || c.num_layers > 16 {
+        return Err("num_layers must be in 1..=16");
+    }
+    if c.heads == 0 || c.heads > 64 {
+        return Err("heads must be in 1..=64");
+    }
+    Ok(())
+}
+
+fn serve_explain(shared: &Shared, req: ExplainRequest, t0: Instant) -> Response {
+    let handle = {
+        let models = match shared.models.lock() {
+            Ok(m) => m,
+            Err(p) => p.into_inner(),
+        };
+        match models.get(req.model as usize) {
+            Some(&h) => h,
+            None => {
+                return Response::Error {
+                    kind: ErrorKind::UnknownModel,
+                    message: format!("model id {} was never registered", req.model),
+                }
+            }
+        }
+    };
+    // The registry hands factories a `&'static str`, so the wire string is
+    // mapped back onto the canonical method table.
+    let method: &'static str = match ALL_METHODS.iter().find(|m| **m == req.method) {
+        Some(m) => m,
+        None => {
+            return Response::Error {
+                kind: ErrorKind::UnknownMethod,
+                message: format!("unknown method {:?}", req.method),
+            }
+        }
+    };
+    if is_group_level(method) {
+        return Response::Error {
+            kind: ErrorKind::GroupLevelMethod,
+            message: format!(
+                "{method} trains over instance groups and cannot be served per-request"
+            ),
+        };
+    }
+    if let Target::Node(n) = req.target {
+        if n >= req.graph.num_nodes() {
+            return Response::Error {
+                kind: ErrorKind::Malformed,
+                message: format!(
+                    "target node {n} out of range for a {}-node graph",
+                    req.graph.num_nodes()
+                ),
+            };
+        }
+    }
+    let job = ExplainJob {
+        graph: req.graph,
+        target: req.target,
+        graph_id: req.graph_id,
+        make_explainer: method_factory(method, req.objective, req.effort),
+        needs_flows: is_flow_based(method),
+        max_flows: usize::try_from(req.control.max_flows).unwrap_or(usize::MAX),
+        shrink_on_overflow: req.control.shrink_on_overflow,
+        deadline: req.control.deadline_ms.map(Duration::from_millis),
+    };
+    let ticket = match shared
+        .runtime
+        .try_submit(handle, job, shared.cfg.max_in_flight)
+    {
+        Ok(t) => t,
+        Err(_rejected) => {
+            shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return Response::Busy {
+                in_flight: shared.runtime.in_flight() as u32,
+                limit: shared.cfg.max_in_flight as u32,
+            };
+        }
+    };
+    match ticket.wait() {
+        Ok(out) => {
+            let timing = WireTiming {
+                queue_us: as_us(out.timing.queue_wait),
+                prep_us: as_us(out.timing.prep),
+                explain_us: as_us(out.timing.explain),
+                total_us: as_us(t0.elapsed()),
+            };
+            Response::Explained(ServedExplanation {
+                edge_scores: out.explanation.edge_scores,
+                layer_edge_scores: out.explanation.layer_edge_scores,
+                flow_scores: out.explanation.flows.map(|f| f.scores),
+                degradation: out.degradation,
+                timing,
+            })
+        }
+        Err(e) => {
+            let kind = match &e {
+                JobError::UnknownModel => ErrorKind::UnknownModel,
+                JobError::Cancelled => ErrorKind::ShuttingDown,
+                JobError::TooManyFlows { .. } => ErrorKind::Malformed,
+                JobError::Panicked(_) | JobError::Lost => ErrorKind::Internal,
+            };
+            Response::Error {
+                kind,
+                message: e.to_string(),
+            }
+        }
+    }
+}
+
+fn as_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}

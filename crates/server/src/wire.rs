@@ -1,0 +1,1162 @@
+//! The versioned, checksummed frame protocol and its message types.
+//!
+//! Every message travels as one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"RVLO"
+//! 4       2     protocol version (LE u16), currently 1
+//! 6       4     payload length (LE u32)
+//! 10      4     CRC-32 (IEEE) of the payload (LE u32)
+//! 14      len   payload
+//! ```
+//!
+//! The header is fixed-size and validated *before* the payload is read, so
+//! a peer speaking the wrong protocol (or garbage) is rejected after 14
+//! bytes and never triggers a large allocation: the declared length is
+//! checked against the configured maximum first. The checksum catches
+//! corruption that TCP's own checksum misses (proxies, truncated writes
+//! replayed from buggy peers).
+//!
+//! Payloads are typed [`Request`] / [`Response`] values encoded with the
+//! serde-free primitives from [`revelio_core::wire`]; every enum tag and
+//! length is validated on decode, so a malformed payload is a typed
+//! [`WireError`] — never a panic or an unbounded allocation.
+
+use std::io::{Read, Write};
+
+use revelio_core::wire::{
+    put_f32s, put_opt_u64, put_str, put_u16, put_u32, put_u64, put_u8, ControlSpec,
+    WireDecodeError, WireReader,
+};
+use revelio_core::{Degradation, Objective};
+use revelio_eval::Effort;
+use revelio_gnn::{GnnConfig, GnnKind, Task};
+use revelio_graph::{Graph, Target};
+use revelio_runtime::{HistogramSnapshot, MetricsSnapshot, LATENCY_BUCKETS_US};
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"RVLO";
+
+/// Wire protocol version; bumped on any incompatible layout change.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Frame header length in bytes (magic + version + length + checksum).
+pub const HEADER_LEN: usize = 14;
+
+/// Default cap on one frame's payload (32 MiB) — enough for a model
+/// registration with millions of parameters, small enough that a hostile
+/// length field cannot exhaust memory.
+pub const DEFAULT_MAX_FRAME_LEN: usize = 32 * 1024 * 1024;
+
+const NUM_BUCKETS: usize = LATENCY_BUCKETS_US.len() + 1;
+
+/// Everything that can go wrong speaking the protocol.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure (includes mid-frame EOF as `UnexpectedEof`).
+    Io(std::io::Error),
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The peer speaks a different protocol version.
+    UnsupportedVersion {
+        /// Version announced by the peer.
+        got: u16,
+        /// The version this build speaks.
+        expected: u16,
+    },
+    /// The announced payload length exceeds the configured cap.
+    FrameTooLarge {
+        /// Announced length.
+        len: usize,
+        /// Configured cap.
+        max: usize,
+    },
+    /// The payload did not hash to the checksum in the header.
+    ChecksumMismatch {
+        /// Checksum announced in the header.
+        expected: u32,
+        /// Checksum of the bytes actually received.
+        got: u32,
+    },
+    /// The payload parsed as no known message.
+    Decode(WireDecodeError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::UnsupportedVersion { got, expected } => {
+                write!(
+                    f,
+                    "unsupported protocol version {got} (expected {expected})"
+                )
+            }
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::ChecksumMismatch { expected, got } => {
+                write!(
+                    f,
+                    "payload checksum {got:08x} != header checksum {expected:08x}"
+                )
+            }
+            WireError::Decode(e) => write!(f, "malformed payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<WireDecodeError> for WireError {
+    fn from(e: WireDecodeError) -> Self {
+        WireError::Decode(e)
+    }
+}
+
+impl WireError {
+    /// Whether retrying the request on a fresh connection could succeed
+    /// (transport-level failures, not protocol disagreements).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            WireError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::Interrupted
+            ),
+            _ => false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven, computed at compile time.
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O.
+// ---------------------------------------------------------------------------
+
+/// Encodes `payload` as one complete frame (header + payload).
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] when the payload exceeds `max_len`.
+pub fn encode_frame(payload: &[u8], max_len: usize) -> Result<Vec<u8>, WireError> {
+    if payload.len() > max_len {
+        return Err(WireError::FrameTooLarge {
+            len: payload.len(),
+            max: max_len,
+        });
+    }
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    Ok(frame)
+}
+
+/// Writes one frame; returns the bytes put on the wire.
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    payload: &[u8],
+    max_len: usize,
+) -> Result<usize, WireError> {
+    let frame = encode_frame(payload, max_len)?;
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(frame.len())
+}
+
+/// Parses and validates a frame header; returns the declared payload
+/// length and checksum.
+pub fn parse_header(header: &[u8; HEADER_LEN], max_len: usize) -> Result<(usize, u32), WireError> {
+    if header[0..4] != MAGIC {
+        return Err(WireError::BadMagic([
+            header[0], header[1], header[2], header[3],
+        ]));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::UnsupportedVersion {
+            got: version,
+            expected: PROTOCOL_VERSION,
+        });
+    }
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
+    if len > max_len {
+        return Err(WireError::FrameTooLarge { len, max: max_len });
+    }
+    let crc = u32::from_le_bytes([header[10], header[11], header[12], header[13]]);
+    Ok((len, crc))
+}
+
+/// Reads one complete frame (blocking), returning its payload and the
+/// total bytes consumed. A clean EOF *before the first header byte*
+/// returns `Ok(None)`; EOF anywhere later is [`WireError::Io`] with
+/// `UnexpectedEof` (a truncated frame).
+pub fn read_frame<R: Read>(
+    r: &mut R,
+    max_len: usize,
+) -> Result<Option<(Vec<u8>, usize)>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    // First byte decides "clean EOF" vs "truncated frame".
+    match r.read(&mut header[..1])? {
+        0 => return Ok(None),
+        _ => r.read_exact(&mut header[1..])?,
+    }
+    let (len, expected_crc) = parse_header(&header, max_len)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let got = crc32(&payload);
+    if got != expected_crc {
+        return Err(WireError::ChecksumMismatch {
+            expected: expected_crc,
+            got,
+        });
+    }
+    Ok(Some((payload, HEADER_LEN + len)))
+}
+
+// ---------------------------------------------------------------------------
+// Message types.
+// ---------------------------------------------------------------------------
+
+/// One explanation request as it crosses the wire.
+#[derive(Clone)]
+pub struct ExplainRequest {
+    /// Model id returned by a prior `RegisterModel`.
+    pub model: u32,
+    /// Caller-assigned content id for `graph` (the artifact-cache key;
+    /// requests sharing a `graph_id` must carry identical graphs).
+    pub graph_id: u64,
+    /// Method name as in the paper's tables (`"REVELIO"`, `"FlowX"`, …).
+    pub method: String,
+    /// Factual or counterfactual variant.
+    pub objective: Objective,
+    /// Compute budget for learning-based methods.
+    pub effort: Effort,
+    /// What to explain.
+    pub target: Target,
+    /// Deadline / flow-budget controls.
+    pub control: ControlSpec,
+    /// The instance graph.
+    pub graph: Graph,
+}
+
+/// A client → server message.
+pub enum Request {
+    /// Liveness + version check.
+    Ping,
+    /// Ship a model (architecture + weights) for serving; answered with
+    /// `ModelRegistered`.
+    RegisterModel {
+        /// Architecture hyperparameters.
+        config: GnnConfig,
+        /// Per-parameter flattened weights, as from `Gnn::state_dict`.
+        state: Vec<Vec<f32>>,
+    },
+    /// Explain one instance.
+    Explain(ExplainRequest),
+    /// Fetch the unified wire + runtime metrics report.
+    Stats,
+    /// Begin graceful shutdown: the server acks, stops accepting, drains
+    /// in-flight work, then exits.
+    Shutdown,
+}
+
+/// Why the server refused or failed a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request named a model id that was never registered.
+    UnknownModel,
+    /// The request named a method outside the registry.
+    UnknownMethod,
+    /// The method trains over instance *groups* (PGExplainer, GraphMask)
+    /// and cannot be served per-request.
+    GroupLevelMethod,
+    /// The request decoded but its contents were rejected (bad graph,
+    /// inconsistent lengths, …).
+    Malformed,
+    /// The explainer failed server-side (panic, lost worker).
+    Internal,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorKind::UnknownModel => 0,
+            ErrorKind::UnknownMethod => 1,
+            ErrorKind::GroupLevelMethod => 2,
+            ErrorKind::Malformed => 3,
+            ErrorKind::Internal => 4,
+            ErrorKind::ShuttingDown => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<ErrorKind, WireDecodeError> {
+        Ok(match v {
+            0 => ErrorKind::UnknownModel,
+            1 => ErrorKind::UnknownMethod,
+            2 => ErrorKind::GroupLevelMethod,
+            3 => ErrorKind::Malformed,
+            4 => ErrorKind::Internal,
+            5 => ErrorKind::ShuttingDown,
+            _ => return Err(WireDecodeError::Invalid("error kind tag")),
+        })
+    }
+}
+
+/// Per-request wall-clock timing, echoed back to the client.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireTiming {
+    /// Submission → picked up by a worker (µs).
+    pub queue_us: u64,
+    /// Artifact preparation (µs).
+    pub prep_us: u64,
+    /// The explainer call itself (µs).
+    pub explain_us: u64,
+    /// Decode → response encode, as measured by the server (µs).
+    pub total_us: u64,
+}
+
+/// A served explanation as it crosses the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedExplanation {
+    /// Importance per original edge of the instance graph.
+    pub edge_scores: Vec<f32>,
+    /// Per-layer scores over layer edges, when the method distinguishes
+    /// layers.
+    pub layer_edge_scores: Option<Vec<Vec<f32>>>,
+    /// Per-flow scores, for flow-based methods (aligned with the server's
+    /// deterministic flow enumeration order).
+    pub flow_scores: Option<Vec<f32>>,
+    /// What, if anything, was cut to meet the budget.
+    pub degradation: Degradation,
+    /// Server-side timing breakdown.
+    pub timing: WireTiming,
+}
+
+/// One point-in-time unified metrics report: wire-level counters folded
+/// together with the runtime's registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted since start.
+    pub connections_accepted: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Payload + header bytes received.
+    pub bytes_in: u64,
+    /// Payload + header bytes sent.
+    pub bytes_out: u64,
+    /// Requests answered (any response, including errors).
+    pub requests: u64,
+    /// Explain requests shed with `Busy`.
+    pub shed: u64,
+    /// Frames that failed to parse (connection closed after each).
+    pub protocol_errors: u64,
+    /// End-to-end per-request latency (decode → response write).
+    pub request_latency: HistogramSnapshot,
+    /// The serving runtime's own registry snapshot.
+    pub runtime: MetricsSnapshot,
+}
+
+impl ServerStats {
+    /// Renders the unified report (wire section + runtime section).
+    pub fn report(&self) -> String {
+        let h = &self.request_latency;
+        let mut out = String::new();
+        out.push_str("server metrics\n");
+        out.push_str(&format!(
+            "  conns     accepted={} active={}\n",
+            self.connections_accepted, self.connections_active
+        ));
+        out.push_str(&format!(
+            "  wire      bytes_in={} bytes_out={} protocol_errors={}\n",
+            self.bytes_in, self.bytes_out, self.protocol_errors
+        ));
+        out.push_str(&format!(
+            "  requests  answered={} shed={}\n",
+            self.requests, self.shed
+        ));
+        out.push_str(&format!(
+            "  latency   n={} mean={}us max={}us\n",
+            h.count,
+            h.mean_us(),
+            h.max_us
+        ));
+        out.push_str(&self.runtime.report());
+        out
+    }
+}
+
+/// A server → client message.
+pub enum Response {
+    /// Answer to `Ping`.
+    Pong {
+        /// The server's protocol version.
+        version: u16,
+    },
+    /// Answer to `RegisterModel`: the id to cite in `Explain` requests.
+    ModelRegistered {
+        /// Server-assigned model id.
+        model: u32,
+    },
+    /// A served explanation.
+    Explained(ServedExplanation),
+    /// Load shed: the request was *not* queued; retry with backoff.
+    Busy {
+        /// Jobs in flight when the request was refused.
+        in_flight: u32,
+        /// The admission limit.
+        limit: u32,
+    },
+    /// The request was understood but refused or failed.
+    Error {
+        /// Machine-readable category.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Answer to `Stats`.
+    Stats(Box<ServerStats>),
+    /// Answer to `Shutdown`; the connection closes after this frame.
+    ShutdownAck,
+}
+
+// ---------------------------------------------------------------------------
+// Graph codec.
+// ---------------------------------------------------------------------------
+
+fn encode_graph(out: &mut Vec<u8>, g: &Graph) {
+    put_u32(out, g.num_nodes() as u32);
+    put_u32(out, g.feat_dim() as u32);
+    put_u32(out, g.num_edges() as u32);
+    for &(s, d) in g.edges() {
+        put_u32(out, s);
+        put_u32(out, d);
+    }
+    put_f32s(out, g.features());
+    match g.node_labels() {
+        Some(labels) => {
+            put_u8(out, 1);
+            put_u32(out, labels.len() as u32);
+            for &l in labels {
+                put_u32(out, l as u32);
+            }
+        }
+        None => put_u8(out, 0),
+    }
+    put_opt_u64(out, g.graph_label().map(|l| l as u64));
+}
+
+fn decode_graph(r: &mut WireReader<'_>) -> Result<Graph, WireDecodeError> {
+    let num_nodes = r.u32()? as usize;
+    let feat_dim = r.u32()? as usize;
+    let num_edges = r.u32()? as usize;
+    // Each edge costs 8 bytes on the wire; reject lengths the buffer
+    // cannot possibly hold before allocating.
+    let needed = num_edges
+        .checked_mul(8)
+        .ok_or(WireDecodeError::Invalid("edge count overflows usize"))?;
+    if r.remaining() < needed {
+        return Err(WireDecodeError::Truncated {
+            needed,
+            remaining: r.remaining(),
+        });
+    }
+    let mut b = Graph::builder(num_nodes, feat_dim);
+    for _ in 0..num_edges {
+        let s = r.u32()? as usize;
+        let d = r.u32()? as usize;
+        if s >= num_nodes || d >= num_nodes {
+            return Err(WireDecodeError::Invalid("edge endpoint out of range"));
+        }
+        if s == d {
+            return Err(WireDecodeError::Invalid("self-loop edge"));
+        }
+        if b.has_edge(s, d) {
+            return Err(WireDecodeError::Invalid("duplicate edge"));
+        }
+        b.edge(s, d);
+    }
+    let features = r.f32s()?;
+    let expected = num_nodes
+        .checked_mul(feat_dim)
+        .ok_or(WireDecodeError::Invalid("feature matrix size overflow"))?;
+    if features.len() != expected {
+        return Err(WireDecodeError::Invalid("feature matrix length mismatch"));
+    }
+    if expected > 0 {
+        b.all_features(features);
+    }
+    match r.u8()? {
+        0 => {}
+        1 => {
+            let n = r.u32()? as usize;
+            if n != num_nodes {
+                return Err(WireDecodeError::Invalid("node label count mismatch"));
+            }
+            let mut labels = Vec::with_capacity(n);
+            for _ in 0..n {
+                labels.push(r.u32()? as usize);
+            }
+            b.node_labels(labels);
+        }
+        _ => return Err(WireDecodeError::Invalid("node label tag")),
+    }
+    if let Some(l) = r.opt_u64()? {
+        b.graph_label(l as usize);
+    }
+    Ok(b.build())
+}
+
+fn encode_target(out: &mut Vec<u8>, t: Target) {
+    match t {
+        Target::Graph => put_u8(out, 0),
+        Target::Node(n) => {
+            put_u8(out, 1);
+            put_u64(out, n as u64);
+        }
+    }
+}
+
+fn decode_target(r: &mut WireReader<'_>) -> Result<Target, WireDecodeError> {
+    match r.u8()? {
+        0 => Ok(Target::Graph),
+        1 => Ok(Target::Node(r.u64()? as usize)),
+        _ => Err(WireDecodeError::Invalid("target tag")),
+    }
+}
+
+fn encode_gnn_config(out: &mut Vec<u8>, c: &GnnConfig) {
+    put_u8(
+        out,
+        match c.kind {
+            GnnKind::Gcn => 0,
+            GnnKind::Gin => 1,
+            GnnKind::Gat => 2,
+        },
+    );
+    put_u8(
+        out,
+        match c.task {
+            Task::NodeClassification => 0,
+            Task::GraphClassification => 1,
+        },
+    );
+    put_u32(out, c.in_dim as u32);
+    put_u32(out, c.hidden_dim as u32);
+    put_u32(out, c.num_classes as u32);
+    put_u32(out, c.num_layers as u32);
+    put_u32(out, c.heads as u32);
+    put_u64(out, c.seed);
+}
+
+fn decode_gnn_config(r: &mut WireReader<'_>) -> Result<GnnConfig, WireDecodeError> {
+    let kind = match r.u8()? {
+        0 => GnnKind::Gcn,
+        1 => GnnKind::Gin,
+        2 => GnnKind::Gat,
+        _ => return Err(WireDecodeError::Invalid("gnn kind tag")),
+    };
+    let task = match r.u8()? {
+        0 => Task::NodeClassification,
+        1 => Task::GraphClassification,
+        _ => return Err(WireDecodeError::Invalid("task tag")),
+    };
+    Ok(GnnConfig {
+        kind,
+        task,
+        in_dim: r.u32()? as usize,
+        hidden_dim: r.u32()? as usize,
+        num_classes: r.u32()? as usize,
+        num_layers: r.u32()? as usize,
+        heads: r.u32()? as usize,
+        seed: r.u64()?,
+    })
+}
+
+fn encode_histogram(out: &mut Vec<u8>, h: &HistogramSnapshot) {
+    for b in h.buckets {
+        put_u64(out, b);
+    }
+    put_u64(out, h.count);
+    put_u64(out, h.total_us);
+    put_u64(out, h.max_us);
+}
+
+fn decode_histogram(r: &mut WireReader<'_>) -> Result<HistogramSnapshot, WireDecodeError> {
+    let mut buckets = [0u64; NUM_BUCKETS];
+    for b in &mut buckets {
+        *b = r.u64()?;
+    }
+    Ok(HistogramSnapshot {
+        buckets,
+        count: r.u64()?,
+        total_us: r.u64()?,
+        max_us: r.u64()?,
+    })
+}
+
+fn encode_metrics(out: &mut Vec<u8>, m: &MetricsSnapshot) {
+    put_u64(out, m.jobs_submitted);
+    put_u64(out, m.jobs_started);
+    put_u64(out, m.jobs_completed);
+    put_u64(out, m.jobs_degraded);
+    put_u64(out, m.jobs_failed);
+    put_u64(out, m.jobs_rejected);
+    put_u64(out, m.queue_depth);
+    put_u64(out, m.cache_hits);
+    put_u64(out, m.cache_misses);
+    encode_histogram(out, &m.queue_wait);
+    encode_histogram(out, &m.prep_latency);
+    encode_histogram(out, &m.explain_latency);
+}
+
+fn decode_metrics(r: &mut WireReader<'_>) -> Result<MetricsSnapshot, WireDecodeError> {
+    Ok(MetricsSnapshot {
+        jobs_submitted: r.u64()?,
+        jobs_started: r.u64()?,
+        jobs_completed: r.u64()?,
+        jobs_degraded: r.u64()?,
+        jobs_failed: r.u64()?,
+        jobs_rejected: r.u64()?,
+        queue_depth: r.u64()?,
+        cache_hits: r.u64()?,
+        cache_misses: r.u64()?,
+        queue_wait: decode_histogram(r)?,
+        prep_latency: decode_histogram(r)?,
+        explain_latency: decode_histogram(r)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Request / Response codecs.
+// ---------------------------------------------------------------------------
+
+const REQ_PING: u8 = 0;
+const REQ_REGISTER_MODEL: u8 = 1;
+const REQ_EXPLAIN: u8 = 2;
+const REQ_STATS: u8 = 3;
+const REQ_SHUTDOWN: u8 = 4;
+
+impl Request {
+    /// Encodes the request as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => put_u8(&mut out, REQ_PING),
+            Request::RegisterModel { config, state } => {
+                put_u8(&mut out, REQ_REGISTER_MODEL);
+                encode_gnn_config(&mut out, config);
+                put_u32(&mut out, state.len() as u32);
+                for param in state {
+                    put_f32s(&mut out, param);
+                }
+            }
+            Request::Explain(e) => {
+                put_u8(&mut out, REQ_EXPLAIN);
+                put_u32(&mut out, e.model);
+                put_u64(&mut out, e.graph_id);
+                put_str(&mut out, &e.method);
+                put_u8(
+                    &mut out,
+                    match e.objective {
+                        Objective::Factual => 0,
+                        Objective::Counterfactual => 1,
+                    },
+                );
+                put_u8(
+                    &mut out,
+                    match e.effort {
+                        Effort::Quick => 0,
+                        Effort::Paper => 1,
+                    },
+                );
+                encode_target(&mut out, e.target);
+                e.control.encode(&mut out);
+                encode_graph(&mut out, &e.graph);
+            }
+            Request::Stats => put_u8(&mut out, REQ_STATS),
+            Request::Shutdown => put_u8(&mut out, REQ_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decodes a frame payload into a request, requiring full consumption.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireDecodeError> {
+        let mut r = WireReader::new(payload);
+        let req = match r.u8()? {
+            REQ_PING => Request::Ping,
+            REQ_REGISTER_MODEL => {
+                let config = decode_gnn_config(&mut r)?;
+                let n = r.u32()? as usize;
+                // Each parameter is at least a 4-byte length prefix.
+                if r.remaining() < n.saturating_mul(4) {
+                    return Err(WireDecodeError::Truncated {
+                        needed: n.saturating_mul(4),
+                        remaining: r.remaining(),
+                    });
+                }
+                let mut state = Vec::with_capacity(n);
+                for _ in 0..n {
+                    state.push(r.f32s()?);
+                }
+                Request::RegisterModel { config, state }
+            }
+            REQ_EXPLAIN => {
+                let model = r.u32()?;
+                let graph_id = r.u64()?;
+                let method = r.str()?;
+                let objective = match r.u8()? {
+                    0 => Objective::Factual,
+                    1 => Objective::Counterfactual,
+                    _ => return Err(WireDecodeError::Invalid("objective tag")),
+                };
+                let effort = match r.u8()? {
+                    0 => Effort::Quick,
+                    1 => Effort::Paper,
+                    _ => return Err(WireDecodeError::Invalid("effort tag")),
+                };
+                let target = decode_target(&mut r)?;
+                let control = ControlSpec::decode(&mut r)?;
+                let graph = decode_graph(&mut r)?;
+                Request::Explain(ExplainRequest {
+                    model,
+                    graph_id,
+                    method,
+                    objective,
+                    effort,
+                    target,
+                    control,
+                    graph,
+                })
+            }
+            REQ_STATS => Request::Stats,
+            REQ_SHUTDOWN => Request::Shutdown,
+            _ => return Err(WireDecodeError::Invalid("request tag")),
+        };
+        r.expect_end()?;
+        Ok(req)
+    }
+}
+
+const RESP_PONG: u8 = 0;
+const RESP_MODEL_REGISTERED: u8 = 1;
+const RESP_EXPLAINED: u8 = 2;
+const RESP_BUSY: u8 = 3;
+const RESP_ERROR: u8 = 4;
+const RESP_STATS: u8 = 5;
+const RESP_SHUTDOWN_ACK: u8 = 6;
+
+impl Response {
+    /// Encodes the response as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Pong { version } => {
+                put_u8(&mut out, RESP_PONG);
+                put_u16(&mut out, *version);
+            }
+            Response::ModelRegistered { model } => {
+                put_u8(&mut out, RESP_MODEL_REGISTERED);
+                put_u32(&mut out, *model);
+            }
+            Response::Explained(e) => {
+                put_u8(&mut out, RESP_EXPLAINED);
+                put_f32s(&mut out, &e.edge_scores);
+                match &e.layer_edge_scores {
+                    Some(layers) => {
+                        put_u8(&mut out, 1);
+                        put_u32(&mut out, layers.len() as u32);
+                        for l in layers {
+                            put_f32s(&mut out, l);
+                        }
+                    }
+                    None => put_u8(&mut out, 0),
+                }
+                match &e.flow_scores {
+                    Some(scores) => {
+                        put_u8(&mut out, 1);
+                        put_f32s(&mut out, scores);
+                    }
+                    None => put_u8(&mut out, 0),
+                }
+                e.degradation.encode(&mut out);
+                put_u64(&mut out, e.timing.queue_us);
+                put_u64(&mut out, e.timing.prep_us);
+                put_u64(&mut out, e.timing.explain_us);
+                put_u64(&mut out, e.timing.total_us);
+            }
+            Response::Busy { in_flight, limit } => {
+                put_u8(&mut out, RESP_BUSY);
+                put_u32(&mut out, *in_flight);
+                put_u32(&mut out, *limit);
+            }
+            Response::Error { kind, message } => {
+                put_u8(&mut out, RESP_ERROR);
+                put_u8(&mut out, kind.to_u8());
+                // Error detail is bounded so a pathological panic message
+                // cannot blow the frame cap.
+                let msg: String = message.chars().take(512).collect();
+                put_str(&mut out, &msg);
+            }
+            Response::Stats(s) => {
+                put_u8(&mut out, RESP_STATS);
+                put_u64(&mut out, s.connections_accepted);
+                put_u64(&mut out, s.connections_active);
+                put_u64(&mut out, s.bytes_in);
+                put_u64(&mut out, s.bytes_out);
+                put_u64(&mut out, s.requests);
+                put_u64(&mut out, s.shed);
+                put_u64(&mut out, s.protocol_errors);
+                encode_histogram(&mut out, &s.request_latency);
+                encode_metrics(&mut out, &s.runtime);
+            }
+            Response::ShutdownAck => put_u8(&mut out, RESP_SHUTDOWN_ACK),
+        }
+        out
+    }
+
+    /// Decodes a frame payload into a response, requiring full consumption.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireDecodeError> {
+        let mut r = WireReader::new(payload);
+        let resp = match r.u8()? {
+            RESP_PONG => Response::Pong { version: r.u16()? },
+            RESP_MODEL_REGISTERED => Response::ModelRegistered { model: r.u32()? },
+            RESP_EXPLAINED => {
+                let edge_scores = r.f32s()?;
+                let layer_edge_scores = match r.u8()? {
+                    0 => None,
+                    1 => {
+                        let n = r.u32()? as usize;
+                        if r.remaining() < n.saturating_mul(4) {
+                            return Err(WireDecodeError::Truncated {
+                                needed: n.saturating_mul(4),
+                                remaining: r.remaining(),
+                            });
+                        }
+                        let mut layers = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            layers.push(r.f32s()?);
+                        }
+                        Some(layers)
+                    }
+                    _ => return Err(WireDecodeError::Invalid("layer scores tag")),
+                };
+                let flow_scores = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.f32s()?),
+                    _ => return Err(WireDecodeError::Invalid("flow scores tag")),
+                };
+                let degradation = Degradation::decode(&mut r)?;
+                let timing = WireTiming {
+                    queue_us: r.u64()?,
+                    prep_us: r.u64()?,
+                    explain_us: r.u64()?,
+                    total_us: r.u64()?,
+                };
+                Response::Explained(ServedExplanation {
+                    edge_scores,
+                    layer_edge_scores,
+                    flow_scores,
+                    degradation,
+                    timing,
+                })
+            }
+            RESP_BUSY => Response::Busy {
+                in_flight: r.u32()?,
+                limit: r.u32()?,
+            },
+            RESP_ERROR => Response::Error {
+                kind: ErrorKind::from_u8(r.u8()?)?,
+                message: r.str()?,
+            },
+            RESP_STATS => {
+                let s = ServerStats {
+                    connections_accepted: r.u64()?,
+                    connections_active: r.u64()?,
+                    bytes_in: r.u64()?,
+                    bytes_out: r.u64()?,
+                    requests: r.u64()?,
+                    shed: r.u64()?,
+                    protocol_errors: r.u64()?,
+                    request_latency: decode_histogram(&mut r)?,
+                    runtime: decode_metrics(&mut r)?,
+                };
+                Response::Stats(Box::new(s))
+            }
+            RESP_SHUTDOWN_ACK => Response::ShutdownAck,
+            _ => return Err(WireDecodeError::Invalid("response tag")),
+        };
+        r.expect_end()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let payload = b"hello revelio".to_vec();
+        let frame = encode_frame(&payload, 1024).unwrap();
+        assert_eq!(frame.len(), HEADER_LEN + payload.len());
+        let mut cursor = std::io::Cursor::new(frame);
+        let (back, consumed) = read_frame(&mut cursor, 1024).unwrap().unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(consumed, HEADER_LEN + payload.len());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let mut cursor = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(read_frame(&mut cursor, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_rejected_at_both_ends() {
+        let payload = vec![0u8; 100];
+        assert!(matches!(
+            encode_frame(&payload, 50),
+            Err(WireError::FrameTooLarge { len: 100, max: 50 })
+        ));
+        // A header announcing more than the cap is rejected before the
+        // payload is read.
+        let frame = encode_frame(&payload, 1024).unwrap();
+        let mut cursor = std::io::Cursor::new(frame);
+        assert!(matches!(
+            read_frame(&mut cursor, 50),
+            Err(WireError::FrameTooLarge { len: 100, max: 50 })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut frame = encode_frame(b"x", 1024).unwrap();
+        frame[4] = 0xFF;
+        frame[5] = 0xFF;
+        let mut cursor = std::io::Cursor::new(frame);
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(WireError::UnsupportedVersion {
+                got: 0xFFFF,
+                expected: PROTOCOL_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = encode_frame(b"x", 1024).unwrap();
+        frame[0] = b'X';
+        let mut cursor = std::io::Cursor::new(frame);
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(WireError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum() {
+        let mut frame = encode_frame(b"important scores", 1024).unwrap();
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        let mut cursor = std::io::Cursor::new(frame);
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_unexpected_eof() {
+        let frame = encode_frame(b"0123456789", 1024).unwrap();
+        let mut cursor = std::io::Cursor::new(frame[..frame.len() - 3].to_vec());
+        match read_frame(&mut cursor, 1024) {
+            Err(WireError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+            }
+            other => panic!("expected UnexpectedEof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graph_round_trips_with_labels() {
+        let mut b = Graph::builder(4, 2);
+        b.edge(0, 1).edge(1, 2).edge(2, 3).edge(3, 0);
+        b.node_features(0, &[1.0, -2.0]);
+        b.node_features(3, &[0.25, f32::MIN_POSITIVE]);
+        b.node_labels(vec![0, 1, 1, 0]);
+        b.graph_label(1);
+        let g = b.build();
+        let mut buf = Vec::new();
+        encode_graph(&mut buf, &g);
+        let mut r = WireReader::new(&buf);
+        let back = decode_graph(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back.num_nodes(), g.num_nodes());
+        assert_eq!(back.feat_dim(), g.feat_dim());
+        assert_eq!(back.edges(), g.edges());
+        assert_eq!(back.features(), g.features());
+        assert_eq!(back.node_labels(), g.node_labels());
+        assert_eq!(back.graph_label(), g.graph_label());
+    }
+
+    #[test]
+    fn hostile_graph_payloads_are_typed_errors() {
+        // Edge endpoint out of range.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2); // nodes
+        put_u32(&mut buf, 1); // feat_dim
+        put_u32(&mut buf, 1); // edges
+        put_u32(&mut buf, 0);
+        put_u32(&mut buf, 7); // dst out of range
+        let mut r = WireReader::new(&buf);
+        assert!(decode_graph(&mut r).is_err());
+
+        // Self-loop.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        put_u32(&mut buf, 1);
+        put_u32(&mut buf, 1);
+        put_u32(&mut buf, 1);
+        put_u32(&mut buf, 1);
+        let mut r = WireReader::new(&buf);
+        assert!(decode_graph(&mut r).is_err());
+
+        // Edge count larger than the buffer can hold: fails before
+        // allocating.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        put_u32(&mut buf, 1);
+        put_u32(&mut buf, u32::MAX);
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(
+            decode_graph(&mut r),
+            Err(WireDecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn explain_request_round_trips() {
+        let mut b = Graph::builder(3, 1);
+        b.undirected_edge(0, 1).edge(1, 2);
+        b.node_features(1, &[0.5]);
+        let req = Request::Explain(ExplainRequest {
+            model: 3,
+            graph_id: 99,
+            method: "REVELIO".to_owned(),
+            objective: Objective::Counterfactual,
+            effort: Effort::Paper,
+            target: Target::Node(2),
+            control: ControlSpec {
+                deadline_ms: Some(750),
+                max_flows: 12_345,
+                shrink_on_overflow: true,
+            },
+            graph: b.build(),
+        });
+        let payload = req.encode();
+        match Request::decode(&payload).unwrap() {
+            Request::Explain(e) => {
+                assert_eq!(e.model, 3);
+                assert_eq!(e.graph_id, 99);
+                assert_eq!(e.method, "REVELIO");
+                assert_eq!(e.objective, Objective::Counterfactual);
+                assert_eq!(e.effort, Effort::Paper);
+                assert_eq!(e.target, Target::Node(2));
+                assert_eq!(e.control.deadline_ms, Some(750));
+                assert_eq!(e.graph.num_edges(), 3);
+                assert_eq!(e.graph.feature_row(1), &[0.5]);
+            }
+            _ => panic!("decoded the wrong variant"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_after_request_rejected() {
+        let mut payload = Request::Ping.encode();
+        payload.push(0);
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireDecodeError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn stats_response_round_trips() {
+        let mut s = ServerStats {
+            connections_accepted: 4,
+            bytes_in: 1000,
+            shed: 2,
+            ..Default::default()
+        };
+        s.runtime.jobs_completed = 17;
+        s.runtime.jobs_rejected = 2;
+        let payload = Response::Stats(Box::new(s)).encode();
+        match Response::decode(&payload).unwrap() {
+            Response::Stats(back) => {
+                assert_eq!(*back, s);
+                assert!(back.report().contains("shed=2"));
+            }
+            _ => panic!("decoded the wrong variant"),
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Property tests for the wire codec: round-trips on arbitrary messages,
+//! and rejection (never a panic, never silent corruption) for truncated,
+//! corrupted, oversized, and wrong-version frames.
+
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+
+use revelio_core::wire::ControlSpec;
+use revelio_core::{Degradation, Objective};
+use revelio_eval::Effort;
+use revelio_graph::{Graph, Target};
+use revelio_server::wire::{
+    crc32, encode_frame, read_frame, ExplainRequest, Request, Response, ServedExplanation,
+    ServerStats, WireError, WireTiming, HEADER_LEN,
+};
+
+const METHODS: [&str; 4] = ["REVELIO", "FlowX", "GNNExplainer", "GradCAM"];
+
+/// Builds a valid graph from raw generated material, skipping edges that
+/// would violate the builder's invariants.
+fn graph_from(num_nodes: usize, feat_dim: usize, raw_edges: &[(usize, usize)]) -> Graph {
+    let mut b = Graph::builder(num_nodes, feat_dim);
+    for &(s, d) in raw_edges {
+        let (s, d) = (s % num_nodes, d % num_nodes);
+        if s != d && !b.has_edge(s, d) {
+            b.edge(s, d);
+        }
+    }
+    let feats: Vec<f32> = (0..num_nodes * feat_dim)
+        .map(|i| (i as f32 * 0.37).sin())
+        .collect();
+    if !feats.is_empty() {
+        b.all_features(feats);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn explain_request_round_trips(
+        shape in (2usize..9, 1usize..4, 0u64..u64::MAX),
+        raw_edges in prop::collection::vec((0usize..9, 0usize..9), 0..14),
+        knobs in (0usize..4, 0u64..5_000, 1u64..200_000, 0usize..8),
+    ) {
+        let (num_nodes, feat_dim, graph_id) = shape;
+        let (method_ix, deadline_ms, max_flows, variant) = knobs;
+        let graph = graph_from(num_nodes, feat_dim, &raw_edges);
+        let req = ExplainRequest {
+            model: (graph_id % u32::MAX as u64) as u32,
+            graph_id,
+            method: METHODS[method_ix].to_owned(),
+            objective: if variant & 1 == 0 { Objective::Factual } else { Objective::Counterfactual },
+            effort: if variant & 2 == 0 { Effort::Quick } else { Effort::Paper },
+            target: if variant & 4 == 0 {
+                Target::Graph
+            } else {
+                Target::Node(graph_id as usize % num_nodes)
+            },
+            control: ControlSpec {
+                deadline_ms: if deadline_ms == 0 { None } else { Some(deadline_ms) },
+                max_flows,
+                shrink_on_overflow: variant & 1 == 1,
+            },
+            graph,
+        };
+        let payload = Request::Explain(req.clone()).encode();
+        let back = match Request::decode(&payload).unwrap() {
+            Request::Explain(e) => e,
+            _ => panic!("wrong variant"),
+        };
+        prop_assert_eq!(back.model, req.model);
+        prop_assert_eq!(back.graph_id, req.graph_id);
+        prop_assert_eq!(back.method, req.method);
+        prop_assert_eq!(back.objective, req.objective);
+        prop_assert_eq!(back.effort, req.effort);
+        prop_assert_eq!(back.target, req.target);
+        prop_assert_eq!(back.control.deadline_ms, req.control.deadline_ms);
+        prop_assert_eq!(back.control.max_flows, req.control.max_flows);
+        prop_assert_eq!(back.control.shrink_on_overflow, req.control.shrink_on_overflow);
+        prop_assert_eq!(back.graph.edges(), req.graph.edges());
+        prop_assert_eq!(back.graph.features(), req.graph.features());
+    }
+
+    #[test]
+    fn explained_response_round_trips_bit_exact(
+        edge_scores in prop::collection::vec(-1.0e20f32..1.0e20, 0..40),
+        flow_scores in prop::collection::vec(-1.0f32..1.0, 0..40),
+        degr in (0u64..3, 0usize..600, 0usize..600, 0u64..1_000_000),
+        times in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+    ) {
+        let (flags, epochs_run, epochs_planned, flows_dropped) = degr;
+        let resp = Response::Explained(ServedExplanation {
+            edge_scores: edge_scores.clone(),
+            layer_edge_scores: if flags & 1 == 0 {
+                None
+            } else {
+                Some(vec![edge_scores.clone(), flow_scores.clone()])
+            },
+            flow_scores: if flags & 2 == 0 { None } else { Some(flow_scores) },
+            degradation: Degradation {
+                deadline_hit: flags == 2,
+                epochs_run,
+                epochs_planned,
+                flows_dropped,
+            },
+            timing: WireTiming {
+                queue_us: times.0,
+                prep_us: times.1,
+                explain_us: times.2,
+                total_us: times.3,
+            },
+        });
+        let payload = resp.encode();
+        let back = match Response::decode(&payload).unwrap() {
+            Response::Explained(e) => e,
+            _ => panic!("wrong variant"),
+        };
+        match resp {
+            // Compare bit patterns so a NaN score would also round-trip.
+            Response::Explained(orig) => {
+                let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+                prop_assert_eq!(bits(&back.edge_scores), bits(&orig.edge_scores));
+                prop_assert_eq!(back.flow_scores.is_some(), orig.flow_scores.is_some());
+                prop_assert_eq!(back.degradation, orig.degradation);
+                prop_assert_eq!(back.timing, orig.timing);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn stats_round_trips(
+        counters in prop::collection::vec(0u64..u64::MAX, 7),
+        jobs in prop::collection::vec(0u64..u64::MAX, 4),
+    ) {
+        let mut s = ServerStats {
+            connections_accepted: counters[0],
+            connections_active: counters[1],
+            bytes_in: counters[2],
+            bytes_out: counters[3],
+            requests: counters[4],
+            shed: counters[5],
+            protocol_errors: counters[6],
+            ..ServerStats::default()
+        };
+        s.runtime.jobs_submitted = jobs[0];
+        s.runtime.jobs_completed = jobs[1];
+        s.runtime.jobs_rejected = jobs[2];
+        s.runtime.cache_hits = jobs[3];
+        let payload = Response::Stats(Box::new(s)).encode();
+        match Response::decode(&payload).unwrap() {
+            Response::Stats(back) => prop_assert_eq!(*back, s),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn every_proper_prefix_of_a_frame_is_rejected(
+        payload in prop::collection::vec(0u8..=255, 0..64),
+        cut in 0usize..1000,
+    ) {
+        let frame = encode_frame(&payload, 1024).unwrap();
+        let cut = cut % frame.len();
+        if cut == 0 {
+            // Zero bytes is the one legal prefix: a clean EOF.
+            let mut c = std::io::Cursor::new(Vec::<u8>::new());
+            prop_assert!(read_frame(&mut c, 1024).unwrap().is_none());
+        } else {
+            let mut c = std::io::Cursor::new(frame[..cut].to_vec());
+            prop_assert!(read_frame(&mut c, 1024).is_err());
+        }
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_detected(
+        payload in prop::collection::vec(0u8..=255, 1..64),
+        pos in 0usize..1000,
+        xor in 1u8..=255,
+    ) {
+        let mut frame = encode_frame(&payload, 1024).unwrap();
+        let pos = pos % frame.len();
+        frame[pos] ^= xor;
+        let mut c = std::io::Cursor::new(frame);
+        // A flip in the header breaks magic/version/length/checksum; a flip
+        // in the payload breaks the checksum. Either way: a typed error,
+        // never silently-wrong bytes.
+        match read_frame(&mut c, 1024) {
+            Err(_) => {}
+            Ok(got) => {
+                // The only undetectable flip would be inside the length
+                // field making the frame *longer* (reads past the buffer →
+                // error, handled above). Same-length decode must match.
+                prop_assert_eq!(got.map(|(p, _)| p), Some(payload));
+                // ... and matching is impossible after an xor: fail loudly.
+                prop_assert!(false, "corrupted frame decoded successfully");
+            }
+        }
+    }
+
+    #[test]
+    fn random_payload_bytes_never_panic_the_decoders(
+        bytes in prop::collection::vec(0u8..=255, 0..200),
+    ) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+}
+
+#[test]
+fn oversized_frame_rejected_without_allocation() {
+    // A header announcing a 3 GiB payload on a 16-byte connection budget
+    // must be refused from the header alone.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"RVLO");
+    frame.extend_from_slice(&1u16.to_le_bytes());
+    frame.extend_from_slice(&(3u32 << 30).to_le_bytes());
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    let mut c = std::io::Cursor::new(frame);
+    assert!(matches!(
+        read_frame(&mut c, 16),
+        Err(WireError::FrameTooLarge { .. })
+    ));
+}
+
+#[test]
+fn wrong_version_is_a_typed_error() {
+    let mut frame = encode_frame(b"payload", 1024).unwrap();
+    frame[4] = 2; // future protocol version 2
+    frame[5] = 0;
+    let mut c = std::io::Cursor::new(frame);
+    assert!(matches!(
+        read_frame(&mut c, 1024),
+        Err(WireError::UnsupportedVersion {
+            got: 2,
+            expected: 1
+        })
+    ));
+}
+
+#[test]
+fn header_length_is_stable() {
+    // The layout is a protocol commitment; catching accidental drift.
+    let frame = encode_frame(b"", 1024).unwrap();
+    assert_eq!(frame.len(), HEADER_LEN);
+    assert_eq!(&frame[0..4], b"RVLO");
+    assert_eq!(
+        crc32(b""),
+        u32::from_le_bytes([frame[10], frame[11], frame[12], frame[13]])
+    );
+}
