@@ -111,6 +111,10 @@ impl ClientError {
 /// connection); open one client per thread for concurrent load.
 pub struct Client {
     stream: TcpStream,
+    /// The address the stream was connected to, captured while the socket
+    /// is known-good; reconnects use this rather than `peer_addr()`, which
+    /// fails on a dead socket.
+    addr: std::net::SocketAddr,
     cfg: ClientConfig,
 }
 
@@ -126,6 +130,7 @@ impl Client {
         cfg: ClientConfig,
     ) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+        let addr = stream.peer_addr().map_err(WireError::Io)?;
         stream
             .set_read_timeout(Some(cfg.read_timeout))
             .map_err(WireError::Io)?;
@@ -133,7 +138,7 @@ impl Client {
             .set_write_timeout(Some(cfg.write_timeout))
             .map_err(WireError::Io)?;
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream, cfg })
+        Ok(Client { stream, addr, cfg })
     }
 
     /// Connects, retrying with exponential backoff while the server is
@@ -221,10 +226,8 @@ impl Client {
                     if let ClientError::Wire(_) = &e {
                         // The stream may hold half a frame; reconnect
                         // rather than resynchronise.
-                        if let Ok(addr) = self.stream.peer_addr() {
-                            if let Ok(fresh) = Client::connect_with(addr, self.cfg.clone()) {
-                                self.stream = fresh.stream;
-                            }
+                        if let Ok(fresh) = Client::connect_with(self.addr, self.cfg.clone()) {
+                            self.stream = fresh.stream;
                         }
                     }
                     std::thread::sleep(backoff);

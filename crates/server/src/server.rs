@@ -276,6 +276,11 @@ fn accept_loop(
                 match spawn {
                     Ok(h) => {
                         if let Ok(mut hs) = handlers.lock() {
+                            // Reap finished handlers so a long-lived server
+                            // with many short connections does not hoard
+                            // JoinHandles; dropping a finished handle just
+                            // detaches an already-dead thread.
+                            hs.retain(|h| !h.is_finished());
                             hs.push(h);
                         }
                     }
@@ -477,7 +482,7 @@ fn serve_request(request: Request, shared: &Shared, t0: Instant) -> (Response, b
 }
 
 fn register_model(shared: &Shared, config: GnnConfig, state: &[Vec<f32>]) -> Response {
-    if let Err(msg) = validate_gnn_config(&config) {
+    if let Err(msg) = validate_gnn_config(&config, shared.cfg.max_frame_len) {
         return Response::Error {
             kind: ErrorKind::Malformed,
             message: msg.to_owned(),
@@ -527,7 +532,7 @@ fn register_model(shared: &Shared, config: GnnConfig, state: &[Vec<f32>]) -> Res
     }
 }
 
-fn validate_gnn_config(c: &GnnConfig) -> Result<(), &'static str> {
+fn validate_gnn_config(c: &GnnConfig, max_frame_len: usize) -> Result<(), &'static str> {
     if c.in_dim == 0 || c.hidden_dim == 0 || c.num_classes == 0 {
         return Err("model dimensions must be at least 1");
     }
@@ -536,6 +541,29 @@ fn validate_gnn_config(c: &GnnConfig) -> Result<(), &'static str> {
     }
     if c.heads == 0 || c.heads > 64 {
         return Err("heads must be in 1..=64");
+    }
+    // `Gnn::new` materialises every weight matrix, so the parameter
+    // footprint must be bounded *before* construction — a small frame
+    // declaring `in_dim`/`hidden_dim` near `u32::MAX` would otherwise
+    // force an exabyte-scale allocation. The estimate below over-counts
+    // the real parameter total by at most ~2x (it prices every layer at
+    // the widest fan-in/fan-out), so any architecture it rejects could
+    // never have shipped its weights inside one `max_frame_len` frame —
+    // the state-length check after `Gnn::new` would refuse it anyway.
+    let fan_out = c
+        .hidden_dim
+        .max(c.num_classes)
+        .saturating_mul(c.heads.max(1));
+    let first = c.in_dim.saturating_mul(fan_out);
+    let rest = c
+        .hidden_dim
+        .saturating_mul(fan_out)
+        .saturating_mul(c.num_layers.saturating_sub(1));
+    let readout = c.hidden_dim.saturating_mul(c.num_classes);
+    let elems = first.saturating_add(rest).saturating_add(readout);
+    // `elems` f32s at 4 bytes each, allowing the 2x over-count slack.
+    if elems.saturating_mul(2) > max_frame_len {
+        return Err("model dimensions exceed the serving parameter limit");
     }
     Ok(())
 }
@@ -642,4 +670,50 @@ fn serve_explain(shared: &Shared, req: ExplainRequest, t0: Instant) -> Response 
 
 fn as_us(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::DEFAULT_MAX_FRAME_LEN;
+    use revelio_gnn::{GnnKind, Task};
+
+    #[test]
+    fn validate_gnn_config_accepts_paper_scale_models() {
+        // Cora-sized input with the paper's standard widths must pass.
+        let c = GnnConfig::standard(GnnKind::Gat, Task::NodeClassification, 1433, 7, 0);
+        assert!(validate_gnn_config(&c, DEFAULT_MAX_FRAME_LEN).is_ok());
+    }
+
+    #[test]
+    fn validate_gnn_config_rejects_hostile_dimensions() {
+        // A ~40-byte RegisterModel frame can declare dimensions whose
+        // weight matrices would be exabytes; the bound must fire before
+        // `Gnn::new` ever sees them.
+        let base = GnnConfig::standard(GnnKind::Gcn, Task::NodeClassification, 4, 2, 0);
+        for hostile in [
+            GnnConfig {
+                in_dim: u32::MAX as usize,
+                hidden_dim: u32::MAX as usize,
+                ..base.clone()
+            },
+            GnnConfig {
+                hidden_dim: u32::MAX as usize,
+                ..base.clone()
+            },
+            GnnConfig {
+                in_dim: u32::MAX as usize,
+                num_classes: u32::MAX as usize,
+                ..base.clone()
+            },
+        ] {
+            assert!(
+                validate_gnn_config(&hostile, DEFAULT_MAX_FRAME_LEN).is_err(),
+                "accepted in={} hidden={} classes={}",
+                hostile.in_dim,
+                hostile.hidden_dim,
+                hostile.num_classes
+            );
+        }
+    }
 }

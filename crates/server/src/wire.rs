@@ -44,6 +44,15 @@ pub const PROTOCOL_VERSION: u16 = 1;
 /// Frame header length in bytes (magic + version + length + checksum).
 pub const HEADER_LEN: usize = 14;
 
+/// Upper bound on the node count a wire graph may declare.
+///
+/// A frame can justify at most `max_frame_len / 4` feature values or edge
+/// endpoints, so any feature-bearing graph that fits a default frame has
+/// well under 2^24 nodes; the cap keeps a featureless hostile frame from
+/// declaring billions of nodes and forcing huge per-node allocations
+/// downstream of the decoder.
+pub const MAX_WIRE_NODES: usize = 1 << 24;
+
 /// Default cap on one frame's payload (32 MiB) — enough for a model
 /// registration with millions of parameters, small enough that a hostile
 /// length field cannot exhaust memory.
@@ -500,11 +509,24 @@ fn decode_graph(r: &mut WireReader<'_>) -> Result<Graph, WireDecodeError> {
     let num_nodes = r.u32()? as usize;
     let feat_dim = r.u32()? as usize;
     let num_edges = r.u32()? as usize;
-    // Each edge costs 8 bytes on the wire; reject lengths the buffer
-    // cannot possibly hold before allocating.
-    let needed = num_edges
+    if num_nodes > MAX_WIRE_NODES {
+        return Err(WireDecodeError::Invalid("node count exceeds wire limit"));
+    }
+    // Every declared quantity must still be present in the payload: each
+    // edge costs 8 bytes and the `num_nodes x feat_dim` feature matrix
+    // follows the edge list. Checking both *before* `Graph::builder` keeps
+    // a ~30-byte frame from declaring dimensions that force a
+    // multi-gigabyte zero-fill inside the builder.
+    let edge_bytes = num_edges
         .checked_mul(8)
         .ok_or(WireDecodeError::Invalid("edge count overflows usize"))?;
+    let feat_bytes = num_nodes
+        .checked_mul(feat_dim)
+        .and_then(|n| n.checked_mul(4))
+        .ok_or(WireDecodeError::Invalid("feature matrix size overflow"))?;
+    let needed = edge_bytes
+        .checked_add(feat_bytes)
+        .ok_or(WireDecodeError::Invalid("graph payload size overflow"))?;
     if r.remaining() < needed {
         return Err(WireDecodeError::Truncated {
             needed,
@@ -542,6 +564,15 @@ fn decode_graph(r: &mut WireReader<'_>) -> Result<Graph, WireDecodeError> {
             let n = r.u32()? as usize;
             if n != num_nodes {
                 return Err(WireDecodeError::Invalid("node label count mismatch"));
+            }
+            let label_bytes = n
+                .checked_mul(4)
+                .ok_or(WireDecodeError::Invalid("node label size overflow"))?;
+            if r.remaining() < label_bytes {
+                return Err(WireDecodeError::Truncated {
+                    needed: label_bytes,
+                    remaining: r.remaining(),
+                });
             }
             let mut labels = Vec::with_capacity(n);
             for _ in 0..n {
@@ -1091,6 +1122,30 @@ mod tests {
         assert!(matches!(
             decode_graph(&mut r),
             Err(WireDecodeError::Truncated { .. })
+        ));
+
+        // A tiny frame declaring a feature matrix of 2^31 x 4: rejected
+        // before the builder zero-fills it (would be a 32 GB allocation).
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1 << 20); // nodes (within the node cap)
+        put_u32(&mut buf, 1 << 12); // feat_dim
+        put_u32(&mut buf, 0); // edges
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(
+            decode_graph(&mut r),
+            Err(WireDecodeError::Truncated { .. })
+        ));
+
+        // A featureless frame declaring billions of nodes: rejected by the
+        // node cap even though zero features and edges would "fit".
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX); // nodes
+        put_u32(&mut buf, 0); // feat_dim
+        put_u32(&mut buf, 0); // edges
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(
+            decode_graph(&mut r),
+            Err(WireDecodeError::Invalid(_))
         ));
     }
 
