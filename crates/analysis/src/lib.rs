@@ -25,6 +25,8 @@
 //! epoch in debug builds; the `audit` binary runs every audit over an example
 //! workload and a suite of deliberately seeded defects.
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 use std::collections::HashSet;
 use std::fmt;
 

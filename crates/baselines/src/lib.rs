@@ -18,6 +18,8 @@
 //! treat them uniformly. The algorithmic variant implemented for each method
 //! is documented in `DESIGN.md` §4.
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 use std::error::Error;
 use std::fmt;
 

@@ -31,7 +31,7 @@ use revelio_core::wire::ControlSpec;
 use revelio_core::Objective;
 use revelio_eval::Effort;
 use revelio_graph::{Graph, Target};
-use revelio_runtime::RuntimeConfig;
+use revelio_runtime::{HistogramSnapshot, RuntimeConfig};
 use revelio_server::{
     Client, ClientConfig, ClientError, ExplainRequest, Server, ServerConfig, ServerStats,
 };
@@ -272,7 +272,7 @@ fn main() -> ExitCode {
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
-    let _ = writeln!(
+    let _ = write!(
         json,
         "  \"server\": {{\"requests\": {}, \"shed\": {}, \"protocol_errors\": {}, \
          \"bytes_in\": {}, \"bytes_out\": {}, \"jobs_completed\": {}, \
@@ -285,6 +285,39 @@ fn main() -> ExitCode {
         stats.runtime.jobs_completed,
         stats.runtime.jobs_rejected,
         stats.request_latency.mean_us()
+    );
+    // Per-phase breakdown from the server's runtime registry, plus an
+    // estimate of pure wire time: request latency minus the runtime
+    // stages (saturating, since the means come from different counters).
+    let one = |name: &str, h: &HistogramSnapshot| {
+        format!(
+            "\"{name}\": {{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \
+             \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+            h.count,
+            h.mean_us(),
+            h.p50_us(),
+            h.p90_us(),
+            h.p99_us(),
+            h.max_us
+        )
+    };
+    let rt = &stats.runtime;
+    let wire_us = stats.request_latency.mean_us().saturating_sub(
+        rt.queue_wait
+            .mean_us()
+            .saturating_add(rt.prep_latency.mean_us())
+            .saturating_add(rt.explain_latency.mean_us()),
+    );
+    let _ = writeln!(
+        json,
+        ",\n  \"phases\": {{{}, {}, {}, {}, {}, {}, {}, \"wire_estimate_mean_us\": {wire_us}}}",
+        one("queue_wait", &rt.queue_wait),
+        one("prep", &rt.prep_latency),
+        one("extraction", &rt.phase_extraction),
+        one("flow_index", &rt.phase_flow_index),
+        one("optimize", &rt.phase_optimize),
+        one("readout", &rt.phase_readout),
+        one("explain", &rt.explain_latency),
     );
     json.push_str("}\n");
 

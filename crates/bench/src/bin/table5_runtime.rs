@@ -84,6 +84,7 @@ fn main() {
                             max_flows: flow_cap(args.effort),
                             shrink_on_overflow: true,
                             deadline: None,
+                            trace: false,
                         })
                         .collect();
                     let start = Instant::now();

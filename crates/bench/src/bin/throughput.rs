@@ -23,7 +23,7 @@ use revelio_core::{Objective, Revelio, RevelioConfig};
 use revelio_eval::experiments_dir;
 use revelio_gnn::Gnn;
 use revelio_graph::{Graph, Target};
-use revelio_runtime::{ExplainJob, Runtime, RuntimeConfig};
+use revelio_runtime::{ExplainJob, HistogramSnapshot, MetricsSnapshot, Runtime, RuntimeConfig};
 use revelio_server::{Client, ExplainRequest, Server, ServerConfig};
 
 struct Args {
@@ -178,7 +178,12 @@ fn measure_wire_overhead(model: &Gnn, graphs: &[Graph]) -> Overhead {
     }
 }
 
-fn measure(model: &Gnn, graphs: &[Graph], workers: usize, epochs: usize) -> Measurement {
+fn measure(
+    model: &Gnn,
+    graphs: &[Graph],
+    workers: usize,
+    epochs: usize,
+) -> (Measurement, MetricsSnapshot) {
     let rt = Runtime::with_config(RuntimeConfig {
         workers,
         seed: 42,
@@ -190,14 +195,40 @@ fn measure(model: &Gnn, graphs: &[Graph], workers: usize, epochs: usize) -> Meas
     let seconds = start.elapsed().as_secs_f64();
     let failed = results.iter().filter(|r| r.is_err()).count() as u64;
     let m = rt.metrics();
-    Measurement {
-        workers,
-        jobs: graphs.len(),
-        seconds,
-        per_sec: graphs.len() as f64 / seconds.max(1e-9),
-        degraded: m.jobs_degraded,
-        failed,
-    }
+    (
+        Measurement {
+            workers,
+            jobs: graphs.len(),
+            seconds,
+            per_sec: graphs.len() as f64 / seconds.max(1e-9),
+            degraded: m.jobs_degraded,
+            failed,
+        },
+        m,
+    )
+}
+
+/// One JSON object per named phase: where a job's time actually goes.
+fn phases_json(m: &MetricsSnapshot) -> String {
+    let one = |name: &str, h: &HistogramSnapshot| {
+        format!(
+            "\"{name}\": {{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \
+             \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+            h.count,
+            h.mean_us(),
+            h.p50_us(),
+            h.p90_us(),
+            h.p99_us(),
+            h.max_us
+        )
+    };
+    [
+        one("extraction", &m.phase_extraction),
+        one("flow_index", &m.phase_flow_index),
+        one("optimize", &m.phase_optimize),
+        one("readout", &m.phase_readout),
+    ]
+    .join(", ")
 }
 
 fn main() {
@@ -216,13 +247,15 @@ fn main() {
     worker_counts.retain(|&w| w > 0);
 
     let mut rows = Vec::new();
+    let mut last_snapshot: Option<MetricsSnapshot> = None;
     for &workers in &worker_counts {
-        let m = measure(&model, &graphs, workers, args.epochs);
+        let (m, snap) = measure(&model, &graphs, workers, args.epochs);
         eprintln!(
             "workers={:>2}  jobs={:>3}  {:.2}s total  {:.2} explanations/sec",
             m.workers, m.jobs, m.seconds, m.per_sec
         );
         rows.push(m);
+        last_snapshot = Some(snap);
     }
 
     let baseline = rows
@@ -261,6 +294,10 @@ fn main() {
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    if let Some(snap) = &last_snapshot {
+        // Phase breakdown from the widest run: where a job's time goes.
+        let _ = writeln!(json, "  \"phases\": {{{}}},", phases_json(snap));
+    }
     let _ = writeln!(
         json,
         "  \"overhead\": {{\"workers\": 1, \"jobs\": {}, \

@@ -10,6 +10,8 @@
 //! * `--instances N` — override the per-dataset instance count;
 //! * `--seed N` — the global seed.
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 use std::time::Instant;
 
 use revelio_core::Objective;
@@ -281,6 +283,7 @@ pub fn run_fidelity(
                     max_flows: flow_cap(effort),
                     shrink_on_overflow: true,
                     deadline: None,
+                    trace: false,
                 })
                 .collect();
             rt.explain_batch(handle, jobs)

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use revelio_graph::FlowIndex;
+use revelio_trace::TraceHandle;
 
 use crate::explanation::Explanation;
 
@@ -94,6 +95,13 @@ pub struct ExplainControl {
     /// When the instance exceeds the explainer's flow cap, shrink the flow
     /// set to the cap (degrading the answer) instead of failing the job.
     pub shrink_on_overflow: bool,
+    /// Structured-tracing sink for this request. `None` means untraced;
+    /// explainers that instrument themselves fall back to
+    /// [`TraceHandle::noop`] (whose disabled collector makes every emit a
+    /// branch, not an allocation). Per-epoch loss/grad-norm events are
+    /// additionally gated on [`TraceHandle::verbose`], so an always-on
+    /// metrics bridge never forces extra tensor reads.
+    pub trace: Option<TraceHandle>,
 }
 
 impl ExplainControl {

@@ -16,6 +16,8 @@
 //! This crate also defines the [`Explainer`] trait and [`Explanation`] type
 //! shared with every baseline in `revelio-baselines`.
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 mod control;
 mod explanation;
 mod revelio;

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use revelio_gnn::{Gnn, Instance};
 use revelio_graph::{FlowIndex, TooManyFlows};
 use revelio_tensor::{uniform, Adam, BinCsr, Optimizer, Tensor};
+use revelio_trace::{EventKind, Phase, TraceHandle};
 
 use crate::control::{ControlledExplanation, Degradation, ExplainControl};
 use crate::explanation::{Explainer, Explanation, FlowScores, Objective};
@@ -314,18 +315,29 @@ impl Revelio {
             epochs_planned: cfg.epochs,
             ..Default::default()
         };
+        // Tracing: emit through the request's handle, or the shared noop
+        // handle (disabled collector — every emit below is one branch).
+        let noop = TraceHandle::noop();
+        let tr = ctl.trace.as_ref().unwrap_or(&noop);
         let index: Arc<FlowIndex> = match &ctl.flow_index {
-            Some(idx) if idx.num_layers() == layers => Arc::clone(idx),
+            Some(idx) if idx.num_layers() == layers => {
+                tr.event(EventKind::Note("flow-index-reused"));
+                Arc::clone(idx)
+            }
             _ if ctl.shrink_on_overflow => {
+                let _span = tr.span(Phase::FlowIndex);
                 let capped =
                     FlowIndex::build_capped(&instance.mp, layers, flow_target, cfg.max_flows);
                 degradation.flows_dropped = capped.dropped;
                 Arc::new(capped.index)
             }
-            _ => Arc::new(
-                FlowIndex::build(&instance.mp, layers, flow_target, cfg.max_flows)
-                    .map_err(ExplainError::TooManyFlows)?,
-            ),
+            _ => {
+                let _span = tr.span(Phase::FlowIndex);
+                Arc::new(
+                    FlowIndex::build(&instance.mp, layers, flow_target, cfg.max_flows)
+                        .map_err(ExplainError::TooManyFlows)?,
+                )
+            }
         };
         let ne = instance.mp.layer_edge_count();
 
@@ -406,33 +418,59 @@ impl Revelio {
         // Deadline-bounded runs track the best (lowest-loss) parameters so
         // an early stop returns the best mask seen, not the latest one.
         let track_best = ctl.deadline.is_set();
+        // Per-epoch loss/grad-norm emission reads tensors the untraced loop
+        // never materialises, so it is gated on `verbose` (a ring collector),
+        // not merely `enabled` (which an always-on metrics bridge sets).
+        let trace_epochs = tr.verbose();
         let mut best: Option<(f32, Vec<f32>, Vec<Vec<f32>>)> = None;
+        let optimize_span = tr.span(Phase::Optimize);
         for epoch in 0..cfg.epochs {
             if ctl.deadline.expired() {
                 degradation.deadline_hit = true;
+                tr.event(EventKind::DeadlineHit {
+                    epoch: epoch as u32,
+                });
                 break;
             }
             opt.zero_grad();
             let loss = build_loss();
             loss.backward();
+            // The loss corresponds to the parameters *before* the step.
+            let loss_val = if track_best || trace_epochs {
+                Some(loss.item())
+            } else {
+                None
+            };
             if track_best {
-                // The loss corresponds to the parameters *before* the step.
-                let l = loss.item();
-                if l.is_finite() && best.as_ref().is_none_or(|(b, _, _)| l < *b) {
-                    best = Some((
-                        l,
-                        mask_model.mask_params.to_vec(),
-                        mask_model
-                            .layer_weights
-                            .iter()
-                            .map(Tensor::to_vec)
-                            .collect(),
-                    ));
+                if let Some(l) = loss_val {
+                    if l.is_finite() && best.as_ref().is_none_or(|(b, _, _)| l < *b) {
+                        best = Some((
+                            l,
+                            mask_model.mask_params.to_vec(),
+                            mask_model
+                                .layer_weights
+                                .iter()
+                                .map(Tensor::to_vec)
+                                .collect(),
+                        ));
+                    }
+                }
+            }
+            if trace_epochs {
+                if let Some(l) = loss_val {
+                    let g = mask_model.mask_params.grad_vec();
+                    let grad_norm = g.iter().map(|v| v * v).sum::<f32>().sqrt();
+                    tr.event(EventKind::Epoch {
+                        index: epoch as u32,
+                        loss: l,
+                        grad_norm,
+                    });
                 }
             }
             opt.step();
             degradation.epochs_run = epoch + 1;
         }
+        drop(optimize_span);
         if degradation.deadline_hit {
             if let Some((_, mask, weights)) = best {
                 mask_model.mask_params.set_data(&mask);
@@ -444,6 +482,7 @@ impl Revelio {
 
         // Final scores. Counterfactual: ω'[F] = -ω[F] and
         // ω'[e] = 1 - ω[e], so higher always means more important.
+        let readout_span = tr.span(Phase::Readout);
         let masks = mask_model.layer_masks(ne);
         let learned: Vec<f32> = mask_model.flow_scores().to_vec();
         // Scatter learned scores back over the full flow set (unselected
@@ -487,6 +526,7 @@ impl Revelio {
                 0.0
             };
         }
+        drop(readout_span);
 
         Ok(ControlledExplanation {
             explanation: Explanation {

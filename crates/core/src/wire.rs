@@ -283,6 +283,11 @@ pub struct ControlSpec {
     pub max_flows: u64,
     /// Degrade oversized instances instead of failing them.
     pub shrink_on_overflow: bool,
+    /// Capture a structured execution trace for this request. The server
+    /// attaches a ring-buffer collector to the job and stores the finished
+    /// trace for later retrieval by trace ID; untraced requests pay only the
+    /// runtime's always-on phase metrics.
+    pub trace: bool,
 }
 
 impl Default for ControlSpec {
@@ -291,6 +296,7 @@ impl Default for ControlSpec {
             deadline_ms: None,
             max_flows: 100_000,
             shrink_on_overflow: true,
+            trace: false,
         }
     }
 }
@@ -301,6 +307,7 @@ impl ControlSpec {
         put_opt_u64(out, self.deadline_ms);
         put_u64(out, self.max_flows);
         put_bool(out, self.shrink_on_overflow);
+        put_bool(out, self.trace);
     }
 
     /// Reads a spec written by [`ControlSpec::encode`].
@@ -309,6 +316,7 @@ impl ControlSpec {
             deadline_ms: r.opt_u64()?,
             max_flows: r.u64()?,
             shrink_on_overflow: r.bool()?,
+            trace: r.bool()?,
         })
     }
 }
@@ -415,6 +423,7 @@ mod tests {
             deadline_ms: Some(250),
             max_flows: 60_000,
             shrink_on_overflow: false,
+            trace: true,
         };
         let mut buf = Vec::new();
         spec.encode(&mut buf);

@@ -6,6 +6,8 @@
 //! to Table III's statistics — see `DESIGN.md` §3 for the substitution
 //! rationale. Every generator is deterministic given its seed.
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 mod citation;
 mod molecules;
 mod split;

@@ -1,6 +1,8 @@
 //! Evaluation harness: metrics, instance sampling, the method registry, and
 //! report utilities backing every table and figure of the paper.
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 mod auc;
 mod fidelity;
 mod instances;

@@ -60,6 +60,9 @@ impl Table {
     }
 
     /// Prints the table to stdout.
+    // Printing is this method's contract; callers wanting a string use
+    // `render`.
+    #[allow(clippy::print_stdout)]
     pub fn print(&self) {
         print!("{}", self.render());
     }

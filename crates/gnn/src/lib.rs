@@ -12,6 +12,8 @@
 //! attention heads, node-classification logits straight from the last layer,
 //! graph-classification via mean-pool readout plus a linear head.
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 mod instance;
 mod json;
 mod layer;

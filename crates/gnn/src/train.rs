@@ -83,7 +83,11 @@ pub fn train_node_classifier(
         opt.step();
         last_loss = loss.item();
         if cfg.report_every > 0 && epoch % cfg.report_every == 0 {
-            eprintln!("epoch {epoch}: loss {last_loss:.4}");
+            // Opt-in progress reporting (report_every = 0 silences it).
+            #[allow(clippy::print_stderr)]
+            {
+                eprintln!("epoch {epoch}: loss {last_loss:.4}");
+            }
         }
     }
     last_loss
@@ -168,7 +172,11 @@ pub fn train_graph_classifier(
         }
         epoch_loss = total / order.chunks(cfg.batch_size).count() as f32;
         if cfg.report_every > 0 && epoch % cfg.report_every == 0 {
-            eprintln!("epoch {epoch}: loss {epoch_loss:.4}");
+            // Opt-in progress reporting (report_every = 0 silences it).
+            #[allow(clippy::print_stderr)]
+            {
+                eprintln!("epoch {epoch}: loss {epoch_loss:.4}");
+            }
         }
     }
     epoch_loss

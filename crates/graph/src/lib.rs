@@ -13,6 +13,8 @@
 //! * [`khop_subgraph`] — extraction of the `L`-hop computation subgraph
 //!   around a target node, on which node-classification explanations run.
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 mod flows;
 mod graph;
 mod mp;

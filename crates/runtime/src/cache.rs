@@ -122,12 +122,19 @@ impl<K: Clone + Eq + Hash, V: Clone> ShardedLru<K, V> {
     /// are identical and the second insert is harmless); holding the lock
     /// would serialise every cache user behind one slow enumeration.
     pub fn get_or_insert_with(&self, key: &K, compute: impl FnOnce() -> V) -> V {
+        self.get_or_insert_with_flag(key, compute).0
+    }
+
+    /// [`ShardedLru::get_or_insert_with`], additionally reporting whether
+    /// the value was already resident (`true` = hit). Callers that annotate
+    /// traces or metrics use this; plain callers keep the simpler shape.
+    pub fn get_or_insert_with_flag(&self, key: &K, compute: impl FnOnce() -> V) -> (V, bool) {
         if let Some(v) = self.get(key) {
-            return v;
+            return (v, true);
         }
         let v = compute();
         self.insert(key.clone(), v.clone());
-        v
+        (v, false)
     }
 
     /// Entries currently resident, across all shards.
@@ -229,8 +236,23 @@ impl ArtifactCache {
         target: Target,
         max_flows: usize,
     ) -> CachedFlows {
+        self.flow_index_probed(graph_id, mp, layers, target, max_flows)
+            .0
+    }
+
+    /// [`ArtifactCache::flow_index`], additionally reporting whether the
+    /// index was already resident (`true` = hit) so workers can annotate
+    /// the request trace with the probe outcome.
+    pub fn flow_index_probed(
+        &self,
+        graph_id: u64,
+        mp: &MpGraph,
+        layers: usize,
+        target: Target,
+        max_flows: usize,
+    ) -> (CachedFlows, bool) {
         self.flows
-            .get_or_insert_with(&(graph_id, target, layers, max_flows), || {
+            .get_or_insert_with_flag(&(graph_id, target, layers, max_flows), || {
                 let capped = FlowIndex::build_capped(mp, layers, target, max_flows);
                 CachedFlows {
                     index: Arc::new(capped.index),

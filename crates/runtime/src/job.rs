@@ -12,6 +12,7 @@ use std::time::Duration;
 use revelio_core::{Degradation, Explainer, Explanation};
 use revelio_gnn::{Gnn, GnnConfig};
 use revelio_graph::{Graph, Target};
+use revelio_trace::Trace;
 
 /// Builds the job's explainer *on the worker thread*, from the job's
 /// deterministic seed. Taking the seed through the factory (rather than
@@ -83,6 +84,14 @@ pub struct ExplainJob {
     /// Per-job latency budget, measured from *submission* (queue wait
     /// counts). `None` falls back to the runtime's default deadline.
     pub deadline: Option<Duration>,
+    /// Capture a structured execution trace: the worker attaches a
+    /// ring-buffer collector, stores the finished [`Trace`] in
+    /// [`JobOutput::trace`], and retains it for later retrieval via
+    /// [`Runtime::trace`]. Untraced jobs still feed the always-on phase
+    /// histograms.
+    ///
+    /// [`Runtime::trace`]: crate::Runtime::trace
+    pub trace: bool,
 }
 
 impl ExplainJob {
@@ -104,6 +113,7 @@ impl ExplainJob {
             max_flows,
             shrink_on_overflow: true,
             deadline: None,
+            trace: false,
         }
     }
 
@@ -123,6 +133,7 @@ impl ExplainJob {
             max_flows: usize::MAX,
             shrink_on_overflow: true,
             deadline: None,
+            trace: false,
         }
     }
 
@@ -130,6 +141,13 @@ impl ExplainJob {
     #[must_use]
     pub fn with_deadline(mut self, budget: Duration) -> ExplainJob {
         self.deadline = Some(budget);
+        self
+    }
+
+    /// Enables structured trace capture for this job.
+    #[must_use]
+    pub fn with_trace(mut self) -> ExplainJob {
+        self.trace = true;
         self
     }
 }
@@ -153,6 +171,9 @@ pub struct JobOutput {
     /// What, if anything, was cut to meet the budget.
     pub degradation: Degradation,
     pub timing: JobTiming,
+    /// The captured execution trace, when the job asked for one
+    /// ([`ExplainJob::trace`]); `None` for untraced jobs.
+    pub trace: Option<Trace>,
 }
 
 impl JobOutput {

@@ -47,15 +47,21 @@
 //! [`Explainer`]: revelio_core::Explainer
 //! [`Degradation`]: revelio_core::Degradation
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 mod cache;
 mod job;
 mod metrics;
 mod pool;
+pub mod prometheus;
+mod trace_store;
 
 pub use cache::{ArtifactCache, CachedFlows, FlowKey, ShardedLru, SubgraphKey};
 pub use job::{
     ExplainJob, ExplainerFactory, JobError, JobOutput, JobResult, JobTiming, ModelHandle,
     ModelSpec, Ticket,
 };
-pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, LATENCY_BUCKETS_US};
+pub use metrics::{
+    Histogram, HistogramSnapshot, Metrics, MetricsCollector, MetricsSnapshot, LATENCY_BUCKETS_US,
+};
 pub use pool::{Runtime, RuntimeConfig, RuntimeConfigError, WorkerProbe};

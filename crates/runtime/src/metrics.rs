@@ -7,7 +7,10 @@
 //! [`MetricsSnapshot::report`] renders it for humans.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+use revelio_trace::{Collector, Event, EventKind, Phase};
 
 /// Upper bounds (µs) of the latency histogram buckets; the last bucket is
 /// unbounded. Spans 100µs … 10s, which covers both cache-hit flow prep and
@@ -26,6 +29,15 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    /// Records one duration.
+    ///
+    /// The four counters are updated with *independent* relaxed atomics, so
+    /// a concurrent [`Histogram::snapshot`] can observe them mutually
+    /// skewed: `max_us` may already reflect an observation whose `count` /
+    /// `total_us` increments have not landed yet (and vice versa), which
+    /// momentarily makes `max_us > total_us` or `mean_us() > max_us`
+    /// possible. Each counter is individually exact once writers quiesce;
+    /// consumers must not assume cross-field invariants mid-flight.
     pub fn observe(&self, d: Duration) {
         let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
         let idx = LATENCY_BUCKETS_US
@@ -66,6 +78,53 @@ impl HistogramSnapshot {
     pub fn mean_us(&self) -> u64 {
         self.total_us.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Estimates the `q`-quantile (`0 < q <= 1`) in microseconds by linear
+    /// interpolation within the covering bucket. Bucket `i` spans
+    /// `(LATENCY_BUCKETS_US[i-1], LATENCY_BUCKETS_US[i]]`; the unbounded
+    /// overflow bucket is capped at the observed `max_us`, so the estimate
+    /// never exceeds a value that actually occurred. Returns 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n;
+            if (next as f64) >= target {
+                let lo = if i == 0 { 0 } else { LATENCY_BUCKETS_US[i - 1] };
+                let hi = match LATENCY_BUCKETS_US.get(i) {
+                    Some(&b) => b,
+                    // Overflow bucket: cap at the observed maximum.
+                    None => self.max_us.max(lo),
+                };
+                let frac = ((target - cum as f64) / n as f64).clamp(0.0, 1.0);
+                return lo + ((hi - lo) as f64 * frac).round() as u64;
+            }
+            cum = next;
+        }
+        self.max_us
+    }
+
+    /// Median latency estimate in microseconds.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 90th-percentile latency estimate in microseconds.
+    pub fn p90_us(&self) -> u64 {
+        self.quantile_us(0.90)
+    }
+
+    /// 99th-percentile latency estimate in microseconds.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
 }
 
 /// The runtime's metrics registry. One instance per [`Runtime`], shared by
@@ -94,6 +153,18 @@ pub struct Metrics {
     pub prep_latency: Histogram,
     /// Explainer stage proper (mask optimisation / decomposition).
     pub explain_latency: Histogram,
+    /// Named-phase breakdowns fed by the tracing bridge: subgraph/model
+    /// materialisation.
+    pub phase_extraction: Histogram,
+    /// Named-phase breakdown: flow-index build (cache misses only; hits
+    /// never enter the span).
+    pub phase_flow_index: Histogram,
+    /// Named-phase breakdown: mask-optimisation epoch loop.
+    pub phase_optimize: Histogram,
+    /// Named-phase breakdown: score readout / aggregation.
+    pub phase_readout: Histogram,
+    /// Total optimisation epochs run across all completed jobs.
+    pub epochs_total: AtomicU64,
 }
 
 impl Metrics {
@@ -111,6 +182,45 @@ impl Metrics {
             queue_wait: self.queue_wait.snapshot(),
             prep_latency: self.prep_latency.snapshot(),
             explain_latency: self.explain_latency.snapshot(),
+            phase_extraction: self.phase_extraction.snapshot(),
+            phase_flow_index: self.phase_flow_index.snapshot(),
+            phase_optimize: self.phase_optimize.snapshot(),
+            phase_readout: self.phase_readout.snapshot(),
+            epochs_total: self.epochs_total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Bridges structured-trace span ends into the named-phase histograms.
+///
+/// Workers attach this collector to *every* job (traced or not) through a
+/// [`TraceHandle`], so the per-phase breakdowns in [`MetricsSnapshot`] are
+/// always populated. It is deliberately not [`Collector::verbose`]:
+/// per-epoch loss/grad-norm events require extra tensor reads that an
+/// always-on bridge must never force.
+///
+/// [`TraceHandle`]: revelio_trace::TraceHandle
+pub struct MetricsCollector {
+    metrics: Arc<Metrics>,
+}
+
+impl MetricsCollector {
+    /// A bridge feeding `metrics`.
+    pub fn new(metrics: Arc<Metrics>) -> MetricsCollector {
+        MetricsCollector { metrics }
+    }
+}
+
+impl Collector for MetricsCollector {
+    fn record(&self, event: Event) {
+        if let EventKind::SpanEnd { phase, dur_ns } = event.kind {
+            let h = match phase {
+                Phase::Extraction => &self.metrics.phase_extraction,
+                Phase::FlowIndex => &self.metrics.phase_flow_index,
+                Phase::Optimize => &self.metrics.phase_optimize,
+                Phase::Readout => &self.metrics.phase_readout,
+            };
+            h.observe(Duration::from_nanos(dur_ns));
         }
     }
 }
@@ -132,6 +242,16 @@ pub struct MetricsSnapshot {
     pub queue_wait: HistogramSnapshot,
     pub prep_latency: HistogramSnapshot,
     pub explain_latency: HistogramSnapshot,
+    /// Named-phase breakdown: subgraph/model materialisation.
+    pub phase_extraction: HistogramSnapshot,
+    /// Named-phase breakdown: flow-index build (cache misses only).
+    pub phase_flow_index: HistogramSnapshot,
+    /// Named-phase breakdown: mask-optimisation epoch loop.
+    pub phase_optimize: HistogramSnapshot,
+    /// Named-phase breakdown: score readout / aggregation.
+    pub phase_readout: HistogramSnapshot,
+    /// Total optimisation epochs run across all completed jobs.
+    pub epochs_total: u64,
 }
 
 impl MetricsSnapshot {
@@ -170,14 +290,22 @@ impl MetricsSnapshot {
             self.cache_misses,
             100.0 * self.cache_hit_rate(),
         ));
+        out.push_str(&format!("  epochs    total={}\n", self.epochs_total));
         for (name, h) in [
             ("prep", &self.prep_latency),
             ("explain", &self.explain_latency),
+            ("extract", &self.phase_extraction),
+            ("flowindex", &self.phase_flow_index),
+            ("optimize", &self.phase_optimize),
+            ("readout", &self.phase_readout),
         ] {
             out.push_str(&format!(
-                "  {name:<9} n={} mean={}us max={}us buckets",
+                "  {name:<9} n={} mean={}us p50={}us p90={}us p99={}us max={}us buckets",
                 h.count,
                 h.mean_us(),
+                h.p50_us(),
+                h.p90_us(),
+                h.p99_us(),
                 h.max_us,
             ));
             for (i, b) in h.buckets.iter().enumerate() {
@@ -215,6 +343,35 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::default();
+        // 100 observations at ~500us: all land in bucket 1, (100, 1000]us.
+        for _ in 0..100 {
+            h.observe(Duration::from_micros(500));
+        }
+        let s = h.snapshot();
+        // Linear interpolation inside (100, 1000]: p50 = 100 + 0.5*900.
+        assert_eq!(s.p50_us(), 550);
+        assert_eq!(s.p90_us(), 910);
+        assert_eq!(s.p99_us(), 991);
+        // Quantiles are monotone and bounded by the bucket's upper edge.
+        assert!(s.quantile_us(1.0) <= 1000);
+        assert_eq!(HistogramSnapshot::default().p99_us(), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_quantile_capped_at_max() {
+        let h = Histogram::default();
+        h.observe(Duration::from_secs(20)); // overflow bucket
+        h.observe(Duration::from_secs(30)); // overflow bucket
+        let s = h.snapshot();
+        // The unbounded bucket's upper edge is the observed max, so the
+        // estimate can never exceed a latency that actually happened.
+        assert!(s.p99_us() <= 30_000_000);
+        assert!(s.p50_us() >= 10_000_000);
+    }
+
+    #[test]
     fn snapshot_and_report() {
         let m = Metrics::default();
         m.jobs_submitted.fetch_add(4, Ordering::Relaxed);
@@ -228,6 +385,21 @@ mod tests {
         assert!(report.contains("submitted=4"));
         assert!(report.contains("hit_rate=75.0%"));
         assert!(report.contains("explain"));
+    }
+
+    #[test]
+    fn metrics_collector_routes_span_ends_to_phase_histograms() {
+        use revelio_trace::{TraceHandle, TraceId};
+        let metrics = Arc::new(Metrics::default());
+        let bridge = Arc::new(MetricsCollector::new(Arc::clone(&metrics)));
+        let tr = TraceHandle::new(TraceId(7), bridge);
+        assert!(tr.enabled());
+        assert!(!tr.verbose()); // never forces per-epoch tensor reads
+        drop(tr.span(Phase::Optimize));
+        tr.event(EventKind::CacheProbe { hit: true }); // ignored by bridge
+        let s = metrics.snapshot(0, 0);
+        assert_eq!(s.phase_optimize.count, 1);
+        assert_eq!(s.phase_extraction.count, 0);
     }
 
     #[test]

@@ -20,12 +20,21 @@ use std::time::{Duration, Instant};
 
 use revelio_core::{Deadline, ExplainControl};
 use revelio_gnn::{Gnn, Instance};
+use revelio_trace::{Collector, EventKind, Phase, RingCollector, Tee, Trace, TraceHandle, TraceId};
 
 use crate::cache::ArtifactCache;
 use crate::job::{
     ExplainJob, JobError, JobOutput, JobResult, JobTiming, ModelHandle, ModelSpec, Ticket,
 };
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{Metrics, MetricsCollector, MetricsSnapshot};
+use crate::trace_store::TraceStore;
+
+/// Ring-journal capacity for traced jobs: 4096 events holds the spans plus
+/// ~4000 epochs of per-epoch detail before drop-oldest kicks in.
+const TRACE_RING_CAPACITY: usize = 4096;
+
+/// Finished traces retained for [`Runtime::trace`] retrieval.
+const TRACE_RETENTION: usize = 128;
 
 /// Runtime construction parameters; [`RuntimeConfig::default`] matches
 /// `Runtime::new(1)` except for the worker count.
@@ -105,7 +114,11 @@ impl Default for RuntimeConfig {
 struct Shared {
     models: Mutex<Vec<Arc<ModelSpec>>>,
     cache: ArtifactCache,
-    metrics: Metrics,
+    metrics: Arc<Metrics>,
+    /// The always-on trace→metrics bridge every job's handle forwards to.
+    bridge: Arc<MetricsCollector>,
+    /// Finished traces of traced jobs, bounded drop-oldest.
+    traces: TraceStore,
     cancel: Arc<AtomicBool>,
     alive_workers: AtomicUsize,
     /// Jobs accepted but not yet answered (queued + running); the
@@ -167,10 +180,13 @@ impl Runtime {
     pub fn try_with_config(cfg: RuntimeConfig) -> Result<Runtime, RuntimeConfigError> {
         cfg.validate()?;
         let workers = cfg.workers;
+        let metrics = Arc::new(Metrics::default());
         let shared = Arc::new(Shared {
             models: Mutex::new(Vec::new()),
             cache: ArtifactCache::new(cfg.cache_shards, cfg.cache_capacity),
-            metrics: Metrics::default(),
+            bridge: Arc::new(MetricsCollector::new(Arc::clone(&metrics))),
+            metrics,
+            traces: TraceStore::new(TRACE_RETENTION),
             cancel: Arc::new(AtomicBool::new(false)),
             alive_workers: AtomicUsize::new(workers),
             in_flight: AtomicUsize::new(0),
@@ -371,6 +387,14 @@ impl Runtime {
         &self.shared.cache
     }
 
+    /// The retained trace of a finished traced job ([`ExplainJob::trace`]),
+    /// keyed by its job id. `None` if the job was untraced, has not
+    /// finished, or the trace was evicted from the bounded retention
+    /// window.
+    pub fn trace(&self, trace_id: u64) -> Option<Trace> {
+        self.shared.traces.get(TraceId(trace_id))
+    }
+
     /// Workers currently alive; drops to 0 only after the runtime is
     /// dropped (exposed for leak tests).
     pub fn alive_workers(&self) -> usize {
@@ -468,21 +492,43 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<QueuedJob>>, shared: &Shared) {
             continue;
         };
 
+        let job = q.job;
+        // Every job gets a trace handle: untraced jobs forward only to the
+        // metrics bridge (phase histograms), traced jobs additionally
+        // journal into a per-job ring drained after the explainer returns.
+        let ring = if job.trace {
+            Some(Arc::new(RingCollector::new(TRACE_RING_CAPACITY)))
+        } else {
+            None
+        };
+        let collector: Arc<dyn Collector> = match &ring {
+            Some(r) => Arc::new(Tee(
+                Arc::clone(r) as Arc<dyn Collector>,
+                Arc::clone(&shared.bridge) as Arc<dyn Collector>,
+            )),
+            None => Arc::clone(&shared.bridge) as Arc<dyn Collector>,
+        };
+        let tr = TraceHandle::new(TraceId(q.job_id), collector);
+
         // Prep stage: local model, instance forward pass, flow artifacts.
         let prep_start = Instant::now();
+        let extraction_span = tr.span(Phase::Extraction);
         let model = local_models
             .entry(q.handle.0)
             .or_insert_with(|| spec.materialize());
-        let job = q.job;
         let instance = Instance::for_prediction(model, job.graph, job.target);
+        drop(extraction_span);
         let (flow_index, cache_flows_dropped) = if job.needs_flows {
-            let cached = shared.cache.flow_index(
+            let flow_span = tr.span(Phase::FlowIndex);
+            let (cached, hit) = shared.cache.flow_index_probed(
                 job.graph_id,
                 &instance.mp,
                 model.num_layers(),
                 instance.target,
                 job.max_flows,
             );
+            drop(flow_span);
+            tr.event(EventKind::CacheProbe { hit });
             (Some(cached.index), cached.dropped)
         } else {
             (None, 0)
@@ -508,6 +554,7 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<QueuedJob>>, shared: &Shared) {
             deadline,
             flow_index,
             shrink_on_overflow: job.shrink_on_overflow,
+            trace: Some(tr.clone()),
         };
 
         let seed = derive_seed(shared.base_seed, q.job_id);
@@ -525,8 +572,18 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<QueuedJob>>, shared: &Shared) {
                 // the answer just like an explainer-side shrink.
                 controlled.degradation.flows_dropped += cache_flows_dropped;
                 metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                metrics
+                    .epochs_total
+                    .fetch_add(controlled.degradation.epochs_run as u64, Ordering::Relaxed);
                 if controlled.degradation.is_degraded() {
                     metrics.jobs_degraded.fetch_add(1, Ordering::Relaxed);
+                }
+                // Drain the journal into a plain trace: once into the
+                // bounded retention store (for Runtime::trace / the wire
+                // Trace request) and once alongside the result.
+                let trace = ring.as_ref().map(|r| r.drain(TraceId(q.job_id)));
+                if let Some(t) = &trace {
+                    shared.traces.push(t.clone());
                 }
                 let _ = q.result_tx.send(Ok(JobOutput {
                     job_id: q.job_id,
@@ -537,6 +594,7 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<QueuedJob>>, shared: &Shared) {
                         prep: explain_start - prep_start,
                         explain: explain_elapsed,
                     },
+                    trace,
                 }));
             }
             Err(payload) => {

@@ -1,0 +1,372 @@
+//! Prometheus text-format exposition of runtime metrics.
+//!
+//! Renders a [`MetricsSnapshot`] in the [text exposition format] a
+//! Prometheus server scrapes: `# HELP` / `# TYPE` headers, cumulative
+//! `_bucket{le="…"}` series ending in `+Inf`, and `_sum` / `_count` pairs.
+//! Durations are converted to **seconds** (the Prometheus base unit); the
+//! internal µs histograms map directly because bucket upper bounds are
+//! fixed. A small structural parser ([`parse_exposition`]) backs the
+//! round-trip tests and lets `revelio-top` sanity-check what a server
+//! emits.
+//!
+//! [text exposition format]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::collections::BTreeMap;
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use crate::LATENCY_BUCKETS_US;
+
+/// Appends one `counter` family with a single sample.
+pub fn push_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!("# HELP {name} {help}\n"));
+    out.push_str(&format!("# TYPE {name} counter\n"));
+    out.push_str(&format!("{name} {value}\n"));
+}
+
+/// Appends one `gauge` family with a single sample.
+pub fn push_gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    out.push_str(&format!("# HELP {name} {help}\n"));
+    out.push_str(&format!("# TYPE {name} gauge\n"));
+    out.push_str(&format!("{name} {value}\n"));
+}
+
+fn seconds(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
+/// Appends one `histogram` family (seconds) from a µs latency histogram:
+/// cumulative `_bucket` series (ending in `le="+Inf"`), `_sum`, `_count`.
+pub fn push_histogram(out: &mut String, name: &str, help: &str, h: &HistogramSnapshot) {
+    out.push_str(&format!("# HELP {name} {help}\n"));
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cum = 0u64;
+    for (i, &bound_us) in LATENCY_BUCKETS_US.iter().enumerate() {
+        cum += h.buckets[i];
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"{}\"}} {cum}\n",
+            seconds(bound_us)
+        ));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n", seconds(h.total_us)));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+}
+
+/// Appends the quantile-estimate gauges for one latency stage as a shared
+/// family `revelio_latency_quantile_seconds{stage=…,quantile=…}`. The
+/// `# HELP`/`# TYPE` header is emitted once by [`render_metrics`].
+fn push_quantiles(out: &mut String, stage: &str, h: &HistogramSnapshot) {
+    for (q, v) in [
+        ("0.5", h.p50_us()),
+        ("0.9", h.p90_us()),
+        ("0.99", h.p99_us()),
+    ] {
+        out.push_str(&format!(
+            "revelio_latency_quantile_seconds{{stage=\"{stage}\",quantile=\"{q}\"}} {}\n",
+            seconds(v)
+        ));
+    }
+}
+
+/// The named latency stages a snapshot exposes, with their histograms.
+fn stages(s: &MetricsSnapshot) -> [(&'static str, &HistogramSnapshot); 7] {
+    [
+        ("queue_wait", &s.queue_wait),
+        ("prep", &s.prep_latency),
+        ("explain", &s.explain_latency),
+        ("extraction", &s.phase_extraction),
+        ("flow_index", &s.phase_flow_index),
+        ("optimize", &s.phase_optimize),
+        ("readout", &s.phase_readout),
+    ]
+}
+
+/// Renders the full runtime snapshot as Prometheus text exposition.
+pub fn render_metrics(s: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, help, value) in [
+        (
+            "revelio_jobs_submitted_total",
+            "Jobs accepted into the queue.",
+            s.jobs_submitted,
+        ),
+        (
+            "revelio_jobs_started_total",
+            "Jobs picked up by a worker.",
+            s.jobs_started,
+        ),
+        (
+            "revelio_jobs_completed_total",
+            "Jobs that produced an explanation.",
+            s.jobs_completed,
+        ),
+        (
+            "revelio_jobs_degraded_total",
+            "Completed jobs with a degraded answer.",
+            s.jobs_degraded,
+        ),
+        (
+            "revelio_jobs_failed_total",
+            "Jobs that panicked or were cancelled.",
+            s.jobs_failed,
+        ),
+        (
+            "revelio_jobs_rejected_total",
+            "Jobs shed by admission control.",
+            s.jobs_rejected,
+        ),
+        (
+            "revelio_cache_hits_total",
+            "Artifact-cache hits.",
+            s.cache_hits,
+        ),
+        (
+            "revelio_cache_misses_total",
+            "Artifact-cache misses.",
+            s.cache_misses,
+        ),
+        (
+            "revelio_epochs_total",
+            "Optimisation epochs run across all completed jobs.",
+            s.epochs_total,
+        ),
+    ] {
+        push_counter(&mut out, name, help, value);
+    }
+    push_gauge(
+        &mut out,
+        "revelio_queue_depth",
+        "Jobs submitted but not yet picked up by a worker.",
+        s.queue_depth as f64,
+    );
+    for (stage, h) in stages(s) {
+        let name = format!("revelio_latency_seconds_{stage}");
+        // Per-stage metric names keep each histogram its own family (the
+        // exposition format forbids a histogram family with extra labels
+        // varying bucket layouts); the stage label lives on the quantile
+        // gauges below.
+        push_histogram(
+            &mut out,
+            &name,
+            &format!("Latency of the {stage} stage in seconds."),
+            h,
+        );
+    }
+    out.push_str(
+        "# HELP revelio_latency_quantile_seconds \
+         Latency quantile estimates (linear interpolation within bucket).\n",
+    );
+    out.push_str("# TYPE revelio_latency_quantile_seconds gauge\n");
+    for (stage, h) in stages(s) {
+        push_quantiles(&mut out, stage, h);
+    }
+    out
+}
+
+/// What a parsed exposition declares about one metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyType {
+    Counter,
+    Gauge,
+    Histogram,
+    Untyped,
+}
+
+/// A structurally parsed exposition: declared families and their samples.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    /// `# TYPE` declarations, in order of appearance.
+    pub families: BTreeMap<String, FamilyType>,
+    /// Every sample line: full sample name (with suffix), labels text
+    /// (empty when unlabelled), and value.
+    pub samples: Vec<(String, String, f64)>,
+}
+
+impl Exposition {
+    /// Samples belonging to family `name` (counting `_bucket`/`_sum`/
+    /// `_count` suffixes for histograms).
+    pub fn samples_of(&self, name: &str) -> Vec<&(String, String, f64)> {
+        self.samples
+            .iter()
+            .filter(|(n, _, _)| {
+                n == name
+                    || (n.starts_with(name)
+                        && matches!(&n[name.len()..], "_bucket" | "_sum" | "_count"))
+            })
+            .collect()
+    }
+}
+
+/// Parses and structurally validates Prometheus text exposition:
+///
+/// * every sample belongs to a `# TYPE`-declared family;
+/// * histogram families carry `_bucket` (cumulative, non-decreasing,
+///   ending in `le="+Inf"`), `_sum`, and `_count`, with the `+Inf` bucket
+///   equal to `_count`.
+///
+/// Returns the parsed structure, or a description of the first violation.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut exp = Exposition::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with("# HELP") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or(format!("line {lineno}: bare TYPE"))?;
+            let ty = match it.next() {
+                Some("counter") => FamilyType::Counter,
+                Some("gauge") => FamilyType::Gauge,
+                Some("histogram") => FamilyType::Histogram,
+                Some("untyped") => FamilyType::Untyped,
+                other => return Err(format!("line {lineno}: bad TYPE {other:?}")),
+            };
+            exp.families.insert(name.to_owned(), ty);
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {lineno}: unknown comment form"));
+        }
+        // Sample: name[{labels}] value
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {lineno}: no value"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {lineno}: bad value {value:?}"))?;
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((n, l)) => {
+                let l = l
+                    .strip_suffix('}')
+                    .ok_or(format!("line {lineno}: unterminated labels"))?;
+                (n, l)
+            }
+            None => (name_labels, ""),
+        };
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| {
+                name.strip_suffix(suf)
+                    .filter(|base| exp.families.get(*base) == Some(&FamilyType::Histogram))
+            })
+            .unwrap_or(name);
+        if !exp.families.contains_key(family) {
+            return Err(format!("line {lineno}: sample {name} has no TYPE"));
+        }
+        exp.samples
+            .push((name.to_owned(), labels.to_owned(), value));
+    }
+    // Histogram invariants.
+    for (family, ty) in &exp.families {
+        if *ty != FamilyType::Histogram {
+            continue;
+        }
+        let buckets: Vec<&(String, String, f64)> = exp
+            .samples
+            .iter()
+            .filter(|(n, _, _)| *n == format!("{family}_bucket"))
+            .collect();
+        if buckets.is_empty() {
+            return Err(format!("histogram {family} has no buckets"));
+        }
+        let mut prev = 0.0f64;
+        for (_, labels, v) in &buckets {
+            if !labels.contains("le=") {
+                return Err(format!("histogram {family} bucket without le"));
+            }
+            if *v < prev {
+                return Err(format!("histogram {family} buckets not cumulative"));
+            }
+            prev = *v;
+        }
+        let (_, last_labels, last_v) = buckets[buckets.len() - 1];
+        if !last_labels.contains("le=\"+Inf\"") {
+            return Err(format!("histogram {family} does not end in +Inf"));
+        }
+        let count = exp
+            .samples
+            .iter()
+            .find(|(n, _, _)| *n == format!("{family}_count"))
+            .ok_or(format!("histogram {family} has no _count"))?
+            .2;
+        if exp
+            .samples
+            .iter()
+            .all(|(n, _, _)| *n != format!("{family}_sum"))
+        {
+            return Err(format!("histogram {family} has no _sum"));
+        }
+        if (count - last_v).abs() > f64::EPSILON {
+            return Err(format!(
+                "histogram {family}: +Inf bucket {last_v} != count {count}"
+            ));
+        }
+    }
+    Ok(exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use std::time::Duration;
+
+    #[test]
+    fn render_parses_and_round_trips_counts() {
+        let m = Metrics::default();
+        m.jobs_submitted
+            .fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+        m.explain_latency.observe(Duration::from_millis(5));
+        m.explain_latency.observe(Duration::from_secs(2));
+        m.phase_optimize.observe(Duration::from_millis(40));
+        let text = render_metrics(&m.snapshot(2, 1));
+        let exp = parse_exposition(&text).expect("valid exposition");
+        assert_eq!(
+            exp.families.get("revelio_jobs_submitted_total"),
+            Some(&FamilyType::Counter)
+        );
+        assert_eq!(
+            exp.families.get("revelio_latency_seconds_explain"),
+            Some(&FamilyType::Histogram)
+        );
+        let count = exp
+            .samples
+            .iter()
+            .find(|(n, _, _)| n == "revelio_latency_seconds_explain_count")
+            .expect("count sample");
+        assert_eq!(count.2, 2.0);
+        // Quantile gauges carry stage labels.
+        assert!(text.contains("stage=\"optimize\",quantile=\"0.99\""));
+    }
+
+    #[test]
+    fn parser_rejects_structural_violations() {
+        // Sample without a TYPE declaration.
+        assert!(parse_exposition("orphan 1\n").is_err());
+        // Histogram without +Inf.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"0.1\"} 1\nh_sum 0.1\nh_count 1\n";
+        assert!(parse_exposition(bad).is_err());
+        // Non-cumulative buckets.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"0.1\"} 2\n\
+                   h_bucket{le=\"+Inf\"} 1\nh_sum 0.1\nh_count 1\n";
+        assert!(parse_exposition(bad).is_err());
+        // +Inf disagrees with _count.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.1\nh_count 2\n";
+        assert!(parse_exposition(bad).is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_renders_validly() {
+        let text = render_metrics(&Metrics::default().snapshot(0, 0));
+        let exp = parse_exposition(&text).expect("valid exposition");
+        // All seven stage histograms are declared even when empty.
+        let histos = exp
+            .families
+            .values()
+            .filter(|t| **t == FamilyType::Histogram)
+            .count();
+        assert_eq!(histos, 7);
+    }
+}

@@ -1,0 +1,89 @@
+//! Bounded retention of finished request traces.
+//!
+//! Traced jobs drain their ring-buffer journal into a [`Trace`] when they
+//! finish; the runtime keeps the most recent few so a client (or
+//! `revelio-top`) can fetch one by id *after* the response went out. The
+//! store is a fixed-capacity FIFO — drop-oldest, like the journal itself —
+//! so a long-running server's memory is bounded no matter how many traced
+//! requests it serves.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use revelio_trace::{Trace, TraceId};
+
+/// A fixed-capacity, drop-oldest store of finished traces.
+pub(crate) struct TraceStore {
+    traces: Mutex<VecDeque<Trace>>,
+    capacity: usize,
+}
+
+impl TraceStore {
+    /// A store retaining at most `capacity` traces (rounded up to 1).
+    pub(crate) fn new(capacity: usize) -> TraceStore {
+        TraceStore {
+            traces: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Retains `trace`, evicting the oldest retained trace when full. A
+    /// re-used id replaces the previous trace under that id.
+    pub(crate) fn push(&self, trace: Trace) {
+        let mut traces = lock(&self.traces);
+        traces.retain(|t| t.id != trace.id);
+        while traces.len() >= self.capacity {
+            traces.pop_front();
+        }
+        traces.push_back(trace);
+    }
+
+    /// The retained trace with the given id, if it has not been evicted.
+    pub(crate) fn get(&self, id: TraceId) -> Option<Trace> {
+        lock(&self.traces).iter().find(|t| t.id == id).cloned()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u64) -> Trace {
+        Trace {
+            id: TraceId(id),
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn bounded_drop_oldest_retention() {
+        let store = TraceStore::new(2);
+        store.push(trace(1));
+        store.push(trace(2));
+        store.push(trace(3));
+        assert!(store.get(TraceId(1)).is_none());
+        assert!(store.get(TraceId(2)).is_some());
+        assert!(store.get(TraceId(3)).is_some());
+        assert!(store.get(TraceId(9)).is_none());
+    }
+
+    #[test]
+    fn reused_id_replaces_previous_trace() {
+        let store = TraceStore::new(4);
+        store.push(trace(1));
+        store.push(Trace {
+            dropped: 5,
+            ..trace(1)
+        });
+        let got = store.get(TraceId(1)).expect("retained");
+        assert_eq!(got.dropped, 5);
+    }
+}

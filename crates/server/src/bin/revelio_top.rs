@@ -1,0 +1,101 @@
+//! `revelio-top`: a live stats view over a running `revelio-serve`.
+//!
+//! ```text
+//! revelio-top [--addr HOST:PORT] [--interval-ms MS] [--once] [--prometheus]
+//! ```
+//!
+//! Polls the server's `Stats` request and re-renders the unified wire +
+//! runtime report every `--interval-ms` (default 1000). `--once` prints a
+//! single snapshot and exits — useful in scripts; `--prometheus` switches
+//! the output to the Prometheus text exposition (implies machine
+//! consumption, so it never clears the screen).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use revelio_server::{Client, ClientConfig};
+
+struct Args {
+    addr: String,
+    interval: Duration,
+    once: bool,
+    prometheus: bool,
+}
+
+const USAGE: &str =
+    "usage: revelio-top [--addr HOST:PORT] [--interval-ms MS] [--once] [--prometheus]";
+
+fn value(argv: &[String], i: &mut usize, name: &str) -> Result<String, String> {
+    *i += 1;
+    argv.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7137".to_owned(),
+        interval: Duration::from_millis(1000),
+        once: false,
+        prometheus: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = value(&argv, &mut i, "--addr")?,
+            "--interval-ms" => {
+                let ms: u64 = value(&argv, &mut i, "--interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--interval-ms: {e}"))?;
+                args.interval = Duration::from_millis(ms.max(100));
+            }
+            "--once" => args.once = true,
+            "--prometheus" => args.prometheus = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect_with(&args.addr, ClientConfig::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("revelio-top: cannot connect to {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    loop {
+        let stats = match client.stats() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("revelio-top: stats request failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if args.prometheus {
+            println!("{}", stats.prometheus());
+        } else {
+            if !args.once {
+                // ANSI clear + home, like top(1); harmless when redirected.
+                print!("\x1b[2J\x1b[H");
+            }
+            println!("revelio-top — {}", args.addr);
+            println!("{}", stats.report());
+        }
+        if args.once {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(args.interval);
+    }
+}

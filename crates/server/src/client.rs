@@ -8,7 +8,7 @@ use revelio_gnn::Gnn;
 
 use crate::wire::{
     read_frame, write_frame, ErrorKind, ExplainRequest, Request, Response, ServedExplanation,
-    ServerStats, WireError, DEFAULT_MAX_FRAME_LEN,
+    ServerStats, WireError, WireTrace, DEFAULT_MAX_FRAME_LEN,
 };
 
 /// Client-side knobs; the defaults suit loopback and LAN serving.
@@ -243,6 +243,17 @@ impl Client {
         match self.request(&Request::Stats)? {
             Response::Stats(s) => Ok(*s),
             other => Err(unexpected(&other, "expected Stats")),
+        }
+    }
+
+    /// Fetches the recorded trace for a completed job, or `None` if the id
+    /// is unknown or the trace has aged out of the server's retention
+    /// window. Pass the `trace_id` echoed on a traced
+    /// [`ServedExplanation`].
+    pub fn trace(&mut self, id: u64) -> Result<Option<WireTrace>, ClientError> {
+        match self.request(&Request::Trace(id))? {
+            Response::Trace(t) => Ok(t.map(|b| *b)),
+            other => Err(unexpected(&other, "expected Trace")),
         }
     }
 

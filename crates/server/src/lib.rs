@@ -18,6 +18,8 @@
 //! client.ping().unwrap();
 //! ```
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 pub mod client;
 pub mod server;
 pub mod wire;
@@ -26,5 +28,6 @@ pub use client::{Client, ClientConfig, ClientError};
 pub use server::{Server, ServerConfig, ServerStartError};
 pub use wire::{
     ErrorKind, ExplainRequest, Request, Response, ServedExplanation, ServerStats, WireError,
-    WireTiming, DEFAULT_MAX_FRAME_LEN, MAGIC, PROTOCOL_VERSION,
+    WireEvent, WireEventKind, WireTiming, WireTrace, DEFAULT_MAX_FRAME_LEN, MAGIC,
+    PROTOCOL_VERSION,
 };

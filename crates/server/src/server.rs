@@ -31,7 +31,8 @@ use revelio_runtime::{
 
 use crate::wire::{
     parse_header, write_frame, ErrorKind, ExplainRequest, Request, Response, ServedExplanation,
-    ServerStats, WireError, WireTiming, DEFAULT_MAX_FRAME_LEN, HEADER_LEN, PROTOCOL_VERSION,
+    ServerStats, WireError, WireTiming, WireTrace, DEFAULT_MAX_FRAME_LEN, HEADER_LEN,
+    PROTOCOL_VERSION,
 };
 
 /// How the server binds, times out, and sheds load.
@@ -455,7 +456,8 @@ fn send_response(
 /// Serves one decoded request; the second return value asks the handler to
 /// close the connection after writing the response.
 fn serve_request(request: Request, shared: &Shared, t0: Instant) -> (Response, bool) {
-    if shared.stop.load(Ordering::Acquire) && !matches!(request, Request::Stats) {
+    if shared.stop.load(Ordering::Acquire) && !matches!(request, Request::Stats | Request::Trace(_))
+    {
         return (
             Response::Error {
                 kind: ErrorKind::ShuttingDown,
@@ -474,6 +476,15 @@ fn serve_request(request: Request, shared: &Shared, t0: Instant) -> (Response, b
         Request::RegisterModel { config, state } => (register_model(shared, config, &state), false),
         Request::Explain(req) => (serve_explain(shared, req, t0), false),
         Request::Stats => (Response::Stats(Box::new(shared.stats())), false),
+        Request::Trace(id) => {
+            // Read-only, like `Stats`: still answered during shutdown so a
+            // client can fetch the trace of a job that just completed.
+            let trace = shared
+                .runtime
+                .trace(id)
+                .map(|t| Box::new(WireTrace::from(&t)));
+            (Response::Trace(trace), false)
+        }
         Request::Shutdown => {
             shared.stop.store(true, Ordering::Release);
             (Response::ShutdownAck, true)
@@ -623,6 +634,7 @@ fn serve_explain(shared: &Shared, req: ExplainRequest, t0: Instant) -> Response 
         max_flows: usize::try_from(req.control.max_flows).unwrap_or(usize::MAX),
         shrink_on_overflow: req.control.shrink_on_overflow,
         deadline: req.control.deadline_ms.map(Duration::from_millis),
+        trace: req.control.trace,
     };
     let ticket = match shared
         .runtime
@@ -651,6 +663,7 @@ fn serve_explain(shared: &Shared, req: ExplainRequest, t0: Instant) -> Response 
                 flow_scores: out.explanation.flows.map(|f| f.scores),
                 degradation: out.degradation,
                 timing,
+                trace_id: out.trace.as_ref().map(|t| t.id.0),
             })
         }
         Err(e) => {

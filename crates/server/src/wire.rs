@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"RVLO"
-//! 4       2     protocol version (LE u16), currently 1
+//! 4       2     protocol version (LE u16), currently 2
 //! 6       4     payload length (LE u32)
 //! 10      4     CRC-32 (IEEE) of the payload (LE u32)
 //! 14      len   payload
@@ -26,20 +26,26 @@
 use std::io::{Read, Write};
 
 use revelio_core::wire::{
-    put_f32s, put_opt_u64, put_str, put_u16, put_u32, put_u64, put_u8, ControlSpec,
-    WireDecodeError, WireReader,
+    put_bool, put_f32, put_f32s, put_opt_u64, put_str, put_u16, put_u32, put_u64, put_u8,
+    ControlSpec, WireDecodeError, WireReader,
 };
 use revelio_core::{Degradation, Objective};
 use revelio_eval::Effort;
 use revelio_gnn::{GnnConfig, GnnKind, Task};
 use revelio_graph::{Graph, Target};
+use revelio_runtime::prometheus::{push_counter, push_gauge, push_histogram, render_metrics};
 use revelio_runtime::{HistogramSnapshot, MetricsSnapshot, LATENCY_BUCKETS_US};
+use revelio_trace::{Event, EventKind, Phase, Trace};
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"RVLO";
 
 /// Wire protocol version; bumped on any incompatible layout change.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// History: v1 — initial protocol; v2 — observability (`ControlSpec` trace
+/// toggle, `Stats` metrics extended with phase histograms and the epoch
+/// counter, `Trace` request/response, `trace_id` on served explanations).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Frame header length in bytes (magic + version + length + checksum).
 pub const HEADER_LEN: usize = 14;
@@ -316,6 +322,9 @@ pub enum Request {
     /// Begin graceful shutdown: the server acks, stops accepting, drains
     /// in-flight work, then exits.
     Shutdown,
+    /// Fetch the retained execution trace of a finished traced request, by
+    /// the `trace_id` echoed on its `Explained` response.
+    Trace(u64),
 }
 
 /// Why the server refused or failed a request.
@@ -390,6 +399,9 @@ pub struct ServedExplanation {
     pub degradation: Degradation,
     /// Server-side timing breakdown.
     pub timing: WireTiming,
+    /// Set when the request asked for a trace ([`ControlSpec`]'s `trace`):
+    /// the id to cite in a follow-up [`Request::Trace`].
+    pub trace_id: Option<u64>,
 }
 
 /// One point-in-time unified metrics report: wire-level counters folded
@@ -443,6 +455,60 @@ impl ServerStats {
         out.push_str(&self.runtime.report());
         out
     }
+
+    /// Renders the unified report as Prometheus text exposition: the
+    /// runtime's families (see [`render_metrics`]) plus the wire-level
+    /// `revelio_server_*` counters and the request-latency histogram.
+    pub fn prometheus(&self) -> String {
+        let mut out = render_metrics(&self.runtime);
+        for (name, help, value) in [
+            (
+                "revelio_server_connections_accepted_total",
+                "Connections accepted since start.",
+                self.connections_accepted,
+            ),
+            (
+                "revelio_server_bytes_in_total",
+                "Header + payload bytes received.",
+                self.bytes_in,
+            ),
+            (
+                "revelio_server_bytes_out_total",
+                "Header + payload bytes sent.",
+                self.bytes_out,
+            ),
+            (
+                "revelio_server_requests_total",
+                "Requests answered (including errors).",
+                self.requests,
+            ),
+            (
+                "revelio_server_shed_total",
+                "Explain requests shed with Busy.",
+                self.shed,
+            ),
+            (
+                "revelio_server_protocol_errors_total",
+                "Frames that failed to parse.",
+                self.protocol_errors,
+            ),
+        ] {
+            push_counter(&mut out, name, help, value);
+        }
+        push_gauge(
+            &mut out,
+            "revelio_server_connections_active",
+            "Connections currently open.",
+            self.connections_active as f64,
+        );
+        push_histogram(
+            &mut out,
+            "revelio_server_request_latency_seconds",
+            "End-to-end per-request latency (decode to response write).",
+            &self.request_latency,
+        );
+        out
+    }
 }
 
 /// A server → client message.
@@ -477,6 +543,9 @@ pub enum Response {
     Stats(Box<ServerStats>),
     /// Answer to `Shutdown`; the connection closes after this frame.
     ShutdownAck,
+    /// Answer to `Trace`: the retained trace, or `None` if the id is
+    /// unknown, the request was untraced, or the trace was evicted.
+    Trace(Option<Box<WireTrace>>),
 }
 
 // ---------------------------------------------------------------------------
@@ -686,9 +755,14 @@ fn encode_metrics(out: &mut Vec<u8>, m: &MetricsSnapshot) {
     put_u64(out, m.queue_depth);
     put_u64(out, m.cache_hits);
     put_u64(out, m.cache_misses);
+    put_u64(out, m.epochs_total);
     encode_histogram(out, &m.queue_wait);
     encode_histogram(out, &m.prep_latency);
     encode_histogram(out, &m.explain_latency);
+    encode_histogram(out, &m.phase_extraction);
+    encode_histogram(out, &m.phase_flow_index);
+    encode_histogram(out, &m.phase_optimize);
+    encode_histogram(out, &m.phase_readout);
 }
 
 fn decode_metrics(r: &mut WireReader<'_>) -> Result<MetricsSnapshot, WireDecodeError> {
@@ -702,9 +776,240 @@ fn decode_metrics(r: &mut WireReader<'_>) -> Result<MetricsSnapshot, WireDecodeE
         queue_depth: r.u64()?,
         cache_hits: r.u64()?,
         cache_misses: r.u64()?,
+        epochs_total: r.u64()?,
         queue_wait: decode_histogram(r)?,
         prep_latency: decode_histogram(r)?,
         explain_latency: decode_histogram(r)?,
+        phase_extraction: decode_histogram(r)?,
+        phase_flow_index: decode_histogram(r)?,
+        phase_optimize: decode_histogram(r)?,
+        phase_readout: decode_histogram(r)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Trace codec.
+// ---------------------------------------------------------------------------
+
+/// One trace event as it crosses the wire; mirrors
+/// [`revelio_trace::EventKind`] with `Note`'s static string owned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireEventKind {
+    /// A phase began.
+    SpanStart {
+        /// Which phase.
+        phase: Phase,
+    },
+    /// A phase ended.
+    SpanEnd {
+        /// Which phase.
+        phase: Phase,
+        /// Phase duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// One optimisation epoch.
+    Epoch {
+        /// Epoch index.
+        index: u32,
+        /// Loss before the step.
+        loss: f32,
+        /// L2 norm of the mask gradient.
+        grad_norm: f32,
+    },
+    /// An artifact-cache probe.
+    CacheProbe {
+        /// Whether the artifact was resident.
+        hit: bool,
+    },
+    /// The deadline tripped before this epoch ran.
+    DeadlineHit {
+        /// Epoch at which the deadline was observed.
+        epoch: u32,
+    },
+    /// A free-form annotation.
+    Note(String),
+}
+
+/// One trace event: when (ns since the handle's epoch) and what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireEvent {
+    /// Nanoseconds since the trace handle was created.
+    pub at_ns: u64,
+    /// What happened.
+    pub kind: WireEventKind,
+}
+
+/// A finished request trace as it crosses the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTrace {
+    /// The trace id (== the runtime job id).
+    pub id: u64,
+    /// Events lost to the journal's drop-oldest ring (0 = complete).
+    pub dropped: u64,
+    /// Resident events, oldest first.
+    pub events: Vec<WireEvent>,
+}
+
+impl From<&Trace> for WireTrace {
+    fn from(t: &Trace) -> WireTrace {
+        WireTrace {
+            id: t.id.0,
+            dropped: t.dropped,
+            events: t.events.iter().map(WireEvent::from).collect(),
+        }
+    }
+}
+
+impl From<&Event> for WireEvent {
+    fn from(e: &Event) -> WireEvent {
+        WireEvent {
+            at_ns: e.at_ns,
+            kind: match e.kind {
+                EventKind::SpanStart { phase } => WireEventKind::SpanStart { phase },
+                EventKind::SpanEnd { phase, dur_ns } => WireEventKind::SpanEnd { phase, dur_ns },
+                EventKind::Epoch {
+                    index,
+                    loss,
+                    grad_norm,
+                } => WireEventKind::Epoch {
+                    index,
+                    loss,
+                    grad_norm,
+                },
+                EventKind::CacheProbe { hit } => WireEventKind::CacheProbe { hit },
+                EventKind::DeadlineHit { epoch } => WireEventKind::DeadlineHit { epoch },
+                EventKind::Note(s) => WireEventKind::Note(s.to_owned()),
+            },
+        }
+    }
+}
+
+impl WireTrace {
+    /// Span-end durations summed per phase, in nanoseconds.
+    pub fn phase_ns(&self, phase: Phase) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                WireEventKind::SpanEnd { phase: p, dur_ns } if *p == phase => Some(*dur_ns),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of per-epoch events in the journal.
+    pub fn epoch_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, WireEventKind::Epoch { .. }))
+            .count()
+    }
+
+    /// Per-epoch losses, in journal order.
+    pub fn losses(&self) -> Vec<f32> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                WireEventKind::Epoch { loss, .. } => Some(loss),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+const EV_SPAN_START: u8 = 0;
+const EV_SPAN_END: u8 = 1;
+const EV_EPOCH: u8 = 2;
+const EV_CACHE_PROBE: u8 = 3;
+const EV_DEADLINE_HIT: u8 = 4;
+const EV_NOTE: u8 = 5;
+
+fn encode_trace(out: &mut Vec<u8>, t: &WireTrace) {
+    put_u64(out, t.id);
+    put_u64(out, t.dropped);
+    put_u32(out, t.events.len() as u32);
+    for e in &t.events {
+        put_u64(out, e.at_ns);
+        match &e.kind {
+            WireEventKind::SpanStart { phase } => {
+                put_u8(out, EV_SPAN_START);
+                put_u8(out, phase.to_u8());
+            }
+            WireEventKind::SpanEnd { phase, dur_ns } => {
+                put_u8(out, EV_SPAN_END);
+                put_u8(out, phase.to_u8());
+                put_u64(out, *dur_ns);
+            }
+            WireEventKind::Epoch {
+                index,
+                loss,
+                grad_norm,
+            } => {
+                put_u8(out, EV_EPOCH);
+                put_u32(out, *index);
+                put_f32(out, *loss);
+                put_f32(out, *grad_norm);
+            }
+            WireEventKind::CacheProbe { hit } => {
+                put_u8(out, EV_CACHE_PROBE);
+                put_bool(out, *hit);
+            }
+            WireEventKind::DeadlineHit { epoch } => {
+                put_u8(out, EV_DEADLINE_HIT);
+                put_u32(out, *epoch);
+            }
+            WireEventKind::Note(s) => {
+                put_u8(out, EV_NOTE);
+                // Notes are static strings in the tracer; bound them anyway.
+                let s: String = s.chars().take(256).collect();
+                put_str(out, &s);
+            }
+        }
+    }
+}
+
+fn decode_phase(r: &mut WireReader<'_>) -> Result<Phase, WireDecodeError> {
+    Phase::from_u8(r.u8()?).ok_or(WireDecodeError::Invalid("phase tag"))
+}
+
+fn decode_trace(r: &mut WireReader<'_>) -> Result<WireTrace, WireDecodeError> {
+    let id = r.u64()?;
+    let dropped = r.u64()?;
+    let n = r.u32()? as usize;
+    // Every event costs at least 9 bytes (timestamp + kind tag); a hostile
+    // count is rejected before the Vec is allocated.
+    if r.remaining() < n.saturating_mul(9) {
+        return Err(WireDecodeError::Truncated {
+            needed: n.saturating_mul(9),
+            remaining: r.remaining(),
+        });
+    }
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        let at_ns = r.u64()?;
+        let kind = match r.u8()? {
+            EV_SPAN_START => WireEventKind::SpanStart {
+                phase: decode_phase(r)?,
+            },
+            EV_SPAN_END => WireEventKind::SpanEnd {
+                phase: decode_phase(r)?,
+                dur_ns: r.u64()?,
+            },
+            EV_EPOCH => WireEventKind::Epoch {
+                index: r.u32()?,
+                loss: r.f32()?,
+                grad_norm: r.f32()?,
+            },
+            EV_CACHE_PROBE => WireEventKind::CacheProbe { hit: r.bool()? },
+            EV_DEADLINE_HIT => WireEventKind::DeadlineHit { epoch: r.u32()? },
+            EV_NOTE => WireEventKind::Note(r.str()?),
+            _ => return Err(WireDecodeError::Invalid("trace event tag")),
+        };
+        events.push(WireEvent { at_ns, kind });
+    }
+    Ok(WireTrace {
+        id,
+        dropped,
+        events,
     })
 }
 
@@ -717,6 +1022,7 @@ const REQ_REGISTER_MODEL: u8 = 1;
 const REQ_EXPLAIN: u8 = 2;
 const REQ_STATS: u8 = 3;
 const REQ_SHUTDOWN: u8 = 4;
+const REQ_TRACE: u8 = 5;
 
 impl Request {
     /// Encodes the request as a frame payload.
@@ -757,6 +1063,10 @@ impl Request {
             }
             Request::Stats => put_u8(&mut out, REQ_STATS),
             Request::Shutdown => put_u8(&mut out, REQ_SHUTDOWN),
+            Request::Trace(id) => {
+                put_u8(&mut out, REQ_TRACE);
+                put_u64(&mut out, *id);
+            }
         }
         out
     }
@@ -812,6 +1122,7 @@ impl Request {
             }
             REQ_STATS => Request::Stats,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_TRACE => Request::Trace(r.u64()?),
             _ => return Err(WireDecodeError::Invalid("request tag")),
         };
         r.expect_end()?;
@@ -826,6 +1137,7 @@ const RESP_BUSY: u8 = 3;
 const RESP_ERROR: u8 = 4;
 const RESP_STATS: u8 = 5;
 const RESP_SHUTDOWN_ACK: u8 = 6;
+const RESP_TRACE: u8 = 7;
 
 impl Response {
     /// Encodes the response as a frame payload.
@@ -865,6 +1177,7 @@ impl Response {
                 put_u64(&mut out, e.timing.prep_us);
                 put_u64(&mut out, e.timing.explain_us);
                 put_u64(&mut out, e.timing.total_us);
+                put_opt_u64(&mut out, e.trace_id);
             }
             Response::Busy { in_flight, limit } => {
                 put_u8(&mut out, RESP_BUSY);
@@ -892,6 +1205,16 @@ impl Response {
                 encode_metrics(&mut out, &s.runtime);
             }
             Response::ShutdownAck => put_u8(&mut out, RESP_SHUTDOWN_ACK),
+            Response::Trace(t) => {
+                put_u8(&mut out, RESP_TRACE);
+                match t {
+                    Some(t) => {
+                        put_u8(&mut out, 1);
+                        encode_trace(&mut out, t);
+                    }
+                    None => put_u8(&mut out, 0),
+                }
+            }
         }
         out
     }
@@ -934,12 +1257,14 @@ impl Response {
                     explain_us: r.u64()?,
                     total_us: r.u64()?,
                 };
+                let trace_id = r.opt_u64()?;
                 Response::Explained(ServedExplanation {
                     edge_scores,
                     layer_edge_scores,
                     flow_scores,
                     degradation,
                     timing,
+                    trace_id,
                 })
             }
             RESP_BUSY => Response::Busy {
@@ -965,6 +1290,11 @@ impl Response {
                 Response::Stats(Box::new(s))
             }
             RESP_SHUTDOWN_ACK => Response::ShutdownAck,
+            RESP_TRACE => Response::Trace(match r.u8()? {
+                0 => None,
+                1 => Some(Box::new(decode_trace(&mut r)?)),
+                _ => return Err(WireDecodeError::Invalid("trace option tag")),
+            }),
             _ => return Err(WireDecodeError::Invalid("response tag")),
         };
         r.expect_end()?;
@@ -1029,6 +1359,24 @@ mod tests {
             Err(WireError::UnsupportedVersion {
                 got: 0xFFFF,
                 expected: PROTOCOL_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn old_protocol_version_rejected() {
+        // A well-formed v1 frame (the pre-observability protocol) must be
+        // refused: v2 extended ControlSpec and the Stats payload, so
+        // decoding a v1 payload with v2 codecs would misinterpret bytes.
+        let mut frame = encode_frame(b"x", 1024).unwrap();
+        frame[4] = 1;
+        frame[5] = 0;
+        let mut cursor = std::io::Cursor::new(frame);
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(WireError::UnsupportedVersion {
+                got: 1,
+                expected: 2
             })
         ));
     }
@@ -1165,6 +1513,7 @@ mod tests {
                 deadline_ms: Some(750),
                 max_flows: 12_345,
                 shrink_on_overflow: true,
+                trace: true,
             },
             graph: b.build(),
         });
@@ -1178,6 +1527,7 @@ mod tests {
                 assert_eq!(e.effort, Effort::Paper);
                 assert_eq!(e.target, Target::Node(2));
                 assert_eq!(e.control.deadline_ms, Some(750));
+                assert!(e.control.trace);
                 assert_eq!(e.graph.num_edges(), 3);
                 assert_eq!(e.graph.feature_row(1), &[0.5]);
             }
@@ -1205,13 +1555,141 @@ mod tests {
         };
         s.runtime.jobs_completed = 17;
         s.runtime.jobs_rejected = 2;
+        s.runtime.epochs_total = 340;
+        s.runtime.phase_optimize.count = 17;
+        s.runtime.phase_optimize.buckets[2] = 17;
+        s.runtime.phase_optimize.total_us = 85_000;
+        s.runtime.phase_optimize.max_us = 9_000;
         let payload = Response::Stats(Box::new(s)).encode();
         match Response::decode(&payload).unwrap() {
             Response::Stats(back) => {
                 assert_eq!(*back, s);
                 assert!(back.report().contains("shed=2"));
+                assert!(back.report().contains("total=340"));
             }
             _ => panic!("decoded the wrong variant"),
         }
+    }
+
+    #[test]
+    fn stats_prometheus_exposition_is_valid() {
+        let mut s = ServerStats {
+            requests: 9,
+            shed: 1,
+            ..Default::default()
+        };
+        s.request_latency.count = 9;
+        s.request_latency.buckets[1] = 9;
+        s.request_latency.total_us = 4_500;
+        s.request_latency.max_us = 900;
+        s.runtime.epochs_total = 120;
+        let text = s.prometheus();
+        let exp = revelio_runtime::prometheus::parse_exposition(&text).expect("valid exposition");
+        for family in [
+            "revelio_jobs_completed_total",
+            "revelio_epochs_total",
+            "revelio_latency_seconds_optimize",
+            "revelio_server_requests_total",
+            "revelio_server_request_latency_seconds",
+        ] {
+            assert!(exp.families.contains_key(family), "missing family {family}");
+        }
+    }
+
+    #[test]
+    fn trace_request_and_response_round_trip() {
+        let payload = Request::Trace(42).encode();
+        match Request::decode(&payload).unwrap() {
+            Request::Trace(id) => assert_eq!(id, 42),
+            _ => panic!("decoded the wrong variant"),
+        }
+
+        let trace = WireTrace {
+            id: 42,
+            dropped: 3,
+            events: vec![
+                WireEvent {
+                    at_ns: 10,
+                    kind: WireEventKind::SpanStart {
+                        phase: Phase::FlowIndex,
+                    },
+                },
+                WireEvent {
+                    at_ns: 60,
+                    kind: WireEventKind::SpanEnd {
+                        phase: Phase::FlowIndex,
+                        dur_ns: 50,
+                    },
+                },
+                WireEvent {
+                    at_ns: 70,
+                    kind: WireEventKind::CacheProbe { hit: false },
+                },
+                WireEvent {
+                    at_ns: 100,
+                    kind: WireEventKind::Epoch {
+                        index: 0,
+                        loss: 0.5,
+                        grad_norm: 1.25,
+                    },
+                },
+                WireEvent {
+                    at_ns: 120,
+                    kind: WireEventKind::DeadlineHit { epoch: 1 },
+                },
+                WireEvent {
+                    at_ns: 130,
+                    kind: WireEventKind::Note("flow-index-reused".to_owned()),
+                },
+            ],
+        };
+        let payload = Response::Trace(Some(Box::new(trace.clone()))).encode();
+        match Response::decode(&payload).unwrap() {
+            Response::Trace(Some(back)) => {
+                assert_eq!(*back, trace);
+                assert_eq!(back.epoch_count(), 1);
+                assert_eq!(back.losses(), vec![0.5]);
+                assert_eq!(back.phase_ns(Phase::FlowIndex), 50);
+            }
+            _ => panic!("decoded the wrong variant"),
+        }
+
+        let payload = Response::Trace(None).encode();
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Trace(None)
+        ));
+    }
+
+    #[test]
+    fn hostile_trace_event_count_fails_before_allocation() {
+        let mut payload = vec![RESP_TRACE, 1];
+        put_u64(&mut payload, 1); // id
+        put_u64(&mut payload, 0); // dropped
+        put_u32(&mut payload, u32::MAX); // event count with no events
+        assert!(matches!(
+            Response::decode(&payload),
+            Err(WireDecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_trace_converts_from_runtime_trace() {
+        let t = Trace {
+            id: revelio_trace::TraceId(7),
+            dropped: 1,
+            events: vec![Event {
+                trace: revelio_trace::TraceId(7),
+                at_ns: 5,
+                kind: EventKind::SpanEnd {
+                    phase: Phase::Optimize,
+                    dur_ns: 99,
+                },
+            }],
+        };
+        let w = WireTrace::from(&t);
+        assert_eq!(w.id, 7);
+        assert_eq!(w.dropped, 1);
+        assert_eq!(w.phase_ns(Phase::Optimize), 99);
     }
 }

@@ -20,10 +20,12 @@ use revelio_core::Objective;
 use revelio_eval::{method_factory, Effort};
 use revelio_gnn::{Gnn, GnnConfig, GnnKind, Task, TrainConfig};
 use revelio_graph::{Graph, Target};
+use revelio_runtime::prometheus::parse_exposition;
 use revelio_runtime::{ExplainJob, Runtime, RuntimeConfig};
 use revelio_server::{
     Client, ClientConfig, ClientError, ErrorKind, ExplainRequest, Server, ServerConfig,
 };
+use revelio_trace::Phase;
 
 /// A small trained model and a family of path graphs to explain.
 fn trained_model() -> (Gnn, Vec<Graph>) {
@@ -508,6 +510,121 @@ fn wire_stats_are_unified() {
     let report = stats.report();
     assert!(report.contains("server metrics"));
     assert!(report.contains("runtime metrics"));
+    server.shutdown();
+}
+
+/// A traced explain over loopback TCP returns a retrievable trace whose
+/// per-phase spans are all present and whose epoch events agree with both
+/// the degradation report and the runtime's epoch counter delta.
+#[test]
+fn traced_explain_returns_per_phase_spans() {
+    let (model, graphs) = trained_model();
+    let server = start_server(1, 29, 8);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let model_id = client.register_model(&model).expect("register");
+
+    let before = client.stats().expect("stats before");
+    let served = client
+        .explain(&explain_request(
+            model_id,
+            &graphs[0],
+            0,
+            ControlSpec {
+                trace: true,
+                ..Default::default()
+            },
+        ))
+        .expect("traced explain");
+    let trace_id = served.trace_id.expect("traced request echoes a trace id");
+    let after = client.stats().expect("stats after");
+
+    let trace = client
+        .trace(trace_id)
+        .expect("trace request")
+        .expect("trace retained on the server");
+    assert_eq!(trace.id, trace_id);
+    for phase in [
+        Phase::Extraction,
+        Phase::FlowIndex,
+        Phase::Optimize,
+        Phase::Readout,
+    ] {
+        assert!(
+            trace.phase_ns(phase) > 0,
+            "phase {} has no completed span",
+            phase.name()
+        );
+    }
+    assert_eq!(
+        trace.epoch_count(),
+        served.degradation.epochs_run,
+        "trace epoch events disagree with the degradation report"
+    );
+    assert_eq!(
+        trace.epoch_count() as u64,
+        after.runtime.epochs_total - before.runtime.epochs_total,
+        "trace epoch events disagree with the runtime counter delta"
+    );
+    assert!(
+        trace.losses().iter().all(|l| l.is_finite()),
+        "non-finite loss in trace"
+    );
+
+    // Untraced requests pay nothing and echo no id.
+    let untraced = client
+        .explain(&explain_request(
+            model_id,
+            &graphs[1],
+            1,
+            ControlSpec::default(),
+        ))
+        .expect("untraced explain");
+    assert!(untraced.trace_id.is_none());
+
+    // An unknown id answers None, not an error.
+    assert!(client
+        .trace(trace_id + 999)
+        .expect("unknown-trace request")
+        .is_none());
+    server.shutdown();
+}
+
+/// `Stats` fetched over the wire renders a Prometheus exposition that the
+/// crate's own parser accepts, with the required metric families present.
+#[test]
+fn wire_stats_render_valid_prometheus() {
+    let (model, graphs) = trained_model();
+    let server = start_server(1, 31, 8);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let model_id = client.register_model(&model).expect("register");
+    client
+        .explain(&explain_request(
+            model_id,
+            &graphs[0],
+            0,
+            ControlSpec::default(),
+        ))
+        .expect("explain");
+
+    let stats = client.stats().expect("stats over wire");
+    let text = stats.prometheus();
+    let exposition = parse_exposition(&text).expect("exposition parses");
+    for family in [
+        "revelio_jobs_completed_total",
+        "revelio_epochs_total",
+        "revelio_latency_seconds_explain",
+        "revelio_latency_seconds_optimize",
+        "revelio_server_requests_total",
+        "revelio_server_request_latency_seconds",
+    ] {
+        assert!(
+            exposition.families.contains_key(family),
+            "family {family} missing from exposition"
+        );
+    }
+    let completed = exposition.samples_of("revelio_jobs_completed_total");
+    assert_eq!(completed.len(), 1);
+    assert!(completed[0].2 >= 1.0, "no completed job in exposition");
     server.shutdown();
 }
 

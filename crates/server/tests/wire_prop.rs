@@ -12,7 +12,7 @@ use revelio_eval::Effort;
 use revelio_graph::{Graph, Target};
 use revelio_server::wire::{
     crc32, encode_frame, read_frame, ExplainRequest, Request, Response, ServedExplanation,
-    ServerStats, WireError, WireTiming, HEADER_LEN,
+    ServerStats, WireError, WireTiming, HEADER_LEN, PROTOCOL_VERSION,
 };
 
 const METHODS: [&str; 4] = ["REVELIO", "FlowX", "GNNExplainer", "GradCAM"];
@@ -63,6 +63,7 @@ proptest! {
                 deadline_ms: if deadline_ms == 0 { None } else { Some(deadline_ms) },
                 max_flows,
                 shrink_on_overflow: variant & 1 == 1,
+                trace: variant & 2 == 2,
             },
             graph,
         };
@@ -80,6 +81,7 @@ proptest! {
         prop_assert_eq!(back.control.deadline_ms, req.control.deadline_ms);
         prop_assert_eq!(back.control.max_flows, req.control.max_flows);
         prop_assert_eq!(back.control.shrink_on_overflow, req.control.shrink_on_overflow);
+        prop_assert_eq!(back.control.trace, req.control.trace);
         prop_assert_eq!(back.graph.edges(), req.graph.edges());
         prop_assert_eq!(back.graph.features(), req.graph.features());
     }
@@ -112,6 +114,7 @@ proptest! {
                 explain_us: times.2,
                 total_us: times.3,
             },
+            trace_id: if flags & 1 == 1 { Some(flows_dropped) } else { None },
         });
         let payload = resp.encode();
         let back = match Response::decode(&payload).unwrap() {
@@ -126,6 +129,7 @@ proptest! {
                 prop_assert_eq!(back.flow_scores.is_some(), orig.flow_scores.is_some());
                 prop_assert_eq!(back.degradation, orig.degradation);
                 prop_assert_eq!(back.timing, orig.timing);
+                prop_assert_eq!(back.trace_id, orig.trace_id);
             }
             _ => unreachable!(),
         }
@@ -215,7 +219,7 @@ fn oversized_frame_rejected_without_allocation() {
     // must be refused from the header alone.
     let mut frame = Vec::new();
     frame.extend_from_slice(b"RVLO");
-    frame.extend_from_slice(&1u16.to_le_bytes());
+    frame.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
     frame.extend_from_slice(&(3u32 << 30).to_le_bytes());
     frame.extend_from_slice(&0u32.to_le_bytes());
     let mut c = std::io::Cursor::new(frame);
@@ -228,16 +232,17 @@ fn oversized_frame_rejected_without_allocation() {
 #[test]
 fn wrong_version_is_a_typed_error() {
     let mut frame = encode_frame(b"payload", 1024).unwrap();
-    frame[4] = 2; // future protocol version 2
-    frame[5] = 0;
+    let future = PROTOCOL_VERSION + 1;
+    frame[4] = (future & 0xff) as u8;
+    frame[5] = (future >> 8) as u8;
     let mut c = std::io::Cursor::new(frame);
-    assert!(matches!(
-        read_frame(&mut c, 1024),
-        Err(WireError::UnsupportedVersion {
-            got: 2,
-            expected: 1
-        })
-    ));
+    match read_frame(&mut c, 1024) {
+        Err(WireError::UnsupportedVersion { got, expected }) => {
+            assert_eq!(got, future);
+            assert_eq!(expected, PROTOCOL_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
 }
 
 #[test]

@@ -31,6 +31,8 @@
 //! assert_eq!(w.grad_vec(), vec![3.0, 4.0]);
 //! ```
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 mod gradcheck;
 mod init;
 mod ops;

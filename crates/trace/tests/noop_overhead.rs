@@ -1,0 +1,39 @@
+//! The disabled-collector path is what every untraced request pays, so it
+//! must stay effectively free. The bound below is deliberately generous
+//! (orders of magnitude above the expected cost) — it exists to catch a
+//! structural regression such as an allocation or lock sneaking onto the
+//! noop path, not to benchmark it precisely.
+
+use std::time::{Duration, Instant};
+
+use revelio_trace::{EventKind, Phase, TraceHandle};
+
+#[test]
+fn noop_events_and_spans_cost_nanoseconds() {
+    let tr = TraceHandle::noop();
+    const N: u32 = 1_000_000;
+    let mut runs: Vec<Duration> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            for i in 0..N {
+                tr.event(EventKind::Epoch {
+                    index: i,
+                    loss: 0.0,
+                    grad_norm: 0.0,
+                });
+                let _span = tr.span(Phase::Optimize);
+            }
+            t0.elapsed()
+        })
+        .collect();
+    runs.sort();
+    let median = runs[1];
+    // 2M noop calls; the expected cost is a branch each (single-digit
+    // milliseconds total). Even a heavily loaded CI box stays far below
+    // two seconds unless the noop path gained real work.
+    assert!(
+        median < Duration::from_secs(2),
+        "noop collector path took {median:?} for {} calls",
+        2 * N
+    );
+}
