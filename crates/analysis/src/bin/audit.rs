@@ -15,6 +15,14 @@
 //! hand-rolled softmax, and a corrupted flow-incidence matrix — and checks
 //! each is reported as its distinct [`DiagnosticKind`].
 //!
+//! Part 3 lints the serving stack's concurrency discipline: the sources of
+//! the facade crates (`revelio-trace`, `revelio-runtime`) are embedded at
+//! compile time and must come back clean (pure-counter `Relaxed` only, no
+//! `std::sync`/`std::thread` bypassing `revelio_check::sync`), the
+//! `Relaxed`-discipline rule also sweeps the server/bench/core sources,
+//! and two seeded source defects — a relaxed publication store and a
+//! facade bypass — must each be flagged.
+//!
 //! Exits non-zero if a healthy audit reports anything or a seeded defect
 //! goes undetected, so CI can run it as a gate.
 
@@ -22,7 +30,8 @@ use std::process::ExitCode;
 
 use revelio_analysis::{
     audit_flow_index, audit_incidence, audit_mp_graph, audit_tape, audit_tape_with_params,
-    Diagnostic, DiagnosticKind, IncidenceCheck, StabilityPattern,
+    lint_concurrency, ConcurrencyCheck, Diagnostic, DiagnosticKind, IncidenceCheck,
+    StabilityPattern, WORKSPACE_CONCURRENCY_ALLOWANCES,
 };
 use revelio_datasets::tree_cycles;
 use revelio_gnn::{train_node_classifier, Gnn, GnnConfig, GnnKind, Instance, Task, TrainConfig};
@@ -187,8 +196,108 @@ fn main() -> ExitCode {
         &mut failures,
     );
 
+    // ---- Part 3: concurrency-discipline lint over the real sources ------
+    println!("linting concurrency discipline (facade crates must be clean):");
+
+    // Facade crates: both rules (counter-only `Relaxed`, no std bypass).
+    let facade_sources: [(&str, &str); 9] = [
+        (
+            "crates/trace/src/lib.rs",
+            include_str!("../../../trace/src/lib.rs"),
+        ),
+        (
+            "crates/runtime/src/lib.rs",
+            include_str!("../../../runtime/src/lib.rs"),
+        ),
+        (
+            "crates/runtime/src/pool.rs",
+            include_str!("../../../runtime/src/pool.rs"),
+        ),
+        (
+            "crates/runtime/src/pool_core.rs",
+            include_str!("../../../runtime/src/pool_core.rs"),
+        ),
+        (
+            "crates/runtime/src/cache.rs",
+            include_str!("../../../runtime/src/cache.rs"),
+        ),
+        (
+            "crates/runtime/src/metrics.rs",
+            include_str!("../../../runtime/src/metrics.rs"),
+        ),
+        (
+            "crates/runtime/src/trace_store.rs",
+            include_str!("../../../runtime/src/trace_store.rs"),
+        ),
+        (
+            "crates/runtime/src/job.rs",
+            include_str!("../../../runtime/src/job.rs"),
+        ),
+        (
+            "crates/runtime/src/prometheus.rs",
+            include_str!("../../../runtime/src/prometheus.rs"),
+        ),
+    ];
+    for (path, source) in facade_sources {
+        expect_clean(
+            &format!("facade discipline: {path}"),
+            lint_concurrency(path, source, true, WORKSPACE_CONCURRENCY_ALLOWANCES),
+            &mut failures,
+        );
+    }
+
+    // Non-facade concurrent crates: only the `Relaxed` discipline applies
+    // (their threads and locks legitimately speak `std`).
+    let counter_only_sources: [(&str, &str); 3] = [
+        (
+            "crates/core/src/control.rs",
+            include_str!("../../../core/src/control.rs"),
+        ),
+        (
+            "crates/server/src/server.rs",
+            include_str!("../../../server/src/server.rs"),
+        ),
+        (
+            "crates/bench/src/bin/loadgen.rs",
+            include_str!("../../../bench/src/bin/loadgen.rs"),
+        ),
+    ];
+    for (path, source) in counter_only_sources {
+        expect_clean(
+            &format!("relaxed discipline: {path}"),
+            lint_concurrency(path, source, false, WORKSPACE_CONCURRENCY_ALLOWANCES),
+            &mut failures,
+        );
+    }
+
+    // Seeded source defects: each rule must fire on its textbook instance.
+    let seeded_relaxed_store = "
+fn publish(&self, bucket: u64) {
+    self.bucket.store(bucket, Ordering::Relaxed);
+    self.ready.store(1, Ordering::Relaxed);
+}
+";
+    expect_kind(
+        "seeded relaxed publication store",
+        lint_concurrency("seeded/relaxed.rs", seeded_relaxed_store, false, &[]),
+        DiagnosticKind::ConcurrencyLint(ConcurrencyCheck::RelaxedPublication),
+        &mut failures,
+    );
+    let seeded_facade_bypass = "
+use std::sync::atomic::AtomicU64;
+fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}
+";
+    expect_kind(
+        "seeded facade bypass",
+        lint_concurrency("seeded/bypass.rs", seeded_facade_bypass, true, &[]),
+        DiagnosticKind::ConcurrencyLint(ConcurrencyCheck::FacadeBypass),
+        &mut failures,
+    );
+
     if failures == 0 {
-        println!("audit passed: healthy workload clean, all 4 seeded defects detected");
+        println!("audit passed: healthy workload clean, all seeded defects detected");
         ExitCode::SUCCESS
     } else {
         println!("audit FAILED: {failures} check(s) did not behave as expected");

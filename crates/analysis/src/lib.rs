@@ -20,12 +20,22 @@
 //!   exactly 1 (each flow crosses one layer edge per layer); the
 //!   message-passing view requires sorted in-edge lists and exactly one
 //!   self-loop per node.
+//! * **Concurrency-discipline lint** ([`lint_concurrency`]) — line-level
+//!   source checks backing the `revelio-check` model checker: flags
+//!   `Ordering::Relaxed` outside the pure-counter idiom (a relaxed store
+//!   is the classic missing-`Release` publication bug) and direct
+//!   `std::sync`/`std::thread` primitives in crates that must speak the
+//!   `revelio_check::sync` facade to stay checkable.
 //!
 //! `revelio-core` calls [`audit_tape_with_params`] on the first mask-learning
 //! epoch in debug builds; the `audit` binary runs every audit over an example
 //! workload and a suite of deliberately seeded defects.
 
 #![deny(clippy::print_stdout, clippy::print_stderr)]
+
+mod concurrency;
+
+pub use concurrency::{lint_concurrency, ConcurrencyAllowance, WORKSPACE_CONCURRENCY_ALLOWANCES};
 
 use std::collections::HashSet;
 use std::fmt;
@@ -45,6 +55,9 @@ pub enum DiagnosticKind {
     UnstablePattern(StabilityPattern),
     /// A violated invariant of a flow-incidence matrix or graph container.
     IncidenceViolation(IncidenceCheck),
+    /// A source-level concurrency-discipline violation (see
+    /// [`lint_concurrency`]).
+    ConcurrencyLint(ConcurrencyCheck),
 }
 
 impl fmt::Display for DiagnosticKind {
@@ -54,6 +67,30 @@ impl fmt::Display for DiagnosticKind {
             DiagnosticKind::DetachedGradient => write!(f, "detached-gradient"),
             DiagnosticKind::UnstablePattern(p) => write!(f, "unstable-pattern/{p}"),
             DiagnosticKind::IncidenceViolation(c) => write!(f, "incidence-violation/{c}"),
+            DiagnosticKind::ConcurrencyLint(c) => write!(f, "concurrency-lint/{c}"),
+        }
+    }
+}
+
+/// Concurrency-discipline rules checked at the source level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConcurrencyCheck {
+    /// `Ordering::Relaxed` on an operation outside the pure-counter idiom
+    /// (relaxed RMW accumulators and relaxed loads): a relaxed store,
+    /// swap, or CAS is how a missing `Release`/`Acquire` publication
+    /// fence is usually written.
+    RelaxedPublication,
+    /// A direct `std::sync` / `std::thread` primitive in a crate ported
+    /// onto the `revelio_check::sync` facade — invisible to the model
+    /// checker, so it needs a reviewed [`ConcurrencyAllowance`] or a port.
+    FacadeBypass,
+}
+
+impl fmt::Display for ConcurrencyCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConcurrencyCheck::RelaxedPublication => write!(f, "relaxed-publication"),
+            ConcurrencyCheck::FacadeBypass => write!(f, "facade-bypass"),
         }
     }
 }

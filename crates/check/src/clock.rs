@@ -1,0 +1,105 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Every model thread carries a [`VClock`]; synchronising operations
+//! (mutex unlock → lock, release-store → acquire-load, spawn, join)
+//! propagate clocks between threads. Two accesses are concurrent — and a
+//! pair of conflicting accesses to a [`RaceCell`] is a data race — exactly
+//! when neither access's clock is `≤` the other's.
+//!
+//! [`RaceCell`]: crate::shim::RaceCell
+
+/// A grow-on-demand vector clock. Component `t` is the number of visible
+/// operations thread `t` had performed when this clock was last
+/// synchronised with `t`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> VClock {
+        VClock(Vec::new())
+    }
+
+    /// Component `t` (0 when never synchronised with `t`).
+    pub fn get(&self, t: usize) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Advances this thread's own component by one (call once per visible
+    /// operation of thread `t`).
+    pub fn tick(&mut self, t: usize) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+
+    /// Component-wise maximum: after `self.join(other)`, everything that
+    /// happened-before `other` also happens-before `self`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Sets component `t` to `v` (used for per-thread read epochs).
+    pub fn set(&mut self, t: usize, v: u64) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = v;
+    }
+
+    /// Whether some component `t ≠ skip` of `self` exceeds `other`'s —
+    /// i.e. an access recorded in `self` is *not* ordered before `other`.
+    pub fn exceeds_somewhere(&self, other: &VClock, skip: usize) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .any(|(t, &v)| t != skip && v > other.get(t))
+    }
+
+    /// Whether every component of `self` is `≤` the matching component of
+    /// `other` — i.e. `self` happens-before (or equals) `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(t, &v)| v <= other.get(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(3), 0);
+        c.tick(3);
+        c.tick(3);
+        c.tick(0);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(0), 1);
+        assert_eq!(c.get(7), 0);
+    }
+
+    #[test]
+    fn join_is_componentwise_max_and_le_orders() {
+        let mut a = VClock::new();
+        a.tick(0); // a = [1]
+        let mut b = VClock::new();
+        b.tick(1);
+        b.tick(1); // b = [0, 2]
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert_eq!(j.get(0), 1);
+        assert_eq!(j.get(1), 2);
+        assert!(a.le(&j));
+        assert!(b.le(&j));
+        assert!(!j.le(&a));
+    }
+}

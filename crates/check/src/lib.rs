@@ -1,0 +1,58 @@
+//! `revelio-check`: a miniature deterministic concurrency model checker
+//! (in the spirit of `loom` and CHESS) plus a swappable sync facade for
+//! the Revelio serving stack.
+//!
+//! # The two halves
+//!
+//! 1. **The facade** ([`sync`]) — `revelio-trace` and `revelio-runtime`
+//!    import their atomics, mutexes, channels, and thread spawns from
+//!    `revelio_check::sync`. In default builds these are re-exports of
+//!    the `std` items themselves (zero overhead, proven by compile-time
+//!    type identity); with `--features check` they become the
+//!    scheduler-routed [`shim`] types.
+//! 2. **The checker** ([`explore`] / [`replay`]) — runs a model closure
+//!    under every interleaving (bounded exhaustive DFS, or seeded random
+//!    sampling) of its shim-visible operations, detecting panics, lost
+//!    updates, torn snapshots, deadlocks, and vector-clock data races.
+//!    Every failure carries a [`Schedule`] that [`replay`] reproduces
+//!    deterministically — the unit of a pinned regression test.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use revelio_check::shim::{spawn, AtomicU64};
+//! use revelio_check::sync::atomic::Ordering;
+//! use revelio_check::sync::Arc;
+//! use revelio_check::{explore, Config};
+//!
+//! // Two relaxed increments can never lose an update (RMWs are atomic):
+//! let report = explore(&Config::default(), || {
+//!     let n = Arc::new(AtomicU64::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = spawn(move || n2.fetch_add(1, Ordering::Relaxed));
+//!     n.fetch_add(1, Ordering::Relaxed);
+//!     t.join().expect("child ok");
+//!     assert_eq!(n.load(Ordering::Relaxed), 2);
+//! });
+//! report.assert_ok();
+//! assert!(report.complete);
+//! ```
+//!
+//! The checker explores interleavings under sequential consistency; the
+//! weak-memory gap (`Relaxed` reordering) is covered by the
+//! `revelio-analysis` atomics source lint and the Miri CI job. See
+//! DESIGN.md §11 for the full architecture.
+
+pub mod clock;
+pub mod sched;
+pub mod shim;
+pub mod sync;
+
+pub use sched::{explore, replay, Config, Failure, FailureKind, Mode, Report, Schedule};
+
+/// `true` when this build routes the [`sync`] facade through the model
+/// checker (`--features check`); `false` for the zero-overhead `std`
+/// re-export build.
+pub const fn is_checked() -> bool {
+    cfg!(feature = "check")
+}

@@ -1,0 +1,1111 @@
+//! The deterministic scheduler: bounded exhaustive DFS over thread
+//! interleavings.
+//!
+//! # Execution model
+//!
+//! A *model* is a closure that spawns threads through the
+//! [`shim`](crate::shim) sync types. The scheduler serialises the model:
+//! exactly one model thread runs at a time, and control can change hands
+//! only at *visible operations* (atomic access, lock/unlock, channel
+//! send/recv, spawn/join/yield). At each visible operation the running
+//! thread publishes what it is about to do, hands the baton to the
+//! scheduler, and the scheduler grants it to one of the threads whose
+//! pending operation is *enabled* (a lock acquisition is enabled only when
+//! the mutex is free, a receive only when the channel has a message or no
+//! senders, a join only when the target has exited). Because every visible
+//! operation is performed while holding the baton, an execution is fully
+//! determined by the sequence of scheduling choices — the [`Schedule`].
+//!
+//! # Exploration
+//!
+//! [`explore`] runs the model repeatedly. In DFS mode it backtracks over
+//! the recorded choice points (last choice with an untried alternative,
+//! replay the prefix, branch) until the bounded space is exhausted; the
+//! *preemption bound* caps how many times a schedule may switch away from
+//! a thread that could have kept running (unforced context switches),
+//! which is the classic iterative-context-bounding trick: almost all real
+//! concurrency bugs manifest within one or two preemptions, and the bound
+//! turns an exponential space into a small polynomial one. In random mode
+//! a seeded PRNG picks among enabled threads; the same seed always
+//! produces the same schedules. Either way a failing execution reports its
+//! [`Schedule`], and [`replay`] re-runs exactly that interleaving.
+//!
+//! # What counts as a failure
+//!
+//! * a panic in any model thread (assertion failures in the model body);
+//! * a deadlock: live threads, none enabled;
+//! * a data race on a [`RaceCell`](crate::shim::RaceCell), detected with
+//!   vector-clock happens-before tracking (mutexes, acquire/release
+//!   atomics, channels, and spawn/join all create happens-before edges;
+//!   `Relaxed` atomics deliberately do not);
+//! * blowing the per-execution step budget (runaway loop under some
+//!   schedule).
+//!
+//! Interleavings are explored under sequential consistency: the checker
+//! finds lost updates, torn multi-field snapshots, deadlocks, and
+//! HB races, but does not model weak-memory reordering of `Relaxed`
+//! accesses — that gap is covered by the `Ordering::Relaxed` source lint
+//! in `revelio-analysis` and by the Miri CI job.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::clock::VClock;
+
+/// How [`explore`] walks the schedule space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Bounded exhaustive depth-first search with backtracking (the
+    /// default). Deterministic: the same model and config always visit
+    /// schedules in the same order.
+    Dfs,
+    /// `iterations` independent executions driven by a SplitMix64 PRNG
+    /// seeded from `seed` (execution `i` uses `mix(seed, i)`), for models
+    /// whose full space is too large. Same seed → same schedules.
+    Random {
+        /// Base seed; every derived schedule is a pure function of it.
+        seed: u64,
+        /// Number of executions to sample.
+        iterations: usize,
+    },
+}
+
+/// Exploration limits and strategy.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Search strategy.
+    pub mode: Mode,
+    /// Maximum unforced context switches per schedule (`None` =
+    /// unbounded). A switch is *forced* (not counted) when the previously
+    /// running thread blocked.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on executions; exceeded ⇒ [`Report::complete`] is `false`.
+    pub max_executions: usize,
+    /// Visible-operation budget per execution; exceeded ⇒
+    /// [`FailureKind::StepLimit`].
+    pub max_steps: usize,
+    /// Wall-clock budget for the whole exploration (`None` = uncapped;
+    /// CI wraps the test run in an external cap as well).
+    pub max_time: Option<Duration>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            mode: Mode::Dfs,
+            preemption_bound: Some(2),
+            max_executions: 100_000,
+            max_steps: 20_000,
+            max_time: None,
+        }
+    }
+}
+
+impl Config {
+    /// Unbounded-preemption exhaustive DFS (use only for tiny models).
+    pub fn exhaustive() -> Config {
+        Config {
+            preemption_bound: None,
+            ..Config::default()
+        }
+    }
+
+    /// DFS with the given preemption bound.
+    pub fn bounded(preemptions: usize) -> Config {
+        Config {
+            preemption_bound: Some(preemptions),
+            ..Config::default()
+        }
+    }
+
+    /// Seeded random exploration.
+    pub fn random(seed: u64, iterations: usize) -> Config {
+        Config {
+            mode: Mode::Random { seed, iterations },
+            preemption_bound: None,
+            ..Config::default()
+        }
+    }
+}
+
+/// One complete scheduling decision sequence: the thread id granted at
+/// each choice point. Replayable via [`replay`]; renders as
+/// `"0.1.1.0"` for pinning in regression tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule(pub Vec<usize>);
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for t in &self.0 {
+            if !first {
+                write!(f, ".")?;
+            }
+            write!(f, "{t}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Schedule {
+    type Err = std::num::ParseIntError;
+
+    fn from_str(s: &str) -> Result<Schedule, Self::Err> {
+        if s.is_empty() {
+            return Ok(Schedule(Vec::new()));
+        }
+        s.split('.')
+            .map(str::parse)
+            .collect::<Result<_, _>>()
+            .map(Schedule)
+    }
+}
+
+/// Why an execution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A model thread panicked (assertion failure); carries the panic
+    /// message.
+    Panic(String),
+    /// Live threads, none enabled; carries `(thread, pending op)` for each
+    /// blocked thread.
+    Deadlock(Vec<(usize, String)>),
+    /// Two conflicting `RaceCell` accesses with no happens-before edge;
+    /// carries the cell's label.
+    DataRace(String),
+    /// The execution exceeded [`Config::max_steps`] visible operations.
+    StepLimit,
+    /// A pinned schedule requested a thread that was not enabled at that
+    /// point — the model changed since the schedule was recorded.
+    ReplayDiverged {
+        /// Choice index at which the divergence was detected.
+        step: usize,
+    },
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panic(msg) => write!(f, "panic: {msg}"),
+            FailureKind::Deadlock(blocked) => {
+                write!(f, "deadlock:")?;
+                for (t, op) in blocked {
+                    write!(f, " [thread {t} blocked on {op}]")?;
+                }
+                Ok(())
+            }
+            FailureKind::DataRace(cell) => write!(f, "data race on {cell}"),
+            FailureKind::StepLimit => write!(f, "step limit exceeded"),
+            FailureKind::ReplayDiverged { step } => {
+                write!(f, "pinned schedule diverged at choice {step}")
+            }
+        }
+    }
+}
+
+/// One failing execution: what went wrong and the exact schedule that
+/// makes it happen again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// The defect class.
+    pub kind: FailureKind,
+    /// The scheduling decisions up to (and including) the failure point;
+    /// feed to [`replay`] to reproduce deterministically.
+    pub schedule: Schedule,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} under schedule \"{}\"", self.kind, self.schedule)
+    }
+}
+
+/// The outcome of an [`explore`] run.
+#[derive(Debug)]
+pub struct Report {
+    /// Executions actually run.
+    pub executions: usize,
+    /// `true` iff DFS exhausted every schedule within the configured
+    /// bounds without failing (random mode never claims completeness).
+    pub complete: bool,
+    /// The first failure found, if any (exploration stops at the first).
+    pub failure: Option<Failure>,
+    /// The longest execution seen, in visible operations.
+    pub max_steps_seen: usize,
+}
+
+impl Report {
+    /// Panics (with the failing schedule) unless the exploration found no
+    /// failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a failure was recorded.
+    pub fn assert_ok(&self) {
+        if let Some(f) = &self.failure {
+            panic!(
+                "model checking failed after {} execution(s): {f}",
+                self.executions
+            );
+        }
+    }
+
+    /// Returns the failure, panicking if the model checked clean — for
+    /// seeded-defect tests that *require* the checker to flag something.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no failure was recorded.
+    pub fn expect_failure(&self) -> &Failure {
+        match &self.failure {
+            Some(f) => f,
+            None => panic!(
+                "expected the checker to flag a defect, but {} execution(s) passed (complete={})",
+                self.executions, self.complete
+            ),
+        }
+    }
+}
+
+/// What a thread is about to do at a scheduling point. The scheduler uses
+/// this to compute enabledness — a thread whose pending operation cannot
+/// complete is simply never granted, so blocking needs no retry loops and
+/// wastes no schedule branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pending {
+    /// First grant after spawn.
+    Start,
+    /// Explicit yield (re-schedule point with no effect).
+    Yield,
+    /// Atomic load / store / read-modify-write on object `obj`.
+    AtomicLoad { obj: usize, ord: Ordering },
+    /// See [`Pending::AtomicLoad`].
+    AtomicStore { obj: usize, ord: Ordering },
+    /// See [`Pending::AtomicLoad`].
+    AtomicRmw { obj: usize, ord: Ordering },
+    /// Acquire `obj`; enabled only while unheld.
+    MutexLock { obj: usize },
+    /// Release `obj`.
+    MutexUnlock { obj: usize },
+    /// Atomically release `mutex` and enqueue on `cv`.
+    CvWait { cv: usize, mutex: usize },
+    /// Parked on `cv`; enabled once notified.
+    CvBlocked { cv: usize },
+    /// Notify one/all waiters of `cv`.
+    CvNotify { cv: usize, all: bool },
+    /// Push into channel `obj` (unbounded, always enabled).
+    ChanSend { obj: usize },
+    /// Pop from channel `obj`; enabled when non-empty or sender-less.
+    ChanRecv { obj: usize },
+    /// Non-blocking pop (always enabled).
+    ChanTryRecv { obj: usize },
+    /// A sender/receiver endpoint of `obj` is being dropped or cloned.
+    ChanEndpoint { obj: usize },
+    /// Spawn a new model thread.
+    Spawn,
+    /// Join `target`; enabled once it has exited.
+    Join { target: usize },
+    /// Read / write a `RaceCell`.
+    CellRead { obj: usize },
+    /// See [`Pending::CellRead`].
+    CellWrite { obj: usize },
+    /// Thread epilogue.
+    Exit,
+}
+
+impl Pending {
+    fn describe(self) -> String {
+        match self {
+            Pending::Start => "start".to_owned(),
+            Pending::Yield => "yield".to_owned(),
+            Pending::AtomicLoad { obj, .. } => format!("atomic load #{obj}"),
+            Pending::AtomicStore { obj, .. } => format!("atomic store #{obj}"),
+            Pending::AtomicRmw { obj, .. } => format!("atomic rmw #{obj}"),
+            Pending::MutexLock { obj } => format!("lock mutex #{obj}"),
+            Pending::MutexUnlock { obj } => format!("unlock mutex #{obj}"),
+            Pending::CvWait { cv, .. } => format!("condvar wait #{cv}"),
+            Pending::CvBlocked { cv } => format!("condvar park #{cv}"),
+            Pending::CvNotify { cv, .. } => format!("condvar notify #{cv}"),
+            Pending::ChanSend { obj } => format!("channel send #{obj}"),
+            Pending::ChanRecv { obj } => format!("channel recv #{obj}"),
+            Pending::ChanTryRecv { obj } => format!("channel try_recv #{obj}"),
+            Pending::ChanEndpoint { obj } => format!("channel endpoint #{obj}"),
+            Pending::Spawn => "spawn".to_owned(),
+            Pending::Join { target } => format!("join thread {target}"),
+            Pending::CellRead { obj } => format!("racecell read #{obj}"),
+            Pending::CellWrite { obj } => format!("racecell write #{obj}"),
+            Pending::Exit => "exit".to_owned(),
+        }
+    }
+}
+
+/// Scheduler-side state of one registered sync object. The shims own the
+/// typed values; the scheduler owns enabledness and happens-before.
+#[derive(Debug)]
+pub(crate) enum Object {
+    /// An atomic location: the clock released by the last
+    /// release-or-stronger store (joined by acquire-or-stronger loads).
+    Atomic { release: VClock },
+    /// A mutex: who holds it, and the join of every release so far (each
+    /// acquisition happens-after every prior critical section).
+    Mutex {
+        holder: Option<usize>,
+        clock: VClock,
+    },
+    /// A condvar: parked waiters (FIFO) and waiters already notified but
+    /// not yet re-granted.
+    Condvar {
+        waiters: VecDeque<usize>,
+        notified: Vec<usize>,
+    },
+    /// A channel: scheduler-visible occupancy/endpoint counts (values live
+    /// in the shim) plus the join of all sender clocks at send time —
+    /// receives acquire it, so send happens-before the receive of any
+    /// message (coarser than per-message clocks, which only ever *adds*
+    /// happens-before edges and so never reports a false race).
+    Channel {
+        len: usize,
+        senders: usize,
+        rx_alive: bool,
+        clock: VClock,
+    },
+    /// A plain-data cell with FastTrack-style race detection: the last
+    /// write as `(thread, epoch)` and per-thread read epochs since then.
+    Cell {
+        label: &'static str,
+        write: Option<(usize, u64)>,
+        reads: VClock,
+    },
+}
+
+#[derive(Debug)]
+struct ThreadInfo {
+    pending: Option<Pending>,
+    finished: bool,
+    clock: VClock,
+    final_clock: Option<VClock>,
+}
+
+/// One recorded scheduling decision.
+#[derive(Debug, Clone)]
+struct ChoicePoint {
+    /// Enabled thread ids at this point (ascending).
+    enabled: Vec<usize>,
+    /// The order alternatives are tried in (DFS canonical order: the
+    /// non-preempting default first, then the rest ascending).
+    order: Vec<usize>,
+    /// Index into `order` of the alternative this execution took.
+    pos: usize,
+    /// The thread that performed the previous operation (preemption
+    /// accounting).
+    prev_running: Option<usize>,
+}
+
+impl ChoicePoint {
+    fn chosen(&self) -> usize {
+        self.order[self.pos]
+    }
+
+    fn is_preemption(&self) -> bool {
+        preempts(self.prev_running, self.chosen(), &self.enabled)
+    }
+}
+
+/// Granting `chosen` preempts iff the previous runner could have kept
+/// going but was switched away from.
+fn preempts(prev: Option<usize>, chosen: usize, enabled: &[usize]) -> bool {
+    prev.is_some_and(|p| p != chosen && enabled.contains(&p))
+}
+
+pub(crate) struct Inner {
+    threads: Vec<ThreadInfo>,
+    objects: Vec<Object>,
+    active: Option<usize>,
+    live: usize,
+    /// Forced choices (replayed prefix), as thread ids.
+    prefix: Vec<usize>,
+    tape: Vec<ChoicePoint>,
+    prev_running: Option<usize>,
+    ops: usize,
+    max_steps: usize,
+    failure: Option<Failure>,
+    /// Post-failure teardown: keep token discipline, stop recording.
+    failing: bool,
+    /// Execution over (all threads exited, or abandoned): visible ops
+    /// free-run so straggling threads can unwind without double panics.
+    done: bool,
+    /// SplitMix64 state for random mode.
+    rng: Option<u64>,
+}
+
+impl Inner {
+    fn enabled_of(&self, tid: usize) -> bool {
+        let Some(pending) = self.threads[tid].pending else {
+            return false;
+        };
+        match pending {
+            Pending::MutexLock { obj } => {
+                matches!(self.objects[obj], Object::Mutex { holder: None, .. })
+            }
+            Pending::CvBlocked { cv } => match &self.objects[cv] {
+                Object::Condvar { notified, .. } => notified.contains(&tid),
+                _ => false,
+            },
+            Pending::ChanRecv { obj } => match self.objects[obj] {
+                Object::Channel { len, senders, .. } => len > 0 || senders == 0,
+                _ => false,
+            },
+            Pending::Join { target } => self.threads[target].finished,
+            _ => true,
+        }
+    }
+
+    fn enabled(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| self.enabled_of(t))
+            .collect()
+    }
+
+    fn schedule_so_far(&self) -> Schedule {
+        Schedule(self.tape.iter().map(ChoicePoint::chosen).collect())
+    }
+
+    fn fail(&mut self, kind: FailureKind) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure {
+                kind,
+                schedule: self.schedule_so_far(),
+            });
+            self.failing = true;
+        }
+    }
+}
+
+/// Outcome of a non-blocking channel pop, scheduler-side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TryOutcome {
+    Popped,
+    Empty,
+    Disconnected,
+}
+
+fn acquires(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releases(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Happens-before bookkeeping, run inside a granted visible operation
+/// (the baton serialises these, so plain sequential updates are exact).
+impl Inner {
+    pub(crate) fn hb_atomic_load(&mut self, tid: usize, obj: usize, ord: Ordering) {
+        if !acquires(ord) {
+            return;
+        }
+        if let Object::Atomic { release } = &self.objects[obj] {
+            let release = release.clone();
+            self.threads[tid].clock.join(&release);
+        }
+    }
+
+    pub(crate) fn hb_atomic_store(&mut self, tid: usize, obj: usize, ord: Ordering) {
+        if !releases(ord) {
+            return;
+        }
+        let clock = self.threads[tid].clock.clone();
+        if let Object::Atomic { release } = &mut self.objects[obj] {
+            *release = clock;
+        }
+    }
+
+    pub(crate) fn hb_atomic_rmw(&mut self, tid: usize, obj: usize, ord: Ordering) {
+        self.hb_atomic_load(tid, obj, ord);
+        if !releases(ord) {
+            return;
+        }
+        let clock = self.threads[tid].clock.clone();
+        if let Object::Atomic { release } = &mut self.objects[obj] {
+            release.join(&clock);
+        }
+    }
+
+    pub(crate) fn mutex_acquired(&mut self, tid: usize, obj: usize) {
+        if let Object::Mutex { holder, clock } = &mut self.objects[obj] {
+            debug_assert!(holder.is_none() || self.done, "lock granted while held");
+            *holder = Some(tid);
+            let clock = clock.clone();
+            self.threads[tid].clock.join(&clock);
+        }
+    }
+
+    pub(crate) fn mutex_released(&mut self, tid: usize, obj: usize) {
+        let mine = self.threads[tid].clock.clone();
+        if let Object::Mutex { holder, clock } = &mut self.objects[obj] {
+            *holder = None;
+            clock.join(&mine);
+        }
+    }
+
+    pub(crate) fn cv_enqueue(&mut self, tid: usize, cv: usize) {
+        if let Object::Condvar { waiters, .. } = &mut self.objects[cv] {
+            waiters.push_back(tid);
+        }
+    }
+
+    pub(crate) fn cv_unpark(&mut self, tid: usize, cv: usize) {
+        if let Object::Condvar { notified, .. } = &mut self.objects[cv] {
+            notified.retain(|&t| t != tid);
+        }
+    }
+
+    pub(crate) fn cv_notify(&mut self, cv: usize, all: bool) {
+        if let Object::Condvar { waiters, notified } = &mut self.objects[cv] {
+            if all {
+                notified.extend(waiters.drain(..));
+            } else if let Some(t) = waiters.pop_front() {
+                notified.push(t);
+            }
+        }
+    }
+
+    /// Returns `false` when the receiver is gone (the send fails).
+    pub(crate) fn chan_send(&mut self, tid: usize, obj: usize) -> bool {
+        let mine = self.threads[tid].clock.clone();
+        if let Object::Channel {
+            len,
+            rx_alive,
+            clock,
+            ..
+        } = &mut self.objects[obj]
+        {
+            if !*rx_alive {
+                return false;
+            }
+            *len += 1;
+            clock.join(&mine);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `true` when a message was consumed, `false` when the
+    /// channel is drained and sender-less (disconnected).
+    pub(crate) fn chan_recv(&mut self, tid: usize, obj: usize) -> bool {
+        if let Object::Channel { len, clock, .. } = &mut self.objects[obj] {
+            if *len > 0 {
+                *len -= 1;
+                let clock = clock.clone();
+                self.threads[tid].clock.join(&clock);
+                return true;
+            }
+        }
+        false
+    }
+
+    pub(crate) fn chan_try_recv(&mut self, tid: usize, obj: usize) -> TryOutcome {
+        let outcome = match &self.objects[obj] {
+            Object::Channel { len, senders, .. } => {
+                if *len > 0 {
+                    TryOutcome::Popped
+                } else if *senders == 0 {
+                    TryOutcome::Disconnected
+                } else {
+                    TryOutcome::Empty
+                }
+            }
+            _ => TryOutcome::Disconnected,
+        };
+        if outcome == TryOutcome::Popped {
+            self.chan_recv(tid, obj);
+        }
+        outcome
+    }
+
+    pub(crate) fn chan_sender_delta(&mut self, obj: usize, delta: isize) {
+        if let Object::Channel { senders, .. } = &mut self.objects[obj] {
+            *senders = senders.saturating_add_signed(delta);
+        }
+    }
+
+    pub(crate) fn chan_rx_closed(&mut self, obj: usize) {
+        if let Object::Channel { rx_alive, .. } = &mut self.objects[obj] {
+            *rx_alive = false;
+        }
+    }
+
+    pub(crate) fn join_finished(&mut self, tid: usize, target: usize) {
+        if let Some(final_clock) = self.threads[target].final_clock.clone() {
+            self.threads[tid].clock.join(&final_clock);
+        }
+    }
+
+    pub(crate) fn cell_read(&mut self, tid: usize, obj: usize) {
+        let mine = self.threads[tid].clock.clone();
+        let raced = match &mut self.objects[obj] {
+            Object::Cell {
+                label,
+                write,
+                reads,
+            } => {
+                let race = write.is_some_and(|(w, epoch)| w != tid && mine.get(w) < epoch);
+                reads.set(tid, mine.get(tid));
+                race.then_some(*label)
+            }
+            _ => None,
+        };
+        if let Some(label) = raced {
+            self.fail(FailureKind::DataRace(label.to_owned()));
+        }
+    }
+
+    pub(crate) fn cell_write(&mut self, tid: usize, obj: usize) {
+        let mine = self.threads[tid].clock.clone();
+        let raced = match &mut self.objects[obj] {
+            Object::Cell {
+                label,
+                write,
+                reads,
+            } => {
+                let write_race = write.is_some_and(|(w, epoch)| w != tid && mine.get(w) < epoch);
+                let read_race = reads.exceeds_somewhere(&mine, tid);
+                *write = Some((tid, mine.get(tid)));
+                *reads = VClock::new();
+                (write_race || read_race).then_some(*label)
+            }
+            _ => None,
+        };
+        if let Some(label) = raced {
+            self.fail(FailureKind::DataRace(label.to_owned()));
+        }
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One execution's shared state: the scheduler proper.
+pub(crate) struct Exec {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+fn lock(m: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Panic payload used to unwind model threads out of an abandoned
+/// execution (never surfaces as a reported failure: abandonment implies a
+/// failure was already recorded or every thread had exited).
+const ABANDONED: &str = "revelio-check: execution abandoned";
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Exec>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The execution and model-thread id the calling OS thread is registered
+/// under, if any — `None` means the shim falls back to plain `std`
+/// behaviour.
+pub(crate) fn current() -> Option<(Arc<Exec>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+impl Exec {
+    fn new(prefix: Vec<usize>, max_steps: usize, rng: Option<u64>) -> Arc<Exec> {
+        Arc::new(Exec {
+            inner: Mutex::new(Inner {
+                threads: Vec::new(),
+                objects: Vec::new(),
+                active: None,
+                live: 0,
+                prefix,
+                tape: Vec::new(),
+                prev_running: None,
+                ops: 0,
+                max_steps,
+                failure: None,
+                failing: false,
+                done: false,
+                rng,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Registers a new sync object, returning its id.
+    pub(crate) fn register(&self, object: Object) -> usize {
+        let mut inner = lock(&self.inner);
+        inner.objects.push(object);
+        inner.objects.len() - 1
+    }
+
+    /// Allocates a model thread (clock seeded from `parent`'s, pending on
+    /// its first grant). The OS thread is spawned by the caller.
+    fn alloc_thread(inner: &mut Inner, parent: Option<usize>) -> usize {
+        let tid = inner.threads.len();
+        let mut clock = match parent {
+            Some(p) => inner.threads[p].clock.clone(),
+            None => VClock::new(),
+        };
+        clock.tick(tid);
+        inner.threads.push(ThreadInfo {
+            pending: Some(Pending::Start),
+            finished: false,
+            clock,
+            final_clock: None,
+        });
+        inner.live += 1;
+        tid
+    }
+
+    /// The heart: publish `pending`, release the baton, wait to be
+    /// granted, then perform the operation while holding it.
+    ///
+    /// In a `done` (abandoned) execution the thread must not keep running
+    /// its model body — stragglers re-acquiring real locks would turn a
+    /// *detected* model deadlock into a real one. Instead the op panics
+    /// with a sentinel (caught by [`run_model_thread`]) so the body
+    /// unwinds; visible ops reached *during* that unwind (guard drops,
+    /// endpoint drops — releases only, never blocking) free-run.
+    pub(crate) fn visible<R>(
+        &self,
+        tid: usize,
+        pending: Pending,
+        perform: impl FnOnce(&mut Inner, usize) -> R,
+    ) -> R {
+        let mut inner = lock(&self.inner);
+        if !inner.done {
+            inner.threads[tid].pending = Some(pending);
+            inner.active = None;
+            self.schedule(&mut inner);
+            while inner.active != Some(tid) && !inner.done {
+                inner = match self.cv.wait(inner) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+        if inner.done && !std::thread::panicking() {
+            drop(inner);
+            panic!("{ABANDONED}");
+        }
+        inner.ops += 1;
+        inner.threads[tid].pending = None;
+        inner.threads[tid].clock.tick(tid);
+        perform(&mut inner, tid)
+    }
+
+    /// Picks the next thread to run (or ends the execution). Called with
+    /// the baton free (`active == None`).
+    fn schedule(&self, inner: &mut Inner) {
+        if inner.done {
+            self.cv.notify_all();
+            return;
+        }
+        if inner.live == 0 {
+            inner.done = true;
+            self.cv.notify_all();
+            return;
+        }
+        let enabled = inner.enabled();
+        if enabled.is_empty() {
+            if !inner.failing {
+                let blocked = inner
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !t.finished)
+                    .map(|(i, t)| {
+                        (
+                            i,
+                            t.pending
+                                .map_or_else(|| "running".to_owned(), Pending::describe),
+                        )
+                    })
+                    .collect();
+                inner.fail(FailureKind::Deadlock(blocked));
+            }
+            // Nothing can ever run again; abandon so stragglers free-run.
+            inner.done = true;
+            self.cv.notify_all();
+            return;
+        }
+        if inner.ops >= inner.max_steps && !inner.failing {
+            inner.fail(FailureKind::StepLimit);
+            inner.done = true;
+            self.cv.notify_all();
+            return;
+        }
+
+        let chosen = if inner.failing {
+            // Teardown: no recording, prefer the current thread so unwinds
+            // run straight through.
+            match inner.prev_running {
+                Some(p) if enabled.contains(&p) => p,
+                _ => enabled[0],
+            }
+        } else {
+            // Canonical try-order: non-preempting default first, then the
+            // rest ascending. Backtracking walks this order, so the first
+            // execution down any subtree costs zero extra preemptions.
+            let default = match inner.prev_running {
+                Some(p) if enabled.contains(&p) => p,
+                _ => enabled[0],
+            };
+            let mut order = vec![default];
+            order.extend(enabled.iter().copied().filter(|&t| t != default));
+            let step = inner.tape.len();
+            let pos = if step < inner.prefix.len() {
+                let want = inner.prefix[step];
+                match order.iter().position(|&t| t == want) {
+                    Some(p) => p,
+                    None => {
+                        inner.fail(FailureKind::ReplayDiverged { step });
+                        inner.done = true;
+                        self.cv.notify_all();
+                        return;
+                    }
+                }
+            } else if let Some(state) = &mut inner.rng {
+                (splitmix(state) % order.len() as u64) as usize
+            } else {
+                0
+            };
+            let chosen = order[pos];
+            inner.tape.push(ChoicePoint {
+                enabled,
+                order,
+                pos,
+                prev_running: inner.prev_running,
+            });
+            chosen
+        };
+        inner.prev_running = Some(chosen);
+        inner.active = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// Spawn protocol: a visible op whose `perform` allocates the child;
+    /// the shim then starts the OS thread.
+    pub(crate) fn spawn_child(&self, parent: usize) -> usize {
+        self.visible(parent, Pending::Spawn, |inner, p| {
+            Exec::alloc_thread(inner, Some(p))
+        })
+    }
+
+    /// Thread epilogue: record panic (if any), run the Exit visible op,
+    /// release the baton for good.
+    pub(crate) fn thread_exit(&self, tid: usize, panic_msg: Option<String>) {
+        let mut inner = lock(&self.inner);
+        if let Some(msg) = panic_msg {
+            if !inner.failing {
+                inner.fail(FailureKind::Panic(msg));
+            }
+        }
+        if !inner.done {
+            inner.threads[tid].pending = Some(Pending::Exit);
+            inner.active = None;
+            self.schedule(&mut inner);
+            while inner.active != Some(tid) && !inner.done {
+                inner = match self.cv.wait(inner) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+        inner.ops += 1;
+        inner.threads[tid].pending = None;
+        inner.threads[tid].clock.tick(tid);
+        inner.threads[tid].finished = true;
+        inner.threads[tid].final_clock = Some(inner.threads[tid].clock.clone());
+        inner.live = inner.live.saturating_sub(1);
+        if inner.done {
+            return;
+        }
+        inner.active = None;
+        self.schedule(&mut inner);
+    }
+
+    /// Runs one execution of `f` as model thread 0 and waits for it to
+    /// finish (or be abandoned). Returns the recorded tape and failure.
+    fn run(
+        self: &Arc<Exec>,
+        f: Arc<dyn Fn() + Send + Sync>,
+    ) -> (Vec<ChoicePoint>, Option<Failure>, usize) {
+        let root = {
+            let mut inner = lock(&self.inner);
+            Exec::alloc_thread(&mut inner, None)
+        };
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name("revelio-check-model".to_owned())
+            .spawn(move || run_model_thread(&exec, root, move || f()))
+            .expect("spawn model root thread");
+        // Kick the first grant.
+        {
+            let mut inner = lock(&self.inner);
+            if inner.active.is_none() && !inner.done {
+                self.schedule(&mut inner);
+            }
+        }
+        // Wait for the execution to end.
+        {
+            let mut inner = lock(&self.inner);
+            while !inner.done {
+                inner = match self.cv.wait(inner) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+        let _ = handle.join();
+        let inner = lock(&self.inner);
+        (inner.tape.clone(), inner.failure.clone(), inner.ops)
+    }
+}
+
+/// Body shared by the root thread and shim-spawned threads: register the
+/// thread-local context, wait for the Start grant, run, exit.
+pub(crate) fn run_model_thread(exec: &Arc<Exec>, tid: usize, f: impl FnOnce()) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(exec), tid)));
+    // Consume the Start grant. A thread started into an already-abandoned
+    // execution never runs its body at all.
+    let proceed = {
+        let mut inner = lock(&exec.inner);
+        while inner.active != Some(tid) && !inner.done {
+            inner = match exec.cv.wait(inner) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        inner.ops += 1;
+        inner.threads[tid].pending = None;
+        inner.threads[tid].clock.tick(tid);
+        !inner.done
+    };
+    let panic_msg = if proceed {
+        let outcome = catch_unwind(AssertUnwindSafe(f));
+        outcome.err().and_then(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_owned());
+            (msg != ABANDONED).then_some(msg)
+        })
+    } else {
+        None
+    };
+    exec.thread_exit(tid, panic_msg);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Computes the next DFS prefix: the deepest choice point with an untried
+/// alternative within the preemption bound, or `None` when the bounded
+/// space is exhausted.
+fn next_prefix(tape: &[ChoicePoint], bound: Option<usize>) -> Option<Vec<usize>> {
+    // preemptions_before[i] = unforced switches among choices 0..i.
+    let mut preemptions_before = Vec::with_capacity(tape.len() + 1);
+    preemptions_before.push(0usize);
+    for cp in tape {
+        let last = *preemptions_before.last().unwrap_or(&0);
+        preemptions_before.push(last + usize::from(cp.is_preemption()));
+    }
+    for i in (0..tape.len()).rev() {
+        let cp = &tape[i];
+        for pos in cp.pos + 1..cp.order.len() {
+            let cand = cp.order[pos];
+            let cost =
+                preemptions_before[i] + usize::from(preempts(cp.prev_running, cand, &cp.enabled));
+            if bound.is_none_or(|b| cost <= b) {
+                let mut prefix: Vec<usize> = tape[..i].iter().map(ChoicePoint::chosen).collect();
+                prefix.push(cand);
+                return Some(prefix);
+            }
+        }
+    }
+    None
+}
+
+/// Explores the model's interleavings under `cfg`; stops at the first
+/// failure. The model closure is run once per execution and must be
+/// self-contained (fresh state each run).
+pub fn explore(cfg: &Config, model: impl Fn() + Send + Sync + 'static) -> Report {
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let deadline = cfg.max_time.map(|d| Instant::now() + d);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    let mut max_steps_seen = 0usize;
+    let budget = match cfg.mode {
+        Mode::Dfs => cfg.max_executions,
+        Mode::Random { iterations, .. } => iterations.min(cfg.max_executions),
+    };
+    loop {
+        if executions >= budget || deadline.is_some_and(|d| Instant::now() >= d) {
+            return Report {
+                executions,
+                complete: false,
+                failure: None,
+                max_steps_seen,
+            };
+        }
+        let rng = match cfg.mode {
+            Mode::Dfs => None,
+            Mode::Random { seed, .. } => {
+                let mut s = seed ^ (executions as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                Some(splitmix(&mut s))
+            }
+        };
+        let exec = Exec::new(prefix.clone(), cfg.max_steps, rng);
+        let (tape, failure, ops) = exec.run(Arc::clone(&model));
+        executions += 1;
+        max_steps_seen = max_steps_seen.max(ops);
+        if failure.is_some() {
+            return Report {
+                executions,
+                complete: false,
+                failure,
+                max_steps_seen,
+            };
+        }
+        match cfg.mode {
+            Mode::Dfs => match next_prefix(&tape, cfg.preemption_bound) {
+                Some(p) => prefix = p,
+                None => {
+                    return Report {
+                        executions,
+                        complete: true,
+                        failure: None,
+                        max_steps_seen,
+                    }
+                }
+            },
+            Mode::Random { .. } => prefix.clear(),
+        }
+    }
+}
+
+/// Replays exactly one execution along `schedule` (continuing with
+/// default choices past its end) and returns its failure, if any. The
+/// tool for pinning a discovered bug as a deterministic regression test.
+pub fn replay(schedule: &Schedule, model: impl Fn() + Send + Sync + 'static) -> Option<Failure> {
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let exec = Exec::new(schedule.0.clone(), Config::default().max_steps, None);
+    let (_, failure, _) = exec.run(model);
+    failure
+}

@@ -1,0 +1,223 @@
+//! Scheduler-routed atomics. Every operation is one visible step; the
+//! value itself lives in a real `std` atomic (accessed `SeqCst`
+//! internally — the baton serialises model accesses, so the internal
+//! ordering is irrelevant to the modelled semantics, which are derived
+//! from the *caller's* `Ordering` via vector clocks).
+
+use std::sync::atomic::Ordering;
+
+use crate::clock::VClock;
+use crate::sched::{Object, Pending};
+
+use super::ObjToken;
+
+macro_rules! shim_int_atomic {
+    ($(#[$doc:meta])* $Name:ident, $Std:ty, $Prim:ty) => {
+        $(#[$doc])*
+        pub struct $Name {
+            value: $Std,
+            token: Option<ObjToken>,
+        }
+
+        impl $Name {
+            /// Mirrors `std`'s constructor; additionally registers the
+            /// location with the live exploration, if any.
+            pub fn new(v: $Prim) -> $Name {
+                $Name {
+                    value: <$Std>::new(v),
+                    token: ObjToken::register(Object::Atomic { release: VClock::new() }),
+                }
+            }
+
+            /// Mirrors [`std::sync::atomic`]'s `load`.
+            pub fn load(&self, ord: Ordering) -> $Prim {
+                match self.token.as_ref().and_then(ObjToken::engage) {
+                    Some((exec, tid, obj)) => {
+                        exec.visible(tid, Pending::AtomicLoad { obj, ord }, |inner, tid| {
+                            inner.hb_atomic_load(tid, obj, ord);
+                            self.value.load(Ordering::SeqCst)
+                        })
+                    }
+                    None => self.value.load(ord),
+                }
+            }
+
+            /// Mirrors [`std::sync::atomic`]'s `store`.
+            pub fn store(&self, v: $Prim, ord: Ordering) {
+                match self.token.as_ref().and_then(ObjToken::engage) {
+                    Some((exec, tid, obj)) => {
+                        exec.visible(tid, Pending::AtomicStore { obj, ord }, |inner, tid| {
+                            inner.hb_atomic_store(tid, obj, ord);
+                            self.value.store(v, Ordering::SeqCst);
+                        });
+                    }
+                    None => self.value.store(v, ord),
+                }
+            }
+
+            /// Mirrors [`std::sync::atomic`]'s `swap`.
+            pub fn swap(&self, v: $Prim, ord: Ordering) -> $Prim {
+                self.rmw(ord, |value| value.swap(v, Ordering::SeqCst), |value| value.swap(v, ord))
+            }
+
+            /// Mirrors [`std::sync::atomic`]'s `fetch_add`.
+            pub fn fetch_add(&self, v: $Prim, ord: Ordering) -> $Prim {
+                self.rmw(
+                    ord,
+                    |value| value.fetch_add(v, Ordering::SeqCst),
+                    |value| value.fetch_add(v, ord),
+                )
+            }
+
+            /// Mirrors [`std::sync::atomic`]'s `fetch_sub`.
+            pub fn fetch_sub(&self, v: $Prim, ord: Ordering) -> $Prim {
+                self.rmw(
+                    ord,
+                    |value| value.fetch_sub(v, Ordering::SeqCst),
+                    |value| value.fetch_sub(v, ord),
+                )
+            }
+
+            /// Mirrors [`std::sync::atomic`]'s `fetch_max`.
+            pub fn fetch_max(&self, v: $Prim, ord: Ordering) -> $Prim {
+                self.rmw(
+                    ord,
+                    |value| value.fetch_max(v, Ordering::SeqCst),
+                    |value| value.fetch_max(v, ord),
+                )
+            }
+
+            /// Mirrors [`std::sync::atomic`]'s `compare_exchange` (both
+            /// orderings are folded into the success ordering for
+            /// happens-before purposes — the conservative direction).
+            pub fn compare_exchange(
+                &self,
+                expected: $Prim,
+                new: $Prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$Prim, $Prim> {
+                self.rmw(
+                    success,
+                    |value| value.compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst),
+                    |value| value.compare_exchange(expected, new, success, failure),
+                )
+            }
+
+            fn rmw<R>(
+                &self,
+                ord: Ordering,
+                model: impl FnOnce(&$Std) -> R,
+                fallback: impl FnOnce(&$Std) -> R,
+            ) -> R {
+                match self.token.as_ref().and_then(ObjToken::engage) {
+                    Some((exec, tid, obj)) => {
+                        exec.visible(tid, Pending::AtomicRmw { obj, ord }, |inner, tid| {
+                            inner.hb_atomic_rmw(tid, obj, ord);
+                            model(&self.value)
+                        })
+                    }
+                    None => fallback(&self.value),
+                }
+            }
+        }
+
+        impl Default for $Name {
+            fn default() -> $Name {
+                $Name::new(0)
+            }
+        }
+
+        impl std::fmt::Debug for $Name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($Name))
+                    .field(&self.value.load(Ordering::SeqCst))
+                    .finish()
+            }
+        }
+    };
+}
+
+shim_int_atomic!(
+    /// Scheduler-routed [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+shim_int_atomic!(
+    /// Scheduler-routed [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+
+/// Scheduler-routed [`std::sync::atomic::AtomicBool`].
+pub struct AtomicBool {
+    value: std::sync::atomic::AtomicBool,
+    token: Option<ObjToken>,
+}
+
+impl AtomicBool {
+    /// Mirrors `std`'s constructor.
+    pub fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            value: std::sync::atomic::AtomicBool::new(v),
+            token: ObjToken::register(Object::Atomic {
+                release: VClock::new(),
+            }),
+        }
+    }
+
+    /// Mirrors [`std::sync::atomic::AtomicBool::load`].
+    pub fn load(&self, ord: Ordering) -> bool {
+        match self.token.as_ref().and_then(ObjToken::engage) {
+            Some((exec, tid, obj)) => {
+                exec.visible(tid, Pending::AtomicLoad { obj, ord }, |inner, tid| {
+                    inner.hb_atomic_load(tid, obj, ord);
+                    self.value.load(Ordering::SeqCst)
+                })
+            }
+            None => self.value.load(ord),
+        }
+    }
+
+    /// Mirrors [`std::sync::atomic::AtomicBool::store`].
+    pub fn store(&self, v: bool, ord: Ordering) {
+        match self.token.as_ref().and_then(ObjToken::engage) {
+            Some((exec, tid, obj)) => {
+                exec.visible(tid, Pending::AtomicStore { obj, ord }, |inner, tid| {
+                    inner.hb_atomic_store(tid, obj, ord);
+                    self.value.store(v, Ordering::SeqCst);
+                });
+            }
+            None => self.value.store(v, ord),
+        }
+    }
+
+    /// Mirrors [`std::sync::atomic::AtomicBool::swap`].
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        match self.token.as_ref().and_then(ObjToken::engage) {
+            Some((exec, tid, obj)) => {
+                exec.visible(tid, Pending::AtomicRmw { obj, ord }, |inner, tid| {
+                    inner.hb_atomic_rmw(tid, obj, ord);
+                    self.value.swap(v, Ordering::SeqCst)
+                })
+            }
+            None => self.value.swap(v, ord),
+        }
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool")
+            .field(&self.value.load(Ordering::SeqCst))
+            .finish()
+    }
+}

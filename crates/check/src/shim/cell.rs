@@ -1,0 +1,76 @@
+//! [`RaceCell`]: plain shared data with FastTrack-style race detection.
+//!
+//! In real code, unsynchronized shared mutation is undefined behaviour;
+//! the workspace forbids `unsafe`, so nothing in production can create
+//! one. `RaceCell` exists for *models*: it stands in for "a plain field
+//! two threads touch" so the checker can prove (via vector clocks)
+//! whether every conflicting access pair is ordered by happens-before.
+//! Outside a model it degrades to a mutex-protected value with no
+//! detection.
+
+use crate::clock::VClock;
+use crate::sched::{Object, Pending};
+
+use super::{ride, ObjToken};
+
+/// Shared data whose accesses are checked for data races in model mode.
+pub struct RaceCell<T> {
+    value: std::sync::Mutex<T>,
+    token: Option<ObjToken>,
+}
+
+impl<T: Copy> RaceCell<T> {
+    /// Creates a cell; `label` names it in race reports.
+    pub fn new(label: &'static str, value: T) -> RaceCell<T> {
+        RaceCell {
+            value: std::sync::Mutex::new(value),
+            token: ObjToken::register(Object::Cell {
+                label,
+                write: None,
+                reads: VClock::new(),
+            }),
+        }
+    }
+
+    /// Reads the value; a visible operation that races with any
+    /// concurrent (unordered) write.
+    pub fn get(&self) -> T {
+        match self.token.as_ref().and_then(ObjToken::engage) {
+            Some((exec, tid, obj)) => exec.visible(tid, Pending::CellRead { obj }, |inner, tid| {
+                inner.cell_read(tid, obj);
+                *ride(&self.value)
+            }),
+            None => *ride(&self.value),
+        }
+    }
+
+    /// Writes the value; a visible operation that races with any
+    /// concurrent (unordered) read or write.
+    pub fn set(&self, value: T) {
+        match self.token.as_ref().and_then(ObjToken::engage) {
+            Some((exec, tid, obj)) => {
+                exec.visible(tid, Pending::CellWrite { obj }, |inner, tid| {
+                    inner.cell_write(tid, obj);
+                    *ride(&self.value) = value;
+                });
+            }
+            None => *ride(&self.value) = value,
+        }
+    }
+
+    /// Read-modify-write as a read step followed by a write step (so an
+    /// interleaved remote write is a detectable lost update, exactly like
+    /// a `load`/`store` pair on a plain field).
+    pub fn update(&self, f: impl FnOnce(T) -> T) {
+        let current = self.get();
+        self.set(f(current));
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for RaceCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("RaceCell")
+            .field(&*ride(&self.value))
+            .finish()
+    }
+}

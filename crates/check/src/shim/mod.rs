@@ -1,0 +1,90 @@
+//! Scheduler-routed shim implementations of the sync vocabulary.
+//!
+//! Each type mirrors its `std::sync` counterpart's API closely enough
+//! that the facade can swap them in by re-export. Every operation first
+//! checks whether the calling OS thread is a registered model thread of a
+//! live exploration *and* the object was created inside that same
+//! exploration; if so the operation becomes a scheduler-visible step
+//! (deterministic interleaving, happens-before tracking), otherwise it
+//! falls back to the plain `std` behaviour. The fallback is what keeps a
+//! `--features check` build of unrelated test suites working: code that
+//! never enters [`explore`](crate::sched::explore) behaves exactly as it
+//! would on `std`, just a thread-local lookup slower.
+//!
+//! Values are always stored in real `std` primitives (the workspace
+//! forbids `unsafe`, so there is no `UnsafeCell` trickery): the model's
+//! baton discipline means those never contend during checking.
+
+mod atomic;
+mod cell;
+mod mpsc_shim;
+mod mutex;
+mod thread_shim;
+
+pub use atomic::{AtomicBool, AtomicU64, AtomicUsize};
+pub use cell::RaceCell;
+pub use mutex::{Condvar, Mutex, MutexGuard};
+pub use thread_shim::{sleep, spawn, yield_now, Builder, JoinHandle};
+
+/// Shim `mpsc` namespace (module re-exported by the facade).
+pub mod mpsc {
+    pub use super::mpsc_shim::{channel, Receiver, Sender};
+    // The error types are `std`'s own (publicly constructible), so shim
+    // and std signatures stay interchangeable.
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+}
+
+use std::sync::{Arc, Weak};
+
+use crate::sched::{current, Exec, Object};
+
+/// Locks a real `std` mutex, riding out poisoning (shim internals are
+/// consistent even after a model-thread panic: every mutation is a whole
+/// value or a whole queue node).
+pub(crate) fn ride<T: ?Sized>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Ties a shim object to the exploration it was created in. Objects
+/// created outside a model (or used from a different execution) have no
+/// engaged token and fall back to `std` semantics.
+pub(crate) struct ObjToken {
+    exec: Weak<Exec>,
+    obj: usize,
+}
+
+impl ObjToken {
+    /// Registers `object` with the calling thread's live exploration, if
+    /// there is one.
+    pub(crate) fn register(object: Object) -> Option<ObjToken> {
+        current().map(|(exec, _)| {
+            let obj = exec.register(object);
+            ObjToken {
+                exec: Arc::downgrade(&exec),
+                obj,
+            }
+        })
+    }
+
+    /// The `(execution, model thread, object id)` triple when the calling
+    /// thread belongs to the same live exploration this object was
+    /// registered in.
+    pub(crate) fn engage(&self) -> Option<(Arc<Exec>, usize, usize)> {
+        let (cur, tid) = current()?;
+        let exec = self.exec.upgrade()?;
+        if Arc::ptr_eq(&cur, &exec) {
+            Some((exec, tid, self.obj))
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Debug for ObjToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObjToken(#{})", self.obj)
+    }
+}

@@ -1,0 +1,219 @@
+//! Scheduler-routed unbounded mpsc channel.
+//!
+//! Values queue in a real `std` mutex-protected deque; the scheduler
+//! tracks occupancy and endpoint liveness, so a `recv` is simply *not
+//! enabled* until a message exists or every sender is gone — blocking
+//! needs no retry loops and contributes no wasted schedule branches. A
+//! single coarse per-channel vector clock makes every send happen-before
+//! every subsequent receive (slightly stronger than per-message clocks;
+//! extra happens-before edges can only suppress false races, never
+//! invent one).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+use std::sync::Arc;
+
+use crate::clock::VClock;
+use crate::sched::{Object, Pending, TryOutcome};
+
+use super::{ride, ObjToken};
+
+struct ChanState<T> {
+    queue: std::sync::Mutex<VecDeque<T>>,
+    /// Fallback-mode blocking (model mode parks via the scheduler).
+    cv: std::sync::Condvar,
+    /// Fallback-mode endpoint liveness (the scheduler keeps its own).
+    senders: AtomicUsize,
+    rx_alive: AtomicBool,
+    token: Option<ObjToken>,
+}
+
+/// Creates an unbounded channel, mirroring [`std::sync::mpsc::channel`].
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let state = Arc::new(ChanState {
+        queue: std::sync::Mutex::new(VecDeque::new()),
+        cv: std::sync::Condvar::new(),
+        senders: AtomicUsize::new(1),
+        rx_alive: AtomicBool::new(true),
+        token: ObjToken::register(Object::Channel {
+            len: 0,
+            senders: 1,
+            rx_alive: true,
+            clock: VClock::new(),
+        }),
+    });
+    (
+        Sender {
+            state: Arc::clone(&state),
+        },
+        Receiver { state },
+    )
+}
+
+/// Sending half, mirroring [`std::sync::mpsc::Sender`].
+pub struct Sender<T> {
+    state: Arc<ChanState<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Mirrors [`std::sync::mpsc::Sender::send`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back when the receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match self.state.token.as_ref().and_then(ObjToken::engage) {
+            Some((exec, tid, obj)) => {
+                let rejected = exec.visible(tid, Pending::ChanSend { obj }, |inner, tid| {
+                    if inner.chan_send(tid, obj) {
+                        ride(&self.state.queue).push_back(value);
+                        None
+                    } else {
+                        Some(value)
+                    }
+                });
+                match rejected {
+                    None => Ok(()),
+                    Some(value) => Err(SendError(value)),
+                }
+            }
+            None => {
+                if !self.state.rx_alive.load(Ordering::SeqCst) {
+                    return Err(SendError(value));
+                }
+                ride(&self.state.queue).push_back(value);
+                self.state.cv.notify_one();
+                Ok(())
+            }
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.state.senders.fetch_add(1, Ordering::SeqCst);
+        if let Some((exec, tid, obj)) = self.state.token.as_ref().and_then(ObjToken::engage) {
+            exec.visible(tid, Pending::ChanEndpoint { obj }, |inner, _| {
+                inner.chan_sender_delta(obj, 1);
+            });
+        }
+        Sender {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let last = self.state.senders.fetch_sub(1, Ordering::SeqCst) == 1;
+        if let Some((exec, tid, obj)) = self.state.token.as_ref().and_then(ObjToken::engage) {
+            exec.visible(tid, Pending::ChanEndpoint { obj }, |inner, _| {
+                inner.chan_sender_delta(obj, -1);
+            });
+        } else if last {
+            // Fence against a receiver between its emptiness check and its
+            // wait, then wake it to observe the disconnect.
+            drop(ride(&self.state.queue));
+            self.state.cv.notify_all();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Sender")
+    }
+}
+
+/// Receiving half, mirroring [`std::sync::mpsc::Receiver`].
+pub struct Receiver<T> {
+    state: Arc<ChanState<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Mirrors [`std::sync::mpsc::Receiver::recv`].
+    ///
+    /// # Errors
+    ///
+    /// Fails once the channel is drained and every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        match self.state.token.as_ref().and_then(ObjToken::engage) {
+            Some((exec, tid, obj)) => {
+                let popped = exec.visible(tid, Pending::ChanRecv { obj }, |inner, tid| {
+                    inner.chan_recv(tid, obj)
+                });
+                if popped {
+                    ride(&self.state.queue).pop_front().ok_or(RecvError)
+                } else {
+                    Err(RecvError)
+                }
+            }
+            None => {
+                let mut queue = ride(&self.state.queue);
+                loop {
+                    if let Some(value) = queue.pop_front() {
+                        return Ok(value);
+                    }
+                    if self.state.senders.load(Ordering::SeqCst) == 0 {
+                        return Err(RecvError);
+                    }
+                    queue = match self.state.cv.wait(queue) {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Mirrors [`std::sync::mpsc::Receiver::try_recv`].
+    ///
+    /// # Errors
+    ///
+    /// `Empty` when no message is queued, `Disconnected` once drained with
+    /// no senders left.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        match self.state.token.as_ref().and_then(ObjToken::engage) {
+            Some((exec, tid, obj)) => {
+                let outcome = exec.visible(tid, Pending::ChanTryRecv { obj }, |inner, tid| {
+                    inner.chan_try_recv(tid, obj)
+                });
+                match outcome {
+                    TryOutcome::Popped => ride(&self.state.queue)
+                        .pop_front()
+                        .ok_or(TryRecvError::Empty),
+                    TryOutcome::Empty => Err(TryRecvError::Empty),
+                    TryOutcome::Disconnected => Err(TryRecvError::Disconnected),
+                }
+            }
+            None => {
+                let mut queue = ride(&self.state.queue);
+                match queue.pop_front() {
+                    Some(value) => Ok(value),
+                    None if self.state.senders.load(Ordering::SeqCst) == 0 => {
+                        Err(TryRecvError::Disconnected)
+                    }
+                    None => Err(TryRecvError::Empty),
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.state.rx_alive.store(false, Ordering::SeqCst);
+        if let Some((exec, tid, obj)) = self.state.token.as_ref().and_then(ObjToken::engage) {
+            exec.visible(tid, Pending::ChanEndpoint { obj }, |inner, _| {
+                inner.chan_rx_closed(obj);
+            });
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Receiver")
+    }
+}

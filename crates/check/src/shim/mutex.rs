@@ -1,0 +1,272 @@
+//! Scheduler-routed `Mutex` and `Condvar`.
+//!
+//! The value always lives in a real [`std::sync::Mutex`]; in model mode
+//! the *scheduler* decides who may acquire (a `MutexLock` pending op is
+//! enabled only while the scheduler-side holder is `None`), so the real
+//! lock is uncontended by construction and acquisition order is exactly
+//! the explored schedule. Condvar waits are modelled without spurious
+//! wakeups (an under-approximation of `std`, documented in DESIGN §11):
+//! the release-and-enqueue is a single visible step, so the model can
+//! still exhibit — and the checker can still catch — genuine lost-wakeup
+//! bugs where a notify lands *before* the wait begins.
+
+use std::sync::{LockResult, PoisonError};
+
+use crate::clock::VClock;
+use crate::sched::{Object, Pending};
+
+use super::{ride, ObjToken};
+
+/// Scheduler-routed [`std::sync::Mutex`].
+pub struct Mutex<T: ?Sized> {
+    token: Option<ObjToken>,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Mirrors `std`'s constructor.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            token: ObjToken::register(Object::Mutex {
+                holder: None,
+                clock: VClock::new(),
+            }),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Mirrors [`std::sync::Mutex::into_inner`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates `std` poisoning in fallback mode (model mode never
+    /// poisons: panics surface as model failures instead).
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Mirrors [`std::sync::Mutex::lock`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates `std` poisoning in fallback mode.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match self.token.as_ref().and_then(ObjToken::engage) {
+            Some((exec, tid, obj)) => {
+                exec.visible(tid, Pending::MutexLock { obj }, |inner, tid| {
+                    inner.mutex_acquired(tid, obj);
+                });
+                // Uncontended except in abandoned (free-running) executions,
+                // where blocking briefly on the real lock is harmless.
+                let guard = ride(&self.inner);
+                Ok(MutexGuard {
+                    inner: Some(guard),
+                    lock: self,
+                })
+            }
+            None => match self.inner.lock() {
+                Ok(guard) => Ok(MutexGuard {
+                    inner: Some(guard),
+                    lock: self,
+                }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    inner: Some(poisoned.into_inner()),
+                    lock: self,
+                })),
+            },
+        }
+    }
+
+    /// Mirrors [`std::sync::Mutex::get_mut`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates `std` poisoning in fallback mode.
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").field("inner", &self.inner).finish()
+    }
+}
+
+/// Guard for [`Mutex`]; releasing it is a visible scheduling step in
+/// model mode.
+pub struct MutexGuard<'a, T: ?Sized> {
+    /// `None` once defused (taken by `Condvar::wait`'s re-lock protocol);
+    /// a defused guard's drop performs no visible unlock.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    lock: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard defused while borrowed")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_deref_mut()
+            .expect("guard defused while borrowed")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(guard) = self.inner.take() {
+            // Release the real lock *before* the visible unlock: the
+            // scheduler only grants the next `MutexLock` after the visible
+            // unlock runs, so no model thread ever contends on the real
+            // lock while holding the baton.
+            drop(guard);
+            if let Some((exec, tid, obj)) = self.lock.token.as_ref().and_then(ObjToken::engage) {
+                exec.visible(tid, Pending::MutexUnlock { obj }, |inner, tid| {
+                    inner.mutex_released(tid, obj);
+                });
+            }
+        }
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(guard) => std::fmt::Debug::fmt(&**guard, f),
+            None => f.write_str("MutexGuard(defused)"),
+        }
+    }
+}
+
+/// Scheduler-routed [`std::sync::Condvar`].
+pub struct Condvar {
+    token: Option<ObjToken>,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Mirrors `std`'s constructor.
+    pub fn new() -> Condvar {
+        Condvar {
+            token: ObjToken::register(Object::Condvar {
+                waiters: std::collections::VecDeque::new(),
+                notified: Vec::new(),
+            }),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Mirrors [`std::sync::Condvar::wait`]. In model mode the
+    /// release-and-park is one visible step (no window for a lost wakeup
+    /// that `std` would not also have), and the model never wakes
+    /// spuriously.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `std` poisoning in fallback mode.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        let cv_ctx = self.token.as_ref().and_then(ObjToken::engage);
+        let mx_ctx = lock.token.as_ref().and_then(ObjToken::engage);
+        let real = guard.inner.take();
+        drop(guard); // defused: no visible unlock
+        match (cv_ctx, mx_ctx) {
+            (Some((exec, tid, cv)), Some((_, _, mx))) => {
+                drop(real);
+                exec.visible(tid, Pending::CvWait { cv, mutex: mx }, |inner, tid| {
+                    inner.cv_enqueue(tid, cv);
+                    inner.mutex_released(tid, mx);
+                });
+                exec.visible(tid, Pending::CvBlocked { cv }, |inner, tid| {
+                    inner.cv_unpark(tid, cv);
+                });
+                exec.visible(tid, Pending::MutexLock { obj: mx }, |inner, tid| {
+                    inner.mutex_acquired(tid, mx);
+                });
+                Ok(MutexGuard {
+                    inner: Some(ride(&lock.inner)),
+                    lock,
+                })
+            }
+            _ => {
+                let real = real.expect("guard holds the lock");
+                match self.inner.wait(real) {
+                    Ok(g) => Ok(MutexGuard {
+                        inner: Some(g),
+                        lock,
+                    }),
+                    Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                        inner: Some(poisoned.into_inner()),
+                        lock,
+                    })),
+                }
+            }
+        }
+    }
+
+    /// Mirrors [`std::sync::Condvar::wait_while`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates `std` poisoning in fallback mode.
+    pub fn wait_while<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: impl FnMut(&mut T) -> bool,
+    ) -> LockResult<MutexGuard<'a, T>> {
+        while condition(&mut *guard) {
+            guard = self.wait(guard)?;
+        }
+        Ok(guard)
+    }
+
+    /// Mirrors [`std::sync::Condvar::notify_one`].
+    pub fn notify_one(&self) {
+        match self.token.as_ref().and_then(ObjToken::engage) {
+            Some((exec, tid, cv)) => {
+                exec.visible(tid, Pending::CvNotify { cv, all: false }, |inner, _| {
+                    inner.cv_notify(cv, false);
+                });
+            }
+            None => self.inner.notify_one(),
+        }
+    }
+
+    /// Mirrors [`std::sync::Condvar::notify_all`].
+    pub fn notify_all(&self) {
+        match self.token.as_ref().and_then(ObjToken::engage) {
+            Some((exec, tid, cv)) => {
+                exec.visible(tid, Pending::CvNotify { cv, all: true }, |inner, _| {
+                    inner.cv_notify(cv, true);
+                });
+            }
+            None => self.inner.notify_all(),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar")
+    }
+}

@@ -1,0 +1,173 @@
+//! Scheduler-routed thread spawn/join.
+//!
+//! Model-mode spawns still create real OS threads (the baton discipline
+//! means at most one runs at a time), registered as model threads whose
+//! first and last operations are scheduling points. Spawn and join create
+//! the usual happens-before edges: the child starts with the parent's
+//! clock, and a join acquires the child's final clock.
+
+use std::sync::Arc;
+
+use crate::sched::{current, run_model_thread, Exec, Pending};
+
+use super::ride;
+
+/// Spawn result slot shared with the model child (panics leave it empty;
+/// they are reported as model failures, and `join` surfaces an `Err` like
+/// `std` would).
+type ResultSlot<T> = Arc<std::sync::Mutex<Option<T>>>;
+
+enum Imp<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<Exec>,
+        child: usize,
+        os: std::thread::JoinHandle<()>,
+        result: ResultSlot<T>,
+    },
+}
+
+/// Handle mirroring [`std::thread::JoinHandle`].
+pub struct JoinHandle<T>(Imp<T>);
+
+impl<T> JoinHandle<T> {
+    /// Mirrors [`std::thread::JoinHandle::join`]. In model mode this is a
+    /// visible operation enabled only once the child has exited, so a
+    /// cyclic join is reported as a deadlock instead of hanging.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload (std mode) or a placeholder payload
+    /// (model mode — the panic itself is reported as a model failure).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Imp::Std(handle) => handle.join(),
+            Imp::Model {
+                exec,
+                child,
+                os,
+                result,
+            } => {
+                if let Some((cur, tid)) = current() {
+                    if Arc::ptr_eq(&cur, &exec) {
+                        exec.visible(tid, Pending::Join { target: child }, |inner, tid| {
+                            inner.join_finished(tid, child);
+                        });
+                    }
+                }
+                // The child needs no baton past its exit, so this never
+                // blocks the schedule.
+                let _ = os.join();
+                match ride(&result).take() {
+                    Some(value) => Ok(value),
+                    None => Err(Box::new("model thread panicked".to_owned())),
+                }
+            }
+        }
+    }
+
+    /// Mirrors [`std::thread::JoinHandle::is_finished`].
+    pub fn is_finished(&self) -> bool {
+        match &self.0 {
+            Imp::Std(handle) => handle.is_finished(),
+            Imp::Model { os, .. } => os.is_finished(),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JoinHandle")
+    }
+}
+
+/// Mirrors [`std::thread::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match Builder::new().spawn(f) {
+        Ok(handle) => handle,
+        Err(e) => panic!("failed to spawn thread: {e}"),
+    }
+}
+
+/// Mirrors [`std::thread::Builder`].
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// Mirrors `std`'s constructor.
+    pub fn new() -> Builder {
+        Builder { name: None }
+    }
+
+    /// Mirrors [`std::thread::Builder::name`].
+    #[must_use]
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    /// Mirrors [`std::thread::Builder::spawn`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS spawn failure.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let mut builder = std::thread::Builder::new();
+        if let Some(name) = self.name {
+            builder = builder.name(name);
+        }
+        match current() {
+            Some((exec, parent)) => {
+                let child = exec.spawn_child(parent);
+                let result: ResultSlot<T> = Arc::new(std::sync::Mutex::new(None));
+                let slot = Arc::clone(&result);
+                let exec2 = Arc::clone(&exec);
+                let os = builder.spawn(move || {
+                    run_model_thread(&exec2, child, move || {
+                        let value = f();
+                        *ride(&slot) = Some(value);
+                    });
+                })?;
+                Ok(JoinHandle(Imp::Model {
+                    exec,
+                    child,
+                    os,
+                    result,
+                }))
+            }
+            None => builder.spawn(f).map(|h| JoinHandle(Imp::Std(h))),
+        }
+    }
+}
+
+/// Mirrors [`std::thread::yield_now`]; in model mode this is a pure
+/// re-scheduling point (a cheap way to add an interleaving opportunity).
+pub fn yield_now() {
+    match current() {
+        Some((exec, tid)) => {
+            exec.visible(tid, Pending::Yield, |_, _| {});
+        }
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Mirrors [`std::thread::sleep`]; in model mode time is meaningless, so
+/// this degrades to a single yield (documented in DESIGN §11).
+pub fn sleep(duration: std::time::Duration) {
+    match current() {
+        Some((exec, tid)) => {
+            exec.visible(tid, Pending::Yield, |_, _| {});
+        }
+        None => std::thread::sleep(duration),
+    }
+}

@@ -1,0 +1,403 @@
+//! Engine-level tests for the model checker itself: exploration
+//! semantics, failure detection, determinism, and schedule replay.
+//!
+//! These run in the default (no-feature) build: the shim types always
+//! route through a live exploration regardless of the facade setting.
+
+use revelio_check::shim::{spawn, AtomicU64, Condvar, Mutex, RaceCell};
+use revelio_check::sync::atomic::Ordering;
+use revelio_check::sync::Arc;
+use revelio_check::{explore, replay, Config, FailureKind, Schedule};
+
+fn join<T>(handle: revelio_check::shim::JoinHandle<T>) -> T {
+    match handle.join() {
+        Ok(value) => value,
+        Err(_) => panic!("model thread panicked"),
+    }
+}
+
+#[test]
+fn trivial_model_is_complete() {
+    let report = explore(&Config::default(), || {
+        let n = AtomicU64::new(1);
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+    });
+    report.assert_ok();
+    assert!(
+        report.complete,
+        "single-thread model must exhaust trivially"
+    );
+    assert_eq!(report.executions, 1);
+}
+
+#[test]
+fn atomic_rmw_increments_never_lose_updates() {
+    let report = explore(&Config::exhaustive(), || {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = spawn(move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+        });
+        n.fetch_add(1, Ordering::Relaxed);
+        join(t);
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+    report.assert_ok();
+    assert!(report.complete);
+    assert!(
+        report.executions > 1,
+        "interleavings were actually explored"
+    );
+}
+
+#[test]
+fn load_store_increment_loses_an_update() {
+    // The classic: read-modify-write torn into a load and a store.
+    let report = explore(&Config::default(), || {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = spawn(move || {
+            let v = n2.load(Ordering::SeqCst);
+            n2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = n.load(Ordering::SeqCst);
+        n.store(v + 1, Ordering::SeqCst);
+        join(t);
+        assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+    });
+    let failure = report.expect_failure();
+    assert!(
+        matches!(&failure.kind, FailureKind::Panic(msg) if msg.contains("lost update")),
+        "unexpected failure: {failure}"
+    );
+}
+
+#[test]
+fn ab_ba_double_lock_deadlocks() {
+    let report = explore(&Config::default(), || {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = spawn(move || {
+            let ga = a2.lock().expect("lock a");
+            let mut gb = b2.lock().expect("lock b");
+            *gb += *ga;
+        });
+        let gb = b.lock().expect("lock b");
+        let mut ga = a.lock().expect("lock a");
+        *ga += *gb;
+        drop((ga, gb));
+        join(t);
+    });
+    let failure = report.expect_failure();
+    match &failure.kind {
+        FailureKind::Deadlock(blocked) => {
+            assert_eq!(blocked.len(), 2, "both threads reported: {blocked:?}");
+            assert!(blocked.iter().all(|(_, op)| op.contains("lock mutex")));
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn unsynchronized_cell_write_write_is_a_race() {
+    let report = explore(&Config::default(), || {
+        let cell = Arc::new(RaceCell::new("shared-field", 0u64));
+        let cell2 = Arc::clone(&cell);
+        let t = spawn(move || cell2.set(1));
+        cell.set(2);
+        join(t);
+    });
+    let failure = report.expect_failure();
+    assert!(
+        matches!(&failure.kind, FailureKind::DataRace(label) if label == "shared-field"),
+        "unexpected failure: {failure}"
+    );
+}
+
+#[test]
+fn mutex_guarded_cell_is_race_free() {
+    let report = explore(&Config::exhaustive(), || {
+        let cell = Arc::new(RaceCell::new("guarded-field", 0u64));
+        let lock = Arc::new(Mutex::new(()));
+        let (cell2, lock2) = (Arc::clone(&cell), Arc::clone(&lock));
+        let t = spawn(move || {
+            let _g = lock2.lock().expect("lock");
+            cell2.update(|v| v + 1);
+        });
+        {
+            let _g = lock.lock().expect("lock");
+            cell.update(|v| v + 1);
+        }
+        join(t);
+        assert_eq!(cell.get(), 2);
+    });
+    report.assert_ok();
+    assert!(report.complete);
+}
+
+#[test]
+fn release_acquire_publication_orders_the_cell() {
+    // Message passing: data write, then Release flag; an Acquire load of
+    // the flag orders the subsequent data read.
+    let report = explore(&Config::exhaustive(), || {
+        let data = Arc::new(RaceCell::new("published-data", 0u64));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (data2, flag2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = spawn(move || {
+            data2.set(42);
+            flag2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.get(), 42);
+        }
+        join(t);
+    });
+    report.assert_ok();
+    assert!(report.complete);
+}
+
+#[test]
+fn relaxed_publication_is_flagged_as_a_race() {
+    // Identical shape, but the flag is Relaxed: no happens-before edge,
+    // so the data read races with the data write.
+    let report = explore(&Config::default(), || {
+        let data = Arc::new(RaceCell::new("relaxed-data", 0u64));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (data2, flag2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = spawn(move || {
+            data2.set(42);
+            flag2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            let _ = data.get();
+        }
+        join(t);
+    });
+    let failure = report.expect_failure();
+    assert!(
+        matches!(&failure.kind, FailureKind::DataRace(label) if label == "relaxed-data"),
+        "unexpected failure: {failure}"
+    );
+}
+
+#[test]
+fn notify_before_wait_is_a_lost_wakeup_deadlock() {
+    // A condvar wait with no predicate re-check: if the notify fires
+    // before the wait parks, the waiter sleeps forever. The checker must
+    // find the interleaving and report the deadlock.
+    let report = explore(&Config::default(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock().expect("lock");
+            *ready = true;
+            drop(ready);
+            cv.notify_one();
+        });
+        let (lock, cv) = &*pair;
+        let ready = lock.lock().expect("lock");
+        // BUG (deliberate): waits unconditionally instead of re-checking
+        // `*ready` — the notify can land before this wait begins.
+        let _ready = cv.wait(ready).expect("wait");
+        join(t);
+    });
+    let failure = report.expect_failure();
+    assert!(
+        matches!(&failure.kind, FailureKind::Deadlock(_)),
+        "unexpected failure: {failure}"
+    );
+}
+
+#[test]
+fn wait_while_has_no_lost_wakeup() {
+    let report = explore(&Config::exhaustive(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = spawn(move || {
+            let (lock, cv) = &*pair2;
+            *lock.lock().expect("lock") = true;
+            cv.notify_one();
+        });
+        let (lock, cv) = &*pair;
+        let guard = lock.lock().expect("lock");
+        let guard = cv.wait_while(guard, |ready| !*ready).expect("wait");
+        assert!(*guard);
+        drop(guard);
+        join(t);
+    });
+    report.assert_ok();
+    assert!(report.complete);
+}
+
+#[test]
+fn dfs_is_deterministic_and_replay_reproduces() {
+    let model = || {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = spawn(move || {
+            let v = n2.load(Ordering::SeqCst);
+            n2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = n.load(Ordering::SeqCst);
+        n.store(v + 1, Ordering::SeqCst);
+        join(t);
+        assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+    };
+    let first = explore(&Config::default(), model);
+    let second = explore(&Config::default(), model);
+    let (f1, f2) = (first.expect_failure(), second.expect_failure());
+    assert_eq!(f1, f2, "same config must find the same failure schedule");
+    assert_eq!(first.executions, second.executions);
+
+    // The printed schedule round-trips and replays to the same failure.
+    let pinned: Schedule = f1.schedule.to_string().parse().expect("parse schedule");
+    assert_eq!(pinned, f1.schedule);
+    let replayed = replay(&pinned, model).expect("replay must reproduce the failure");
+    assert_eq!(replayed.kind, f1.kind);
+}
+
+#[test]
+fn random_mode_is_seed_deterministic() {
+    let model = || {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = spawn(move || {
+            let v = n2.load(Ordering::SeqCst);
+            n2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = n.load(Ordering::SeqCst);
+        n.store(v + 1, Ordering::SeqCst);
+        join(t);
+        assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+    };
+    let a = explore(&Config::random(0xDEAD_BEEF, 500), model);
+    let b = explore(&Config::random(0xDEAD_BEEF, 500), model);
+    match (&a.failure, &b.failure) {
+        (Some(fa), Some(fb)) => assert_eq!(fa, fb),
+        (None, None) => {}
+        other => panic!("seed determinism violated: {other:?}"),
+    }
+}
+
+#[test]
+fn replay_diverges_on_a_stale_schedule() {
+    // A schedule that demands thread 3 at the first choice can never be
+    // honoured by a single-thread model.
+    let failure = replay(&Schedule(vec![3]), || {
+        let n = AtomicU64::new(0);
+        n.store(1, Ordering::SeqCst);
+    });
+    match failure {
+        Some(f) => assert!(
+            matches!(f.kind, FailureKind::ReplayDiverged { step: 0 }),
+            "unexpected failure: {f}"
+        ),
+        None => panic!("stale schedule must be reported as divergence"),
+    }
+}
+
+#[test]
+fn step_limit_catches_runaway_schedules() {
+    let cfg = Config {
+        max_steps: 50,
+        ..Config::default()
+    };
+    let report = explore(&cfg, || {
+        let n = AtomicU64::new(0);
+        loop {
+            if n.fetch_add(1, Ordering::Relaxed) > 1_000 {
+                break;
+            }
+        }
+    });
+    let failure = report.expect_failure();
+    assert!(matches!(failure.kind, FailureKind::StepLimit));
+}
+
+#[test]
+fn channel_send_happens_before_recv() {
+    let report = explore(&Config::exhaustive(), || {
+        let data = Arc::new(RaceCell::new("channel-payload", 0u64));
+        let (tx, rx) = revelio_check::shim::mpsc::channel::<u64>();
+        let data2 = Arc::clone(&data);
+        let t = spawn(move || {
+            data2.set(7);
+            tx.send(7).expect("send");
+        });
+        let got = rx.recv().expect("recv");
+        assert_eq!(data.get(), got, "send ordered the cell write");
+        join(t);
+    });
+    report.assert_ok();
+    assert!(report.complete);
+}
+
+#[test]
+fn recv_after_all_senders_drop_disconnects() {
+    let report = explore(&Config::exhaustive(), || {
+        let (tx, rx) = revelio_check::shim::mpsc::channel::<u64>();
+        let t = spawn(move || {
+            tx.send(1).expect("send");
+            // tx drops here
+        });
+        assert_eq!(rx.recv().ok(), Some(1));
+        assert!(rx.recv().is_err(), "drained + senderless must disconnect");
+        join(t);
+    });
+    report.assert_ok();
+    assert!(report.complete);
+}
+
+#[test]
+fn preemption_bound_zero_misses_what_bound_one_finds() {
+    // Bound semantics check: a lost update needs at least one unforced
+    // context switch, so bound 0 explores only switch-free schedules.
+    let model = || {
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = spawn(move || {
+            let v = n2.load(Ordering::SeqCst);
+            n2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = n.load(Ordering::SeqCst);
+        n.store(v + 1, Ordering::SeqCst);
+        join(t);
+        assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+    };
+    let strict = explore(&Config::bounded(0), model);
+    strict.assert_ok();
+    assert!(strict.complete);
+    explore(&Config::bounded(1), model).expect_failure();
+}
+
+#[test]
+fn shim_types_fall_back_to_std_outside_a_model() {
+    // No explore() in sight: every shim op must behave like plain std.
+    let n = Arc::new(AtomicU64::new(0));
+    let m = Arc::new(Mutex::new(Vec::new()));
+    let (tx, rx) = revelio_check::shim::mpsc::channel::<u64>();
+    let handles: Vec<_> = (0..4u64)
+        .map(|i| {
+            let (n2, m2, tx2) = (Arc::clone(&n), Arc::clone(&m), tx.clone());
+            spawn(move || {
+                n2.fetch_add(i, Ordering::SeqCst);
+                m2.lock().expect("lock").push(i);
+                tx2.send(i).expect("send");
+            })
+        })
+        .collect();
+    drop(tx);
+    let mut received: Vec<u64> = Vec::new();
+    while let Ok(v) = rx.recv() {
+        received.push(v);
+    }
+    for h in handles {
+        join(h);
+    }
+    assert_eq!(n.load(Ordering::SeqCst), 6);
+    assert_eq!(m.lock().expect("lock").len(), 4);
+    received.sort_unstable();
+    assert_eq!(received, vec![0, 1, 2, 3]);
+}

@@ -1,0 +1,71 @@
+//! Zero-overhead proof for the default-build facade.
+//!
+//! With the `check` feature off, `revelio_check::sync` names must be
+//! re-exports of the `std` items themselves — the *same types*, not
+//! wrappers — so production builds of `revelio-trace`/`revelio-runtime`
+//! compile to exactly the codegen they had before the facade existed.
+//! The identity functions below only compile if that holds, which makes
+//! this file the no-overhead test: any accidental wrapper turns it into
+//! a build failure, not a benchmark regression to notice later.
+
+#![cfg(not(feature = "check"))]
+
+use revelio_check::sync;
+
+// Compile-time type-identity coercions: facade type in, std type out.
+fn _mutex_is_std(x: sync::Mutex<Vec<u8>>) -> std::sync::Mutex<Vec<u8>> {
+    x
+}
+fn _guard_is_std(x: sync::MutexGuard<'_, u8>) -> std::sync::MutexGuard<'_, u8> {
+    x
+}
+fn _condvar_is_std(x: sync::Condvar) -> std::sync::Condvar {
+    x
+}
+fn _arc_is_std(x: sync::Arc<u8>) -> std::sync::Arc<u8> {
+    x
+}
+fn _atomic_u64_is_std(x: sync::atomic::AtomicU64) -> std::sync::atomic::AtomicU64 {
+    x
+}
+fn _atomic_usize_is_std(x: sync::atomic::AtomicUsize) -> std::sync::atomic::AtomicUsize {
+    x
+}
+fn _atomic_bool_is_std(x: sync::atomic::AtomicBool) -> std::sync::atomic::AtomicBool {
+    x
+}
+fn _ordering_is_std(x: sync::atomic::Ordering) -> std::sync::atomic::Ordering {
+    x
+}
+fn _sender_is_std(x: sync::mpsc::Sender<u8>) -> std::sync::mpsc::Sender<u8> {
+    x
+}
+fn _receiver_is_std(x: sync::mpsc::Receiver<u8>) -> std::sync::mpsc::Receiver<u8> {
+    x
+}
+fn _join_handle_is_std(x: sync::thread::JoinHandle<u8>) -> std::thread::JoinHandle<u8> {
+    x
+}
+fn _builder_is_std(x: sync::thread::Builder) -> std::thread::Builder {
+    x
+}
+
+#[test]
+fn facade_reports_unchecked() {
+    assert!(!revelio_check::is_checked());
+}
+
+#[test]
+fn facade_functions_are_std_functions() {
+    // Function-item identity: coercing to the std fn pointer type only
+    // works when the facade re-exports the std function itself.
+    let _: fn() = sync::thread::yield_now;
+    let spawn_fn: fn(fn() -> u8) -> std::thread::JoinHandle<u8> = sync::thread::spawn;
+    let channel_fn: fn() -> (std::sync::mpsc::Sender<u8>, std::sync::mpsc::Receiver<u8>) =
+        sync::mpsc::channel;
+    let handle = spawn_fn(|| 7);
+    assert_eq!(handle.join().expect("join"), 7);
+    let (tx, rx) = channel_fn();
+    tx.send(9).expect("send");
+    assert_eq!(rx.recv().expect("recv"), 9);
+}

@@ -1,0 +1,192 @@
+//! The seeded-defect suite: three deliberately planted concurrency bugs
+//! modelled on the workspace's real structures. The checker must flag
+//! every one (CI fails otherwise), the failing schedule must replay
+//! deterministically, and the corrected variant of each must verify
+//! clean — so a regression in either the detector or the fix shows up.
+//!
+//! 1. *Relaxed drop counter* — the ring journal's dropped-event counter
+//!    updated as a separate load + store (lost update).
+//! 2. *Unsynchronized histogram bucket* — a bucket cell published by a
+//!    relaxed flag instead of release/acquire (data race).
+//! 3. *Double lock* — two registries locked in opposite orders from two
+//!    threads (deadlock).
+
+use revelio_check::shim::{spawn, AtomicU64, Mutex, RaceCell};
+use revelio_check::sync::atomic::Ordering;
+use revelio_check::sync::Arc;
+use revelio_check::{explore, replay, Config, FailureKind};
+
+fn join<T>(handle: revelio_check::shim::JoinHandle<T>) -> T {
+    match handle.join() {
+        Ok(value) => value,
+        Err(_) => panic!("model thread panicked"),
+    }
+}
+
+// --- defect 1: relaxed drop counter (lost update) -----------------------
+
+/// BUG: increments the drop counter as a load followed by a store; two
+/// overflowing writers can interleave and lose a drop.
+fn drop_counter_buggy() {
+    let dropped = Arc::new(AtomicU64::new(0));
+    let d2 = Arc::clone(&dropped);
+    let t = spawn(move || {
+        let seen = d2.load(Ordering::Relaxed);
+        d2.store(seen + 1, Ordering::Relaxed);
+    });
+    let seen = dropped.load(Ordering::Relaxed);
+    dropped.store(seen + 1, Ordering::Relaxed);
+    join(t);
+    assert_eq!(
+        dropped.load(Ordering::Relaxed),
+        2,
+        "a drop went unaccounted"
+    );
+}
+
+/// FIX: a single atomic read-modify-write per drop.
+fn drop_counter_fixed() {
+    let dropped = Arc::new(AtomicU64::new(0));
+    let d2 = Arc::clone(&dropped);
+    let t = spawn(move || {
+        d2.fetch_add(1, Ordering::Relaxed);
+    });
+    dropped.fetch_add(1, Ordering::Relaxed);
+    join(t);
+    assert_eq!(
+        dropped.load(Ordering::Relaxed),
+        2,
+        "a drop went unaccounted"
+    );
+}
+
+#[test]
+fn seeded_drop_counter_lost_update_is_flagged() {
+    let report = explore(&Config::default(), drop_counter_buggy);
+    let failure = report.expect_failure().clone();
+    assert!(
+        matches!(&failure.kind, FailureKind::Panic(msg) if msg.contains("unaccounted")),
+        "unexpected failure: {failure}"
+    );
+    let replayed = replay(&failure.schedule, drop_counter_buggy)
+        .unwrap_or_else(|| panic!("schedule \"{}\" must replay", failure.schedule));
+    assert_eq!(replayed.kind, failure.kind);
+}
+
+#[test]
+fn seeded_drop_counter_fix_verifies_clean() {
+    let report = explore(&Config::exhaustive(), drop_counter_fixed);
+    report.assert_ok();
+    assert!(report.complete);
+}
+
+// --- defect 2: unsynchronized histogram bucket (data race) --------------
+
+/// BUG: the bucket cell is written, then "published" with a relaxed
+/// flag; the reader's relaxed load creates no happens-before edge, so
+/// reading the bucket races with the write.
+fn histogram_bucket_buggy() {
+    let bucket = Arc::new(RaceCell::new("histogram-bucket", 0u64));
+    let ready = Arc::new(AtomicU64::new(0));
+    let (b2, r2) = (Arc::clone(&bucket), Arc::clone(&ready));
+    let t = spawn(move || {
+        b2.set(1);
+        r2.store(1, Ordering::Relaxed);
+    });
+    if ready.load(Ordering::Relaxed) == 1 {
+        let _count = bucket.get();
+    }
+    join(t);
+}
+
+/// FIX: release store / acquire load publication.
+fn histogram_bucket_fixed() {
+    let bucket = Arc::new(RaceCell::new("histogram-bucket", 0u64));
+    let ready = Arc::new(AtomicU64::new(0));
+    let (b2, r2) = (Arc::clone(&bucket), Arc::clone(&ready));
+    let t = spawn(move || {
+        b2.set(1);
+        r2.store(1, Ordering::Release);
+    });
+    if ready.load(Ordering::Acquire) == 1 {
+        assert_eq!(bucket.get(), 1);
+    }
+    join(t);
+}
+
+#[test]
+fn seeded_histogram_bucket_race_is_flagged() {
+    let report = explore(&Config::default(), histogram_bucket_buggy);
+    let failure = report.expect_failure().clone();
+    assert!(
+        matches!(&failure.kind, FailureKind::DataRace(label) if label == "histogram-bucket"),
+        "unexpected failure: {failure}"
+    );
+    let replayed = replay(&failure.schedule, histogram_bucket_buggy)
+        .unwrap_or_else(|| panic!("schedule \"{}\" must replay", failure.schedule));
+    assert_eq!(replayed.kind, failure.kind);
+}
+
+#[test]
+fn seeded_histogram_bucket_fix_verifies_clean() {
+    let report = explore(&Config::exhaustive(), histogram_bucket_fixed);
+    report.assert_ok();
+    assert!(report.complete);
+}
+
+// --- defect 3: double lock (deadlock) -----------------------------------
+
+/// BUG: thread 1 locks registry→journal, thread 2 locks journal→registry.
+fn double_lock_buggy() {
+    let registry = Arc::new(Mutex::new(0u64));
+    let journal = Arc::new(Mutex::new(0u64));
+    let (r2, j2) = (Arc::clone(&registry), Arc::clone(&journal));
+    let t = spawn(move || {
+        let r = r2.lock().expect("registry");
+        let mut j = j2.lock().expect("journal");
+        *j += *r;
+    });
+    let j = journal.lock().expect("journal");
+    let mut r = registry.lock().expect("registry");
+    *r += *j;
+    drop((r, j));
+    join(t);
+}
+
+/// FIX: a single global lock order (registry before journal).
+fn double_lock_fixed() {
+    let registry = Arc::new(Mutex::new(0u64));
+    let journal = Arc::new(Mutex::new(0u64));
+    let (r2, j2) = (Arc::clone(&registry), Arc::clone(&journal));
+    let t = spawn(move || {
+        let r = r2.lock().expect("registry");
+        let mut j = j2.lock().expect("journal");
+        *j += *r;
+    });
+    {
+        let r = registry.lock().expect("registry");
+        let mut j = journal.lock().expect("journal");
+        *j += *r;
+    }
+    join(t);
+}
+
+#[test]
+fn seeded_double_lock_deadlock_is_flagged() {
+    let report = explore(&Config::default(), double_lock_buggy);
+    let failure = report.expect_failure().clone();
+    assert!(
+        matches!(&failure.kind, FailureKind::Deadlock(_)),
+        "unexpected failure: {failure}"
+    );
+    let replayed = replay(&failure.schedule, double_lock_buggy)
+        .unwrap_or_else(|| panic!("schedule \"{}\" must replay", failure.schedule));
+    assert_eq!(replayed.kind, failure.kind);
+}
+
+#[test]
+fn seeded_double_lock_fix_verifies_clean() {
+    let report = explore(&Config::exhaustive(), double_lock_fixed);
+    report.assert_ok();
+    assert!(report.complete);
+}

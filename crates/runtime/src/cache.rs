@@ -7,12 +7,11 @@
 //! LRU under its own mutex — so concurrent workers rarely contend on the
 //! same lock.
 
+use revelio_check::sync::atomic::{AtomicU64, Ordering};
+use revelio_check::sync::{Arc, Mutex};
+use revelio_graph::{khop_subgraph, FlowIndex, Graph, KhopSubgraph, MpGraph, Target};
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-
-use revelio_graph::{khop_subgraph, FlowIndex, Graph, KhopSubgraph, MpGraph, Target};
 
 /// One LRU shard: a key→value map plus a recency index. `tick` is a
 /// shard-local logical clock; the `order` map's smallest tick is the

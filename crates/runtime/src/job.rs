@@ -6,8 +6,9 @@
 //! worker — and models are registered once as a [`ModelSpec`] (config +
 //! weights) that each worker materialises locally.
 
-use std::sync::mpsc;
 use std::time::Duration;
+
+use revelio_check::sync::mpsc;
 
 use revelio_core::{Degradation, Explainer, Explanation};
 use revelio_gnn::{Gnn, GnnConfig};

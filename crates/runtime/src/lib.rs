@@ -53,6 +53,7 @@ mod cache;
 mod job;
 mod metrics;
 mod pool;
+mod pool_core;
 pub mod prometheus;
 mod trace_store;
 
@@ -65,3 +66,4 @@ pub use metrics::{
     Histogram, HistogramSnapshot, Metrics, MetricsCollector, MetricsSnapshot, LATENCY_BUCKETS_US,
 };
 pub use pool::{Runtime, RuntimeConfig, RuntimeConfigError, WorkerProbe};
+pub use pool_core::PoolCore;

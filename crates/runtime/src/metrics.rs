@@ -6,8 +6,8 @@
 //! exact; cross-counter skew is bounded by in-flight jobs), and
 //! [`MetricsSnapshot::report`] renders it for humans.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use revelio_check::sync::atomic::{AtomicU64, Ordering};
+use revelio_check::sync::Arc;
 use std::time::Duration;
 
 use revelio_trace::{Collector, Event, EventKind, Phase};

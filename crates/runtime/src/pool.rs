@@ -13,11 +13,15 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread;
 use std::time::{Duration, Instant};
 
+// The cancel flag stays on `std`'s `AtomicBool`: it is handed across the
+// facade boundary to `revelio-core`'s `Deadline::with_cancel`. A sticky
+// store/load flag has no interleaving the checker could narrow anyway.
+use std::sync::atomic::AtomicBool;
+
+use revelio_check::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use revelio_check::sync::{mpsc, Arc, Mutex, MutexGuard};
 use revelio_core::{Deadline, ExplainControl};
 use revelio_gnn::{Gnn, Instance};
 use revelio_trace::{Collector, EventKind, Phase, RingCollector, Tee, Trace, TraceHandle, TraceId};
@@ -27,6 +31,7 @@ use crate::job::{
     ExplainJob, JobError, JobOutput, JobResult, JobTiming, ModelHandle, ModelSpec, Ticket,
 };
 use crate::metrics::{Metrics, MetricsCollector, MetricsSnapshot};
+use crate::pool_core::PoolCore;
 use crate::trace_store::TraceStore;
 
 /// Ring-journal capacity for traced jobs: 4096 events holds the spans plus
@@ -154,8 +159,7 @@ struct QueuedJob {
 /// remaining jobs, and joins every thread. Call [`Runtime::cancel_all`]
 /// first to abandon queued work instead of draining it.
 pub struct Runtime {
-    tx: Option<mpsc::Sender<QueuedJob>>,
-    workers: Vec<thread::JoinHandle<()>>,
+    core: PoolCore<QueuedJob>,
     shared: Arc<Shared>,
     next_job_id: AtomicU64,
     default_deadline: Option<Duration>,
@@ -192,21 +196,24 @@ impl Runtime {
             in_flight: AtomicUsize::new(0),
             base_seed: cfg.seed,
         });
-        let (tx, rx) = mpsc::channel::<QueuedJob>();
-        let rx = Arc::new(Mutex::new(rx));
-        let handles = (0..workers)
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                let shared = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("revelio-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &shared))
-                    .unwrap_or_else(|e| panic!("failed to spawn worker {i}: {e}"))
-            })
-            .collect();
+        let core = {
+            let shared_init = Arc::clone(&shared);
+            let shared_serve = Arc::clone(&shared);
+            PoolCore::spawn(
+                "revelio-worker",
+                workers,
+                // Per-worker state is built on the worker thread: `Gnn`s
+                // hold `Rc`-based tensors and must never cross threads.
+                move |_i| WorkerState {
+                    local_models: HashMap::new(),
+                    _alive: AliveGuard(Arc::clone(&shared_init)),
+                },
+                move |state, q| serve_job(state, &shared_serve, q),
+            )
+            .unwrap_or_else(|e| panic!("failed to spawn workers: {e}"))
+        };
         Ok(Runtime {
-            tx: Some(tx),
-            workers: handles,
+            core,
             shared,
             next_job_id: AtomicU64::new(0),
             default_deadline: cfg.default_deadline,
@@ -295,27 +302,19 @@ impl Runtime {
             .queue_depth
             .fetch_add(1, Ordering::Relaxed);
         self.shared.in_flight.fetch_add(1, Ordering::Relaxed);
-        match &self.tx {
-            Some(tx) => {
-                if let Err(mpsc::SendError(q)) = tx.send(queued) {
-                    // Every worker exited (cannot normally happen while the
-                    // runtime is alive); fail the job rather than hang.
-                    self.shared
-                        .metrics
-                        .queue_depth
-                        .fetch_sub(1, Ordering::Relaxed);
-                    self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-                    self.shared
-                        .metrics
-                        .jobs_failed
-                        .fetch_add(1, Ordering::Relaxed);
-                    let _ = q.result_tx.send(Err(JobError::Lost));
-                }
-            }
-            None => {
-                self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-                let _ = queued.result_tx.send(Err(JobError::Cancelled));
-            }
+        if let Err(q) = self.core.submit(queued) {
+            // Every worker exited (cannot normally happen while the
+            // runtime is alive); fail the job rather than hang.
+            self.shared
+                .metrics
+                .queue_depth
+                .fetch_sub(1, Ordering::Relaxed);
+            self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+            self.shared
+                .metrics
+                .jobs_failed
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = q.result_tx.send(Err(JobError::Lost));
         }
         Ticket {
             job_id,
@@ -410,16 +409,8 @@ impl Runtime {
     }
 }
 
-impl Drop for Runtime {
-    fn drop(&mut self) {
-        // Closing the channel is the shutdown signal: workers drain the
-        // remaining queue, then `recv` errors and they exit.
-        drop(self.tx.take());
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
+// No `Drop` impl: dropping `core` closes the queue, drains it, and joins
+// every worker — the runtime's graceful shutdown is `PoolCore`'s.
 
 /// Observes worker liveness independently of the [`Runtime`]'s lifetime.
 pub struct WorkerProbe {
@@ -436,7 +427,7 @@ impl WorkerProbe {
 /// Locks a mutex, riding through poisoning (a panicked job cannot corrupt
 /// the registry or cache: panics are caught per job, and the data is
 /// only ever appended/replaced atomically).
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     match m.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
@@ -454,158 +445,157 @@ fn derive_seed(base: u64, job_id: u64) -> u64 {
 }
 
 /// Decrements the liveness counter when the worker exits, however it exits.
-struct AliveGuard<'a>(&'a AtomicUsize);
+struct AliveGuard(Arc<Shared>);
 
-impl Drop for AliveGuard<'_> {
+impl Drop for AliveGuard {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::Relaxed);
+        self.0.alive_workers.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
-fn worker_loop(rx: &Mutex<mpsc::Receiver<QueuedJob>>, shared: &Shared) {
-    let _alive = AliveGuard(&shared.alive_workers);
-    // Models this worker has already materialised, keyed by handle index.
-    let mut local_models: HashMap<usize, Gnn> = HashMap::new();
-    loop {
-        // Hold the receiver lock only for the dequeue itself.
-        let queued = { lock(rx).recv() };
-        let Ok(q) = queued else {
-            break; // queue closed and drained: shutdown
-        };
-        let _in_flight = InFlightGuard(&shared.in_flight);
-        let metrics = &shared.metrics;
-        metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        metrics.jobs_started.fetch_add(1, Ordering::Relaxed);
-        let queue_wait = q.submitted.elapsed();
-        metrics.queue_wait.observe(queue_wait);
+/// Per-worker state, built by [`PoolCore`]'s `init` on the worker thread.
+struct WorkerState {
+    /// Models this worker has already materialised, keyed by handle index.
+    local_models: HashMap<usize, Gnn>,
+    _alive: AliveGuard,
+}
 
-        if shared.cancel.load(Ordering::Relaxed) {
-            metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            let _ = q.result_tx.send(Err(JobError::Cancelled));
-            continue;
-        }
+/// Serves one dequeued job: [`PoolCore`]'s per-job handler.
+fn serve_job(state: &mut WorkerState, shared: &Shared, q: QueuedJob) {
+    let _in_flight = InFlightGuard(&shared.in_flight);
+    let metrics = &shared.metrics;
+    metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    metrics.jobs_started.fetch_add(1, Ordering::Relaxed);
+    let queue_wait = q.submitted.elapsed();
+    metrics.queue_wait.observe(queue_wait);
 
-        let spec = lock(&shared.models).get(q.handle.0).map(Arc::clone);
-        let Some(spec) = spec else {
-            metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            let _ = q.result_tx.send(Err(JobError::UnknownModel));
-            continue;
-        };
+    if shared.cancel.load(Ordering::Relaxed) {
+        metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        let _ = q.result_tx.send(Err(JobError::Cancelled));
+        return;
+    }
 
-        let job = q.job;
-        // Every job gets a trace handle: untraced jobs forward only to the
-        // metrics bridge (phase histograms), traced jobs additionally
-        // journal into a per-job ring drained after the explainer returns.
-        let ring = if job.trace {
-            Some(Arc::new(RingCollector::new(TRACE_RING_CAPACITY)))
-        } else {
-            None
-        };
-        let collector: Arc<dyn Collector> = match &ring {
-            Some(r) => Arc::new(Tee(
-                Arc::clone(r) as Arc<dyn Collector>,
-                Arc::clone(&shared.bridge) as Arc<dyn Collector>,
-            )),
-            None => Arc::clone(&shared.bridge) as Arc<dyn Collector>,
-        };
-        let tr = TraceHandle::new(TraceId(q.job_id), collector);
+    let spec = lock(&shared.models).get(q.handle.0).map(Arc::clone);
+    let Some(spec) = spec else {
+        metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        let _ = q.result_tx.send(Err(JobError::UnknownModel));
+        return;
+    };
 
-        // Prep stage: local model, instance forward pass, flow artifacts.
-        let prep_start = Instant::now();
-        let extraction_span = tr.span(Phase::Extraction);
-        let model = local_models
-            .entry(q.handle.0)
-            .or_insert_with(|| spec.materialize());
-        let instance = Instance::for_prediction(model, job.graph, job.target);
-        drop(extraction_span);
-        let (flow_index, cache_flows_dropped) = if job.needs_flows {
-            let flow_span = tr.span(Phase::FlowIndex);
-            let (cached, hit) = shared.cache.flow_index_probed(
-                job.graph_id,
-                &instance.mp,
-                model.num_layers(),
-                instance.target,
-                job.max_flows,
-            );
-            drop(flow_span);
-            tr.event(EventKind::CacheProbe { hit });
-            (Some(cached.index), cached.dropped)
-        } else {
-            (None, 0)
-        };
-        metrics.prep_latency.observe(prep_start.elapsed());
+    let job = q.job;
+    // Every job gets a trace handle: untraced jobs forward only to the
+    // metrics bridge (phase histograms), traced jobs additionally
+    // journal into a per-job ring drained after the explainer returns.
+    let ring = if job.trace {
+        Some(Arc::new(RingCollector::new(TRACE_RING_CAPACITY)))
+    } else {
+        None
+    };
+    let collector: Arc<dyn Collector> = match &ring {
+        Some(r) => Arc::new(Tee(
+            Arc::clone(r) as Arc<dyn Collector>,
+            Arc::clone(&shared.bridge) as Arc<dyn Collector>,
+        )),
+        None => Arc::clone(&shared.bridge) as Arc<dyn Collector>,
+    };
+    let tr = TraceHandle::new(TraceId(q.job_id), collector);
 
-        if !job.shrink_on_overflow && cache_flows_dropped > 0 {
-            // The job asked for an exact answer and the instance is over
-            // budget: fail it instead of serving a silent prefix.
-            metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            let _ = q.result_tx.send(Err(JobError::TooManyFlows {
-                dropped: cache_flows_dropped,
-            }));
-            continue;
-        }
+    // Prep stage: local model, instance forward pass, flow artifacts.
+    let prep_start = Instant::now();
+    let extraction_span = tr.span(Phase::Extraction);
+    let model = state
+        .local_models
+        .entry(q.handle.0)
+        .or_insert_with(|| spec.materialize());
+    let instance = Instance::for_prediction(model, job.graph, job.target);
+    drop(extraction_span);
+    let (flow_index, cache_flows_dropped) = if job.needs_flows {
+        let flow_span = tr.span(Phase::FlowIndex);
+        let (cached, hit) = shared.cache.flow_index_probed(
+            job.graph_id,
+            &instance.mp,
+            model.num_layers(),
+            instance.target,
+            job.max_flows,
+        );
+        drop(flow_span);
+        tr.event(EventKind::CacheProbe { hit });
+        (Some(cached.index), cached.dropped)
+    } else {
+        (None, 0)
+    };
+    metrics.prep_latency.observe(prep_start.elapsed());
 
-        let deadline = match q.deadline_at {
-            Some(at) => Deadline::at(at),
-            None => Deadline::none(),
-        }
-        .with_cancel(Arc::clone(&shared.cancel));
-        let ctl = ExplainControl {
-            deadline,
-            flow_index,
-            shrink_on_overflow: job.shrink_on_overflow,
-            trace: Some(tr.clone()),
-        };
-
-        let seed = derive_seed(shared.base_seed, q.job_id);
-        let explain_start = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let explainer = (job.make_explainer)(seed);
-            explainer.explain_controlled(model, &instance, &ctl)
+    if !job.shrink_on_overflow && cache_flows_dropped > 0 {
+        // The job asked for an exact answer and the instance is over
+        // budget: fail it instead of serving a silent prefix.
+        metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        let _ = q.result_tx.send(Err(JobError::TooManyFlows {
+            dropped: cache_flows_dropped,
         }));
-        let explain_elapsed = explain_start.elapsed();
-        metrics.explain_latency.observe(explain_elapsed);
+        return;
+    }
 
-        match outcome {
-            Ok(mut controlled) => {
-                // Flows dropped by the shared cache's capped build degrade
-                // the answer just like an explainer-side shrink.
-                controlled.degradation.flows_dropped += cache_flows_dropped;
-                metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
-                metrics
-                    .epochs_total
-                    .fetch_add(controlled.degradation.epochs_run as u64, Ordering::Relaxed);
-                if controlled.degradation.is_degraded() {
-                    metrics.jobs_degraded.fetch_add(1, Ordering::Relaxed);
-                }
-                // Drain the journal into a plain trace: once into the
-                // bounded retention store (for Runtime::trace / the wire
-                // Trace request) and once alongside the result.
-                let trace = ring.as_ref().map(|r| r.drain(TraceId(q.job_id)));
-                if let Some(t) = &trace {
-                    shared.traces.push(t.clone());
-                }
-                let _ = q.result_tx.send(Ok(JobOutput {
-                    job_id: q.job_id,
-                    explanation: controlled.explanation,
-                    degradation: controlled.degradation,
-                    timing: JobTiming {
-                        queue_wait,
-                        prep: explain_start - prep_start,
-                        explain: explain_elapsed,
-                    },
-                    trace,
-                }));
+    let deadline = match q.deadline_at {
+        Some(at) => Deadline::at(at),
+        None => Deadline::none(),
+    }
+    .with_cancel(Arc::clone(&shared.cancel));
+    let ctl = ExplainControl {
+        deadline,
+        flow_index,
+        shrink_on_overflow: job.shrink_on_overflow,
+        trace: Some(tr.clone()),
+    };
+
+    let seed = derive_seed(shared.base_seed, q.job_id);
+    let explain_start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let explainer = (job.make_explainer)(seed);
+        explainer.explain_controlled(model, &instance, &ctl)
+    }));
+    let explain_elapsed = explain_start.elapsed();
+    metrics.explain_latency.observe(explain_elapsed);
+
+    match outcome {
+        Ok(mut controlled) => {
+            // Flows dropped by the shared cache's capped build degrade
+            // the answer just like an explainer-side shrink.
+            controlled.degradation.flows_dropped += cache_flows_dropped;
+            metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            metrics
+                .epochs_total
+                .fetch_add(controlled.degradation.epochs_run as u64, Ordering::Relaxed);
+            if controlled.degradation.is_degraded() {
+                metrics.jobs_degraded.fetch_add(1, Ordering::Relaxed);
             }
-            Err(payload) => {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_owned())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "unknown panic".to_owned());
-                metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
-                let _ = q.result_tx.send(Err(JobError::Panicked(msg)));
+            // Drain the journal into a plain trace: once into the
+            // bounded retention store (for Runtime::trace / the wire
+            // Trace request) and once alongside the result.
+            let trace = ring.as_ref().map(|r| r.drain(TraceId(q.job_id)));
+            if let Some(t) = &trace {
+                shared.traces.push(t.clone());
             }
+            let _ = q.result_tx.send(Ok(JobOutput {
+                job_id: q.job_id,
+                explanation: controlled.explanation,
+                degradation: controlled.degradation,
+                timing: JobTiming {
+                    queue_wait,
+                    prep: explain_start - prep_start,
+                    explain: explain_elapsed,
+                },
+                trace,
+            }));
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_owned());
+            metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            let _ = q.result_tx.send(Err(JobError::Panicked(msg)));
         }
     }
 }

@@ -1,0 +1,191 @@
+//! The generic fixed-size worker pool under [`Runtime`].
+//!
+//! `PoolCore` owns exactly the concurrency skeleton — one unbounded mpsc
+//! queue feeding `workers` named threads, drain-on-drop shutdown — and
+//! nothing about explanation serving. The split exists for the model
+//! checker: `PoolCore` speaks only [`revelio_check::sync`] vocabulary, so
+//! `revelio-check`'s `--features check` build can exhaustively explore
+//! submit/drain/shutdown interleavings of the *real* pool (see
+//! `crates/check/tests/real_structures.rs`), while the default build
+//! compiles to the exact `std` code the runtime always had.
+//!
+//! [`Runtime`]: crate::Runtime
+
+use revelio_check::sync::{mpsc, thread, Arc, Mutex, MutexGuard};
+
+/// A fixed set of worker threads fed from one shared mpsc queue.
+///
+/// Each worker builds its own state with `init(worker_index)` *on the
+/// worker thread* (the runtime's state holds `Rc`-based tensors, which
+/// must never cross threads), then loops `recv → handler(&mut state, job)`
+/// until the queue is closed **and drained**. Dropping the pool closes the
+/// queue and joins every worker, so `Drop` is the graceful-drain shutdown.
+pub struct PoolCore<J: Send + 'static> {
+    tx: Option<mpsc::Sender<J>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl<J: Send + 'static> PoolCore<J> {
+    /// Spawns `workers` threads named `{name_prefix}-{i}`.
+    ///
+    /// `init` runs once per worker, on that worker's thread; `handler`
+    /// runs once per job. A handler that panics kills its worker (the
+    /// caller is expected to `catch_unwind` per job if workers must
+    /// survive — [`Runtime`] does).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS thread-spawn failure; threads spawned before the
+    /// failure are shut down (the queue is dropped, so they exit).
+    ///
+    /// [`Runtime`]: crate::Runtime
+    pub fn spawn<S, I, H>(
+        name_prefix: &str,
+        workers: usize,
+        init: I,
+        handler: H,
+    ) -> std::io::Result<PoolCore<J>>
+    where
+        S: 'static,
+        I: Fn(usize) -> S + Send + Sync + 'static,
+        H: Fn(&mut S, J) + Send + Sync + 'static,
+    {
+        let (tx, rx) = mpsc::channel::<J>();
+        let rx = Arc::new(Mutex::new(rx));
+        let init = Arc::new(init);
+        let handler = Arc::new(handler);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            let init = Arc::clone(&init);
+            let handler = Arc::clone(&handler);
+            let handle = thread::Builder::new()
+                .name(format!("{name_prefix}-{i}"))
+                .spawn(move || {
+                    let mut state = init(i);
+                    loop {
+                        // Hold the receiver lock only for the dequeue itself.
+                        let job = { lock(&rx).recv() };
+                        let Ok(job) = job else {
+                            break; // queue closed and drained: shutdown
+                        };
+                        handler(&mut state, job);
+                    }
+                })?;
+            handles.push(handle);
+        }
+        Ok(PoolCore {
+            tx: Some(tx),
+            workers: handles,
+        })
+    }
+
+    /// Enqueues one job, or hands it back when every worker has exited
+    /// (which cannot normally happen while the pool is alive — workers
+    /// only exit when the queue closes or a handler panics).
+    ///
+    /// # Errors
+    ///
+    /// Returns the job unchanged when no worker can ever receive it.
+    pub fn submit(&self, job: J) -> Result<(), J> {
+        match &self.tx {
+            Some(tx) => tx.send(job).map_err(|mpsc::SendError(j)| j),
+            None => Err(job),
+        }
+    }
+
+    /// The number of worker threads the pool was spawned with.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl<J: Send + 'static> Drop for PoolCore<J> {
+    fn drop(&mut self) {
+        // Closing the channel is the shutdown signal: workers drain the
+        // remaining queue, then `recv` errors and they exit.
+        drop(self.tx.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<J: Send + 'static> std::fmt::Debug for PoolCore<J> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolCore")
+            .field("workers", &self.workers.len())
+            .field("open", &self.tx.is_some())
+            .finish()
+    }
+}
+
+/// Locks a mutex, riding through poisoning (workers catch job panics, so
+/// a poisoned receiver lock only means a handler died between jobs).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revelio_check::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn jobs_are_handled_and_drop_drains_the_queue() {
+        let sum = Arc::new(AtomicU64::new(0));
+        let pool = {
+            let sum = Arc::clone(&sum);
+            PoolCore::spawn(
+                "pool-core-test",
+                2,
+                |_i| (),
+                move |(), job: u64| {
+                    sum.fetch_add(job, Ordering::Relaxed);
+                },
+            )
+            .expect("spawn")
+        };
+        assert_eq!(pool.workers(), 2);
+        for job in 1..=100u64 {
+            pool.submit(job).expect("submit");
+        }
+        drop(pool); // graceful drain: every submitted job is handled
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn per_worker_init_runs_on_each_worker() {
+        let inits = Arc::new(AtomicU64::new(0));
+        let pool: PoolCore<u64> = {
+            let inits = Arc::clone(&inits);
+            PoolCore::spawn(
+                "pool-core-init",
+                3,
+                move |_i| {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                },
+                |(), _job| {},
+            )
+            .expect("spawn")
+        };
+        drop(pool);
+        assert_eq!(inits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn submit_after_worker_exit_returns_the_job() {
+        let mut pool: PoolCore<u64> =
+            PoolCore::spawn("pool-core-closed", 1, |_i| (), |(), _job| {}).expect("spawn");
+        // Simulate the closed state Drop creates, without dropping.
+        drop(pool.tx.take());
+        for handle in pool.workers.drain(..) {
+            let _ = handle.join();
+        }
+        assert_eq!(pool.submit(7), Err(7));
+        assert_eq!(pool.workers(), 0);
+    }
+}

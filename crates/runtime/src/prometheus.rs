@@ -317,7 +317,7 @@ mod tests {
     fn render_parses_and_round_trips_counts() {
         let m = Metrics::default();
         m.jobs_submitted
-            .fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(3, revelio_check::sync::atomic::Ordering::Relaxed);
         m.explain_latency.observe(Duration::from_millis(5));
         m.explain_latency.observe(Duration::from_secs(2));
         m.phase_optimize.observe(Duration::from_millis(40));

@@ -8,8 +8,8 @@
 //! requests it serves.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
 
+use revelio_check::sync::{Mutex, MutexGuard};
 use revelio_trace::{Trace, TraceId};
 
 /// A fixed-capacity, drop-oldest store of finished traces.
@@ -44,7 +44,7 @@ impl TraceStore {
     }
 }
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     match m.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),

@@ -29,17 +29,27 @@
 //! The workspace forbids `unsafe`, so the ring is not a classic
 //! `UnsafeCell` seqlock; instead each writer claims a slot index with one
 //! `fetch_add` on an atomic sequence counter and stores the event into
-//! `slots[seq % capacity]` behind a per-slot mutex. Writers therefore
-//! never wait for readers and never wait for writers working on *other*
-//! slots; two writers only contend when they land on the same slot, which
-//! requires the ring to have wrapped a full lap between them. The oldest
-//! events are overwritten first (drop-oldest), and the number of dropped
-//! events is exact by construction: `max(0, total_claimed - capacity)`.
+//! `slots[seq % capacity]` behind a per-slot mutex (newest sequence wins,
+//! so a stalled writer can never clobber an event that lapped it). Writers
+//! therefore never wait for readers and never wait for writers working on
+//! *other* slots; two writers only contend when they land on the same
+//! slot, which requires the ring to have wrapped a full lap between them.
+//! The oldest events are overwritten first (drop-oldest), and the number
+//! of dropped events is exact by construction:
+//! `max(0, total_claimed - capacity)`.
+//!
+//! # Concurrency checking
+//!
+//! All synchronisation goes through the `revelio_check::sync` facade: in
+//! normal builds those names *are* the `std` types (zero overhead); built
+//! with `revelio-check/check`, the ring becomes deterministically model
+//! checkable (see `crates/check` and DESIGN §11).
 
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use revelio_check::sync::atomic::{AtomicU64, Ordering};
+use revelio_check::sync::{Arc, Mutex};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Identifies one traced request end to end (the runtime uses the job's
@@ -274,10 +284,15 @@ impl Collector for RingCollector {
     fn record(&self, event: Event) {
         let seq = self.next.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
-        let entry = Some((seq, event));
-        match slot.lock() {
-            Ok(mut g) => *g = entry,
-            Err(poisoned) => *poisoned.into_inner() = entry,
+        let mut guard = match slot.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Newest sequence wins: a writer that claimed `seq` and then
+        // stalled must not clobber an event from a later lap — that would
+        // drop the *newest* event while `dropped()` claims drop-oldest.
+        if guard.is_none_or(|(stored, _)| stored < seq) {
+            *guard = Some((seq, event));
         }
     }
 }
@@ -513,6 +528,41 @@ mod tests {
             })
             .collect();
         assert_eq!(kept, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn stalled_writer_cannot_clobber_a_newer_event() {
+        // Regression: writer A claims seq 0 and stalls; writers lap the
+        // ring and store seq 2 into the same slot; A finally stores.
+        // Drop-oldest demands the slot keep seq 2. Simulated by rolling
+        // the claim counter back to replay the stalled claim. The full
+        // interleaving is model-checked in crates/check
+        // tests/real_structures.rs (ring_journal_*).
+        let (ring, h) = ring_handle(1);
+        let event = |i: u32| EventKind::Epoch {
+            index: i,
+            loss: 0.0,
+            grad_norm: 0.0,
+        };
+        for i in 0..3u32 {
+            h.event(event(i));
+        }
+        ring.next.store(1, Ordering::Relaxed);
+        h.event(event(99)); // replays claim seq=1: older than stored seq=2
+        let trace = ring.drain(h.id());
+        let kept: Vec<u32> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Epoch { index, .. } => Some(index),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            kept,
+            vec![2],
+            "older stalled write must lose to the newer lap"
+        );
     }
 
     #[test]
