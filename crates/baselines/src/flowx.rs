@@ -274,6 +274,7 @@ impl Explainer for FlowX {
                 }),
             },
             degradation,
+            converged_mask: None,
         }
     }
 }

@@ -136,6 +136,7 @@ impl Explainer for GnnExplainer {
                 flows: None,
             },
             degradation,
+            converged_mask: None,
         }
     }
 }

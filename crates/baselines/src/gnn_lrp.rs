@@ -202,6 +202,7 @@ impl Explainer for GnnLrp {
                 flows: Some(FlowScores { index, scores }),
             },
             degradation,
+            converged_mask: None,
         }
     }
 }

@@ -6,7 +6,7 @@
 //! ```text
 //! cargo run -p revelio-bench --release --bin loadgen [--smoke] \
 //!     [--addr HOST:PORT] [--requests N] [--levels 1,2,4,8] \
-//!     [--max-in-flight N] [--shutdown]
+//!     [--max-in-flight N] [--seed S] [--shutdown] [--fetch-newest]
 //! ```
 //!
 //! Without `--addr`, a server is started in-process on a free loopback
@@ -14,6 +14,12 @@
 //! `revelio-serve` is driven instead — that is the CI smoke path:
 //! `revelio-serve &` + `loadgen --smoke --addr ... --shutdown` proves the
 //! binary protocol end to end across processes.
+//!
+//! `--fetch-newest` is a standalone check instead of a load run: connect,
+//! list the server's persisted explanations, fetch the newest by job id,
+//! and fail (non-zero exit) if the store is empty or the record does not
+//! come back. Paired with `revelio-serve --store`, running it *after a
+//! server restart* proves crash recovery end to end.
 //!
 //! Every client thread ships `Busy`-aware retries, so shed requests are
 //! *counted* but still served eventually; the run fails (non-zero exit)
@@ -42,11 +48,13 @@ struct Args {
     requests: usize,
     levels: Vec<usize>,
     max_in_flight: usize,
+    seed: u64,
     shutdown: bool,
+    fetch_newest: bool,
 }
 
 const USAGE: &str = "usage: loadgen [--smoke] [--addr HOST:PORT] [--requests N] \
-[--levels 1,2,4] [--max-in-flight N] [--shutdown]";
+[--levels 1,2,4] [--max-in-flight N] [--seed S] [--shutdown] [--fetch-newest]";
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -55,19 +63,25 @@ fn parse_args() -> Args {
         requests: 16,
         levels: vec![1, 2, 4, 8],
         max_in_flight: 64,
+        seed: 42,
         shutdown: false,
+        fetch_newest: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => args.smoke = true,
             "--shutdown" => args.shutdown = true,
+            "--fetch-newest" => args.fetch_newest = true,
             "--addr" => args.addr = Some(it.next().expect(USAGE)),
             "--requests" => {
                 args.requests = it.next().and_then(|v| v.parse().ok()).expect(USAGE);
             }
             "--max-in-flight" => {
                 args.max_in_flight = it.next().and_then(|v| v.parse().ok()).expect(USAGE);
+            }
+            "--seed" => {
+                args.seed = it.next().and_then(|v| v.parse().ok()).expect(USAGE);
             }
             "--levels" => {
                 args.levels = it
@@ -190,8 +204,69 @@ fn drive_level(
     }
 }
 
+/// `--fetch-newest`: connect, list persisted explanations, fetch the one
+/// with the highest job id, and verify it carries scores. Run against a
+/// *restarted* `revelio-serve --store` this proves crash recovery over
+/// the wire (the record predates the serving process).
+fn fetch_newest(addr: std::net::SocketAddr, shutdown: bool) -> ExitCode {
+    let mut client = Client::connect_with_retry(
+        addr,
+        ClientConfig {
+            max_attempts: 20,
+            backoff_base: Duration::from_millis(25),
+            ..Default::default()
+        },
+    )
+    .expect("connect to server");
+    let list = client.list_explanations().expect("list explanations");
+    let rec = list.iter().max_by_key(|s| s.job_id).map(|newest| {
+        client
+            .fetch_explanation(newest.job_id)
+            .expect("fetch explanation")
+            .expect("listed job id must fetch")
+    });
+    // Shut down before reporting, so a failed check still tears the
+    // server down (a CI `wait` on the server must never hang).
+    if shutdown {
+        client.shutdown().expect("server acknowledged shutdown");
+    }
+    match rec {
+        None => {
+            eprintln!("fetch-newest: server's store holds no explanations");
+            ExitCode::FAILURE
+        }
+        Some(rec) if rec.edge_scores.is_empty() => {
+            eprintln!(
+                "fetch-newest: job {} came back without edge scores",
+                rec.job_id
+            );
+            ExitCode::FAILURE
+        }
+        Some(rec) => {
+            println!(
+                "fetch-newest: job {} (model {}, graph {}) served {} edge scores, has_mask={}",
+                rec.job_id,
+                rec.model,
+                rec.graph_id,
+                rec.edge_scores.len(),
+                rec.has_mask
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.fetch_newest {
+        let addr = args
+            .addr
+            .as_deref()
+            .expect("--fetch-newest requires --addr")
+            .parse()
+            .expect("--addr must be HOST:PORT");
+        return fetch_newest(addr, args.shutdown);
+    }
     let (model, graphs) = serving_workload(args.requests.max(8));
 
     // Either drive an external server (--addr) or host one in-process.
@@ -200,7 +275,7 @@ fn main() -> ExitCode {
             Server::start(ServerConfig {
                 runtime: RuntimeConfig {
                     workers: available_workers(),
-                    seed: 42,
+                    seed: args.seed,
                     ..Default::default()
                 },
                 max_in_flight: args.max_in_flight,
@@ -260,6 +335,9 @@ fn main() -> ExitCode {
     let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
     let _ = writeln!(json, "  \"external_server\": {},", args.addr.is_some());
     let _ = writeln!(json, "  \"requests_per_client\": {},", args.requests);
+    // The seed steers the in-process runtime; against --addr it only
+    // records intent (the external server was seeded on its own CLI).
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
     json.push_str("  \"levels\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(

@@ -85,6 +85,7 @@ fn main() {
                             shrink_on_overflow: true,
                             deadline: None,
                             trace: false,
+                            warm_start: false,
                         })
                         .collect();
                     let start = Instant::now();

@@ -1,7 +1,8 @@
 //! Serving-throughput benchmark: explanations/sec through the
 //! `revelio-runtime` worker pool at worker counts {1, 2, 4, N_cores} on a
 //! synthetic workload, plus an in-process vs loopback-TCP overhead
-//! comparison through `revelio-server`, written to
+//! comparison through `revelio-server` and a `warm_vs_cold` experiment
+//! quantifying the store's warm-start mask optimization, written to
 //! `target/experiments/BENCH_runtime.json` (machine-readable; new fields
 //! are only ever added, never renamed).
 //!
@@ -178,6 +179,94 @@ fn measure_wire_overhead(model: &Gnn, graphs: &[Graph]) -> Overhead {
     }
 }
 
+struct WarmVsCold {
+    jobs: usize,
+    epochs: usize,
+    cold_optimize: HistogramSnapshot,
+    warm_optimize: HistogramSnapshot,
+    /// `cold_optimize.mean / warm_optimize.mean`: > 1 when the stored mask
+    /// lets the warm run's plateau detector stop early.
+    optimize_speedup: f64,
+    store_hits: u64,
+    store_misses: u64,
+    /// Largest |cold − warm| edge score across every job: the price of the
+    /// early stop (0.0 bit-identical when no seed is accepted).
+    max_abs_score_diff: f64,
+}
+
+/// The warm-start experiment behind the store: run a job stream cold with
+/// persistence attached, tear the runtime down, recover a fresh runtime
+/// from the same store file, and rerun the identical stream with
+/// `warm_start` on. The second run seeds each optimization from the
+/// persisted converged mask, so its plateau detector may stop early —
+/// the optimize-phase histograms of both runs quantify the win, and the
+/// score diff bounds the cost.
+fn measure_warm_vs_cold(model: &Gnn, graphs: &[Graph], epochs: usize) -> WarmVsCold {
+    use revelio_store::{LogStore, Store};
+    use std::sync::Arc;
+
+    let path = experiments_dir().join("warm_vs_cold.store");
+    let _ = std::fs::remove_file(&path);
+
+    let cfg = RuntimeConfig {
+        workers: 1,
+        seed: 42,
+        ..Default::default()
+    };
+
+    // Cold life: every mask is optimized from scratch and persisted.
+    let store: Arc<dyn Store> = Arc::new(LogStore::open(&path).expect("open store"));
+    let rt = Runtime::try_with_config_and_store(cfg.clone(), store).expect("cold runtime");
+    let handle = rt.register_model(model);
+    let cold: Vec<Vec<f32>> = rt
+        .explain_batch(handle, jobs_for(graphs, epochs))
+        .into_iter()
+        .map(|r| r.expect("cold job served").explanation.edge_scores)
+        .collect();
+    let cold_metrics = rt.metrics();
+    drop(rt);
+
+    // Warm life: a recovered runtime over the same file; identical jobs,
+    // warm-start on, so each optimization is seeded from the cold mask.
+    let store: Arc<dyn Store> = Arc::new(LogStore::open(&path).expect("reopen store"));
+    let rt = Runtime::try_with_config_and_store(cfg, store).expect("warm runtime");
+    let handle = *rt
+        .model_handles()
+        .first()
+        .expect("recovered model registry");
+    let warm_jobs: Vec<ExplainJob> = jobs_for(graphs, epochs)
+        .into_iter()
+        .map(|j| j.with_warm_start(true))
+        .collect();
+    let warm: Vec<Vec<f32>> = rt
+        .explain_batch(handle, warm_jobs)
+        .into_iter()
+        .map(|r| r.expect("warm job served").explanation.edge_scores)
+        .collect();
+    let warm_metrics = rt.metrics();
+    drop(rt);
+    let _ = std::fs::remove_file(&path);
+
+    let max_abs_score_diff = cold
+        .iter()
+        .zip(&warm)
+        .flat_map(|(c, w)| c.iter().zip(w).map(|(a, b)| f64::from((a - b).abs())))
+        .fold(0.0f64, f64::max);
+
+    let cold_mean = cold_metrics.phase_optimize.mean_us() as f64;
+    let warm_mean = warm_metrics.phase_optimize.mean_us() as f64;
+    WarmVsCold {
+        jobs: graphs.len(),
+        epochs,
+        cold_optimize: cold_metrics.phase_optimize,
+        warm_optimize: warm_metrics.phase_optimize,
+        optimize_speedup: cold_mean / warm_mean.max(1.0),
+        store_hits: warm_metrics.store_hits,
+        store_misses: warm_metrics.store_misses,
+        max_abs_score_diff,
+    }
+}
+
 fn measure(
     model: &Gnn,
     graphs: &[Graph],
@@ -270,6 +359,23 @@ fn main() {
         overhead.inprocess_per_sec, overhead.loopback_per_sec, overhead.overhead_ratio
     );
 
+    // Warm-start needs a *converged* cold mask for its plateau detector to
+    // fire, so the experiment runs many more epochs than the throughput
+    // rows — on a few graphs, to keep the cold leg affordable.
+    let wvc_epochs = if args.smoke { args.epochs } else { 500 };
+    let wvc_graphs = &graphs[..graphs.len().min(6)];
+    let wvc = measure_warm_vs_cold(&model, wvc_graphs, wvc_epochs);
+    eprintln!(
+        "warm_vs_cold: optimize mean {}us cold vs {}us warm (x{:.2}), \
+         hits={} misses={} max|Δscore|={:.4}",
+        wvc.cold_optimize.mean_us(),
+        wvc.warm_optimize.mean_us(),
+        wvc.optimize_speedup,
+        wvc.store_hits,
+        wvc.store_misses,
+        wvc.max_abs_score_diff
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"revelio-runtime throughput\",");
@@ -303,13 +409,40 @@ fn main() {
         "  \"overhead\": {{\"workers\": 1, \"jobs\": {}, \
          \"inprocess_seconds\": {:.4}, \"inprocess_per_sec\": {:.4}, \
          \"loopback_seconds\": {:.4}, \"loopback_per_sec\": {:.4}, \
-         \"loopback_over_inprocess\": {:.4}}}",
+         \"loopback_over_inprocess\": {:.4}}},",
         overhead.jobs,
         overhead.inprocess_seconds,
         overhead.inprocess_per_sec,
         overhead.loopback_seconds,
         overhead.loopback_per_sec,
         overhead.overhead_ratio
+    );
+    let hist = |h: &HistogramSnapshot| {
+        format!(
+            "{{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p90_us\": {}, \
+             \"p99_us\": {}, \"max_us\": {}}}",
+            h.count,
+            h.mean_us(),
+            h.p50_us(),
+            h.p90_us(),
+            h.p99_us(),
+            h.max_us
+        )
+    };
+    let _ = writeln!(
+        json,
+        "  \"warm_vs_cold\": {{\"jobs\": {}, \"epochs\": {}, \
+         \"cold_optimize\": {}, \"warm_optimize\": {}, \
+         \"optimize_speedup\": {:.4}, \"store_hits\": {}, \
+         \"store_misses\": {}, \"max_abs_score_diff\": {:.6}}}",
+        wvc.jobs,
+        wvc.epochs,
+        hist(&wvc.cold_optimize),
+        hist(&wvc.warm_optimize),
+        wvc.optimize_speedup,
+        wvc.store_hits,
+        wvc.store_misses,
+        wvc.max_abs_score_diff
     );
     json.push_str("}\n");
 

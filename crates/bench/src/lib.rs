@@ -284,6 +284,7 @@ pub fn run_fidelity(
                     shrink_on_overflow: true,
                     deadline: None,
                     trace: false,
+                    warm_start: false,
                 })
                 .collect();
             rt.explain_batch(handle, jobs)

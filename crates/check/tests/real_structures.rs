@@ -19,7 +19,10 @@ use revelio_check::shim::spawn;
 use revelio_check::sync::atomic::Ordering;
 use revelio_check::sync::Arc;
 use revelio_check::{explore, Config};
+use revelio_core::Degradation;
+use revelio_graph::Target;
 use revelio_runtime::{Metrics, PoolCore, ShardedLru};
+use revelio_store::{ExplanationRecord, LogStore, MaskKey, PhaseSummary, Store, StoredMask};
 use revelio_trace::{Collector, Event, EventKind, RingCollector, TraceId};
 
 fn join<T>(handle: revelio_check::shim::JoinHandle<T>) -> T {
@@ -162,6 +165,88 @@ fn cache_shard_eviction_keeps_capacity_invariant() {
     });
     report.assert_ok();
     assert!(report.complete);
+}
+
+fn mask_key() -> MaskKey {
+    MaskKey {
+        model_id: 0,
+        graph_id: 1,
+        target: Target::Node(2),
+        layers: 2,
+    }
+}
+
+fn stored(job_id: u64, flow: u32) -> ExplanationRecord {
+    ExplanationRecord {
+        job_id,
+        key: mask_key(),
+        model_fingerprint: 0xFEED,
+        edge_scores: vec![0.5, 0.25],
+        layer_edge_scores: None,
+        flow_scores: None,
+        degradation: Degradation::default(),
+        phases: PhaseSummary::default(),
+        mask: Some(StoredMask {
+            mask_params: vec![flow as f32],
+            layer_weights: vec![vec![1.0]],
+            selected: vec![flow],
+        }),
+    }
+}
+
+/// Two threads race explanation appends into one `LogStore` while the main
+/// thread also reads mid-flight. The store's facade mutex must serialize
+/// the file in every interleaving: a concurrent listing is always a clean
+/// prefix of completed appends (never a torn entry), and after quiescence
+/// both records are durable with the newest mask winning the shared key.
+#[test]
+fn log_store_concurrent_append_and_read_stay_serialized() {
+    // Distinct backing file per explored execution (std atomics on
+    // purpose: the counter is test bookkeeping, not explored state).
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+    let report = explore(&Config::exhaustive(), || {
+        let path = std::env::temp_dir().join(format!(
+            "revelio-check-store-{}-{}.log",
+            std::process::id(),
+            NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let store = Arc::new(LogStore::open(&path).expect("open store"));
+        let s2 = Arc::clone(&store);
+        let t = spawn(move || s2.put_explanation(&stored(1, 7)).expect("child append"));
+        store.put_explanation(&stored(2, 9)).expect("main append");
+        let mid = store.list_explanations().expect("concurrent list");
+        assert!(mid.len() <= 2, "at most the two appends can be visible");
+        for s in &mid {
+            assert!(
+                (s.job_id == 1 || s.job_id == 2) && s.has_mask,
+                "a listed entry must be a completed append, never torn"
+            );
+        }
+        join(t);
+        let done = store.list_explanations().expect("quiescent list");
+        assert_eq!(done.len(), 2, "both appends are durable after the join");
+        let hit = store
+            .newest_mask(&mask_key())
+            .expect("mask lookup")
+            .expect("a mask was stored");
+        // Both writers share the key; which append lands second — and so
+        // supersedes — depends on the schedule, but it is always one of
+        // them, intact.
+        assert_eq!(hit.mask.selected.len(), 1);
+        assert!(
+            (hit.job_id == 1 && hit.mask.selected == [7])
+                || (hit.job_id == 2 && hit.mask.selected == [9]),
+            "newest mask must be one writer's record, intact"
+        );
+        let full = store.explanation(1).expect("read").expect("record 1");
+        assert_eq!(full.edge_scores, vec![0.5, 0.25]);
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    });
+    report.assert_ok();
+    assert!(report.complete, "two-writer store must be fully explorable");
+    assert!(report.executions > 1, "schedules must actually branch");
 }
 
 /// `PoolCore` shutdown drains: every job submitted before the drop is

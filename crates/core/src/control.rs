@@ -79,6 +79,24 @@ impl Deadline {
     }
 }
 
+/// A converged mask state: the raw (pre-squash) parameters a
+/// mask-learning run finished on, together with the flow selection they
+/// are aligned with. Exported on [`ControlledExplanation`] so a
+/// persistence layer can store it, and accepted back through
+/// [`ExplainControl::warm_start`] to seed the next run on the same
+/// instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergedMask {
+    /// Raw mask parameters, one per selected flow.
+    pub mask_params: Vec<f32>,
+    /// Raw layer-weight parameters, one vector per weighting tensor
+    /// (empty when the layer-weighting mode has no parameters).
+    pub layer_weights: Vec<Vec<f32>>,
+    /// Flow ids the mask parameters are aligned with; a warm start is
+    /// accepted only when the new run selects the identical set.
+    pub selected: Vec<u32>,
+}
+
 /// Per-job controls passed to [`Explainer::explain_controlled`].
 ///
 /// [`Explainer`]: crate::Explainer
@@ -102,6 +120,14 @@ pub struct ExplainControl {
     /// additionally gated on [`TraceHandle::verbose`], so an always-on
     /// metrics bridge never forces extra tensor reads.
     pub trace: Option<TraceHandle>,
+    /// Seed the mask optimisation from a previously converged state
+    /// instead of the cold random init. Mask-learning explainers apply it
+    /// only when the stored selection matches the run's own flow selection
+    /// exactly (and may then stop early once the loss plateaus — see
+    /// [`Degradation::epochs_run`]); everything else ignores it. `None`
+    /// leaves the cold path untouched, so disabled warm-start is
+    /// bit-identical to a build without this field.
+    pub warm_start: Option<Arc<ConvergedMask>>,
 }
 
 impl ExplainControl {
@@ -143,6 +169,10 @@ pub struct ControlledExplanation {
     /// What was cut to meet the budget; check
     /// [`Degradation::is_degraded`].
     pub degradation: Degradation,
+    /// The converged mask state this run finished on, for methods that
+    /// learn one (REVELIO). A persistence layer stores it and replays it
+    /// through [`ExplainControl::warm_start`] on repeat traffic.
+    pub converged_mask: Option<ConvergedMask>,
 }
 
 impl ControlledExplanation {
@@ -151,6 +181,7 @@ impl ControlledExplanation {
         ControlledExplanation {
             explanation,
             degradation: Degradation::default(),
+            converged_mask: None,
         }
     }
 

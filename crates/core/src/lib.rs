@@ -23,7 +23,7 @@ mod explanation;
 mod revelio;
 pub mod wire;
 
-pub use control::{ControlledExplanation, Deadline, Degradation, ExplainControl};
+pub use control::{ControlledExplanation, ConvergedMask, Deadline, Degradation, ExplainControl};
 pub use explanation::{aggregate_flow_scores, Explainer, Explanation, FlowScores, Objective};
 pub use revelio::{ExplainError, LayerWeight, MaskSquash, Revelio, RevelioConfig};
 pub use wire::{ControlSpec, WireDecodeError, WireReader};

@@ -8,7 +8,7 @@ use revelio_graph::{FlowIndex, TooManyFlows};
 use revelio_tensor::{uniform, Adam, BinCsr, Optimizer, Tensor};
 use revelio_trace::{EventKind, Phase, TraceHandle};
 
-use crate::control::{ControlledExplanation, Degradation, ExplainControl};
+use crate::control::{ControlledExplanation, ConvergedMask, Degradation, ExplainControl};
 use crate::explanation::{Explainer, Explanation, FlowScores, Objective};
 
 /// How flow-mask parameters are squashed into flow scores (Eq. 4).
@@ -297,6 +297,14 @@ impl Revelio {
     /// * Polls `ctl.deadline` each learning epoch; on expiry the best
     ///   (lowest-loss) mask seen so far is returned with
     ///   `deadline_hit = true`.
+    /// * When `ctl.warm_start` carries a converged mask whose flow
+    ///   selection exactly matches this run's, the optimisation starts
+    ///   from it instead of the cold random init and may stop once the
+    ///   loss plateaus (relative change below `1e-3` for 8 consecutive
+    ///   epochs). The warm answer is the seed *refined*, not replayed —
+    ///   scores drift from a cold run as optimisation continues — but a
+    ///   mismatched selection or parameter shape rejects the seed,
+    ///   leaving the run bit-identical to a cold one.
     ///
     /// # Errors
     ///
@@ -342,6 +350,35 @@ impl Revelio {
         let ne = instance.mp.layer_edge_count();
 
         let mask_model = self.build_mask_model(model, instance, &index);
+
+        // Warm start: seed the parameters from a previously converged mask,
+        // but only when it is aligned with this run's exact flow selection
+        // and parameter shapes — anything else is silently stale (a changed
+        // cap, a different preselection, another layer-weight mode) and is
+        // rejected so the run stays bit-identical to a cold one.
+        let mut warm_applied = false;
+        if let Some(ws) = &ctl.warm_start {
+            let weights_match = ws.layer_weights.len() == mask_model.layer_weights.len()
+                && ws
+                    .layer_weights
+                    .iter()
+                    .zip(&mask_model.layer_weights)
+                    .all(|(stored, w)| stored.len() == w.to_vec().len());
+            if ws.selected == mask_model.selected
+                && ws.mask_params.len() == mask_model.selected.len()
+                && weights_match
+            {
+                mask_model.mask_params.set_data(&ws.mask_params);
+                for (w, data) in mask_model.layer_weights.iter().zip(&ws.layer_weights) {
+                    w.set_data(data);
+                }
+                warm_applied = true;
+                tr.event(EventKind::Note("warm-start"));
+            } else {
+                tr.event(EventKind::Note("warm-start-rejected"));
+            }
+        }
+
         let mut opt = Adam::new(mask_model.params(), cfg.lr);
 
         // "Skip layer edges unused by GNN layers" (Eq. 8): only layer edges
@@ -423,6 +460,14 @@ impl Revelio {
         // not merely `enabled` (which an always-on metrics bridge sets).
         let trace_epochs = tr.verbose();
         let mut best: Option<(f32, Vec<f32>, Vec<Vec<f32>>)> = None;
+        // Warm-started runs stop once the loss plateaus: a relative change
+        // below `WARM_PLATEAU_TOL` for `WARM_PLATEAU_EPOCHS` consecutive
+        // epochs. Cold runs never evaluate this (extra `loss.item()` reads
+        // included), keeping them bit-identical to a warm-start-free build.
+        const WARM_PLATEAU_TOL: f32 = 1e-3;
+        const WARM_PLATEAU_EPOCHS: usize = 8;
+        let mut prev_loss: Option<f32> = None;
+        let mut plateau = 0usize;
         let optimize_span = tr.span(Phase::Optimize);
         for epoch in 0..cfg.epochs {
             if ctl.deadline.expired() {
@@ -436,7 +481,7 @@ impl Revelio {
             let loss = build_loss();
             loss.backward();
             // The loss corresponds to the parameters *before* the step.
-            let loss_val = if track_best || trace_epochs {
+            let loss_val = if track_best || trace_epochs || warm_applied {
                 Some(loss.item())
             } else {
                 None
@@ -465,6 +510,26 @@ impl Revelio {
                         loss: l,
                         grad_norm,
                     });
+                }
+            }
+            if warm_applied {
+                if let Some(l) = loss_val {
+                    if let Some(p) = prev_loss {
+                        let rel = (p - l).abs() / p.abs().max(1e-8);
+                        plateau = if rel < WARM_PLATEAU_TOL {
+                            plateau + 1
+                        } else {
+                            0
+                        };
+                    }
+                    prev_loss = Some(l);
+                    if l.is_finite() && plateau >= WARM_PLATEAU_EPOCHS {
+                        // The parameters already match this loss (the step
+                        // below would move past it), so stop here.
+                        degradation.epochs_run = epoch + 1;
+                        tr.event(EventKind::Note("warm-start-early-stop"));
+                        break;
+                    }
                 }
             }
             opt.step();
@@ -528,6 +593,18 @@ impl Revelio {
         }
         drop(readout_span);
 
+        // Export the converged state so a persistence layer can seed the
+        // next run on the same instance through `ctl.warm_start`.
+        let converged_mask = Some(ConvergedMask {
+            mask_params: mask_model.mask_params.to_vec(),
+            layer_weights: mask_model
+                .layer_weights
+                .iter()
+                .map(Tensor::to_vec)
+                .collect(),
+            selected: mask_model.selected.clone(),
+        });
+
         Ok(ControlledExplanation {
             explanation: Explanation {
                 edge_scores,
@@ -538,6 +615,7 @@ impl Revelio {
                 }),
             },
             degradation,
+            converged_mask,
         })
     }
 }
@@ -835,6 +913,86 @@ mod tests {
             cached.explanation.edge_scores, fresh.edge_scores,
             "cache-shared index must not change results"
         );
+    }
+
+    #[test]
+    fn warm_start_seeds_and_early_stops_while_rejection_stays_cold() {
+        use crate::control::ConvergedMask;
+        let (model, g) = informative_neighbour_setup();
+        let (inst, _) = instance_for(&model, &g);
+        let r = Revelio::new(RevelioConfig {
+            epochs: 500,
+            ..Default::default()
+        });
+        let cold = r
+            .try_explain_controlled(&model, &inst, &ExplainControl::default())
+            .unwrap();
+        assert_eq!(cold.degradation.epochs_run, 500);
+        let mask = cold.converged_mask.clone().expect("REVELIO exports a mask");
+
+        // Seeding from the converged state plateaus well before the budget,
+        // without being reported as degraded.
+        let warm = r
+            .try_explain_controlled(
+                &model,
+                &inst,
+                &ExplainControl {
+                    warm_start: Some(Arc::new(mask.clone())),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(
+            warm.degradation.epochs_run < 500,
+            "warm start ran all {} epochs",
+            warm.degradation.epochs_run
+        );
+        assert!(!warm.degraded(), "early stop is not a degradation");
+        // The warm answer is the seed refined, not replayed: scores stay
+        // within the documented drift tolerance and preserve the ranking
+        // the cold run found.
+        for (w, c) in warm
+            .explanation
+            .edge_scores
+            .iter()
+            .zip(&cold.explanation.edge_scores)
+        {
+            assert!((w - c).abs() < 0.35, "warm score drifted: {w} vs {c}");
+        }
+        let top = |scores: &[f32]| {
+            scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+        };
+        assert_eq!(
+            top(&warm.explanation.edge_scores),
+            top(&cold.explanation.edge_scores),
+            "warm start changed the top-ranked edge"
+        );
+
+        // A stale selection is rejected: the run is bit-identical to cold.
+        let stale = ConvergedMask {
+            mask_params: vec![3.0],
+            layer_weights: mask.layer_weights.clone(),
+            selected: vec![0],
+        };
+        let rejected = r
+            .try_explain_controlled(
+                &model,
+                &inst,
+                &ExplainControl {
+                    warm_start: Some(Arc::new(stale)),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            rejected.explanation.edge_scores, cold.explanation.edge_scores,
+            "rejected warm start must not perturb the cold path"
+        );
+        assert_eq!(rejected.degradation.epochs_run, 500);
     }
 
     #[test]

@@ -288,6 +288,11 @@ pub struct ControlSpec {
     /// trace for later retrieval by trace ID; untraced requests pay only the
     /// runtime's always-on phase metrics.
     pub trace: bool,
+    /// Ask the server to seed the mask optimisation from its persistent
+    /// store (the newest converged mask for the same model/graph/target/L
+    /// key, guarded by a model fingerprint). Off by default: a cold run is
+    /// bit-identical to one against a server without a store.
+    pub warm_start: bool,
 }
 
 impl Default for ControlSpec {
@@ -297,6 +302,7 @@ impl Default for ControlSpec {
             max_flows: 100_000,
             shrink_on_overflow: true,
             trace: false,
+            warm_start: false,
         }
     }
 }
@@ -308,6 +314,7 @@ impl ControlSpec {
         put_u64(out, self.max_flows);
         put_bool(out, self.shrink_on_overflow);
         put_bool(out, self.trace);
+        put_bool(out, self.warm_start);
     }
 
     /// Reads a spec written by [`ControlSpec::encode`].
@@ -317,6 +324,7 @@ impl ControlSpec {
             max_flows: r.u64()?,
             shrink_on_overflow: r.bool()?,
             trace: r.bool()?,
+            warm_start: r.bool()?,
         })
     }
 }
@@ -424,6 +432,7 @@ mod tests {
             max_flows: 60_000,
             shrink_on_overflow: false,
             trace: true,
+            warm_start: true,
         };
         let mut buf = Vec::new();
         spec.encode(&mut buf);

@@ -50,6 +50,49 @@ impl fmt::Display for TooManyFlows {
 
 impl std::error::Error for TooManyFlows {}
 
+/// Error raised by [`FlowIndex::from_parts`] when a serialised layer-edge
+/// table cannot be a valid flow enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowPartsError {
+    /// A flow index needs at least one layer.
+    ZeroLayers,
+    /// The table length is not a whole number of flows.
+    RaggedTable {
+        /// Entries in the table.
+        entries: usize,
+        /// Declared layer count.
+        layers: usize,
+    },
+    /// The table references an edge outside the incidence row range.
+    EdgeOutOfRange {
+        /// The offending layer-edge id.
+        edge: u32,
+        /// The declared layer-edge count.
+        layer_edge_count: usize,
+    },
+}
+
+impl fmt::Display for FlowPartsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowPartsError::ZeroLayers => write!(f, "a flow index needs at least one layer"),
+            FlowPartsError::RaggedTable { entries, layers } => write!(
+                f,
+                "flow edge table of {entries} entries is not a multiple of {layers} layers"
+            ),
+            FlowPartsError::EdgeOutOfRange {
+                edge,
+                layer_edge_count,
+            } => write!(
+                f,
+                "flow edge id {edge} out of range for {layer_edge_count} layer edges"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FlowPartsError {}
+
 /// Counts the message flows of an `L`-layer GNN on `mp` without enumerating
 /// them (saturating at `u64::MAX`).
 pub fn count_flows(mp: &MpGraph, layers: usize, target: Target) -> u64 {
@@ -211,6 +254,67 @@ impl FlowIndex {
             flow_edges,
             incidence,
         }
+    }
+
+    /// Rebuilds an index from a previously serialised layer-edge table
+    /// (see [`FlowIndex::flow_edges`]), reconstructing the per-layer
+    /// incidence matrices — they are a pure function of the table, so
+    /// persistence layers store only the table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowPartsError`] when the table is not a whole number of
+    /// flows, references an edge at or above `layer_edge_count`, or
+    /// `layers` is zero.
+    pub fn from_parts(
+        layers: usize,
+        layer_edge_count: usize,
+        flow_edges: Vec<u32>,
+    ) -> Result<FlowIndex, FlowPartsError> {
+        if layers == 0 {
+            return Err(FlowPartsError::ZeroLayers);
+        }
+        if !flow_edges.len().is_multiple_of(layers) {
+            return Err(FlowPartsError::RaggedTable {
+                entries: flow_edges.len(),
+                layers,
+            });
+        }
+        if let Some(&e) = flow_edges.iter().find(|&&e| e as usize >= layer_edge_count) {
+            return Err(FlowPartsError::EdgeOutOfRange {
+                edge: e,
+                layer_edge_count,
+            });
+        }
+        let keep = flow_edges.len() / layers;
+        let mut incidence = Vec::with_capacity(layers);
+        for l in 0..layers {
+            let mut rows: Vec<Vec<u32>> = vec![Vec::new(); layer_edge_count];
+            for f in 0..keep {
+                rows[flow_edges[f * layers + l] as usize].push(f as u32);
+            }
+            incidence.push(Arc::new(BinCsr::from_rows(layer_edge_count, keep, &rows)));
+        }
+        Ok(FlowIndex {
+            num_layers: layers,
+            num_flows: keep,
+            flow_edges,
+            incidence,
+        })
+    }
+
+    /// The flattened `[num_flows, num_layers]` layer-edge table — entry
+    /// `(f, l)` is the layer-edge id flow `f` traverses at layer `l + 1`.
+    /// Together with [`FlowIndex::layer_edge_count`] this is sufficient to
+    /// reconstruct the index via [`FlowIndex::from_parts`].
+    pub fn flow_edges(&self) -> &[u32] {
+        &self.flow_edges
+    }
+
+    /// The layer-edge count `|E|` the incidence matrices span (their row
+    /// dimension).
+    pub fn layer_edge_count(&self) -> usize {
+        self.incidence.first().map_or(0, |i| i.rows())
     }
 
     /// Number of GNN layers `L`.
@@ -412,6 +516,50 @@ mod tests {
         let capped = FlowIndex::build_capped(&mp, 2, Target::Node(2), 10_000);
         assert_eq!(capped.dropped, 0);
         assert_eq!(capped.index.num_flows(), full.num_flows());
+    }
+
+    #[test]
+    fn from_parts_reconstructs_an_identical_index() {
+        let mp = path_mp();
+        let built = FlowIndex::build(&mp, 2, Target::Node(2), 10_000).unwrap();
+        let rebuilt = FlowIndex::from_parts(
+            built.num_layers(),
+            built.layer_edge_count(),
+            built.flow_edges().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.num_flows(), built.num_flows());
+        assert_eq!(rebuilt.flow_edges(), built.flow_edges());
+        for l in 0..built.num_layers() {
+            let (a, b) = (built.incidence(l), rebuilt.incidence(l));
+            assert_eq!(a.rows(), b.rows());
+            assert_eq!(a.cols(), b.cols());
+            for e in 0..a.rows() {
+                assert_eq!(a.row(e), b.row(e));
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_invalid_tables() {
+        assert_eq!(
+            FlowIndex::from_parts(0, 4, vec![]).unwrap_err(),
+            FlowPartsError::ZeroLayers
+        );
+        assert_eq!(
+            FlowIndex::from_parts(2, 4, vec![0, 1, 2]).unwrap_err(),
+            FlowPartsError::RaggedTable {
+                entries: 3,
+                layers: 2
+            }
+        );
+        assert_eq!(
+            FlowIndex::from_parts(2, 4, vec![0, 4]).unwrap_err(),
+            FlowPartsError::EdgeOutOfRange {
+                edge: 4,
+                layer_edge_count: 4
+            }
+        );
     }
 
     #[test]

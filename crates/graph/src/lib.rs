@@ -20,7 +20,7 @@ mod graph;
 mod mp;
 mod subgraph;
 
-pub use flows::{count_flows, CappedFlows, FlowIndex, Target, TooManyFlows};
+pub use flows::{count_flows, CappedFlows, FlowIndex, FlowPartsError, Target, TooManyFlows};
 pub use graph::{Graph, GraphBuilder};
 pub use mp::MpGraph;
 pub use subgraph::{khop_subgraph, KhopSubgraph};

@@ -224,6 +224,15 @@ impl ArtifactCache {
             })
     }
 
+    /// Inserts a pre-built flow enumeration under an explicit key, used by
+    /// store recovery to pre-warm the cache with indexes rebuilt from
+    /// persisted flow tables. The key carries the same caveat as
+    /// [`ArtifactCache::flow_index`]: it must describe the artifact's
+    /// actual provenance, or later probes serve a wrong index.
+    pub fn insert_flow_index(&self, key: FlowKey, flows: CachedFlows) {
+        self.flows.insert(key, flows);
+    }
+
     /// The flow enumeration for `(graph_id, target, layers)` under
     /// `max_flows`, built once and shared. Oversized instances are capped
     /// to a deterministic prefix; `CachedFlows::dropped` reports the cut.

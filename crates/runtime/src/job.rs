@@ -26,14 +26,24 @@ pub type ExplainerFactory = Box<dyn Fn(u64) -> Box<dyn Explainer> + Send>;
 pub struct ModelSpec {
     config: GnnConfig,
     state: Vec<Vec<f32>>,
+    /// Content fingerprint over config and weights, computed once at
+    /// registration; the store's staleness guard for warm-start masks.
+    fingerprint: u64,
 }
 
 impl ModelSpec {
     /// Captures `model`'s architecture and weights.
     pub fn of(model: &Gnn) -> ModelSpec {
+        ModelSpec::from_parts(model.config().clone(), model.state_dict())
+    }
+
+    /// Rebuilds a spec from persisted parts (store recovery).
+    pub fn from_parts(config: GnnConfig, state: Vec<Vec<f32>>) -> ModelSpec {
+        let fingerprint = revelio_store::fingerprint_model(&config, &state);
         ModelSpec {
-            config: model.config().clone(),
-            state: model.state_dict(),
+            config,
+            state,
+            fingerprint,
         }
     }
 
@@ -42,6 +52,21 @@ impl ModelSpec {
         let model = Gnn::new(self.config.clone());
         model.load_state(&self.state);
         model
+    }
+
+    /// The captured architecture.
+    pub fn config(&self) -> &GnnConfig {
+        &self.config
+    }
+
+    /// The captured weights, in `Gnn::state_dict` order.
+    pub fn state(&self) -> &[Vec<f32>] {
+        &self.state
+    }
+
+    /// Content fingerprint over config and weights.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 }
 
@@ -93,6 +118,14 @@ pub struct ExplainJob {
     ///
     /// [`Runtime::trace`]: crate::Runtime::trace
     pub trace: bool,
+    /// Ask the runtime's persistent store (when one is attached) for the
+    /// newest converged mask matching this job's `(model, graph_id,
+    /// target, layers)` key and seed the optimisation from it. A stale or
+    /// missing mask silently falls back to the cold path; lookups are
+    /// counted in [`MetricsSnapshot::store_hits`] / `store_misses`.
+    ///
+    /// [`MetricsSnapshot::store_hits`]: crate::MetricsSnapshot
+    pub warm_start: bool,
 }
 
 impl ExplainJob {
@@ -115,6 +148,7 @@ impl ExplainJob {
             shrink_on_overflow: true,
             deadline: None,
             trace: false,
+            warm_start: false,
         }
     }
 
@@ -135,6 +169,7 @@ impl ExplainJob {
             shrink_on_overflow: true,
             deadline: None,
             trace: false,
+            warm_start: false,
         }
     }
 
@@ -149,6 +184,13 @@ impl ExplainJob {
     #[must_use]
     pub fn with_trace(mut self) -> ExplainJob {
         self.trace = true;
+        self
+    }
+
+    /// Sets whether the job asks for a store-seeded warm start.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm: bool) -> ExplainJob {
+        self.warm_start = warm;
         self
     }
 }

@@ -65,5 +65,5 @@ pub use job::{
 pub use metrics::{
     Histogram, HistogramSnapshot, Metrics, MetricsCollector, MetricsSnapshot, LATENCY_BUCKETS_US,
 };
-pub use pool::{Runtime, RuntimeConfig, RuntimeConfigError, WorkerProbe};
+pub use pool::{Runtime, RuntimeBootError, RuntimeConfig, RuntimeConfigError, WorkerProbe};
 pub use pool_core::PoolCore;

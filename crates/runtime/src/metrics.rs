@@ -165,6 +165,12 @@ pub struct Metrics {
     pub phase_readout: Histogram,
     /// Total optimisation epochs run across all completed jobs.
     pub epochs_total: AtomicU64,
+    /// Warm-start lookups that found a usable converged mask in the
+    /// persistent store (matching key *and* model fingerprint).
+    pub store_hits: AtomicU64,
+    /// Warm-start lookups that found nothing usable (no store attached,
+    /// no record for the key, stale fingerprint, or a read error).
+    pub store_misses: AtomicU64,
 }
 
 impl Metrics {
@@ -187,6 +193,8 @@ impl Metrics {
             phase_optimize: self.phase_optimize.snapshot(),
             phase_readout: self.phase_readout.snapshot(),
             epochs_total: self.epochs_total.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_misses: self.store_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -252,6 +260,10 @@ pub struct MetricsSnapshot {
     pub phase_readout: HistogramSnapshot,
     /// Total optimisation epochs run across all completed jobs.
     pub epochs_total: u64,
+    /// Warm-start store lookups that produced a usable mask.
+    pub store_hits: u64,
+    /// Warm-start store lookups that produced nothing usable.
+    pub store_misses: u64,
 }
 
 impl MetricsSnapshot {
@@ -291,6 +303,10 @@ impl MetricsSnapshot {
             100.0 * self.cache_hit_rate(),
         ));
         out.push_str(&format!("  epochs    total={}\n", self.epochs_total));
+        out.push_str(&format!(
+            "  store     hits={} misses={}\n",
+            self.store_hits, self.store_misses,
+        ));
         for (name, h) in [
             ("prep", &self.prep_latency),
             ("explain", &self.explain_latency),

@@ -22,11 +22,16 @@ use std::sync::atomic::AtomicBool;
 
 use revelio_check::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use revelio_check::sync::{mpsc, Arc, Mutex, MutexGuard};
-use revelio_core::{Deadline, ExplainControl};
+use revelio_core::{ConvergedMask, Deadline, ExplainControl};
 use revelio_gnn::{Gnn, Instance};
+use revelio_graph::FlowIndex;
+use revelio_store::{
+    ExplanationRecord, FlowsRecord, MaskKey, ModelRecord, PhaseSummary, Store, StoreError,
+    StoredMask,
+};
 use revelio_trace::{Collector, EventKind, Phase, RingCollector, Tee, Trace, TraceHandle, TraceId};
 
-use crate::cache::ArtifactCache;
+use crate::cache::{ArtifactCache, CachedFlows};
 use crate::job::{
     ExplainJob, JobError, JobOutput, JobResult, JobTiming, ModelHandle, ModelSpec, Ticket,
 };
@@ -87,6 +92,45 @@ impl std::fmt::Display for RuntimeConfigError {
 
 impl std::error::Error for RuntimeConfigError {}
 
+/// Why [`Runtime::try_with_config_and_store`] could not boot.
+#[derive(Debug)]
+pub enum RuntimeBootError {
+    /// The configuration itself is unusable.
+    Config(RuntimeConfigError),
+    /// The store could not be read during recovery.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for RuntimeBootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeBootError::Config(e) => write!(f, "invalid runtime config: {e}"),
+            RuntimeBootError::Store(e) => write!(f, "store recovery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeBootError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeBootError::Config(e) => Some(e),
+            RuntimeBootError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<RuntimeConfigError> for RuntimeBootError {
+    fn from(e: RuntimeConfigError) -> Self {
+        RuntimeBootError::Config(e)
+    }
+}
+
+impl From<StoreError> for RuntimeBootError {
+    fn from(e: StoreError) -> Self {
+        RuntimeBootError::Store(e)
+    }
+}
+
 impl RuntimeConfig {
     /// Checks the configuration for values the runtime cannot honour.
     pub fn validate(&self) -> Result<(), RuntimeConfigError> {
@@ -130,6 +174,9 @@ struct Shared {
     /// admission-control signal read by [`Runtime::try_submit`].
     in_flight: AtomicUsize,
     base_seed: u64,
+    /// Write-behind persistence: registrations, flow tables, and finished
+    /// explanations are appended here. `None` = in-memory-only runtime.
+    store: Option<Arc<dyn Store>>,
 }
 
 /// Decrements the in-flight gauge exactly once per accepted job, however
@@ -182,6 +229,81 @@ impl Runtime {
     /// Builds a runtime, or reports *why* the configuration is unusable
     /// (zero workers, zero cache capacity/shards) as a typed error.
     pub fn try_with_config(cfg: RuntimeConfig) -> Result<Runtime, RuntimeConfigError> {
+        Runtime::build(cfg, None)
+    }
+
+    /// Builds a runtime with write-behind persistence, recovering the
+    /// store's prior state first:
+    ///
+    /// * registered models are restored in id order (so recovered
+    ///   [`ModelHandle`]s are the pre-restart ones),
+    /// * persisted flow tables pre-warm the artifact cache (the incidence
+    ///   matrices are rebuilt, not stored),
+    /// * job-id assignment resumes past the highest stored job id, so
+    ///   old explanations stay addressable and new ones never collide.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeBootError::Config`] for an unusable configuration,
+    /// [`RuntimeBootError::Store`] when the store cannot be read.
+    pub fn try_with_config_and_store(
+        cfg: RuntimeConfig,
+        store: Arc<dyn Store>,
+    ) -> Result<Runtime, RuntimeBootError> {
+        let rt = Runtime::build(cfg, Some(Arc::clone(&store)))?;
+
+        // Models, in ascending id order. Each goes straight into the
+        // registry (not through `register_model`, which would re-append
+        // what we just read).
+        let recovered = store.models()?;
+        {
+            let mut models = lock(&rt.shared.models);
+            for rec in recovered {
+                models.push(Arc::new(ModelSpec::from_parts(rec.config, rec.state)));
+            }
+        }
+
+        // Flow tables pre-warm the artifact cache; a table the rebuilt
+        // index rejects (it was persisted by a different build) is skipped,
+        // and the next job simply re-enumerates.
+        for rec in store.flows()? {
+            let Ok(index) = FlowIndex::from_parts(
+                rec.layers as usize,
+                rec.layer_edge_count as usize,
+                rec.flow_edges,
+            ) else {
+                continue;
+            };
+            rt.shared.cache.insert_flow_index(
+                (
+                    rec.graph_id,
+                    rec.target,
+                    rec.layers as usize,
+                    rec.max_flows as usize,
+                ),
+                CachedFlows {
+                    index: Arc::new(index),
+                    dropped: rec.dropped,
+                },
+            );
+        }
+
+        // Resume job-id assignment past everything already persisted.
+        let max_job = store
+            .list_explanations()?
+            .iter()
+            .map(|s| s.job_id)
+            .max()
+            .map_or(0, |m| m + 1);
+        rt.next_job_id.fetch_max(max_job, Ordering::Relaxed);
+
+        Ok(rt)
+    }
+
+    fn build(
+        cfg: RuntimeConfig,
+        store: Option<Arc<dyn Store>>,
+    ) -> Result<Runtime, RuntimeConfigError> {
         cfg.validate()?;
         let workers = cfg.workers;
         let metrics = Arc::new(Metrics::default());
@@ -195,6 +317,7 @@ impl Runtime {
             alive_workers: AtomicUsize::new(workers),
             in_flight: AtomicUsize::new(0),
             base_seed: cfg.seed,
+            store,
         });
         let core = {
             let shared_init = Arc::clone(&shared);
@@ -236,8 +359,29 @@ impl Runtime {
     pub fn register_model(&self, model: &Gnn) -> ModelHandle {
         let spec = Arc::new(ModelSpec::of(model));
         let mut models = lock(&self.shared.models);
-        models.push(spec);
-        ModelHandle(models.len() - 1)
+        models.push(Arc::clone(&spec));
+        let handle = ModelHandle(models.len() - 1);
+        drop(models);
+        if let Some(store) = &self.shared.store {
+            // Write-behind: persistence failure must not fail the (already
+            // completed) in-memory registration.
+            let _ = store.put_model(&ModelRecord {
+                model_id: handle.0 as u32,
+                fingerprint: spec.fingerprint(),
+                config: spec.config().clone(),
+                state: spec.state().to_vec(),
+            });
+        }
+        handle
+    }
+
+    /// Handles for every registered model, in registration (= recovery)
+    /// order. After [`Runtime::try_with_config_and_store`] these are the
+    /// pre-restart handles.
+    pub fn model_handles(&self) -> Vec<ModelHandle> {
+        (0..lock(&self.shared.models).len())
+            .map(ModelHandle)
+            .collect()
     }
 
     /// Enqueues one job if the runtime has room, or hands the job back.
@@ -520,6 +664,22 @@ fn serve_job(state: &mut WorkerState, shared: &Shared, q: QueuedJob) {
         );
         drop(flow_span);
         tr.event(EventKind::CacheProbe { hit });
+        if !hit {
+            if let Some(store) = &shared.store {
+                // Persist freshly enumerated flow tables (write-behind, so
+                // a failed append costs only a re-enumeration after
+                // restart, never the job).
+                let _ = store.put_flows(&FlowsRecord {
+                    graph_id: job.graph_id,
+                    target: instance.target,
+                    layers: model.num_layers() as u32,
+                    max_flows: job.max_flows as u64,
+                    layer_edge_count: instance.mp.layer_edge_count() as u32,
+                    flow_edges: cached.index.flow_edges().to_vec(),
+                    dropped: cached.dropped,
+                });
+            }
+        }
         (Some(cached.index), cached.dropped)
     } else {
         (None, 0)
@@ -536,6 +696,40 @@ fn serve_job(state: &mut WorkerState, shared: &Shared, q: QueuedJob) {
         return;
     }
 
+    // The store key for this job's converged mask: warm-start lookups and
+    // the write-behind explanation record share it.
+    let mask_key = MaskKey {
+        model_id: q.handle.0 as u32,
+        graph_id: job.graph_id,
+        target: instance.target,
+        layers: model.num_layers() as u32,
+    };
+    let warm_start = if job.warm_start {
+        let usable = shared
+            .store
+            .as_ref()
+            .and_then(|store| store.newest_mask(&mask_key).ok().flatten())
+            // Staleness guard: the mask must have been learned against the
+            // exact weights this runtime serves.
+            .filter(|hit| hit.model_fingerprint == spec.fingerprint());
+        match usable {
+            Some(hit) => {
+                metrics.store_hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::new(ConvergedMask {
+                    mask_params: hit.mask.mask_params,
+                    layer_weights: hit.mask.layer_weights,
+                    selected: hit.mask.selected,
+                }))
+            }
+            None => {
+                metrics.store_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    } else {
+        None
+    };
+
     let deadline = match q.deadline_at {
         Some(at) => Deadline::at(at),
         None => Deadline::none(),
@@ -546,6 +740,7 @@ fn serve_job(state: &mut WorkerState, shared: &Shared, q: QueuedJob) {
         flow_index,
         shrink_on_overflow: job.shrink_on_overflow,
         trace: Some(tr.clone()),
+        warm_start,
     };
 
     let seed = derive_seed(shared.base_seed, q.job_id);
@@ -575,6 +770,32 @@ fn serve_job(state: &mut WorkerState, shared: &Shared, q: QueuedJob) {
             let trace = ring.as_ref().map(|r| r.drain(TraceId(q.job_id)));
             if let Some(t) = &trace {
                 shared.traces.push(t.clone());
+            }
+            if let Some(store) = &shared.store {
+                let us = |d: Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+                let _ = store.put_explanation(&ExplanationRecord {
+                    job_id: q.job_id,
+                    key: mask_key,
+                    model_fingerprint: spec.fingerprint(),
+                    edge_scores: controlled.explanation.edge_scores.clone(),
+                    layer_edge_scores: controlled.explanation.layer_edge_scores.clone(),
+                    flow_scores: controlled
+                        .explanation
+                        .flows
+                        .as_ref()
+                        .map(|f| f.scores.clone()),
+                    degradation: controlled.degradation,
+                    phases: PhaseSummary {
+                        queue_us: us(queue_wait),
+                        prep_us: us(explain_start - prep_start),
+                        explain_us: us(explain_elapsed),
+                    },
+                    mask: controlled.converged_mask.as_ref().map(|m| StoredMask {
+                        mask_params: m.mask_params.clone(),
+                        layer_weights: m.layer_weights.clone(),
+                        selected: m.selected.clone(),
+                    }),
+                });
             }
             let _ = q.result_tx.send(Ok(JobOutput {
                 job_id: q.job_id,

@@ -131,6 +131,16 @@ pub fn render_metrics(s: &MetricsSnapshot) -> String {
             "Optimisation epochs run across all completed jobs.",
             s.epochs_total,
         ),
+        (
+            "revelio_store_hits_total",
+            "Warm-start lookups answered from the persistent store.",
+            s.store_hits,
+        ),
+        (
+            "revelio_store_misses_total",
+            "Warm-start lookups the store could not answer.",
+            s.store_misses,
+        ),
     ] {
         push_counter(&mut out, name, help, value);
     }

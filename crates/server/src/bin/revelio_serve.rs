@@ -3,6 +3,7 @@
 //! ```text
 //! revelio-serve [--addr HOST:PORT] [--workers N] [--max-in-flight N]
 //!               [--cache-capacity N] [--seed S] [--default-deadline-ms MS]
+//!               [--store PATH]
 //! ```
 //!
 //! The process prints the bound address on stdout (`listening on ...`) so
@@ -22,7 +23,8 @@ struct Args {
 }
 
 const USAGE: &str = "usage: revelio-serve [--addr HOST:PORT] [--workers N] \
-[--max-in-flight N] [--cache-capacity N] [--seed S] [--default-deadline-ms MS]";
+[--max-in-flight N] [--cache-capacity N] [--seed S] [--default-deadline-ms MS] \
+[--store PATH]";
 
 fn value(argv: &[String], i: &mut usize, name: &str) -> Result<String, String> {
     *i += 1;
@@ -66,6 +68,9 @@ fn parse_args() -> Result<Args, String> {
                 cfg.runtime.seed = value(&argv, &mut i, "--seed")?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--store" => {
+                cfg.store = Some(value(&argv, &mut i, "--store")?.into());
             }
             "--default-deadline-ms" => {
                 let ms: u64 = value(&argv, &mut i, "--default-deadline-ms")?

@@ -8,7 +8,8 @@ use revelio_gnn::Gnn;
 
 use crate::wire::{
     read_frame, write_frame, ErrorKind, ExplainRequest, Request, Response, ServedExplanation,
-    ServerStats, WireError, WireTrace, DEFAULT_MAX_FRAME_LEN,
+    ServerStats, WireError, WireExplanationSummary, WireStoredExplanation, WireTrace,
+    DEFAULT_MAX_FRAME_LEN,
 };
 
 /// Client-side knobs; the defaults suit loopback and LAN serving.
@@ -254,6 +255,29 @@ impl Client {
         match self.request(&Request::Trace(id))? {
             Response::Trace(t) => Ok(t.map(|b| *b)),
             other => Err(unexpected(&other, "expected Trace")),
+        }
+    }
+
+    /// Fetches a persisted explanation from the server's store by runtime
+    /// job id, or `None` if the store holds nothing under that id. Job ids
+    /// survive server restarts; discover them with
+    /// [`Client::list_explanations`].
+    pub fn fetch_explanation(
+        &mut self,
+        job_id: u64,
+    ) -> Result<Option<WireStoredExplanation>, ClientError> {
+        match self.request(&Request::FetchExplanation(job_id))? {
+            Response::Explanation(e) => Ok(e.map(|b| *b)),
+            other => Err(unexpected(&other, "expected Explanation")),
+        }
+    }
+
+    /// Lists every explanation the server's store holds, ascending by job
+    /// id.
+    pub fn list_explanations(&mut self) -> Result<Vec<WireExplanationSummary>, ClientError> {
+        match self.request(&Request::ListExplanations)? {
+            Response::ExplanationList(list) => Ok(list),
+            other => Err(unexpected(&other, "expected ExplanationList")),
         }
     }
 

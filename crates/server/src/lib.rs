@@ -28,6 +28,6 @@ pub use client::{Client, ClientConfig, ClientError};
 pub use server::{Server, ServerConfig, ServerStartError};
 pub use wire::{
     ErrorKind, ExplainRequest, Request, Response, ServedExplanation, ServerStats, WireError,
-    WireEvent, WireEventKind, WireTiming, WireTrace, DEFAULT_MAX_FRAME_LEN, MAGIC,
-    PROTOCOL_VERSION,
+    WireEvent, WireEventKind, WireExplanationSummary, WireStoredExplanation, WireTiming, WireTrace,
+    DEFAULT_MAX_FRAME_LEN, MAGIC, PROTOCOL_VERSION,
 };

@@ -26,13 +26,15 @@ use revelio_eval::{is_flow_based, is_group_level, method_factory, ALL_METHODS};
 use revelio_gnn::{Gnn, GnnConfig};
 use revelio_graph::Target;
 use revelio_runtime::{
-    ExplainJob, Histogram, JobError, ModelHandle, Runtime, RuntimeConfig, RuntimeConfigError,
+    ExplainJob, Histogram, JobError, ModelHandle, Runtime, RuntimeBootError, RuntimeConfig,
+    RuntimeConfigError,
 };
+use revelio_store::{ExplanationRecord, ExplanationSummary, LogStore, Store, StoreError};
 
 use crate::wire::{
     parse_header, write_frame, ErrorKind, ExplainRequest, Request, Response, ServedExplanation,
-    ServerStats, WireError, WireTiming, WireTrace, DEFAULT_MAX_FRAME_LEN, HEADER_LEN,
-    PROTOCOL_VERSION,
+    ServerStats, WireError, WireExplanationSummary, WireStoredExplanation, WireTiming, WireTrace,
+    DEFAULT_MAX_FRAME_LEN, HEADER_LEN, PROTOCOL_VERSION,
 };
 
 /// How the server binds, times out, and sheds load.
@@ -53,6 +55,12 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Budget for writing one response frame.
     pub write_timeout: Duration,
+    /// Path of the persistent store log. `Some` attaches a [`LogStore`]:
+    /// registrations and finished explanations are persisted write-behind,
+    /// an existing file is recovered at startup (models keep their wire
+    /// ids, pre-restart explanations stay fetchable), and `Explain`
+    /// requests may ask for store-seeded warm starts.
+    pub store: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +72,7 @@ impl Default for ServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
+            store: None,
         }
     }
 }
@@ -90,6 +99,9 @@ struct Shared {
     counters: WireCounters,
     /// Wire model id → runtime handle.
     models: Mutex<Vec<ModelHandle>>,
+    /// The same store the runtime writes behind, for serving
+    /// `FetchExplanation` / `ListExplanations` reads.
+    store: Option<Arc<dyn Store>>,
     cfg: ServerConfig,
 }
 
@@ -125,9 +137,26 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// I/O errors from binding, or an invalid [`RuntimeConfig`].
+    /// I/O errors from binding, an invalid [`RuntimeConfig`], or an
+    /// unrecoverable store file.
     pub fn start(cfg: ServerConfig) -> Result<Server, ServerStartError> {
-        let runtime = Runtime::try_with_config(cfg.runtime.clone())?;
+        let (runtime, store) = match &cfg.store {
+            Some(path) => {
+                let store: Arc<dyn Store> = Arc::new(LogStore::open(path)?);
+                let runtime =
+                    Runtime::try_with_config_and_store(cfg.runtime.clone(), Arc::clone(&store))
+                        .map_err(|e| match e {
+                            RuntimeBootError::Config(e) => ServerStartError::Runtime(e),
+                            RuntimeBootError::Store(e) => ServerStartError::Store(e),
+                        })?;
+                (runtime, Some(store))
+            }
+            None => (Runtime::try_with_config(cfg.runtime.clone())?, None),
+        };
+        // Recovery re-registers stored models in ascending wire-id order
+        // and the runtime assigns handles sequentially, so handle index ==
+        // wire id; an empty or absent store yields an empty map.
+        let models = runtime.model_handles();
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -135,7 +164,8 @@ impl Server {
             runtime,
             stop: AtomicBool::new(false),
             counters: WireCounters::default(),
-            models: Mutex::new(Vec::new()),
+            models: Mutex::new(models),
+            store,
             cfg,
         });
         let handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -223,6 +253,8 @@ pub enum ServerStartError {
     Io(std::io::Error),
     /// The embedded [`RuntimeConfig`] was rejected.
     Runtime(RuntimeConfigError),
+    /// The store file could not be opened or recovered.
+    Store(StoreError),
 }
 
 impl std::fmt::Display for ServerStartError {
@@ -230,6 +262,7 @@ impl std::fmt::Display for ServerStartError {
         match self {
             ServerStartError::Io(e) => write!(f, "bind failed: {e}"),
             ServerStartError::Runtime(e) => write!(f, "runtime config: {e}"),
+            ServerStartError::Store(e) => write!(f, "store: {e}"),
         }
     }
 }
@@ -245,6 +278,12 @@ impl From<std::io::Error> for ServerStartError {
 impl From<RuntimeConfigError> for ServerStartError {
     fn from(e: RuntimeConfigError) -> Self {
         ServerStartError::Runtime(e)
+    }
+}
+
+impl From<StoreError> for ServerStartError {
+    fn from(e: StoreError) -> Self {
+        ServerStartError::Store(e)
     }
 }
 
@@ -456,7 +495,15 @@ fn send_response(
 /// Serves one decoded request; the second return value asks the handler to
 /// close the connection after writing the response.
 fn serve_request(request: Request, shared: &Shared, t0: Instant) -> (Response, bool) {
-    if shared.stop.load(Ordering::Acquire) && !matches!(request, Request::Stats | Request::Trace(_))
+    if shared.stop.load(Ordering::Acquire)
+        && !matches!(
+            request,
+            // Read-only requests stay answerable during shutdown.
+            Request::Stats
+                | Request::Trace(_)
+                | Request::FetchExplanation(_)
+                | Request::ListExplanations
+        )
     {
         return (
             Response::Error {
@@ -489,6 +536,72 @@ fn serve_request(request: Request, shared: &Shared, t0: Instant) -> (Response, b
             shared.stop.store(true, Ordering::Release);
             (Response::ShutdownAck, true)
         }
+        Request::FetchExplanation(job_id) => (fetch_explanation(shared, job_id), false),
+        Request::ListExplanations => (list_explanations(shared), false),
+    }
+}
+
+fn no_store_response() -> Response {
+    Response::Error {
+        kind: ErrorKind::NoStore,
+        message: "this server runs without a persistent store".to_owned(),
+    }
+}
+
+fn store_read_error(e: &StoreError) -> Response {
+    Response::Error {
+        kind: ErrorKind::Internal,
+        message: format!("store read failed: {e}"),
+    }
+}
+
+fn fetch_explanation(shared: &Shared, job_id: u64) -> Response {
+    let Some(store) = shared.store.as_ref() else {
+        return no_store_response();
+    };
+    match store.explanation(job_id) {
+        Ok(rec) => Response::Explanation(rec.map(|r| Box::new(wire_stored(r)))),
+        Err(e) => store_read_error(&e),
+    }
+}
+
+fn list_explanations(shared: &Shared) -> Response {
+    let Some(store) = shared.store.as_ref() else {
+        return no_store_response();
+    };
+    match store.list_explanations() {
+        Ok(list) => Response::ExplanationList(list.iter().map(wire_summary).collect()),
+        Err(e) => store_read_error(&e),
+    }
+}
+
+fn wire_stored(r: ExplanationRecord) -> WireStoredExplanation {
+    WireStoredExplanation {
+        job_id: r.job_id,
+        model: r.key.model_id,
+        graph_id: r.key.graph_id,
+        target: r.key.target,
+        layers: r.key.layers,
+        edge_scores: r.edge_scores,
+        layer_edge_scores: r.layer_edge_scores,
+        flow_scores: r.flow_scores,
+        degradation: r.degradation,
+        queue_us: r.phases.queue_us,
+        prep_us: r.phases.prep_us,
+        explain_us: r.phases.explain_us,
+        has_mask: r.mask.is_some(),
+    }
+}
+
+fn wire_summary(s: &ExplanationSummary) -> WireExplanationSummary {
+    WireExplanationSummary {
+        job_id: s.job_id,
+        model: s.key.model_id,
+        graph_id: s.key.graph_id,
+        target: s.key.target,
+        layers: s.key.layers,
+        degraded: s.degraded,
+        has_mask: s.has_mask,
     }
 }
 
@@ -635,6 +748,7 @@ fn serve_explain(shared: &Shared, req: ExplainRequest, t0: Instant) -> Response 
         shrink_on_overflow: req.control.shrink_on_overflow,
         deadline: req.control.deadline_ms.map(Duration::from_millis),
         trace: req.control.trace,
+        warm_start: req.control.warm_start,
     };
     let ticket = match shared
         .runtime

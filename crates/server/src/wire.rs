@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"RVLO"
-//! 4       2     protocol version (LE u16), currently 2
+//! 4       2     protocol version (LE u16), currently 3
 //! 6       4     payload length (LE u32)
 //! 10      4     CRC-32 (IEEE) of the payload (LE u32)
 //! 14      len   payload
@@ -44,8 +44,11 @@ pub const MAGIC: [u8; 4] = *b"RVLO";
 ///
 /// History: v1 — initial protocol; v2 — observability (`ControlSpec` trace
 /// toggle, `Stats` metrics extended with phase histograms and the epoch
-/// counter, `Trace` request/response, `trace_id` on served explanations).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// counter, `Trace` request/response, `trace_id` on served explanations);
+/// v3 — persistence (`ControlSpec` warm-start toggle, store hit/miss
+/// counters in `Stats`, `FetchExplanation` / `ListExplanations`
+/// request/response pairs over the server's persistent store).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Frame header length in bytes (magic + version + length + checksum).
 pub const HEADER_LEN: usize = 14;
@@ -325,6 +328,13 @@ pub enum Request {
     /// Fetch the retained execution trace of a finished traced request, by
     /// the `trace_id` echoed on its `Explained` response.
     Trace(u64),
+    /// Fetch a persisted explanation from the server's store by runtime
+    /// job id (ids survive restarts; see `ListExplanations` to discover
+    /// them). Answered with `Explanation`.
+    FetchExplanation(u64),
+    /// List every explanation the server's store holds, newest last.
+    /// Answered with `ExplanationList`.
+    ListExplanations,
 }
 
 /// Why the server refused or failed a request.
@@ -344,6 +354,9 @@ pub enum ErrorKind {
     Internal,
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The request needs the persistent store and this server runs
+    /// without one (`revelio-serve` started without `--store`).
+    NoStore,
 }
 
 impl ErrorKind {
@@ -355,6 +368,7 @@ impl ErrorKind {
             ErrorKind::Malformed => 3,
             ErrorKind::Internal => 4,
             ErrorKind::ShuttingDown => 5,
+            ErrorKind::NoStore => 6,
         }
     }
 
@@ -366,6 +380,7 @@ impl ErrorKind {
             3 => ErrorKind::Malformed,
             4 => ErrorKind::Internal,
             5 => ErrorKind::ShuttingDown,
+            6 => ErrorKind::NoStore,
             _ => return Err(WireDecodeError::Invalid("error kind tag")),
         })
     }
@@ -402,6 +417,61 @@ pub struct ServedExplanation {
     /// Set when the request asked for a trace ([`ControlSpec`]'s `trace`):
     /// the id to cite in a follow-up [`Request::Trace`].
     pub trace_id: Option<u64>,
+}
+
+/// A persisted explanation as it crosses the wire: the stored answer plus
+/// the key it was recorded under. Converged-mask parameters stay
+/// server-side (they only seed warm starts); `has_mask` reports whether
+/// the record carries one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStoredExplanation {
+    /// Runtime job id the record is addressed by (stable across restarts).
+    pub job_id: u64,
+    /// Wire model id the job ran against.
+    pub model: u32,
+    /// Caller-assigned graph id.
+    pub graph_id: u64,
+    /// What was explained.
+    pub target: Target,
+    /// GNN layer count `L` of the serving model.
+    pub layers: u32,
+    /// Importance per original edge of the instance graph.
+    pub edge_scores: Vec<f32>,
+    /// Per-layer scores over layer edges, when the method distinguishes
+    /// layers.
+    pub layer_edge_scores: Option<Vec<Vec<f32>>>,
+    /// Per-flow scores, for flow-based methods.
+    pub flow_scores: Option<Vec<f32>>,
+    /// What, if anything, was cut to meet the budget.
+    pub degradation: Degradation,
+    /// Microseconds the job spent queued.
+    pub queue_us: u64,
+    /// Microseconds spent preparing artifacts.
+    pub prep_us: u64,
+    /// Microseconds inside the explainer.
+    pub explain_us: u64,
+    /// Whether the record carries a converged mask (i.e. can seed a
+    /// warm start).
+    pub has_mask: bool,
+}
+
+/// One entry of a `ListExplanations` answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireExplanationSummary {
+    /// Job id to cite in a follow-up [`Request::FetchExplanation`].
+    pub job_id: u64,
+    /// Wire model id the job ran against.
+    pub model: u32,
+    /// Caller-assigned graph id.
+    pub graph_id: u64,
+    /// What was explained.
+    pub target: Target,
+    /// GNN layer count `L` of the serving model.
+    pub layers: u32,
+    /// Whether the stored answer was degraded.
+    pub degraded: bool,
+    /// Whether the record carries a converged mask.
+    pub has_mask: bool,
 }
 
 /// One point-in-time unified metrics report: wire-level counters folded
@@ -546,6 +616,12 @@ pub enum Response {
     /// Answer to `Trace`: the retained trace, or `None` if the id is
     /// unknown, the request was untraced, or the trace was evicted.
     Trace(Option<Box<WireTrace>>),
+    /// Answer to `FetchExplanation`: the stored record, or `None` if the
+    /// store holds no explanation under that job id.
+    Explanation(Option<Box<WireStoredExplanation>>),
+    /// Answer to `ListExplanations`: every stored explanation, ascending
+    /// by job id.
+    ExplanationList(Vec<WireExplanationSummary>),
 }
 
 // ---------------------------------------------------------------------------
@@ -763,6 +839,9 @@ fn encode_metrics(out: &mut Vec<u8>, m: &MetricsSnapshot) {
     encode_histogram(out, &m.phase_flow_index);
     encode_histogram(out, &m.phase_optimize);
     encode_histogram(out, &m.phase_readout);
+    // v3: store counters ride at the tail so the layout stays append-only.
+    put_u64(out, m.store_hits);
+    put_u64(out, m.store_misses);
 }
 
 fn decode_metrics(r: &mut WireReader<'_>) -> Result<MetricsSnapshot, WireDecodeError> {
@@ -784,6 +863,8 @@ fn decode_metrics(r: &mut WireReader<'_>) -> Result<MetricsSnapshot, WireDecodeE
         phase_flow_index: decode_histogram(r)?,
         phase_optimize: decode_histogram(r)?,
         phase_readout: decode_histogram(r)?,
+        store_hits: r.u64()?,
+        store_misses: r.u64()?,
     })
 }
 
@@ -1014,6 +1095,118 @@ fn decode_trace(r: &mut WireReader<'_>) -> Result<WireTrace, WireDecodeError> {
 }
 
 // ---------------------------------------------------------------------------
+// Stored-explanation codecs.
+// ---------------------------------------------------------------------------
+
+fn encode_stored_explanation(out: &mut Vec<u8>, e: &WireStoredExplanation) {
+    put_u64(out, e.job_id);
+    put_u32(out, e.model);
+    put_u64(out, e.graph_id);
+    encode_target(out, e.target);
+    put_u32(out, e.layers);
+    put_f32s(out, &e.edge_scores);
+    match &e.layer_edge_scores {
+        Some(layers) => {
+            put_u8(out, 1);
+            put_u32(out, layers.len() as u32);
+            for l in layers {
+                put_f32s(out, l);
+            }
+        }
+        None => put_u8(out, 0),
+    }
+    match &e.flow_scores {
+        Some(scores) => {
+            put_u8(out, 1);
+            put_f32s(out, scores);
+        }
+        None => put_u8(out, 0),
+    }
+    e.degradation.encode(out);
+    put_u64(out, e.queue_us);
+    put_u64(out, e.prep_us);
+    put_u64(out, e.explain_us);
+    put_bool(out, e.has_mask);
+}
+
+fn decode_stored_explanation(
+    r: &mut WireReader<'_>,
+) -> Result<WireStoredExplanation, WireDecodeError> {
+    let job_id = r.u64()?;
+    let model = r.u32()?;
+    let graph_id = r.u64()?;
+    let target = decode_target(r)?;
+    let layers = r.u32()?;
+    let edge_scores = r.f32s()?;
+    let layer_edge_scores = match r.u8()? {
+        0 => None,
+        1 => {
+            let n = r.u32()? as usize;
+            // Each layer costs at least its own 4-byte length prefix.
+            if r.remaining() < n.saturating_mul(4) {
+                return Err(WireDecodeError::Truncated {
+                    needed: n.saturating_mul(4),
+                    remaining: r.remaining(),
+                });
+            }
+            let mut lists = Vec::with_capacity(n);
+            for _ in 0..n {
+                lists.push(r.f32s()?);
+            }
+            Some(lists)
+        }
+        _ => return Err(WireDecodeError::Invalid("layer scores tag")),
+    };
+    let flow_scores = match r.u8()? {
+        0 => None,
+        1 => Some(r.f32s()?),
+        _ => return Err(WireDecodeError::Invalid("flow scores tag")),
+    };
+    Ok(WireStoredExplanation {
+        job_id,
+        model,
+        graph_id,
+        target,
+        layers,
+        edge_scores,
+        layer_edge_scores,
+        flow_scores,
+        degradation: Degradation::decode(r)?,
+        queue_us: r.u64()?,
+        prep_us: r.u64()?,
+        explain_us: r.u64()?,
+        has_mask: r.bool()?,
+    })
+}
+
+/// Cheapest possible [`WireExplanationSummary`] encoding: job id + model +
+/// graph id + target tag + layers + two flags. Used to bound a hostile
+/// list count before allocation.
+const SUMMARY_MIN_LEN: usize = 8 + 4 + 8 + 1 + 4 + 1 + 1;
+
+fn encode_summary(out: &mut Vec<u8>, s: &WireExplanationSummary) {
+    put_u64(out, s.job_id);
+    put_u32(out, s.model);
+    put_u64(out, s.graph_id);
+    encode_target(out, s.target);
+    put_u32(out, s.layers);
+    put_bool(out, s.degraded);
+    put_bool(out, s.has_mask);
+}
+
+fn decode_summary(r: &mut WireReader<'_>) -> Result<WireExplanationSummary, WireDecodeError> {
+    Ok(WireExplanationSummary {
+        job_id: r.u64()?,
+        model: r.u32()?,
+        graph_id: r.u64()?,
+        target: decode_target(r)?,
+        layers: r.u32()?,
+        degraded: r.bool()?,
+        has_mask: r.bool()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Request / Response codecs.
 // ---------------------------------------------------------------------------
 
@@ -1023,6 +1216,8 @@ const REQ_EXPLAIN: u8 = 2;
 const REQ_STATS: u8 = 3;
 const REQ_SHUTDOWN: u8 = 4;
 const REQ_TRACE: u8 = 5;
+const REQ_FETCH_EXPLANATION: u8 = 6;
+const REQ_LIST_EXPLANATIONS: u8 = 7;
 
 impl Request {
     /// Encodes the request as a frame payload.
@@ -1067,6 +1262,11 @@ impl Request {
                 put_u8(&mut out, REQ_TRACE);
                 put_u64(&mut out, *id);
             }
+            Request::FetchExplanation(id) => {
+                put_u8(&mut out, REQ_FETCH_EXPLANATION);
+                put_u64(&mut out, *id);
+            }
+            Request::ListExplanations => put_u8(&mut out, REQ_LIST_EXPLANATIONS),
         }
         out
     }
@@ -1123,6 +1323,8 @@ impl Request {
             REQ_STATS => Request::Stats,
             REQ_SHUTDOWN => Request::Shutdown,
             REQ_TRACE => Request::Trace(r.u64()?),
+            REQ_FETCH_EXPLANATION => Request::FetchExplanation(r.u64()?),
+            REQ_LIST_EXPLANATIONS => Request::ListExplanations,
             _ => return Err(WireDecodeError::Invalid("request tag")),
         };
         r.expect_end()?;
@@ -1138,6 +1340,8 @@ const RESP_ERROR: u8 = 4;
 const RESP_STATS: u8 = 5;
 const RESP_SHUTDOWN_ACK: u8 = 6;
 const RESP_TRACE: u8 = 7;
+const RESP_EXPLANATION: u8 = 8;
+const RESP_EXPLANATION_LIST: u8 = 9;
 
 impl Response {
     /// Encodes the response as a frame payload.
@@ -1213,6 +1417,23 @@ impl Response {
                         encode_trace(&mut out, t);
                     }
                     None => put_u8(&mut out, 0),
+                }
+            }
+            Response::Explanation(e) => {
+                put_u8(&mut out, RESP_EXPLANATION);
+                match e {
+                    Some(e) => {
+                        put_u8(&mut out, 1);
+                        encode_stored_explanation(&mut out, e);
+                    }
+                    None => put_u8(&mut out, 0),
+                }
+            }
+            Response::ExplanationList(list) => {
+                put_u8(&mut out, RESP_EXPLANATION_LIST);
+                put_u32(&mut out, list.len() as u32);
+                for s in list {
+                    encode_summary(&mut out, s);
                 }
             }
         }
@@ -1295,6 +1516,26 @@ impl Response {
                 1 => Some(Box::new(decode_trace(&mut r)?)),
                 _ => return Err(WireDecodeError::Invalid("trace option tag")),
             }),
+            RESP_EXPLANATION => Response::Explanation(match r.u8()? {
+                0 => None,
+                1 => Some(Box::new(decode_stored_explanation(&mut r)?)),
+                _ => return Err(WireDecodeError::Invalid("explanation option tag")),
+            }),
+            RESP_EXPLANATION_LIST => {
+                let n = r.u32()? as usize;
+                // A hostile count is rejected before the Vec is allocated.
+                if r.remaining() < n.saturating_mul(SUMMARY_MIN_LEN) {
+                    return Err(WireDecodeError::Truncated {
+                        needed: n.saturating_mul(SUMMARY_MIN_LEN),
+                        remaining: r.remaining(),
+                    });
+                }
+                let mut list = Vec::with_capacity(n);
+                for _ in 0..n {
+                    list.push(decode_summary(&mut r)?);
+                }
+                Response::ExplanationList(list)
+            }
             _ => return Err(WireDecodeError::Invalid("response tag")),
         };
         r.expect_end()?;
@@ -1365,20 +1606,21 @@ mod tests {
 
     #[test]
     fn old_protocol_version_rejected() {
-        // A well-formed v1 frame (the pre-observability protocol) must be
-        // refused: v2 extended ControlSpec and the Stats payload, so
-        // decoding a v1 payload with v2 codecs would misinterpret bytes.
-        let mut frame = encode_frame(b"x", 1024).unwrap();
-        frame[4] = 1;
-        frame[5] = 0;
-        let mut cursor = std::io::Cursor::new(frame);
-        assert!(matches!(
-            read_frame(&mut cursor, 1024),
-            Err(WireError::UnsupportedVersion {
-                got: 1,
-                expected: 2
-            })
-        ));
+        // Well-formed frames from earlier protocols must be refused: v3
+        // extended ControlSpec and the Stats payload again, so decoding a
+        // v1/v2 payload with v3 codecs would misinterpret bytes.
+        for old in [1u16, 2] {
+            let mut frame = encode_frame(b"x", 1024).unwrap();
+            frame[4..6].copy_from_slice(&old.to_le_bytes());
+            let mut cursor = std::io::Cursor::new(frame);
+            match read_frame(&mut cursor, 1024) {
+                Err(WireError::UnsupportedVersion { got, expected }) => {
+                    assert_eq!(got, old);
+                    assert_eq!(expected, 3);
+                }
+                other => panic!("v{old} frame was not refused: {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -1514,6 +1756,7 @@ mod tests {
                 max_flows: 12_345,
                 shrink_on_overflow: true,
                 trace: true,
+                warm_start: true,
             },
             graph: b.build(),
         });
@@ -1528,6 +1771,7 @@ mod tests {
                 assert_eq!(e.target, Target::Node(2));
                 assert_eq!(e.control.deadline_ms, Some(750));
                 assert!(e.control.trace);
+                assert!(e.control.warm_start);
                 assert_eq!(e.graph.num_edges(), 3);
                 assert_eq!(e.graph.feature_row(1), &[0.5]);
             }
@@ -1560,12 +1804,15 @@ mod tests {
         s.runtime.phase_optimize.buckets[2] = 17;
         s.runtime.phase_optimize.total_us = 85_000;
         s.runtime.phase_optimize.max_us = 9_000;
+        s.runtime.store_hits = 5;
+        s.runtime.store_misses = 3;
         let payload = Response::Stats(Box::new(s)).encode();
         match Response::decode(&payload).unwrap() {
             Response::Stats(back) => {
                 assert_eq!(*back, s);
                 assert!(back.report().contains("shed=2"));
                 assert!(back.report().contains("total=340"));
+                assert!(back.report().contains("hits=5 misses=3"));
             }
             _ => panic!("decoded the wrong variant"),
         }
@@ -1589,6 +1836,8 @@ mod tests {
             "revelio_jobs_completed_total",
             "revelio_epochs_total",
             "revelio_latency_seconds_optimize",
+            "revelio_store_hits_total",
+            "revelio_store_misses_total",
             "revelio_server_requests_total",
             "revelio_server_request_latency_seconds",
         ] {
@@ -1658,6 +1907,92 @@ mod tests {
         assert!(matches!(
             Response::decode(&payload).unwrap(),
             Response::Trace(None)
+        ));
+    }
+
+    #[test]
+    fn stored_explanation_round_trips() {
+        let payload = Request::FetchExplanation(77).encode();
+        match Request::decode(&payload).unwrap() {
+            Request::FetchExplanation(id) => assert_eq!(id, 77),
+            _ => panic!("decoded the wrong variant"),
+        }
+
+        let stored = WireStoredExplanation {
+            job_id: 77,
+            model: 2,
+            graph_id: 9,
+            target: Target::Node(4),
+            layers: 3,
+            edge_scores: vec![0.5, 0.25, -0.1],
+            layer_edge_scores: Some(vec![vec![0.1], vec![0.2], vec![0.3]]),
+            flow_scores: Some(vec![0.9, 0.8]),
+            degradation: Degradation {
+                deadline_hit: true,
+                epochs_run: 12,
+                epochs_planned: 150,
+                flows_dropped: 4,
+            },
+            queue_us: 10,
+            prep_us: 20,
+            explain_us: 30,
+            has_mask: true,
+        };
+        let payload = Response::Explanation(Some(Box::new(stored.clone()))).encode();
+        match Response::decode(&payload).unwrap() {
+            Response::Explanation(Some(back)) => assert_eq!(*back, stored),
+            _ => panic!("decoded the wrong variant"),
+        }
+
+        let payload = Response::Explanation(None).encode();
+        assert!(matches!(
+            Response::decode(&payload).unwrap(),
+            Response::Explanation(None)
+        ));
+    }
+
+    #[test]
+    fn explanation_list_round_trips() {
+        let payload = Request::ListExplanations.encode();
+        assert!(matches!(
+            Request::decode(&payload).unwrap(),
+            Request::ListExplanations
+        ));
+
+        let list = vec![
+            WireExplanationSummary {
+                job_id: 1,
+                model: 0,
+                graph_id: 7,
+                target: Target::Graph,
+                layers: 2,
+                degraded: false,
+                has_mask: true,
+            },
+            WireExplanationSummary {
+                job_id: 9,
+                model: 1,
+                graph_id: 8,
+                target: Target::Node(3),
+                layers: 3,
+                degraded: true,
+                has_mask: false,
+            },
+        ];
+        let payload = Response::ExplanationList(list.clone()).encode();
+        match Response::decode(&payload).unwrap() {
+            Response::ExplanationList(back) => assert_eq!(back, list),
+            _ => panic!("decoded the wrong variant"),
+        }
+    }
+
+    #[test]
+    fn hostile_summary_count_fails_before_allocation() {
+        let mut payload = vec![RESP_EXPLANATION_LIST];
+        put_u32(&mut payload, u32::MAX); // summary count with no entries
+        assert!(matches!(
+            Response::decode(&payload),
+            Err(WireDecodeError::Truncated { .. })
         ));
     }
 

@@ -64,6 +64,7 @@ proptest! {
                 max_flows,
                 shrink_on_overflow: variant & 1 == 1,
                 trace: variant & 2 == 2,
+                warm_start: variant & 4 == 4,
             },
             graph,
         };
@@ -82,6 +83,7 @@ proptest! {
         prop_assert_eq!(back.control.max_flows, req.control.max_flows);
         prop_assert_eq!(back.control.shrink_on_overflow, req.control.shrink_on_overflow);
         prop_assert_eq!(back.control.trace, req.control.trace);
+        prop_assert_eq!(back.control.warm_start, req.control.warm_start);
         prop_assert_eq!(back.graph.edges(), req.graph.edges());
         prop_assert_eq!(back.graph.features(), req.graph.features());
     }
