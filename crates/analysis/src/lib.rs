@@ -316,6 +316,66 @@ fn infer_shape(op: &Op) -> Result<(usize, usize), String> {
             }
             Ok((m, n))
         }
+        Op::MatMulNt(a, b) => {
+            let (m, n) = a.shape();
+            let (k, n2) = b.shape();
+            if n != n2 {
+                return Err(format!(
+                    "matmul_nt inner dimensions disagree: [{m},{n}] · [{k},{n2}]ᵀ"
+                ));
+            }
+            Ok((m, k))
+        }
+        Op::MatMulTn(a, b) => {
+            let (m, k) = a.shape();
+            let (m2, n) = b.shape();
+            if m != m2 {
+                return Err(format!(
+                    "matmul_tn inner dimensions disagree: [{m},{k}]ᵀ · [{m2},{n}]"
+                ));
+            }
+            Ok((k, n))
+        }
+        Op::SigmoidScale(a, w) => {
+            let (m, n) = a.shape();
+            if w.shape() != (1, 1) && w.shape() != (m, n) {
+                return Err(format!(
+                    "sigmoid_scale weight must be [1,1] or [{m},{n}], got {:?}",
+                    w.shape()
+                ));
+            }
+            Ok((m, n))
+        }
+        Op::BiasLeakyRelu(a, bias, slope) => {
+            let (m, n) = a.shape();
+            if bias.shape() != (1, n) {
+                return Err(format!(
+                    "bias_leaky_relu bias must be [1,{n}] for a [{m},{n}] operand, got {:?}",
+                    bias.shape()
+                ));
+            }
+            if *slope < 0.0 {
+                return Err(format!(
+                    "bias_leaky_relu slope must be non-negative, got {slope}"
+                ));
+            }
+            Ok((m, n))
+        }
+        Op::SoftmaxXent(a, targets) => {
+            let (m, n) = a.shape();
+            if targets.len() != m {
+                return Err(format!(
+                    "softmax_xent has {} targets for {m} rows",
+                    targets.len()
+                ));
+            }
+            if let Some(&t) = targets.iter().find(|&&t| t >= n) {
+                return Err(format!(
+                    "softmax_xent target {t} out of range for {n} classes"
+                ));
+            }
+            Ok((1, 1))
+        }
         Op::AddRowBroadcast(a, b) => {
             let (m, n) = a.shape();
             if b.shape() != (1, n) {

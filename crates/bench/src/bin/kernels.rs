@@ -1,0 +1,289 @@
+//! Kernel microbench: naive triple-loop matmuls vs the cache-blocked
+//! SIMD-friendly kernels that back the autograd engine, across the matrix
+//! shapes the GCN/GIN/GAT optimize loops actually hit. Writes
+//! `target/experiments/BENCH_kernels.json` (machine-readable; new fields
+//! are only ever added, never renamed).
+//!
+//! ```text
+//! cargo run -p revelio-bench --release --bin kernels [--smoke] [--reps N]
+//! ```
+//!
+//! `--smoke` shrinks repetitions for CI wiring checks. In every mode the
+//! process exits non-zero if the blocked `nn` kernel is slower than the
+//! naive reference on the GCN hidden-layer shape by more than a noise
+//! margin — this is the CI guard against a blocking-scheme regression.
+//! Timings are best-of-N minimums, so scheduler noise only ever inflates
+//! the loser, never deflates it.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use revelio_eval::experiments_dir;
+use revelio_tensor::kernels::{
+    matmul_nn, matmul_nn_naive, matmul_nt, matmul_nt_naive, matmul_tn, matmul_tn_naive,
+};
+
+/// Noise margin for the CI check: blocked must not be slower than
+/// `naive * MARGIN` on the reference shape.
+const MARGIN: f64 = 1.05;
+
+/// The shape the CI check gates on: GCN hidden-layer forward on BA-Shapes
+/// (700 nodes, hidden 20).
+const REFERENCE_SHAPE: &str = "gcn_hidden";
+
+struct Args {
+    smoke: bool,
+    reps: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        reps: 25,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--reps" => {
+                args.reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs a number");
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    if args.smoke {
+        args.reps = 5;
+    }
+    args
+}
+
+/// A logical `(m × k) · (k × n)` product; the three kernel variants are
+/// derived from it the way autograd does: `nn` is the forward, `nt` the
+/// left backward (`grad · Bᵀ`), `tn` the right backward (`Aᵀ · grad`).
+struct Shape {
+    name: &'static str,
+    /// Which model/phase hits this shape, for the JSON record.
+    role: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+/// Shapes from the models the repo trains: BA-Shapes-scale node counts
+/// (700), the paper's GCN/GIN/GAT widths, and a batched-optimize stack
+/// (mask rows = flows pooled across a fused batch).
+const SHAPES: &[Shape] = &[
+    Shape {
+        name: "gcn_input",
+        role: "GCN layer 1: features (700x10) x weights (10x20)",
+        m: 700,
+        k: 10,
+        n: 20,
+    },
+    Shape {
+        name: "gcn_hidden",
+        role: "GCN layer 2: hidden (700x20) x weights (20x20)",
+        m: 700,
+        k: 20,
+        n: 20,
+    },
+    Shape {
+        name: "gin_mlp",
+        role: "GIN MLP: hidden (700x64) x weights (64x64)",
+        m: 700,
+        k: 64,
+        n: 64,
+    },
+    Shape {
+        name: "gat_heads",
+        role: "GAT multi-head: hidden (700x8) x concat heads (8x64)",
+        m: 700,
+        k: 8,
+        n: 64,
+    },
+    Shape {
+        name: "batched_mask",
+        role: "batched optimize: stacked flow messages (4096x20) x weights (20x20)",
+        m: 4096,
+        k: 20,
+        n: 20,
+    },
+];
+
+/// Deterministic fill in (0, 1]: SplitMix64 stream mapped to f32. Strictly
+/// positive values keep the naive kernels' zero-skip branch out of the
+/// measurement and avoid `-0.0` (excluded by the bit-identity contract).
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            ((z >> 40) as f32 + 1.0) / 16_777_216.0
+        })
+        .collect()
+}
+
+/// Best-of-N minimum wall time of `f`, in seconds. Minimums because noise
+/// is one-sided: nothing makes a run faster than the kernel allows.
+fn best_of<F: FnMut() -> Vec<f32>>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        let dt = start.elapsed().as_secs_f64();
+        black_box(out);
+        best = best.min(dt);
+    }
+    best
+}
+
+struct Row {
+    shape: &'static str,
+    role: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    kernel: &'static str,
+    naive_us: f64,
+    blocked_us: f64,
+    speedup: f64,
+}
+
+fn bench_shape(s: &Shape, reps: usize) -> Vec<Row> {
+    let a = fill(s.m * s.k, 1);
+    let b = fill(s.k * s.n, 2);
+    let grad = fill(s.m * s.n, 3);
+    let (m, k, n) = (s.m, s.k, s.n);
+
+    // Correctness gate before timing: the blocked kernels' bit-identity
+    // contract, checked on the real benchmark inputs.
+    assert_eq!(
+        matmul_nn(&a, m, k, &b, n),
+        matmul_nn_naive(&a, m, k, &b, n),
+        "{}: blocked nn diverged from naive",
+        s.name
+    );
+    assert_eq!(
+        matmul_nt(&grad, m, n, &b, k),
+        matmul_nt_naive(&grad, m, n, &b, k),
+        "{}: blocked nt diverged from naive",
+        s.name
+    );
+    assert_eq!(
+        matmul_tn(&a, m, k, &grad, n),
+        matmul_tn_naive(&a, m, k, &grad, n),
+        "{}: blocked tn diverged from naive",
+        s.name
+    );
+
+    let pairs: [(&'static str, f64, f64); 3] = [
+        (
+            "nn",
+            best_of(reps, || matmul_nn_naive(&a, m, k, &b, n)),
+            best_of(reps, || matmul_nn(&a, m, k, &b, n)),
+        ),
+        (
+            "nt",
+            best_of(reps, || matmul_nt_naive(&grad, m, n, &b, k)),
+            best_of(reps, || matmul_nt(&grad, m, n, &b, k)),
+        ),
+        (
+            "tn",
+            best_of(reps, || matmul_tn_naive(&a, m, k, &grad, n)),
+            best_of(reps, || matmul_tn(&a, m, k, &grad, n)),
+        ),
+    ];
+    pairs
+        .into_iter()
+        .map(|(kernel, naive, blocked)| Row {
+            shape: s.name,
+            role: s.role,
+            m,
+            k,
+            n,
+            kernel,
+            naive_us: naive * 1e6,
+            blocked_us: blocked * 1e6,
+            speedup: naive / blocked.max(1e-12),
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+
+    let mut rows = Vec::new();
+    for s in SHAPES {
+        for row in bench_shape(s, args.reps) {
+            eprintln!(
+                "{:>13} {:>2}  {:4}x{:<2}x{:<2}  naive {:>9.1}us  blocked {:>9.1}us  x{:.2}",
+                row.shape,
+                row.kernel,
+                row.m,
+                row.k,
+                row.n,
+                row.naive_us,
+                row.blocked_us,
+                row.speedup
+            );
+            rows.push(row);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"revelio-tensor kernels\",");
+    let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
+    let _ = writeln!(json, "  \"reps\": {},", args.reps);
+    let _ = writeln!(
+        json,
+        "  \"timing\": \"best-of-reps minimum, microseconds\","
+    );
+    let _ = writeln!(json, "  \"reference_shape\": \"{REFERENCE_SHAPE}\",");
+    let _ = writeln!(json, "  \"margin\": {MARGIN},");
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"shape\": \"{}\", \"role\": \"{}\", \"m\": {}, \"k\": {}, \
+             \"n\": {}, \"kernel\": \"{}\", \"naive_us\": {:.2}, \
+             \"blocked_us\": {:.2}, \"speedup\": {:.3}}}",
+            r.shape, r.role, r.m, r.k, r.n, r.kernel, r.naive_us, r.blocked_us, r.speedup
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = experiments_dir().join("BENCH_kernels.json");
+    std::fs::write(&path, &json).expect("write BENCH_kernels.json");
+    println!("{json}");
+    println!("written to {}", path.display());
+
+    // CI gate: the blocked nn kernel must not lose to the naive one on the
+    // reference shape. Best-of-N minimums plus the margin absorb scheduler
+    // noise; a real blocking regression still trips it.
+    let reference = rows
+        .iter()
+        .find(|r| r.shape == REFERENCE_SHAPE && r.kernel == "nn")
+        .expect("reference shape benched");
+    if reference.blocked_us > reference.naive_us * MARGIN {
+        eprintln!(
+            "FAIL: blocked nn on {REFERENCE_SHAPE} ({:.1}us) slower than naive \
+             ({:.1}us) beyond the x{MARGIN} margin",
+            reference.blocked_us, reference.naive_us
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "check ok: blocked nn on {REFERENCE_SHAPE} is x{:.2} vs naive",
+        reference.speedup
+    );
+}

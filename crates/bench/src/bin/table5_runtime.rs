@@ -86,6 +86,7 @@ fn main() {
                             deadline: None,
                             trace: false,
                             warm_start: false,
+                            batch_spec: None,
                         })
                         .collect();
                     let start = Instant::now();

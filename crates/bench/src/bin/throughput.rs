@@ -1,8 +1,10 @@
 //! Serving-throughput benchmark: explanations/sec through the
 //! `revelio-runtime` worker pool at worker counts {1, 2, 4, N_cores} on a
 //! synthetic workload, plus an in-process vs loopback-TCP overhead
-//! comparison through `revelio-server` and a `warm_vs_cold` experiment
-//! quantifying the store's warm-start mask optimization, written to
+//! comparison through `revelio-server`, a `warm_vs_cold` experiment
+//! quantifying the store's warm-start mask optimization, and a
+//! `serial_vs_batched` experiment quantifying fused multi-job optimization
+//! (`RuntimeConfig::max_batch`), written to
 //! `target/experiments/BENCH_runtime.json` (machine-readable; new fields
 //! are only ever added, never renamed).
 //!
@@ -267,6 +269,89 @@ fn measure_warm_vs_cold(model: &Gnn, graphs: &[Graph], epochs: usize) -> WarmVsC
     }
 }
 
+struct Batched {
+    jobs: usize,
+    epochs: usize,
+    max_batch: usize,
+    serial_seconds: f64,
+    serial_per_sec: f64,
+    batched_seconds: f64,
+    batched_per_sec: f64,
+    /// `batched_per_sec / serial_per_sec`: > 1 when fusing wins.
+    speedup: f64,
+    batches: u64,
+    batched_jobs: u64,
+    mean_batch_size_milli: u64,
+    /// Largest |serial − batched| edge score across every job; the contract
+    /// bound is `revelio_core::BATCH_TOLERANCE`.
+    max_abs_score_diff: f64,
+}
+
+/// Fused multi-job optimization vs the serial path on the *same* job
+/// stream: one worker so the queue backs up and batches actually form,
+/// identical seeds on both sides, jobs carrying a `batch_spec` so the
+/// batching runtime may fuse them. The score diff must stay within the
+/// documented `BATCH_TOLERANCE` (enforced by the runtime's equivalence
+/// test; recorded here so the perf trajectory carries the accuracy cost).
+fn measure_batched(model: &Gnn, graphs: &[Graph], epochs: usize, max_batch: usize) -> Batched {
+    use revelio_core::RevelioConfig;
+
+    let spec = RevelioConfig {
+        epochs,
+        objective: Objective::Factual,
+        ..Default::default()
+    };
+    let batch_jobs = |graphs: &[Graph]| -> Vec<ExplainJob> {
+        jobs_for(graphs, epochs)
+            .into_iter()
+            .map(|j| j.with_batch_spec(spec))
+            .collect()
+    };
+
+    let run = |max_batch: usize| {
+        let rt = Runtime::with_config(RuntimeConfig {
+            workers: 1,
+            seed: 42,
+            max_batch,
+            ..Default::default()
+        });
+        let handle = rt.register_model(model);
+        let start = Instant::now();
+        let scores: Vec<Vec<f32>> = rt
+            .explain_batch(handle, batch_jobs(graphs))
+            .into_iter()
+            .map(|r| r.expect("batched-bench job served").explanation.edge_scores)
+            .collect();
+        (start.elapsed().as_secs_f64(), scores, rt.metrics())
+    };
+
+    let (serial_seconds, serial_scores, _) = run(1);
+    let (batched_seconds, batched_scores, m) = run(max_batch);
+
+    let max_abs_score_diff = serial_scores
+        .iter()
+        .zip(&batched_scores)
+        .flat_map(|(s, b)| s.iter().zip(b).map(|(x, y)| f64::from((x - y).abs())))
+        .fold(0.0f64, f64::max);
+
+    let serial_per_sec = graphs.len() as f64 / serial_seconds.max(1e-9);
+    let batched_per_sec = graphs.len() as f64 / batched_seconds.max(1e-9);
+    Batched {
+        jobs: graphs.len(),
+        epochs,
+        max_batch,
+        serial_seconds,
+        serial_per_sec,
+        batched_seconds,
+        batched_per_sec,
+        speedup: batched_per_sec / serial_per_sec.max(1e-9),
+        batches: m.batches,
+        batched_jobs: m.batched_jobs,
+        mean_batch_size_milli: m.batch_size.mean_milli(),
+        max_abs_score_diff,
+    }
+}
+
 fn measure(
     model: &Gnn,
     graphs: &[Graph],
@@ -364,6 +449,20 @@ fn main() {
     // rows — on a few graphs, to keep the cold leg affordable.
     let wvc_epochs = if args.smoke { args.epochs } else { 500 };
     let wvc_graphs = &graphs[..graphs.len().min(6)];
+    let batched = measure_batched(&model, &graphs, args.epochs, 8);
+    eprintln!(
+        "serial_vs_batched: {:.2}/s serial vs {:.2}/s batched (x{:.2}), \
+         batches={} batched_jobs={} mean_size={}.{:03} max|Δscore|={:.2e}",
+        batched.serial_per_sec,
+        batched.batched_per_sec,
+        batched.speedup,
+        batched.batches,
+        batched.batched_jobs,
+        batched.mean_batch_size_milli / 1000,
+        batched.mean_batch_size_milli % 1000,
+        batched.max_abs_score_diff
+    );
+
     let wvc = measure_warm_vs_cold(&model, wvc_graphs, wvc_epochs);
     eprintln!(
         "warm_vs_cold: optimize mean {}us cold vs {}us warm (x{:.2}), \
@@ -429,6 +528,27 @@ fn main() {
             h.max_us
         )
     };
+    let _ = writeln!(
+        json,
+        "  \"serial_vs_batched\": {{\"jobs\": {}, \"epochs\": {}, \
+         \"max_batch\": {}, \"serial_seconds\": {:.4}, \
+         \"serial_per_sec\": {:.4}, \"batched_seconds\": {:.4}, \
+         \"batched_per_sec\": {:.4}, \"speedup\": {:.4}, \"batches\": {}, \
+         \"batched_jobs\": {}, \"mean_batch_size_milli\": {}, \
+         \"max_abs_score_diff\": {:.8}}},",
+        batched.jobs,
+        batched.epochs,
+        batched.max_batch,
+        batched.serial_seconds,
+        batched.serial_per_sec,
+        batched.batched_seconds,
+        batched.batched_per_sec,
+        batched.speedup,
+        batched.batches,
+        batched.batched_jobs,
+        batched.mean_batch_size_milli,
+        batched.max_abs_score_diff
+    );
     let _ = writeln!(
         json,
         "  \"warm_vs_cold\": {{\"jobs\": {}, \"epochs\": {}, \

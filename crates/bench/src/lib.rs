@@ -285,6 +285,7 @@ pub fn run_fidelity(
                     deadline: None,
                     trace: false,
                     warm_start: false,
+                    batch_spec: None,
                 })
                 .collect();
             rt.explain_batch(handle, jobs)

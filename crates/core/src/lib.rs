@@ -18,11 +18,13 @@
 
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
+mod batch;
 mod control;
 mod explanation;
 mod revelio;
 pub mod wire;
 
+pub use batch::{BatchItem, BatchedOptimizer, BATCH_TOLERANCE};
 pub use control::{ControlledExplanation, ConvergedMask, Deadline, Degradation, ExplainControl};
 pub use explanation::{aggregate_flow_scores, Explainer, Explanation, FlowScores, Objective};
 pub use revelio::{ExplainError, LayerWeight, MaskSquash, Revelio, RevelioConfig};

@@ -39,7 +39,7 @@ pub enum LayerWeight {
 
 /// REVELIO hyperparameters. Defaults follow §V-A: learning rate `1e-2`,
 /// 500 learning epochs, dataset-tuned sparsity strength `α`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RevelioConfig {
     /// Learning epochs per instance (the paper uses 500).
     pub epochs: usize,
@@ -117,20 +117,19 @@ impl MaskModel {
     }
 
     /// `ω[E] = σ(I · squash(M) ⊙ act(w))` (Eqs. 4, 5, 7).
-    fn layer_masks(&self, num_edges: usize) -> Vec<Tensor> {
+    fn layer_masks(&self) -> Vec<Tensor> {
         let omega_f = self.flow_scores();
-        let all_rows: Vec<usize> = vec![0; num_edges];
         (0..self.incidence.len())
             .map(|l| {
                 let s = omega_f.sp_matvec(&self.incidence[l]);
-                let weighted = match self.layer_weight {
-                    LayerWeight::Exp => s.mul(&self.layer_weights[l].exp().gather_rows(&all_rows)),
-                    LayerWeight::Softplus => {
-                        s.mul(&self.layer_weights[l].softplus().gather_rows(&all_rows))
-                    }
-                    LayerWeight::None => s,
-                };
-                weighted.sigmoid()
+                // Fused scale + sigmoid: bit-identical to the unfused
+                // `s.mul(&w.gather_rows(..)).sigmoid()` chain but a single
+                // pass over the edge column per epoch.
+                match self.layer_weight {
+                    LayerWeight::Exp => s.sigmoid_scale(&self.layer_weights[l].exp()),
+                    LayerWeight::Softplus => s.sigmoid_scale(&self.layer_weights[l].softplus()),
+                    LayerWeight::None => s.sigmoid(),
+                }
             })
             .collect()
     }
@@ -195,7 +194,7 @@ impl Revelio {
                     squash: cfg.squash,
                     layer_weight: cfg.layer_weight,
                 };
-                let masks = probe.layer_masks(ne);
+                let masks = probe.layer_masks();
                 let lp_c = model
                     .target_logits(&instance.mp, &instance.x, Some(&masks), instance.target)
                     .log_softmax_rows()
@@ -392,7 +391,7 @@ impl Revelio {
             .collect();
 
         let build_loss = || {
-            let masks = mask_model.layer_masks(ne);
+            let masks = mask_model.layer_masks();
 
             let logits =
                 model.target_logits(&instance.mp, &instance.x, Some(&masks), instance.target);
@@ -548,7 +547,7 @@ impl Revelio {
         // Final scores. Counterfactual: ω'[F] = -ω[F] and
         // ω'[e] = 1 - ω[e], so higher always means more important.
         let readout_span = tr.span(Phase::Readout);
-        let masks = mask_model.layer_masks(ne);
+        let masks = mask_model.layer_masks();
         let learned: Vec<f32> = mask_model.flow_scores().to_vec();
         // Scatter learned scores back over the full flow set (unselected
         // flows keep the neutral score 0).

@@ -18,8 +18,8 @@ pub use instances::{
     EvalInstance, SamplingConfig, SamplingError,
 };
 pub use methods::{
-    flow_cap, is_flow_based, is_group_level, make_method, method_factory, Effort, ALL_METHODS,
-    FLOW_METHODS, GROUP_LEVEL_METHODS,
+    flow_cap, is_flow_based, is_group_level, make_method, method_factory, revelio_batch_config,
+    Effort, ALL_METHODS, FLOW_METHODS, GROUP_LEVEL_METHODS,
 };
 pub use models::{model_accuracy, model_key, train_config_for, trained_model};
 pub use report::{experiments_dir, Table};

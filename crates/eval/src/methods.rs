@@ -129,12 +129,22 @@ pub fn make_method(
             ..Default::default()
         })),
         "REVELIO" => Box::new(Revelio::new(RevelioConfig {
-            epochs: if quick { 100 } else { 500 },
-            objective,
             seed,
-            ..Default::default()
+            ..revelio_batch_config(objective, effort)
         })),
         other => panic!("unknown method {other:?} (expected one of {ALL_METHODS:?})"),
+    }
+}
+
+/// The REVELIO config [`make_method`] serves, with `seed` left at its
+/// default. Runtime callers hand this to `ExplainJob::with_batch_spec` so
+/// queued REVELIO jobs can fuse into one optimize pass; sharing one
+/// constructor guarantees the batch spec and the serial factory agree.
+pub fn revelio_batch_config(objective: Objective, effort: Effort) -> RevelioConfig {
+    RevelioConfig {
+        epochs: if effort == Effort::Quick { 100 } else { 500 },
+        objective,
+        ..Default::default()
     }
 }
 

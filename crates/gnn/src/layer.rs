@@ -142,6 +142,21 @@ impl Layer {
         mask: Option<&Tensor>,
         gcn_norm: &Tensor,
     ) -> Tensor {
+        self.forward_fused(mp, h, mask, gcn_norm, None)
+    }
+
+    /// [`Layer::forward`] with an optional trailing activation fused into
+    /// the final bias add: with `trailing_slope = Some(s)` the result is
+    /// bit-identical to `forward(..).leaky_relu(s)` but saves the extra
+    /// full-matrix passes per epoch of mask optimization.
+    pub fn forward_fused(
+        &self,
+        mp: &MpGraph,
+        h: &Tensor,
+        mask: Option<&Tensor>,
+        gcn_norm: &Tensor,
+        trailing_slope: Option<f32>,
+    ) -> Tensor {
         let n = mp.num_nodes();
         if let Some(m) = mask {
             assert_eq!(
@@ -150,6 +165,10 @@ impl Layer {
                 "layer-edge mask has wrong shape"
             );
         }
+        let finish = |t: Tensor, bias: &Tensor| match trailing_slope {
+            Some(s) => t.bias_leaky_relu(bias, s),
+            None => t.add_row_broadcast(bias),
+        };
         match self {
             Layer::Gcn { weight, bias } => {
                 let hw = h.matmul(weight);
@@ -157,7 +176,7 @@ impl Layer {
                 if let Some(m) = mask {
                     msgs = msgs.mul_col_broadcast(m);
                 }
-                msgs.scatter_add_rows(mp.dst(), n).add_row_broadcast(bias)
+                finish(msgs.scatter_add_rows(mp.dst(), n), bias)
             }
             Layer::Gin { w1, b1, w2, b2 } => {
                 // The first MLP matmul commutes with the (linear) sum
@@ -173,10 +192,7 @@ impl Layer {
                 // Leaky slope avoids whole-layer dying-ReLU collapse, which
                 // full-batch training on constant-feature graphs provokes
                 // (the original uses batch norm for the same reason).
-                agg.add_row_broadcast(b1)
-                    .leaky_relu(0.01)
-                    .matmul(w2)
-                    .add_row_broadcast(b2)
+                finish(agg.bias_leaky_relu(b1, 0.01).matmul(w2), b2)
             }
             Layer::Gat {
                 weight,
@@ -220,7 +236,7 @@ impl Layer {
                 } else {
                     out
                 };
-                out.add_row_broadcast(bias)
+                finish(out, bias)
             }
         }
     }

@@ -179,13 +179,18 @@ impl Gnn {
         let mut h = x.clone();
         for (l, layer) in self.layers.iter().enumerate() {
             let mask = masks.map(|ms| &ms[l]);
-            let raw = layer.forward(mp, &h, mask, &norm);
             let is_last = l + 1 == self.cfg.num_layers;
             let keep_raw = is_last && self.cfg.task == Task::NodeClassification;
             // Leaky activation between layers: plain ReLU can kill every
             // unit at once under full-batch training (dying-ReLU), freezing
             // the model at the class prior.
-            let out = if keep_raw { raw } else { raw.leaky_relu(0.01) };
+            let out = if keep_raw {
+                layer.forward(mp, &h, mask, &norm)
+            } else {
+                // Fused into the layer's final bias add — bit-identical to
+                // `forward(..).leaky_relu(0.01)` but one pass over the matrix.
+                layer.forward_fused(mp, &h, mask, &norm, Some(0.01))
+            };
             outs.push(out.clone());
             h = out;
         }

@@ -72,10 +72,9 @@ pub fn train_node_classifier(
     for epoch in 0..cfg.epochs {
         opt.zero_grad();
         let logits = model.node_logits(&mp, &x, None);
-        let loss = logits
-            .gather_rows(train_idx)
-            .log_softmax_rows()
-            .nll_loss(&targets);
+        // Fused softmax + cross-entropy: bit-identical to the unfused
+        // `log_softmax_rows().nll_loss(..)` chain, one pass per epoch.
+        let loss = logits.gather_rows(train_idx).softmax_xent(&targets);
         loss.backward();
         if let Some(max) = cfg.clip_norm {
             clip_grad_norm(&model.params(), max);
@@ -159,8 +158,7 @@ pub fn train_graph_classifier(
                 let (mp, x, label) = &prepared[i];
                 let loss = model
                     .graph_logits(mp, x, None)
-                    .log_softmax_rows()
-                    .nll_loss(&[*label])
+                    .softmax_xent(&[*label])
                     .mul_scalar(scale);
                 loss.backward();
                 total += loss.item();

@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use revelio_check::sync::mpsc;
 
-use revelio_core::{Degradation, Explainer, Explanation};
+use revelio_core::{Degradation, Explainer, Explanation, RevelioConfig};
 use revelio_gnn::{Gnn, GnnConfig};
 use revelio_graph::{Graph, Target};
 use revelio_trace::Trace;
@@ -126,6 +126,18 @@ pub struct ExplainJob {
     ///
     /// [`MetricsSnapshot::store_hits`]: crate::MetricsSnapshot
     pub warm_start: bool,
+    /// Declares this job as a REVELIO mask optimisation eligible for the
+    /// runtime's fused multi-job batching (when [`RuntimeConfig::max_batch`]
+    /// `> 1`). Queued jobs sharing the same model handle and an equal
+    /// config are drained into one [`BatchedOptimizer`] pass; everything
+    /// else — including this job when no compatible peer is queued — runs
+    /// through `make_explainer` exactly as before. Batched results match
+    /// the serial path within [`BATCH_TOLERANCE`].
+    ///
+    /// [`RuntimeConfig::max_batch`]: crate::RuntimeConfig
+    /// [`BatchedOptimizer`]: revelio_core::BatchedOptimizer
+    /// [`BATCH_TOLERANCE`]: revelio_core::BATCH_TOLERANCE
+    pub batch_spec: Option<RevelioConfig>,
 }
 
 impl ExplainJob {
@@ -149,6 +161,7 @@ impl ExplainJob {
             deadline: None,
             trace: false,
             warm_start: false,
+            batch_spec: None,
         }
     }
 
@@ -170,6 +183,7 @@ impl ExplainJob {
             deadline: None,
             trace: false,
             warm_start: false,
+            batch_spec: None,
         }
     }
 
@@ -191,6 +205,16 @@ impl ExplainJob {
     #[must_use]
     pub fn with_warm_start(mut self, warm: bool) -> ExplainJob {
         self.warm_start = warm;
+        self
+    }
+
+    /// Marks the job as batchable with the given REVELIO config (the
+    /// config's `seed` is ignored — each job keeps its derived seed). The
+    /// factory must build a `Revelio` with the *same* config for the
+    /// serial fallback to stay equivalent.
+    #[must_use]
+    pub fn with_batch_spec(mut self, cfg: RevelioConfig) -> ExplainJob {
+        self.batch_spec = Some(cfg);
         self
     }
 }

@@ -63,7 +63,8 @@ pub use job::{
     ModelSpec, Ticket,
 };
 pub use metrics::{
-    Histogram, HistogramSnapshot, Metrics, MetricsCollector, MetricsSnapshot, LATENCY_BUCKETS_US,
+    Histogram, HistogramSnapshot, Metrics, MetricsCollector, MetricsSnapshot, SizeHistogram,
+    SizeHistogramSnapshot, BATCH_SIZE_BUCKETS, LATENCY_BUCKETS_US,
 };
 pub use pool::{Runtime, RuntimeBootError, RuntimeConfig, RuntimeConfigError, WorkerProbe};
 pub use pool_core::PoolCore;

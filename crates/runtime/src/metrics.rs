@@ -127,6 +127,65 @@ impl HistogramSnapshot {
     }
 }
 
+/// Upper bounds of the batch-size histogram buckets (number of jobs fused
+/// into one optimize pass); the last bucket is unbounded.
+pub const BATCH_SIZE_BUCKETS: [u64; 5] = [1, 2, 4, 8, 16];
+
+const NUM_SIZE_BUCKETS: usize = BATCH_SIZE_BUCKETS.len() + 1;
+
+/// A fixed-bucket histogram over small integer sizes (batch widths), with
+/// the same relaxed-atomic caveats as [`Histogram`].
+#[derive(Default)]
+pub struct SizeHistogram {
+    buckets: [AtomicU64; NUM_SIZE_BUCKETS],
+    count: AtomicU64,
+    total: AtomicU64,
+    max: AtomicU64,
+}
+
+impl SizeHistogram {
+    /// Records one size observation.
+    pub fn observe(&self, size: u64) {
+        let idx = BATCH_SIZE_BUCKETS
+            .iter()
+            .position(|&b| size <= b)
+            .unwrap_or(NUM_SIZE_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(size, Ordering::Relaxed);
+        self.max.fetch_max(size, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the counters.
+    pub fn snapshot(&self) -> SizeHistogramSnapshot {
+        SizeHistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            total: self.total.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one [`SizeHistogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SizeHistogramSnapshot {
+    /// Per-bucket counts; bucket `i` covers `(BATCH_SIZE_BUCKETS[i-1],
+    /// BATCH_SIZE_BUCKETS[i]]`, the last bucket is unbounded above.
+    pub buckets: [u64; NUM_SIZE_BUCKETS],
+    pub count: u64,
+    pub total: u64,
+    pub max: u64,
+}
+
+impl SizeHistogramSnapshot {
+    /// Mean observed size ×1000 (fixed-point, 0 when empty) — keeps the
+    /// snapshot `Eq`/`Copy` without a float field.
+    pub fn mean_milli(&self) -> u64 {
+        (self.total * 1000).checked_div(self.count).unwrap_or(0)
+    }
+}
+
 /// The runtime's metrics registry. One instance per [`Runtime`], shared by
 /// every worker.
 ///
@@ -171,6 +230,13 @@ pub struct Metrics {
     /// Warm-start lookups that found nothing usable (no store attached,
     /// no record for the key, stale fingerprint, or a read error).
     pub store_misses: AtomicU64,
+    /// Fused multi-job optimize passes executed (each covers ≥2 jobs).
+    pub batches: AtomicU64,
+    /// Jobs served through a fused batch; a subset of `jobs_completed` +
+    /// `jobs_failed`.
+    pub batched_jobs: AtomicU64,
+    /// Distribution of fused-batch widths (jobs per optimize pass).
+    pub batch_size: SizeHistogram,
 }
 
 impl Metrics {
@@ -195,6 +261,9 @@ impl Metrics {
             epochs_total: self.epochs_total.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
             store_misses: self.store_misses.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
+            batch_size: self.batch_size.snapshot(),
         }
     }
 }
@@ -264,6 +333,12 @@ pub struct MetricsSnapshot {
     pub store_hits: u64,
     /// Warm-start store lookups that produced nothing usable.
     pub store_misses: u64,
+    /// Fused multi-job optimize passes executed.
+    pub batches: u64,
+    /// Jobs served through a fused batch.
+    pub batched_jobs: u64,
+    /// Distribution of fused-batch widths.
+    pub batch_size: SizeHistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -306,6 +381,14 @@ impl MetricsSnapshot {
         out.push_str(&format!(
             "  store     hits={} misses={}\n",
             self.store_hits, self.store_misses,
+        ));
+        out.push_str(&format!(
+            "  batch     batches={} jobs={} mean_size={}.{:03} max_size={}\n",
+            self.batches,
+            self.batched_jobs,
+            self.batch_size.mean_milli() / 1000,
+            self.batch_size.mean_milli() % 1000,
+            self.batch_size.max,
         ));
         for (name, h) in [
             ("prep", &self.prep_latency),
@@ -416,6 +499,22 @@ mod tests {
         let s = metrics.snapshot(0, 0);
         assert_eq!(s.phase_optimize.count, 1);
         assert_eq!(s.phase_extraction.count, 0);
+    }
+
+    #[test]
+    fn size_histogram_buckets_and_mean() {
+        let h = SizeHistogram::default();
+        h.observe(1); // bucket 0 (<=1)
+        h.observe(3); // bucket 2 (<=4)
+        h.observe(40); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[2], 1);
+        assert_eq!(s.buckets[NUM_SIZE_BUCKETS - 1], 1);
+        assert_eq!(s.max, 40);
+        assert_eq!(s.mean_milli(), (1 + 3 + 40) * 1000 / 3);
+        assert_eq!(SizeHistogramSnapshot::default().mean_milli(), 0);
     }
 
     #[test]

@@ -21,8 +21,10 @@ use std::time::{Duration, Instant};
 use std::sync::atomic::AtomicBool;
 
 use revelio_check::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use revelio_check::sync::{mpsc, Arc, Mutex, MutexGuard};
-use revelio_core::{ConvergedMask, Deadline, ExplainControl};
+use revelio_check::sync::{mpsc, thread, Arc, Mutex, MutexGuard};
+use revelio_core::{
+    BatchItem, BatchedOptimizer, ConvergedMask, Deadline, Degradation, ExplainControl, ExplainError,
+};
 use revelio_gnn::{Gnn, Instance};
 use revelio_graph::FlowIndex;
 use revelio_store::{
@@ -61,6 +63,20 @@ pub struct RuntimeConfig {
     /// Deadline applied to jobs that don't set their own (`None` =
     /// unbounded).
     pub default_deadline: Option<Duration>,
+    /// Maximum jobs fused into one batched optimize pass. `1` (the
+    /// default) disables batching entirely; with a larger value a worker
+    /// opportunistically drains queued jobs that share the first job's
+    /// model and [`ExplainJob::batch_spec`] into one
+    /// [`BatchedOptimizer`] run. Batched answers match the serial path
+    /// within [`BATCH_TOLERANCE`].
+    ///
+    /// [`BatchedOptimizer`]: revelio_core::BatchedOptimizer
+    /// [`BATCH_TOLERANCE`]: revelio_core::BATCH_TOLERANCE
+    pub max_batch: usize,
+    /// How long a worker holding a single batchable job waits for a
+    /// compatible peer to arrive before running it alone. Only consulted
+    /// when `max_batch > 1` and the queue is momentarily empty.
+    pub batch_linger: Duration,
 }
 
 /// A [`RuntimeConfig`] value the runtime refuses to run with.
@@ -76,6 +92,9 @@ pub enum RuntimeConfigError {
     ZeroCacheCapacity,
     /// `cache_shards == 0`: the cache needs at least one shard.
     ZeroCacheShards,
+    /// `max_batch == 0`: a zero-wide batch can never serve a job; use 1 to
+    /// disable batching.
+    ZeroMaxBatch,
 }
 
 impl std::fmt::Display for RuntimeConfigError {
@@ -86,6 +105,9 @@ impl std::fmt::Display for RuntimeConfigError {
                 write!(f, "cache_capacity must be at least 1")
             }
             RuntimeConfigError::ZeroCacheShards => write!(f, "cache_shards must be at least 1"),
+            RuntimeConfigError::ZeroMaxBatch => {
+                write!(f, "max_batch must be at least 1 (1 disables batching)")
+            }
         }
     }
 }
@@ -143,6 +165,9 @@ impl RuntimeConfig {
         if self.cache_shards == 0 {
             return Err(RuntimeConfigError::ZeroCacheShards);
         }
+        if self.max_batch == 0 {
+            return Err(RuntimeConfigError::ZeroMaxBatch);
+        }
         Ok(())
     }
 }
@@ -155,6 +180,8 @@ impl Default for RuntimeConfig {
             cache_capacity: 256,
             cache_shards: 8,
             default_deadline: None,
+            max_batch: 1,
+            batch_linger: Duration::from_micros(500),
         }
     }
 }
@@ -177,6 +204,10 @@ struct Shared {
     /// Write-behind persistence: registrations, flow tables, and finished
     /// explanations are appended here. `None` = in-memory-only runtime.
     store: Option<Arc<dyn Store>>,
+    /// Maximum fused-batch width (`1` = batching off).
+    max_batch: usize,
+    /// Wait for a batch peer when the queue is momentarily empty.
+    batch_linger: Duration,
 }
 
 /// Decrements the in-flight gauge exactly once per accepted job, however
@@ -318,11 +349,13 @@ impl Runtime {
             in_flight: AtomicUsize::new(0),
             base_seed: cfg.seed,
             store,
+            max_batch: cfg.max_batch,
+            batch_linger: cfg.batch_linger,
         });
         let core = {
             let shared_init = Arc::clone(&shared);
             let shared_serve = Arc::clone(&shared);
-            PoolCore::spawn(
+            PoolCore::spawn_draining(
                 "revelio-worker",
                 workers,
                 // Per-worker state is built on the worker thread: `Gnn`s
@@ -331,7 +364,7 @@ impl Runtime {
                     local_models: HashMap::new(),
                     _alive: AliveGuard(Arc::clone(&shared_init)),
                 },
-                move |state, q| serve_job(state, &shared_serve, q),
+                move |state, q, drain| serve_entry(state, &shared_serve, q, drain),
             )
             .unwrap_or_else(|e| panic!("failed to spawn workers: {e}"))
         };
@@ -602,6 +635,279 @@ struct WorkerState {
     /// Models this worker has already materialised, keyed by handle index.
     local_models: HashMap<usize, Gnn>,
     _alive: AliveGuard,
+}
+
+/// Whether a queued job may enter a fused batch at all. Batched execution
+/// has no per-job deadline polling, tracing, or warm-start seeding, so jobs
+/// using any of those stay on the serial path.
+fn batch_eligible(q: &QueuedJob) -> bool {
+    q.job.batch_spec.is_some()
+        && q.job.needs_flows
+        && !q.job.warm_start
+        && !q.job.trace
+        && q.deadline_at.is_none()
+}
+
+/// Whether `next` can join a batch opened by `first` (same model, equal
+/// REVELIO config).
+fn batch_compatible(first: &QueuedJob, next: &QueuedJob) -> bool {
+    batch_eligible(next)
+        && next.handle == first.handle
+        && next.job.batch_spec == first.job.batch_spec
+}
+
+/// [`PoolCore`]'s handler: serves the dequeued job, opportunistically
+/// draining compatible queued jobs into one fused optimize pass when
+/// batching is enabled ([`RuntimeConfig::max_batch`] `> 1`).
+fn serve_entry(
+    state: &mut WorkerState,
+    shared: &Shared,
+    first: QueuedJob,
+    drain: &mut dyn FnMut() -> Option<QueuedJob>,
+) {
+    if shared.max_batch <= 1 || !batch_eligible(&first) {
+        serve_job(state, shared, first);
+        return;
+    }
+    let mut batch = vec![first];
+    // A drained job that cannot join the batch is served (serially) right
+    // after it — never re-queued, so intra-model submission order is
+    // preserved per worker.
+    let mut follower: Option<QueuedJob> = None;
+    let mut lingered = false;
+    while batch.len() < shared.max_batch {
+        match drain() {
+            Some(q) => {
+                if batch_compatible(&batch[0], &q) {
+                    batch.push(q);
+                } else {
+                    follower = Some(q);
+                    break;
+                }
+            }
+            None if !lingered && !shared.batch_linger.is_zero() => {
+                // Give an in-flight burst one chance to land a peer.
+                thread::sleep(shared.batch_linger);
+                lingered = true;
+            }
+            None => break,
+        }
+    }
+    if batch.len() == 1 {
+        let only = batch.pop().expect("len checked");
+        serve_job(state, shared, only);
+    } else {
+        serve_fused_batch(state, shared, batch);
+    }
+    if let Some(q) = follower {
+        serve_job(state, shared, q);
+    }
+}
+
+/// Everything retained per job across the fused batch's prep stage.
+struct PreppedJob {
+    job_id: u64,
+    queue_wait: Duration,
+    result_tx: mpsc::Sender<JobResult>,
+    instance: Instance,
+    flow_index: Arc<FlowIndex>,
+    flows_dropped: u64,
+    graph_id: u64,
+}
+
+/// Serves `batch` (≥ 2 jobs sharing one model and config) through a single
+/// [`BatchedOptimizer`] pass. Per-job accounting mirrors [`serve_job`];
+/// named-phase histograms and warm-start mask persistence are skipped
+/// (batched jobs are cold-start by eligibility).
+fn serve_fused_batch(state: &mut WorkerState, shared: &Shared, batch: Vec<QueuedJob>) {
+    let metrics = &shared.metrics;
+    // One in-flight decrement per job, however the batch ends.
+    let _guards: Vec<InFlightGuard<'_>> = batch
+        .iter()
+        .map(|_| InFlightGuard(&shared.in_flight))
+        .collect();
+    for q in &batch {
+        metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        metrics.jobs_started.fetch_add(1, Ordering::Relaxed);
+        metrics.queue_wait.observe(q.submitted.elapsed());
+    }
+
+    if shared.cancel.load(Ordering::Relaxed) {
+        for q in batch {
+            metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            let _ = q.result_tx.send(Err(JobError::Cancelled));
+        }
+        return;
+    }
+
+    let handle = batch[0].handle;
+    let cfg = batch[0]
+        .job
+        .batch_spec
+        .expect("batch_eligible requires a spec");
+    let spec = lock(&shared.models).get(handle.0).map(Arc::clone);
+    let Some(spec) = spec else {
+        for q in batch {
+            metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            let _ = q.result_tx.send(Err(JobError::UnknownModel));
+        }
+        return;
+    };
+    let model = state
+        .local_models
+        .entry(handle.0)
+        .or_insert_with(|| spec.materialize());
+
+    // Per-job prep: instance forward pass + cache-shared flow index.
+    let prep_start = Instant::now();
+    let mut prepped: Vec<PreppedJob> = Vec::with_capacity(batch.len());
+    for q in batch {
+        let QueuedJob {
+            job_id,
+            job,
+            submitted,
+            result_tx,
+            ..
+        } = q;
+        let queue_wait = submitted.elapsed();
+        let instance = Instance::for_prediction(model, job.graph, job.target);
+        let (cached, hit) = shared.cache.flow_index_probed(
+            job.graph_id,
+            &instance.mp,
+            model.num_layers(),
+            instance.target,
+            job.max_flows,
+        );
+        if !hit {
+            if let Some(store) = &shared.store {
+                let _ = store.put_flows(&FlowsRecord {
+                    graph_id: job.graph_id,
+                    target: instance.target,
+                    layers: model.num_layers() as u32,
+                    max_flows: job.max_flows as u64,
+                    layer_edge_count: instance.mp.layer_edge_count() as u32,
+                    flow_edges: cached.index.flow_edges().to_vec(),
+                    dropped: cached.dropped,
+                });
+            }
+        }
+        if !job.shrink_on_overflow && cached.dropped > 0 {
+            metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            let _ = result_tx.send(Err(JobError::TooManyFlows {
+                dropped: cached.dropped,
+            }));
+            continue;
+        }
+        prepped.push(PreppedJob {
+            job_id,
+            queue_wait,
+            result_tx,
+            instance,
+            flow_index: cached.index,
+            flows_dropped: cached.dropped,
+            graph_id: job.graph_id,
+        });
+    }
+    if prepped.is_empty() {
+        return;
+    }
+    let n = prepped.len();
+    let prep_share = prep_start.elapsed() / n as u32;
+    for _ in 0..n {
+        metrics.prep_latency.observe(prep_share);
+    }
+
+    let items: Vec<BatchItem<'_>> = prepped
+        .iter()
+        .map(|p| BatchItem {
+            instance: &p.instance,
+            seed: derive_seed(shared.base_seed, p.job_id),
+            flow_index: Some(Arc::clone(&p.flow_index)),
+        })
+        .collect();
+    let optimizer = BatchedOptimizer::new(cfg);
+    let explain_start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| optimizer.explain_batch(model, &items)));
+    let explain_elapsed = explain_start.elapsed();
+    let explain_share = explain_elapsed / n as u32;
+    drop(items);
+
+    metrics.batches.fetch_add(1, Ordering::Relaxed);
+    metrics.batched_jobs.fetch_add(n as u64, Ordering::Relaxed);
+    metrics.batch_size.observe(n as u64);
+
+    let failure = match outcome {
+        Ok(Ok(explanations)) => {
+            for (p, explanation) in prepped.into_iter().zip(explanations) {
+                metrics.explain_latency.observe(explain_share);
+                metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                metrics
+                    .epochs_total
+                    .fetch_add(cfg.epochs as u64, Ordering::Relaxed);
+                let degradation = Degradation {
+                    deadline_hit: false,
+                    epochs_run: cfg.epochs,
+                    epochs_planned: cfg.epochs,
+                    flows_dropped: p.flows_dropped,
+                };
+                if degradation.is_degraded() {
+                    metrics.jobs_degraded.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(store) = &shared.store {
+                    let us = |d: Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+                    let _ = store.put_explanation(&ExplanationRecord {
+                        job_id: p.job_id,
+                        key: MaskKey {
+                            model_id: handle.0 as u32,
+                            graph_id: p.graph_id,
+                            target: p.instance.target,
+                            layers: model.num_layers() as u32,
+                        },
+                        model_fingerprint: spec.fingerprint(),
+                        edge_scores: explanation.edge_scores.clone(),
+                        layer_edge_scores: explanation.layer_edge_scores.clone(),
+                        flow_scores: explanation.flows.as_ref().map(|f| f.scores.clone()),
+                        degradation,
+                        phases: PhaseSummary {
+                            queue_us: us(p.queue_wait),
+                            prep_us: us(prep_share),
+                            explain_us: us(explain_share),
+                        },
+                        // Batched runs keep masks stacked across jobs, so
+                        // no per-job converged mask is persisted.
+                        mask: None,
+                    });
+                }
+                let _ = p.result_tx.send(Ok(JobOutput {
+                    job_id: p.job_id,
+                    explanation,
+                    degradation,
+                    timing: JobTiming {
+                        queue_wait: p.queue_wait,
+                        prep: prep_share,
+                        explain: explain_share,
+                    },
+                    trace: None,
+                }));
+            }
+            return;
+        }
+        Ok(Err(ExplainError::TooManyFlows(e))) => JobError::TooManyFlows {
+            dropped: e.found.saturating_sub(e.max as u64),
+        },
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_owned());
+            JobError::Panicked(msg)
+        }
+    };
+    for p in prepped {
+        metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        let _ = p.result_tx.send(Err(failure.clone()));
+    }
 }
 
 /// Serves one dequeued job: [`PoolCore`]'s per-job handler.

@@ -1,27 +1,99 @@
 //! The generic fixed-size worker pool under [`Runtime`].
 //!
-//! `PoolCore` owns exactly the concurrency skeleton — one unbounded mpsc
+//! `PoolCore` owns exactly the concurrency skeleton — one unbounded shared
 //! queue feeding `workers` named threads, drain-on-drop shutdown — and
 //! nothing about explanation serving. The split exists for the model
 //! checker: `PoolCore` speaks only [`revelio_check::sync`] vocabulary, so
 //! `revelio-check`'s `--features check` build can exhaustively explore
 //! submit/drain/shutdown interleavings of the *real* pool (see
 //! `crates/check/tests/real_structures.rs`), while the default build
-//! compiles to the exact `std` code the runtime always had.
+//! compiles to plain `std` primitives.
+//!
+//! The queue is a hand-rolled `Mutex<VecDeque>` + `Condvar` rather than a
+//! mutex-wrapped `mpsc::Receiver` for one load-bearing reason: an idle
+//! worker blocked in `Receiver::recv` holds the receiver mutex for the
+//! whole wait, so any *other* worker's non-blocking `try_recv` (the
+//! [`PoolCore::spawn_draining`] drain hook) deadlocks until the next
+//! submit. A condvar wait releases the lock while parked, so draining
+//! workers and idle workers never block each other.
 //!
 //! [`Runtime`]: crate::Runtime
 
-use revelio_check::sync::{mpsc, thread, Arc, Mutex, MutexGuard};
+use std::collections::VecDeque;
 
-/// A fixed set of worker threads fed from one shared mpsc queue.
+use revelio_check::sync::{thread, Arc, Condvar, Mutex, MutexGuard};
+
+/// The shared closeable job queue: `Mutex<VecDeque>` + `Condvar`.
+struct Channel<J> {
+    state: Mutex<ChannelState<J>>,
+    available: Condvar,
+}
+
+struct ChannelState<J> {
+    queue: VecDeque<J>,
+    closed: bool,
+}
+
+impl<J> Channel<J> {
+    fn new() -> Channel<J> {
+        Channel {
+            state: Mutex::new(ChannelState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues unless closed; hands the job back if it is.
+    fn push(&self, job: J) -> Result<(), J> {
+        let mut s = lock(&self.state);
+        if s.closed {
+            return Err(job);
+        }
+        s.queue.push_back(job);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop: `None` only once the queue is closed **and** drained.
+    /// The condvar wait releases the lock while parked, so concurrent
+    /// [`Channel::try_pop`] calls are never blocked by an idle waiter.
+    fn pop(&self) -> Option<J> {
+        let mut s = lock(&self.state);
+        loop {
+            if let Some(job) = s.queue.pop_front() {
+                return Some(job);
+            }
+            if s.closed {
+                return None;
+            }
+            s = wait(&self.available, s);
+        }
+    }
+
+    /// Non-blocking pop: `None` when momentarily empty (or closed-and-
+    /// drained — callers treat both the same).
+    fn try_pop(&self) -> Option<J> {
+        lock(&self.state).queue.pop_front()
+    }
+
+    /// Closes the queue: pushes fail, poppers drain the backlog then stop.
+    fn close(&self) {
+        lock(&self.state).closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// A fixed set of worker threads fed from one shared queue.
 ///
 /// Each worker builds its own state with `init(worker_index)` *on the
 /// worker thread* (the runtime's state holds `Rc`-based tensors, which
-/// must never cross threads), then loops `recv → handler(&mut state, job)`
+/// must never cross threads), then loops `pop → handler(&mut state, job)`
 /// until the queue is closed **and drained**. Dropping the pool closes the
 /// queue and joins every worker, so `Drop` is the graceful-drain shutdown.
 pub struct PoolCore<J: Send + 'static> {
-    tx: Option<mpsc::Sender<J>>,
+    channel: Arc<Channel<J>>,
     workers: Vec<thread::JoinHandle<()>>,
 }
 
@@ -36,7 +108,7 @@ impl<J: Send + 'static> PoolCore<J> {
     /// # Errors
     ///
     /// Propagates the OS thread-spawn failure; threads spawned before the
-    /// failure are shut down (the queue is dropped, so they exit).
+    /// failure are shut down (the queue is closed, so they exit).
     ///
     /// [`Runtime`]: crate::Runtime
     pub fn spawn<S, I, H>(
@@ -50,32 +122,65 @@ impl<J: Send + 'static> PoolCore<J> {
         I: Fn(usize) -> S + Send + Sync + 'static,
         H: Fn(&mut S, J) + Send + Sync + 'static,
     {
-        let (tx, rx) = mpsc::channel::<J>();
-        let rx = Arc::new(Mutex::new(rx));
+        PoolCore::spawn_draining(name_prefix, workers, init, move |state, job, _drain| {
+            handler(state, job)
+        })
+    }
+
+    /// Like [`PoolCore::spawn`], but the handler also receives a `drain`
+    /// closure that non-blockingly pulls further queued jobs (`None` when
+    /// the queue is momentarily empty or closed). This lets a handler
+    /// opportunistically coalesce several jobs into one unit of work
+    /// (e.g. a fused optimisation batch) without a second queue.
+    ///
+    /// Draining never blocks on idle workers: they park on the queue's
+    /// condvar, not inside a lock (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS thread-spawn failure; threads spawned before the
+    /// failure are shut down (the queue is closed, so they exit).
+    pub fn spawn_draining<S, I, H>(
+        name_prefix: &str,
+        workers: usize,
+        init: I,
+        handler: H,
+    ) -> std::io::Result<PoolCore<J>>
+    where
+        S: 'static,
+        I: Fn(usize) -> S + Send + Sync + 'static,
+        H: Fn(&mut S, J, &mut dyn FnMut() -> Option<J>) + Send + Sync + 'static,
+    {
+        let channel = Arc::new(Channel::new());
         let init = Arc::new(init);
         let handler = Arc::new(handler);
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
-            let rx = Arc::clone(&rx);
+            let worker_channel = Arc::clone(&channel);
             let init = Arc::clone(&init);
             let handler = Arc::clone(&handler);
-            let handle = thread::Builder::new()
+            let spawned = thread::Builder::new()
                 .name(format!("{name_prefix}-{i}"))
                 .spawn(move || {
                     let mut state = init(i);
-                    loop {
-                        // Hold the receiver lock only for the dequeue itself.
-                        let job = { lock(&rx).recv() };
-                        let Ok(job) = job else {
-                            break; // queue closed and drained: shutdown
-                        };
-                        handler(&mut state, job);
+                    while let Some(job) = worker_channel.pop() {
+                        let mut drain = || worker_channel.try_pop();
+                        handler(&mut state, job, &mut drain);
                     }
-                })?;
-            handles.push(handle);
+                });
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    channel.close();
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
         }
         Ok(PoolCore {
-            tx: Some(tx),
+            channel,
             workers: handles,
         })
     }
@@ -88,10 +193,13 @@ impl<J: Send + 'static> PoolCore<J> {
     ///
     /// Returns the job unchanged when no worker can ever receive it.
     pub fn submit(&self, job: J) -> Result<(), J> {
-        match &self.tx {
-            Some(tx) => tx.send(job).map_err(|mpsc::SendError(j)| j),
-            None => Err(job),
+        // Workers hold the only other `Arc`s to the channel: a count of 1
+        // means every worker exited (all panicked, or shutdown began), so
+        // nothing could ever serve the job — mirror a closed-channel send.
+        if Arc::strong_count(&self.channel) <= 1 {
+            return Err(job);
         }
+        self.channel.push(job)
     }
 
     /// The number of worker threads the pool was spawned with.
@@ -102,9 +210,9 @@ impl<J: Send + 'static> PoolCore<J> {
 
 impl<J: Send + 'static> Drop for PoolCore<J> {
     fn drop(&mut self) {
-        // Closing the channel is the shutdown signal: workers drain the
-        // remaining queue, then `recv` errors and they exit.
-        drop(self.tx.take());
+        // Closing the queue is the shutdown signal: workers drain the
+        // remaining backlog, then `pop` returns `None` and they exit.
+        self.channel.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -115,15 +223,22 @@ impl<J: Send + 'static> std::fmt::Debug for PoolCore<J> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PoolCore")
             .field("workers", &self.workers.len())
-            .field("open", &self.tx.is_some())
             .finish()
     }
 }
 
 /// Locks a mutex, riding through poisoning (workers catch job panics, so
-/// a poisoned receiver lock only means a handler died between jobs).
+/// a poisoned queue lock only means a handler died between jobs).
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Waits on a condvar, riding through poisoning like [`lock`].
+fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cv.wait(guard) {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
     }
@@ -177,11 +292,86 @@ mod tests {
     }
 
     #[test]
+    fn draining_handler_can_coalesce_queued_jobs() {
+        // One worker, jobs queued before spawn-side submission finishes:
+        // the handler drains whatever is queued into one "batch" and
+        // records batch sizes; every job must be covered exactly once.
+        let sum = Arc::new(AtomicU64::new(0));
+        let batches = Arc::new(AtomicU64::new(0));
+        let pool = {
+            let sum = Arc::clone(&sum);
+            let batches = Arc::clone(&batches);
+            PoolCore::spawn_draining(
+                "pool-core-drain",
+                1,
+                |_i| (),
+                move |(), first: u64, drain| {
+                    let mut total = first;
+                    while let Some(next) = drain() {
+                        total += next;
+                    }
+                    sum.fetch_add(total, Ordering::Relaxed);
+                    batches.fetch_add(1, Ordering::Relaxed);
+                },
+            )
+            .expect("spawn")
+        };
+        for job in 1..=100u64 {
+            pool.submit(job).expect("submit");
+        }
+        drop(pool);
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+        // At least one handler invocation; at most one per job.
+        let b = batches.load(Ordering::Relaxed);
+        assert!((1..=100).contains(&b), "batches = {b}");
+    }
+
+    #[test]
+    fn draining_is_not_blocked_by_idle_workers() {
+        // Regression for the deadlock this queue design exists to prevent:
+        // with 2+ workers, one worker sits idle while the other serves a
+        // job and drains. With a mutex-wrapped `mpsc::Receiver` the idle
+        // worker's blocking `recv` holds the lock, and the serving
+        // worker's drain would stall until the *next* submit — with the
+        // condvar queue the drain returns immediately and the job
+        // completes without further submissions.
+        let served = Arc::new(AtomicU64::new(0));
+        let pool = {
+            let served = Arc::clone(&served);
+            PoolCore::spawn_draining(
+                "pool-core-idle",
+                2,
+                |_i| (),
+                move |(), job: u64, drain| {
+                    let mut total = job;
+                    while let Some(next) = drain() {
+                        total += next;
+                    }
+                    served.fetch_add(total, Ordering::Relaxed);
+                },
+            )
+            .expect("spawn")
+        };
+        // One lone job: some worker picks it up, the other stays idle.
+        pool.submit(41).expect("submit");
+        // Wait for completion *without* submitting anything else; a drain
+        // deadlock would keep `served` at 0 forever.
+        for _ in 0..2000 {
+            if served.load(Ordering::Relaxed) == 41 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(served.load(Ordering::Relaxed), 41);
+        drop(pool);
+    }
+
+    #[test]
     fn submit_after_worker_exit_returns_the_job() {
         let mut pool: PoolCore<u64> =
             PoolCore::spawn("pool-core-closed", 1, |_i| (), |(), _job| {}).expect("spawn");
         // Simulate the closed state Drop creates, without dropping.
-        drop(pool.tx.take());
+        pool.channel.close();
         for handle in pool.workers.drain(..) {
             let _ = handle.join();
         }

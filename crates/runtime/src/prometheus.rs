@@ -14,8 +14,8 @@
 
 use std::collections::BTreeMap;
 
-use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
-use crate::LATENCY_BUCKETS_US;
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot, SizeHistogramSnapshot};
+use crate::{BATCH_SIZE_BUCKETS, LATENCY_BUCKETS_US};
 
 /// Appends one `counter` family with a single sample.
 pub fn push_counter(out: &mut String, name: &str, help: &str, value: u64) {
@@ -50,6 +50,21 @@ pub fn push_histogram(out: &mut String, name: &str, help: &str, h: &HistogramSna
     }
     out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
     out.push_str(&format!("{name}_sum {}\n", seconds(h.total_us)));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+}
+
+/// Appends one `histogram` family from a unitless size histogram (e.g.
+/// fused-batch widths): cumulative `_bucket` series, `_sum`, `_count`.
+pub fn push_size_histogram(out: &mut String, name: &str, help: &str, h: &SizeHistogramSnapshot) {
+    out.push_str(&format!("# HELP {name} {help}\n"));
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cum = 0u64;
+    for (i, &bound) in BATCH_SIZE_BUCKETS.iter().enumerate() {
+        cum += h.buckets[i];
+        out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cum}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n", h.total));
     out.push_str(&format!("{name}_count {}\n", h.count));
 }
 
@@ -141,6 +156,16 @@ pub fn render_metrics(s: &MetricsSnapshot) -> String {
             "Warm-start lookups the store could not answer.",
             s.store_misses,
         ),
+        (
+            "revelio_batches_total",
+            "Fused multi-job optimize passes executed.",
+            s.batches,
+        ),
+        (
+            "revelio_batched_jobs_total",
+            "Jobs served through a fused batch.",
+            s.batched_jobs,
+        ),
     ] {
         push_counter(&mut out, name, help, value);
     }
@@ -163,6 +188,12 @@ pub fn render_metrics(s: &MetricsSnapshot) -> String {
             h,
         );
     }
+    push_size_histogram(
+        &mut out,
+        "revelio_batch_size",
+        "Jobs fused per batched optimize pass.",
+        &s.batch_size,
+    );
     out.push_str(
         "# HELP revelio_latency_quantile_seconds \
          Latency quantile estimates (linear interpolation within bucket).\n",
@@ -371,12 +402,36 @@ mod tests {
     fn empty_snapshot_renders_validly() {
         let text = render_metrics(&Metrics::default().snapshot(0, 0));
         let exp = parse_exposition(&text).expect("valid exposition");
-        // All seven stage histograms are declared even when empty.
+        // Seven stage histograms plus the batch-size histogram are
+        // declared even when empty.
         let histos = exp
             .families
             .values()
             .filter(|t| **t == FamilyType::Histogram)
             .count();
-        assert_eq!(histos, 7);
+        assert_eq!(histos, 8);
+    }
+
+    #[test]
+    fn batch_metrics_appear_in_exposition() {
+        let m = Metrics::default();
+        m.batches
+            .fetch_add(2, revelio_check::sync::atomic::Ordering::Relaxed);
+        m.batched_jobs
+            .fetch_add(5, revelio_check::sync::atomic::Ordering::Relaxed);
+        m.batch_size.observe(2);
+        m.batch_size.observe(3);
+        let text = render_metrics(&m.snapshot(0, 0));
+        let exp = parse_exposition(&text).expect("valid exposition");
+        assert_eq!(
+            exp.families.get("revelio_batched_jobs_total"),
+            Some(&FamilyType::Counter)
+        );
+        let sum = exp
+            .samples
+            .iter()
+            .find(|(n, _, _)| n == "revelio_batch_size_sum")
+            .expect("sum sample");
+        assert_eq!(sum.2, 5.0);
     }
 }

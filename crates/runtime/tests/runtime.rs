@@ -339,6 +339,13 @@ fn invalid_configs_are_rejected_with_typed_errors() {
             },
             RuntimeConfigError::ZeroCacheShards,
         ),
+        (
+            RuntimeConfig {
+                max_batch: 0,
+                ..Default::default()
+            },
+            RuntimeConfigError::ZeroMaxBatch,
+        ),
     ];
     for (cfg, expected) in cases {
         match Runtime::try_with_config(cfg) {
@@ -402,4 +409,139 @@ fn try_submit_sheds_at_the_watermark() {
     assert_eq!(m.jobs_completed, 1);
     let report = m.report();
     assert!(report.contains("rejected=1"));
+}
+
+/// Batched serving (`max_batch > 1`) answers every job with scores that
+/// match the unbatched runtime within the documented tolerance, and the
+/// batch metrics record the fused passes.
+#[test]
+fn batched_serving_matches_serial_within_tolerance() {
+    let (model, graphs) = trained_model();
+    let spec = RevelioConfig {
+        epochs: 12,
+        objective: Objective::Factual,
+        ..Default::default()
+    };
+    let run = |max_batch: usize| {
+        let rt = Runtime::with_config(RuntimeConfig {
+            workers: 1,
+            seed: 42,
+            max_batch,
+            // Generous linger so the whole submitted burst lands in one
+            // fused pass regardless of scheduling.
+            batch_linger: Duration::from_millis(50),
+            ..Default::default()
+        });
+        let handle = rt.register_model(&model);
+        let jobs: Vec<ExplainJob> = jobs_for(&graphs, 12)
+            .into_iter()
+            .map(|j| j.with_batch_spec(spec))
+            .collect();
+        let scores: Vec<Vec<f32>> = rt
+            .explain_batch(handle, jobs)
+            .into_iter()
+            .map(|r| r.expect("job served").explanation.edge_scores)
+            .collect();
+        (scores, rt.metrics())
+    };
+    let (serial, m1) = run(1);
+    let (batched, m4) = run(4);
+    assert_eq!(m1.batches, 0, "max_batch = 1 must never fuse");
+    assert!(m4.batches >= 1, "no fused pass ran");
+    assert!(m4.batched_jobs >= 2, "fused pass covered < 2 jobs");
+    assert_eq!(m4.jobs_completed, 4);
+    assert_eq!(m4.batch_size.count, m4.batches);
+    for (j, (b, s)) in batched.iter().zip(&serial).enumerate() {
+        assert_eq!(b.len(), s.len());
+        for (i, (x, y)) in b.iter().zip(s).enumerate() {
+            assert!(
+                (x - y).abs() <= revelio_core::BATCH_TOLERANCE,
+                "job {j} edge {i}: batched {x} vs serial {y}"
+            );
+        }
+    }
+}
+
+/// A batchable job with no compatible peer runs on the ordinary serial
+/// path (bit-identical to a runtime without batching), and mixed streams —
+/// batchable and non-batchable jobs interleaved — all complete.
+#[test]
+fn lone_and_mixed_jobs_survive_batching_mode() {
+    let (model, graphs) = trained_model();
+    let spec = RevelioConfig {
+        epochs: 8,
+        objective: Objective::Factual,
+        ..Default::default()
+    };
+    let rt = Runtime::with_config(RuntimeConfig {
+        workers: 1,
+        seed: 9,
+        max_batch: 4,
+        batch_linger: Duration::from_millis(1),
+        ..Default::default()
+    });
+    let handle = rt.register_model(&model);
+    // Lone batchable job: no peer arrives, so it must serve serially.
+    let lone = rt
+        .submit(
+            handle,
+            ExplainJob::flow_based(
+                graphs[0].clone(),
+                Target::Node(2),
+                0,
+                100_000,
+                Box::new(revelio_factory(8)),
+            )
+            .with_batch_spec(spec),
+        )
+        .wait()
+        .expect("lone job served");
+    let plain = Runtime::with_config(RuntimeConfig {
+        workers: 1,
+        seed: 9,
+        ..Default::default()
+    });
+    let handle2 = plain.register_model(&model);
+    let reference = plain
+        .submit(
+            handle2,
+            ExplainJob::flow_based(
+                graphs[0].clone(),
+                Target::Node(2),
+                0,
+                100_000,
+                Box::new(revelio_factory(8)),
+            ),
+        )
+        .wait()
+        .expect("reference job served");
+    assert_eq!(
+        lone.explanation.edge_scores, reference.explanation.edge_scores,
+        "a lone batchable job must stay bit-identical to the serial path"
+    );
+    // Mixed stream: batchable + deadline-carrying (ineligible) jobs.
+    let mixed: Vec<ExplainJob> = graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let job = ExplainJob::flow_based(
+                g.clone(),
+                Target::Node(2),
+                i as u64,
+                100_000,
+                Box::new(revelio_factory(6)),
+            );
+            if i % 2 == 0 {
+                job.with_batch_spec(RevelioConfig {
+                    epochs: 6,
+                    ..Default::default()
+                })
+            } else {
+                job.with_deadline(Duration::from_secs(60))
+            }
+        })
+        .collect();
+    for r in rt.explain_batch(handle, mixed) {
+        assert!(r.is_ok(), "mixed-stream job failed: {:?}", r.err());
+    }
 }

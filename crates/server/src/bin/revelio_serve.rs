@@ -3,7 +3,7 @@
 //! ```text
 //! revelio-serve [--addr HOST:PORT] [--workers N] [--max-in-flight N]
 //!               [--cache-capacity N] [--seed S] [--default-deadline-ms MS]
-//!               [--store PATH]
+//!               [--store PATH] [--max-batch N]
 //! ```
 //!
 //! The process prints the bound address on stdout (`listening on ...`) so
@@ -24,7 +24,7 @@ struct Args {
 
 const USAGE: &str = "usage: revelio-serve [--addr HOST:PORT] [--workers N] \
 [--max-in-flight N] [--cache-capacity N] [--seed S] [--default-deadline-ms MS] \
-[--store PATH]";
+[--store PATH] [--max-batch N]";
 
 fn value(argv: &[String], i: &mut usize, name: &str) -> Result<String, String> {
     *i += 1;
@@ -71,6 +71,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--store" => {
                 cfg.store = Some(value(&argv, &mut i, "--store")?.into());
+            }
+            "--max-batch" => {
+                cfg.runtime.max_batch = value(&argv, &mut i, "--max-batch")?
+                    .parse()
+                    .map_err(|e| format!("--max-batch: {e}"))?;
             }
             "--default-deadline-ms" => {
                 let ms: u64 = value(&argv, &mut i, "--default-deadline-ms")?

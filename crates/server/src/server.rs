@@ -22,7 +22,9 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use revelio_eval::{is_flow_based, is_group_level, method_factory, ALL_METHODS};
+use revelio_eval::{
+    is_flow_based, is_group_level, method_factory, revelio_batch_config, ALL_METHODS,
+};
 use revelio_gnn::{Gnn, GnnConfig};
 use revelio_graph::Target;
 use revelio_runtime::{
@@ -749,6 +751,9 @@ fn serve_explain(shared: &Shared, req: ExplainRequest, t0: Instant) -> Response 
         deadline: req.control.deadline_ms.map(Duration::from_millis),
         trace: req.control.trace,
         warm_start: req.control.warm_start,
+        // REVELIO requests advertise their config so the runtime can fuse
+        // compatible queued jobs into one optimize pass.
+        batch_spec: (method == "REVELIO").then(|| revelio_batch_config(req.objective, req.effort)),
     };
     let ticket = match shared
         .runtime

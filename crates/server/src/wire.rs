@@ -34,7 +34,10 @@ use revelio_eval::Effort;
 use revelio_gnn::{GnnConfig, GnnKind, Task};
 use revelio_graph::{Graph, Target};
 use revelio_runtime::prometheus::{push_counter, push_gauge, push_histogram, render_metrics};
-use revelio_runtime::{HistogramSnapshot, MetricsSnapshot, LATENCY_BUCKETS_US};
+use revelio_runtime::{
+    HistogramSnapshot, MetricsSnapshot, SizeHistogramSnapshot, BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS_US,
+};
 use revelio_trace::{Event, EventKind, Phase, Trace};
 
 /// Frame magic: the first four bytes of every frame.
@@ -47,8 +50,10 @@ pub const MAGIC: [u8; 4] = *b"RVLO";
 /// counter, `Trace` request/response, `trace_id` on served explanations);
 /// v3 — persistence (`ControlSpec` warm-start toggle, store hit/miss
 /// counters in `Stats`, `FetchExplanation` / `ListExplanations`
-/// request/response pairs over the server's persistent store).
-pub const PROTOCOL_VERSION: u16 = 3;
+/// request/response pairs over the server's persistent store);
+/// v4 — batched optimisation (batch counters and the batch-size histogram
+/// appended to the `Stats` metrics tail).
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Frame header length in bytes (magic + version + length + checksum).
 pub const HEADER_LEN: usize = 14;
@@ -68,6 +73,7 @@ pub const MAX_WIRE_NODES: usize = 1 << 24;
 pub const DEFAULT_MAX_FRAME_LEN: usize = 32 * 1024 * 1024;
 
 const NUM_BUCKETS: usize = LATENCY_BUCKETS_US.len() + 1;
+const NUM_SIZE_BUCKETS: usize = BATCH_SIZE_BUCKETS.len() + 1;
 
 /// Everything that can go wrong speaking the protocol.
 #[derive(Debug)]
@@ -842,6 +848,33 @@ fn encode_metrics(out: &mut Vec<u8>, m: &MetricsSnapshot) {
     // v3: store counters ride at the tail so the layout stays append-only.
     put_u64(out, m.store_hits);
     put_u64(out, m.store_misses);
+    // v4: batch counters and the batch-size histogram, appended after the
+    // v3 tail.
+    put_u64(out, m.batches);
+    put_u64(out, m.batched_jobs);
+    encode_size_histogram(out, &m.batch_size);
+}
+
+fn encode_size_histogram(out: &mut Vec<u8>, h: &SizeHistogramSnapshot) {
+    for b in h.buckets {
+        put_u64(out, b);
+    }
+    put_u64(out, h.count);
+    put_u64(out, h.total);
+    put_u64(out, h.max);
+}
+
+fn decode_size_histogram(r: &mut WireReader<'_>) -> Result<SizeHistogramSnapshot, WireDecodeError> {
+    let mut buckets = [0u64; NUM_SIZE_BUCKETS];
+    for b in &mut buckets {
+        *b = r.u64()?;
+    }
+    Ok(SizeHistogramSnapshot {
+        buckets,
+        count: r.u64()?,
+        total: r.u64()?,
+        max: r.u64()?,
+    })
 }
 
 fn decode_metrics(r: &mut WireReader<'_>) -> Result<MetricsSnapshot, WireDecodeError> {
@@ -865,6 +898,9 @@ fn decode_metrics(r: &mut WireReader<'_>) -> Result<MetricsSnapshot, WireDecodeE
         phase_readout: decode_histogram(r)?,
         store_hits: r.u64()?,
         store_misses: r.u64()?,
+        batches: r.u64()?,
+        batched_jobs: r.u64()?,
+        batch_size: decode_size_histogram(r)?,
     })
 }
 
@@ -1607,16 +1643,17 @@ mod tests {
     #[test]
     fn old_protocol_version_rejected() {
         // Well-formed frames from earlier protocols must be refused: v3
-        // extended ControlSpec and the Stats payload again, so decoding a
-        // v1/v2 payload with v3 codecs would misinterpret bytes.
-        for old in [1u16, 2] {
+        // extended ControlSpec and the Stats payload, and v4 appended the
+        // batch counters, so decoding an older payload with current codecs
+        // would misinterpret bytes.
+        for old in [1u16, 2, 3] {
             let mut frame = encode_frame(b"x", 1024).unwrap();
             frame[4..6].copy_from_slice(&old.to_le_bytes());
             let mut cursor = std::io::Cursor::new(frame);
             match read_frame(&mut cursor, 1024) {
                 Err(WireError::UnsupportedVersion { got, expected }) => {
                     assert_eq!(got, old);
-                    assert_eq!(expected, 3);
+                    assert_eq!(expected, 4);
                 }
                 other => panic!("v{old} frame was not refused: {other:?}"),
             }

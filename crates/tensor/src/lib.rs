@@ -35,6 +35,7 @@
 
 mod gradcheck;
 mod init;
+pub mod kernels;
 mod ops;
 mod optim;
 mod sparse;
@@ -42,7 +43,7 @@ mod tensor;
 
 pub use gradcheck::{grad_check, GradCheckFailure, GradCheckReport};
 pub use init::{glorot_uniform, kaiming_uniform, uniform};
-pub use ops::{IndexOutOfRange, Op};
+pub use ops::{IndexOutOfRange, Op, ShapeMismatch};
 pub use optim::{clip_grad_norm, Adam, AdamConfig, Optimizer, Sgd};
 pub use sparse::BinCsr;
 pub use tensor::Tensor;

@@ -9,6 +9,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
 
+use crate::kernels;
 use crate::sparse::BinCsr;
 use crate::tensor::Tensor;
 
@@ -34,6 +35,30 @@ impl fmt::Display for IndexOutOfRange {
 
 impl std::error::Error for IndexOutOfRange {}
 
+/// Error returned by the `try_matmul*` family when the contracted dimensions
+/// of the two operands disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeMismatch {
+    /// Which product was requested (`"matmul"`, `"matmul_nt"`, `"matmul_tn"`).
+    pub op: &'static str,
+    /// Shape of the left operand.
+    pub lhs: (usize, usize),
+    /// Shape of the right operand.
+    pub rhs: (usize, usize),
+}
+
+impl fmt::Display for ShapeMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: incompatible shapes [{},{}] and [{},{}]",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl std::error::Error for ShapeMismatch {}
+
 /// The operation that produced a tensor, holding its parents and any saved
 /// context required by the backward pass.
 pub enum Op {
@@ -45,6 +70,10 @@ pub enum Op {
     AddScalar(Tensor, f32),
     MulScalar(Tensor, f32),
     MatMul(Tensor, Tensor),
+    /// `a · bᵀ` where `b` is stored row-major `[k,n]`.
+    MatMulNt(Tensor, Tensor),
+    /// `aᵀ · b` where `a` is stored row-major `[m,k]`.
+    MatMulTn(Tensor, Tensor),
     /// `[m,n] + [1,n]` (bias add).
     AddRowBroadcast(Tensor, Tensor),
     /// `[m,n] * [m,1]` (per-row scaling; used for edge masks, Eq. 6).
@@ -73,6 +102,12 @@ pub enum Op {
     SegmentSoftmax(Tensor, Rc<Vec<usize>>),
     /// Sparse binary matrix (`R × C`) times dense `[C,1]` vector (Eq. 7).
     SpMatVec(Arc<BinCsr>, Tensor),
+    /// Fused `σ(x ⊙ w)`; `w` is `[1,1]` (broadcast) or shaped like `x`.
+    SigmoidScale(Tensor, Tensor),
+    /// Fused `leaky_relu(x + bias, slope)`; bias is `[1,n]`, slope `>= 0`.
+    BiasLeakyRelu(Tensor, Tensor, f32),
+    /// Fused mean cross-entropy: `nll_loss(log_softmax_rows(x), targets)`.
+    SoftmaxXent(Tensor, Rc<Vec<usize>>),
 }
 
 impl Op {
@@ -87,6 +122,8 @@ impl Op {
             Op::AddScalar(..) => "add_scalar",
             Op::MulScalar(..) => "mul_scalar",
             Op::MatMul(..) => "matmul",
+            Op::MatMulNt(..) => "matmul_nt",
+            Op::MatMulTn(..) => "matmul_tn",
             Op::AddRowBroadcast(..) => "add_row_broadcast",
             Op::MulColBroadcast(..) => "mul_col_broadcast",
             Op::Relu(..) => "relu",
@@ -108,6 +145,9 @@ impl Op {
             Op::ConcatCols(..) => "concat_cols",
             Op::SegmentSoftmax(..) => "segment_softmax",
             Op::SpMatVec(..) => "sp_matvec",
+            Op::SigmoidScale(..) => "sigmoid_scale",
+            Op::BiasLeakyRelu(..) => "bias_leaky_relu",
+            Op::SoftmaxXent(..) => "softmax_xent",
         }
     }
 
@@ -119,9 +159,13 @@ impl Op {
             | Op::Mul(a, b)
             | Op::Div(a, b)
             | Op::MatMul(a, b)
+            | Op::MatMulNt(a, b)
+            | Op::MatMulTn(a, b)
             | Op::AddRowBroadcast(a, b)
             | Op::MulColBroadcast(a, b)
-            | Op::ConcatCols(a, b) => vec![a.clone(), b.clone()],
+            | Op::ConcatCols(a, b)
+            | Op::SigmoidScale(a, b)
+            | Op::BiasLeakyRelu(a, b, _) => vec![a.clone(), b.clone()],
             Op::Neg(a)
             | Op::AddScalar(a, _)
             | Op::MulScalar(a, _)
@@ -142,7 +186,8 @@ impl Op {
             | Op::ScatterAddRows(a, _, _)
             | Op::SliceCols(a, _, _)
             | Op::SegmentSoftmax(a, _)
-            | Op::SpMatVec(_, a) => vec![a.clone()],
+            | Op::SpMatVec(_, a)
+            | Op::SoftmaxXent(a, _) => vec![a.clone()],
         }
     }
 
@@ -191,9 +236,31 @@ impl Op {
                 let (m, k) = a.shape();
                 let (_, n) = b.shape();
                 // ga = g . b^T  (m x n) . (n x k)
-                let ga = matmul_nt(grad_out, m, n, &b.data(), k);
+                let ga = kernels::matmul_nt(grad_out, m, n, &b.data(), k);
                 // gb = a^T . g  (k x m) . (m x n)
-                let gb = matmul_tn(&a.data(), m, k, grad_out, n);
+                let gb = kernels::matmul_tn(&a.data(), m, k, grad_out, n);
+                a.accumulate_grad(&ga);
+                b.accumulate_grad(&gb);
+            }
+            Op::MatMulNt(a, b) => {
+                // out = a . b^T with a [m,n], b [k,n]; grad_out is [m,k].
+                let (m, n) = a.shape();
+                let (k, _) = b.shape();
+                // ga = g . b  (m x k) . (k x n)
+                let ga = kernels::matmul_nn(grad_out, m, k, &b.data(), n);
+                // gb = g^T . a  (k x m) . (m x n)
+                let gb = kernels::matmul_tn(grad_out, m, k, &a.data(), n);
+                a.accumulate_grad(&ga);
+                b.accumulate_grad(&gb);
+            }
+            Op::MatMulTn(a, b) => {
+                // out = a^T . b with a [m,k], b [m,n]; grad_out is [k,n].
+                let (m, k) = a.shape();
+                let (_, n) = b.shape();
+                // ga = b . g^T  (m x n) . (n x k)
+                let ga = kernels::matmul_nt(&b.data(), m, n, grad_out, k);
+                // gb = a . g  (m x k) . (k x n)
+                let gb = kernels::matmul_nn(&a.data(), m, k, grad_out, n);
                 a.accumulate_grad(&ga);
                 b.accumulate_grad(&gb);
             }
@@ -418,6 +485,78 @@ impl Op {
                 }
                 x.accumulate_grad(&g);
             }
+            Op::SigmoidScale(a, w) => {
+                // y = σ(a ⊙ w): dy/da = y(1-y)·w, dy/dw = y(1-y)·a, with the
+                // broadcast weight gradient summed in ascending element order
+                // (matching gather_rows' backward on the unfused chain).
+                let od = out.data();
+                let ad = a.data();
+                let wd = w.data();
+                let mut ga = vec![0.0f32; a.len()];
+                if w.len() == 1 {
+                    let wv = wd[0];
+                    let mut gw = 0.0f32;
+                    for i in 0..a.len() {
+                        let dy = grad_out[i] * od[i] * (1.0 - od[i]);
+                        ga[i] = dy * wv;
+                        gw += dy * ad[i];
+                    }
+                    drop((od, ad, wd));
+                    a.accumulate_grad(&ga);
+                    w.accumulate_grad(&[gw]);
+                } else {
+                    let mut gw = vec![0.0f32; a.len()];
+                    for i in 0..a.len() {
+                        let dy = grad_out[i] * od[i] * (1.0 - od[i]);
+                        ga[i] = dy * wd[i];
+                        gw[i] = dy * ad[i];
+                    }
+                    drop((od, ad, wd));
+                    a.accumulate_grad(&ga);
+                    w.accumulate_grad(&gw);
+                }
+            }
+            Op::BiasLeakyRelu(a, bias, slope) => {
+                // With slope >= 0, `out > 0` iff the pre-activation was > 0,
+                // so the stored output doubles as the gradient gate.
+                let (m, n) = a.shape();
+                let od = out.data();
+                let mut ga = vec![0.0f32; m * n];
+                let mut gb = vec![0.0f32; n];
+                for i in 0..m {
+                    for j in 0..n {
+                        let g = grad_out[i * n + j];
+                        let gated = if od[i * n + j] > 0.0 { g } else { g * slope };
+                        ga[i * n + j] = gated;
+                        gb[j] += gated;
+                    }
+                }
+                drop(od);
+                a.accumulate_grad(&ga);
+                bias.accumulate_grad(&gb);
+            }
+            Op::SoftmaxXent(a, targets) => {
+                // gx = scale·(softmax − onehot), written exactly as the
+                // unfused NllLoss→LogSoftmaxRows chain computes it so the
+                // bits match: gt - softmax · row_sum with row_sum = -scale.
+                let (m, n) = a.shape();
+                let ad = a.data();
+                let scale = grad_out[0] / m as f32;
+                let row_sum = -scale;
+                let mut g = vec![0.0f32; m * n];
+                for (i, &t) in targets.iter().enumerate() {
+                    let row = &ad[i * n..(i + 1) * n];
+                    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let lse = row.iter().map(|x| (x - max).exp()).sum::<f32>().ln() + max;
+                    for j in 0..n {
+                        let gt = if j == t { -scale } else { 0.0 };
+                        let s = (row[j] - lse).exp();
+                        g[i * n + j] = gt - s * row_sum;
+                    }
+                }
+                drop(ad);
+                a.accumulate_grad(&g);
+            }
         }
     }
 }
@@ -425,61 +564,6 @@ impl Op {
 #[inline]
 fn sigmoid_scalar(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
-}
-
-/// `a (m×k) · b (k×n)`, all row-major, ikj loop order.
-pub(crate) fn matmul_nn(a: &[f32], m: usize, k: usize, b: &[f32], n: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for p in 0..k {
-            let av = a[i * k + p];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
-    out
-}
-
-/// `a (m×n) · bᵀ` where `b` is `(k×n)` row-major; result is `m×k`.
-fn matmul_nt(a: &[f32], m: usize, n: usize, b: &[f32], k: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; m * k];
-    for i in 0..m {
-        let arow = &a[i * n..(i + 1) * n];
-        for j in 0..k {
-            let brow = &b[j * n..(j + 1) * n];
-            let mut acc = 0.0f32;
-            for (av, bv) in arow.iter().zip(brow) {
-                acc += av * bv;
-            }
-            out[i * k + j] = acc;
-        }
-    }
-    out
-}
-
-/// `aᵀ · b` where `a` is `(m×k)` and `b` is `(m×n)` row-major; result `k×n`.
-fn matmul_tn(a: &[f32], m: usize, k: usize, b: &[f32], n: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; k * n];
-    for i in 0..m {
-        let brow = &b[i * n..(i + 1) * n];
-        for p in 0..k {
-            let av = a[i * k + p];
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[p * n..(p + 1) * n];
-            for (o, bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
-    out
 }
 
 macro_rules! elementwise_binary {
@@ -597,13 +681,227 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics if the inner dimensions disagree.
+    /// Panics if the inner dimensions disagree; use [`Tensor::try_matmul`]
+    /// to get a typed error instead.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        match self.try_matmul(other) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Dense matrix multiplication `self (m×k) · other (k×n)`, returning
+    /// [`ShapeMismatch`] when the inner dimensions disagree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeMismatch`] if `self.cols() != other.rows()`.
+    pub fn try_matmul(&self, other: &Tensor) -> Result<Tensor, ShapeMismatch> {
         let (m, k) = self.shape();
         let (k2, n) = other.shape();
-        assert_eq!(k, k2, "matmul: inner dimension mismatch ({k} vs {k2})");
-        let data = matmul_nn(&self.data(), m, k, &other.data(), n);
-        Tensor::new_from_op(data, m, n, Op::MatMul(self.clone(), other.clone()))
+        if k != k2 {
+            return Err(ShapeMismatch {
+                op: "matmul",
+                lhs: (m, k),
+                rhs: (k2, n),
+            });
+        }
+        let data = kernels::matmul_nn(&self.data(), m, k, &other.data(), n);
+        Ok(Tensor::new_from_op(
+            data,
+            m,
+            n,
+            Op::MatMul(self.clone(), other.clone()),
+        ))
+    }
+
+    /// Transposed-right product `self (m×n) · otherᵀ` with `other` stored
+    /// row-major `[k,n]`; the result is `[m,k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts disagree; use [`Tensor::try_matmul_nt`]
+    /// to get a typed error instead.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        match self.try_matmul_nt(other) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Transposed-right product `self · otherᵀ`, returning [`ShapeMismatch`]
+    /// when the column counts disagree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeMismatch`] if `self.cols() != other.cols()`.
+    pub fn try_matmul_nt(&self, other: &Tensor) -> Result<Tensor, ShapeMismatch> {
+        let (m, n) = self.shape();
+        let (k, n2) = other.shape();
+        if n != n2 {
+            return Err(ShapeMismatch {
+                op: "matmul_nt",
+                lhs: (m, n),
+                rhs: (k, n2),
+            });
+        }
+        let data = kernels::matmul_nt(&self.data(), m, n, &other.data(), k);
+        Ok(Tensor::new_from_op(
+            data,
+            m,
+            k,
+            Op::MatMulNt(self.clone(), other.clone()),
+        ))
+    }
+
+    /// Transposed-left product `selfᵀ · other` with `self` stored row-major
+    /// `[m,k]` and `other` `[m,n]`; the result is `[k,n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts disagree; use [`Tensor::try_matmul_tn`] to
+    /// get a typed error instead.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        match self.try_matmul_tn(other) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Transposed-left product `selfᵀ · other`, returning [`ShapeMismatch`]
+    /// when the row counts disagree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeMismatch`] if `self.rows() != other.rows()`.
+    pub fn try_matmul_tn(&self, other: &Tensor) -> Result<Tensor, ShapeMismatch> {
+        let (m, k) = self.shape();
+        let (m2, n) = other.shape();
+        if m != m2 {
+            return Err(ShapeMismatch {
+                op: "matmul_tn",
+                lhs: (m, k),
+                rhs: (m2, n),
+            });
+        }
+        let data = kernels::matmul_tn(&self.data(), m, k, &other.data(), n);
+        Ok(Tensor::new_from_op(
+            data,
+            k,
+            n,
+            Op::MatMulTn(self.clone(), other.clone()),
+        ))
+    }
+
+    /// Fused `σ(self ⊙ w)`: multiply by a weight (scalar `[1,1]` broadcast
+    /// or elementwise) and squash through a sigmoid in one pass.
+    ///
+    /// Forward values and gradients are bit-identical to the unfused
+    /// `self.mul(&w_expanded).sigmoid()` chain; the fusion only removes the
+    /// intermediate materialisations the optimize loop pays per epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is neither `[1,1]` nor shaped like `self`.
+    pub fn sigmoid_scale(&self, w: &Tensor) -> Tensor {
+        let (m, n) = self.shape();
+        assert!(
+            w.shape() == (1, 1) || w.shape() == (m, n),
+            "sigmoid_scale: weight must be [1,1] or [{m},{n}]"
+        );
+        let wd = w.data();
+        let data: Vec<f32> = if w.len() == 1 {
+            let wv = wd[0];
+            self.data().iter().map(|x| sigmoid_scalar(x * wv)).collect()
+        } else {
+            self.data()
+                .iter()
+                .zip(wd.iter())
+                .map(|(x, wv)| sigmoid_scalar(x * wv))
+                .collect()
+        };
+        drop(wd);
+        Tensor::new_from_op(data, m, n, Op::SigmoidScale(self.clone(), w.clone()))
+    }
+
+    /// Fused `leaky_relu(self + bias, slope)`: bias add and activation in
+    /// one pass over the matrix.
+    ///
+    /// Bit-identical to `self.add_row_broadcast(&bias).leaky_relu(slope)`.
+    /// Note that `slope = 0.0` is *not* bit-identical to `relu` on negative
+    /// inputs (`0.0 * x` preserves the sign of zero where `max(x, 0.0)`
+    /// yields `+0.0`); production layers always use a positive slope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `[1,n]` or `slope` is negative.
+    pub fn bias_leaky_relu(&self, bias: &Tensor, slope: f32) -> Tensor {
+        let (m, n) = self.shape();
+        assert_eq!(
+            bias.shape(),
+            (1, n),
+            "bias_leaky_relu: bias must be [1,{n}]"
+        );
+        assert!(slope >= 0.0, "bias_leaky_relu: slope must be non-negative");
+        let bd = bias.data();
+        let data: Vec<f32> = self
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                let v = x + bd[i % n];
+                if v > 0.0 {
+                    v
+                } else {
+                    v * slope
+                }
+            })
+            .collect();
+        drop(bd);
+        Tensor::new_from_op(
+            data,
+            m,
+            n,
+            Op::BiasLeakyRelu(self.clone(), bias.clone(), slope),
+        )
+    }
+
+    /// Fused mean cross-entropy: `log_softmax_rows` + `nll_loss` in a single
+    /// pass that never materialises the `[m,n]` log-probability matrix.
+    ///
+    /// Bit-identical to `self.log_softmax_rows().nll_loss(targets)` in both
+    /// the forward value and the gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the number of rows or a target
+    /// class index is out of range.
+    pub fn softmax_xent(&self, targets: &[usize]) -> Tensor {
+        let (m, n) = self.shape();
+        assert_eq!(
+            targets.len(),
+            m,
+            "softmax_xent: one target per row required"
+        );
+        let d = self.data();
+        let mut acc = 0.0f32;
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(
+                t < n,
+                "softmax_xent: target {t} out of range for {n} classes"
+            );
+            let row = &d[i * n..(i + 1) * n];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|x| (x - max).exp()).sum::<f32>().ln() + max;
+            acc -= row[t] - lse;
+        }
+        drop(d);
+        Tensor::new_from_op(
+            vec![acc / m as f32],
+            1,
+            1,
+            Op::SoftmaxXent(self.clone(), Rc::new(targets.to_vec())),
+        )
     }
 
     /// `self [m,n] + bias [1,n]`, broadcasting the bias across rows.

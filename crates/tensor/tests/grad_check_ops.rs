@@ -214,6 +214,59 @@ fn grad_nll_loss() {
 }
 
 #[test]
+fn grad_softmax_xent() {
+    let a = leaf_a();
+    check(|| a.softmax_xent(&[2, 0]), std::slice::from_ref(&a));
+}
+
+// ---------------- fused ops ----------------
+
+#[test]
+fn grad_sigmoid_scale_scalar_weight() {
+    let a = leaf_a();
+    let w = Tensor::from_vec(vec![1.7], 1, 1).requires_grad();
+    check(
+        || weighted_sum(&a.sigmoid_scale(&w)),
+        &[a.clone(), w.clone()],
+    );
+}
+
+#[test]
+fn grad_sigmoid_scale_elementwise_weight() {
+    let (a, w) = (leaf_a(), leaf_pos());
+    check(
+        || weighted_sum(&a.sigmoid_scale(&w)),
+        &[a.clone(), w.clone()],
+    );
+}
+
+#[test]
+fn grad_bias_leaky_relu() {
+    let a = leaf_a(); // elements clear of the kink once the bias shifts them
+    let bias = Tensor::from_vec(vec![0.21, -0.17, 0.33], 1, 3).requires_grad();
+    check(
+        || weighted_sum(&a.bias_leaky_relu(&bias, 0.01)),
+        &[a.clone(), bias.clone()],
+    );
+}
+
+#[test]
+fn grad_matmul_nt() {
+    let a = leaf_a();
+    // b shares the column count (3) for the transposed-right product.
+    let b = Tensor::from_vec(vec![0.4, -0.6, 1.1, 0.2, -0.8, 0.9], 2, 3).requires_grad();
+    check(|| weighted_sum(&a.matmul_nt(&b)), &[a.clone(), b.clone()]);
+}
+
+#[test]
+fn grad_matmul_tn() {
+    let a = leaf_a();
+    // b shares the row count (2) for the transposed-left product.
+    let b = Tensor::from_vec(vec![0.4, -0.6, 1.1, 0.2, -0.8, 0.9, 0.7, -0.2], 2, 4).requires_grad();
+    check(|| weighted_sum(&a.matmul_tn(&b)), &[a.clone(), b.clone()]);
+}
+
+#[test]
 fn grad_segment_softmax() {
     // Two segments of different sizes, two columns.
     let a = Tensor::from_vec(vec![0.5, -0.8, 1.2, 0.3, -0.4, 0.9, 0.1, -1.1], 4, 2).requires_grad();

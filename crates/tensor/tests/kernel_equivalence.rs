@@ -1,0 +1,193 @@
+//! Equivalence suite for the blocked kernels and fused ops.
+//!
+//! The blocked `matmul_nn/nt/tn` kernels claim bit-identity with the naive
+//! reference loops; the fused ops (`sigmoid_scale`, `bias_leaky_relu`,
+//! `softmax_xent`) claim bit-identity with their unfused chains in both the
+//! forward value and the gradient. Proptest drives shapes through every
+//! blocking remainder case (rows % 4, cols % 8/64, nt width % 8) with
+//! coefficient grids that include exact zeros, so the zero-skip paths are
+//! covered too. Values come from a quarter-integer grid in `[-4, 4]`: finite,
+//! no `-0.0`, and no products that underflow — the regime the kernels'
+//! bit-identity contract is stated for.
+
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+use revelio_tensor::kernels::{
+    matmul_nn, matmul_nn_naive, matmul_nt, matmul_nt_naive, matmul_tn, matmul_tn_naive,
+};
+use revelio_tensor::Tensor;
+
+/// Maps raw integer draws onto the quarter-integer grid `[-4, 4]`, turning
+/// sentinel draws into exact `+0.0` so the zero-skip paths get exercised.
+fn grid(qs: &[i32]) -> Vec<f32> {
+    qs.iter()
+        .map(|&q| {
+            if q % 6 == 0 {
+                0.0
+            } else {
+                (q % 17 - 8) as f32 * 0.25
+            }
+        })
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_nn_bit_identical_to_naive(
+        m in 1usize..40,
+        k in 1usize..24,
+        n in 1usize..80,
+        qa in prop::collection::vec(0i32..1000, 40 * 24),
+        qb in prop::collection::vec(0i32..1000, 24 * 80),
+    ) {
+        let a = grid(&qa[..m * k]);
+        let b = grid(&qb[..k * n]);
+        prop_assert_eq!(
+            bits(&matmul_nn(&a, m, k, &b, n)),
+            bits(&matmul_nn_naive(&a, m, k, &b, n))
+        );
+    }
+
+    #[test]
+    fn blocked_nt_bit_identical_to_naive(
+        m in 1usize..40,
+        n in 1usize..24,
+        k in 1usize..40,
+        qa in prop::collection::vec(0i32..1000, 40 * 24),
+        qb in prop::collection::vec(0i32..1000, 40 * 24),
+    ) {
+        let a = grid(&qa[..m * n]);
+        let b = grid(&qb[..k * n]);
+        prop_assert_eq!(
+            bits(&matmul_nt(&a, m, n, &b, k)),
+            bits(&matmul_nt_naive(&a, m, n, &b, k))
+        );
+    }
+
+    #[test]
+    fn blocked_tn_bit_identical_to_naive(
+        m in 1usize..40,
+        k in 1usize..24,
+        n in 1usize..80,
+        qa in prop::collection::vec(0i32..1000, 40 * 24),
+        qb in prop::collection::vec(0i32..1000, 40 * 80),
+    ) {
+        let a = grid(&qa[..m * k]);
+        let b = grid(&qb[..m * n]);
+        prop_assert_eq!(
+            bits(&matmul_tn(&a, m, k, &b, n)),
+            bits(&matmul_tn_naive(&a, m, k, &b, n))
+        );
+    }
+
+    #[test]
+    fn sigmoid_scale_matches_unfused_mask_chain(
+        rows in 1usize..40,
+        qs in prop::collection::vec(0i32..1000, 40 + 1),
+    ) {
+        // The mask-model shape: a [rows,1] column scaled by a scalar weight
+        // broadcast through gather_rows — exactly the chain layer_masks ran
+        // before the fusion.
+        let vals = grid(&qs);
+        let x = vals[..rows].to_vec();
+        let wv = vals[rows];
+
+        let a = Tensor::from_vec(x.clone(), rows, 1).requires_grad();
+        let w = Tensor::from_vec(vec![wv], 1, 1).requires_grad();
+        let fused = a.sigmoid_scale(&w);
+
+        let a2 = Tensor::from_vec(x, rows, 1).requires_grad();
+        let w2 = Tensor::from_vec(vec![wv], 1, 1).requires_grad();
+        let expanded = a2.mul(&w2.gather_rows(&vec![0usize; rows])).sigmoid();
+
+        prop_assert_eq!(bits(&fused.to_vec()), bits(&expanded.to_vec()));
+
+        fused.sum_all().backward();
+        expanded.sum_all().backward();
+        prop_assert_eq!(bits(&a.grad_vec()), bits(&a2.grad_vec()));
+        prop_assert_eq!(bits(&w.grad_vec()), bits(&w2.grad_vec()));
+    }
+
+    #[test]
+    fn sigmoid_scale_elementwise_matches_unfused_chain(
+        rows in 1usize..10,
+        cols in 1usize..10,
+        qs in prop::collection::vec(0i32..1000, 10 * 10 * 2),
+    ) {
+        let vals = grid(&qs);
+        let x = vals[..rows * cols].to_vec();
+        let wv = vals[rows * cols..2 * rows * cols].to_vec();
+
+        let a = Tensor::from_vec(x.clone(), rows, cols).requires_grad();
+        let w = Tensor::from_vec(wv.clone(), rows, cols).requires_grad();
+        let fused = a.sigmoid_scale(&w);
+
+        let a2 = Tensor::from_vec(x, rows, cols).requires_grad();
+        let w2 = Tensor::from_vec(wv, rows, cols).requires_grad();
+        let unfused = a2.mul(&w2).sigmoid();
+
+        prop_assert_eq!(bits(&fused.to_vec()), bits(&unfused.to_vec()));
+
+        fused.sum_all().backward();
+        unfused.sum_all().backward();
+        prop_assert_eq!(bits(&a.grad_vec()), bits(&a2.grad_vec()));
+        prop_assert_eq!(bits(&w.grad_vec()), bits(&w2.grad_vec()));
+    }
+
+    #[test]
+    fn bias_leaky_relu_matches_unfused_chain(
+        rows in 1usize..10,
+        cols in 1usize..10,
+        qs in prop::collection::vec(0i32..1000, 10 * 10 + 10),
+    ) {
+        let vals = grid(&qs);
+        let x = vals[..rows * cols].to_vec();
+        let b = vals[rows * cols..rows * cols + cols].to_vec();
+
+        let a = Tensor::from_vec(x.clone(), rows, cols).requires_grad();
+        let bias = Tensor::from_vec(b.clone(), 1, cols).requires_grad();
+        let fused = a.bias_leaky_relu(&bias, 0.01);
+
+        let a2 = Tensor::from_vec(x, rows, cols).requires_grad();
+        let bias2 = Tensor::from_vec(b, 1, cols).requires_grad();
+        let unfused = a2.add_row_broadcast(&bias2).leaky_relu(0.01);
+
+        prop_assert_eq!(bits(&fused.to_vec()), bits(&unfused.to_vec()));
+
+        fused.sum_all().backward();
+        unfused.sum_all().backward();
+        prop_assert_eq!(bits(&a.grad_vec()), bits(&a2.grad_vec()));
+        prop_assert_eq!(bits(&bias.grad_vec()), bits(&bias2.grad_vec()));
+    }
+
+    #[test]
+    fn softmax_xent_matches_unfused_chain(
+        rows in 1usize..8,
+        cols in 2usize..8,
+        qs in prop::collection::vec(0i32..1000, 8 * 8),
+        tsel in prop::collection::vec(0usize..8, 8),
+    ) {
+        let vals = grid(&qs);
+        let x = vals[..rows * cols].to_vec();
+        let targets: Vec<usize> = (0..rows).map(|i| tsel[i] % cols).collect();
+
+        let a = Tensor::from_vec(x.clone(), rows, cols).requires_grad();
+        let fused = a.softmax_xent(&targets);
+
+        let a2 = Tensor::from_vec(x, rows, cols).requires_grad();
+        let unfused = a2.log_softmax_rows().nll_loss(&targets);
+
+        prop_assert_eq!(fused.item().to_bits(), unfused.item().to_bits());
+
+        fused.backward();
+        unfused.backward();
+        prop_assert_eq!(bits(&a.grad_vec()), bits(&a2.grad_vec()));
+    }
+}
