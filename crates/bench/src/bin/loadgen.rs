@@ -21,6 +21,14 @@
 //! come back. Paired with `revelio-serve --store`, running it *after a
 //! server restart* proves crash recovery end to end.
 //!
+//! `--gateway` is a comparison mode instead of a load run: the same
+//! repeated-key workload is driven against (a) one direct in-process
+//! backend and (b) a `revelio-gateway` over three in-process shards, and
+//! cache hit-rates plus client-side p50/p99 land in
+//! `target/experiments/BENCH_gateway.json`. The run fails if the gateway
+//! hit-rate strays more than five points from the direct one — that is
+//! the locality property consistent hashing exists to preserve.
+//!
 //! Every client thread ships `Busy`-aware retries, so shed requests are
 //! *counted* but still served eventually; the run fails (non-zero exit)
 //! if any request ultimately errors or the server reports protocol
@@ -51,10 +59,11 @@ struct Args {
     seed: u64,
     shutdown: bool,
     fetch_newest: bool,
+    gateway: bool,
 }
 
 const USAGE: &str = "usage: loadgen [--smoke] [--addr HOST:PORT] [--requests N] \
-[--levels 1,2,4] [--max-in-flight N] [--seed S] [--shutdown] [--fetch-newest]";
+[--levels 1,2,4] [--max-in-flight N] [--seed S] [--shutdown] [--fetch-newest] [--gateway]";
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -66,6 +75,7 @@ fn parse_args() -> Args {
         seed: 42,
         shutdown: false,
         fetch_newest: false,
+        gateway: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -73,6 +83,7 @@ fn parse_args() -> Args {
             "--smoke" => args.smoke = true,
             "--shutdown" => args.shutdown = true,
             "--fetch-newest" => args.fetch_newest = true,
+            "--gateway" => args.gateway = true,
             "--addr" => args.addr = Some(it.next().expect(USAGE)),
             "--requests" => {
                 args.requests = it.next().and_then(|v| v.parse().ok()).expect(USAGE);
@@ -256,8 +267,236 @@ fn fetch_newest(addr: std::net::SocketAddr, shutdown: bool) -> ExitCode {
     }
 }
 
+/// One scenario of the `--gateway` comparison: latency percentiles from
+/// client-observed wall clocks plus the serving side's cache counters.
+struct ScenarioResult {
+    requests: usize,
+    seconds: f64,
+    per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl ScenarioResult {
+    fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    fn json(&self, label: &str) -> String {
+        format!(
+            "\"{label}\": {{\"requests\": {}, \"seconds\": {:.4}, \
+             \"explanations_per_sec\": {:.4}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}}}",
+            self.requests,
+            self.seconds,
+            self.per_sec,
+            self.p50_us,
+            self.p99_us,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate()
+        )
+    }
+}
+
+/// Drives the repeated-key workload against `addr` from one connection
+/// and returns client-side latencies; the caller supplies cache counters
+/// from whichever stats surface the scenario has.
+fn drive_repeated_keys(
+    addr: std::net::SocketAddr,
+    model_id: u32,
+    graphs: &[Graph],
+    repeats: usize,
+) -> (Vec<u64>, f64, u64) {
+    let mut client = Client::connect_with_retry(addr, ClientConfig::default())
+        .expect("connect for repeated-key workload");
+    let mut latencies_us = Vec::with_capacity(graphs.len() * repeats);
+    let mut failures = 0u64;
+    let start = Instant::now();
+    for _ in 0..repeats {
+        for (ix, graph) in graphs.iter().enumerate() {
+            let req = ExplainRequest {
+                model: model_id,
+                graph_id: ix as u64,
+                method: "REVELIO".to_owned(),
+                objective: Objective::Factual,
+                effort: Effort::Quick,
+                target: Target::Node(2),
+                control: ControlSpec::default(),
+                graph: graph.clone(),
+            };
+            let t0 = Instant::now();
+            match client.explain_with_retry(&req) {
+                Ok(_) => latencies_us.push(t0.elapsed().as_micros() as u64),
+                Err(_) => failures += 1,
+            }
+        }
+    }
+    (latencies_us, start.elapsed().as_secs_f64(), failures)
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+fn scenario_result(
+    latencies_us: Vec<u64>,
+    seconds: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+) -> ScenarioResult {
+    let mut sorted = latencies_us;
+    sorted.sort_unstable();
+    ScenarioResult {
+        requests: sorted.len(),
+        seconds,
+        per_sec: sorted.len() as f64 / seconds.max(1e-9),
+        p50_us: percentile(&sorted, 0.50),
+        p99_us: percentile(&sorted, 0.99),
+        cache_hits,
+        cache_misses,
+    }
+}
+
+/// `--gateway`: same repeated-key workload against one direct backend vs
+/// a gateway over three in-process shards; writes `BENCH_gateway.json`
+/// and fails if consistent hashing lost more than five points of cache
+/// hit-rate.
+fn gateway_compare(args: &Args) -> ExitCode {
+    use revelio_gateway::{Gateway, GatewayConfig};
+
+    let distinct = if args.smoke { 6 } else { args.requests.max(12) };
+    let repeats = if args.smoke { 3 } else { 5 };
+    let (model, graphs) = serving_workload(distinct);
+    let backend_cfg = || ServerConfig {
+        runtime: RuntimeConfig {
+            workers: 1,
+            seed: args.seed,
+            ..Default::default()
+        },
+        max_in_flight: args.max_in_flight,
+        ..Default::default()
+    };
+
+    // Scenario A: one backend, no gateway.
+    let direct = {
+        let server = Server::start(backend_cfg()).expect("start direct backend");
+        let mut admin = Client::connect(server.local_addr()).expect("connect to direct backend");
+        let model_id = admin.register_model(&model).expect("register (direct)");
+        let (lat, seconds, failures) =
+            drive_repeated_keys(server.local_addr(), model_id, &graphs, repeats);
+        assert_eq!(failures, 0, "direct scenario dropped requests");
+        let stats = admin.stats().expect("direct stats");
+        server.shutdown();
+        scenario_result(
+            lat,
+            seconds,
+            stats.runtime.cache_hits,
+            stats.runtime.cache_misses,
+        )
+    };
+
+    // Scenario B: three shards behind a gateway.
+    let (via_gateway, backends_json) = {
+        let servers: Vec<Server> = (0..3)
+            .map(|_| Server::start(backend_cfg()).expect("start shard"))
+            .collect();
+        let gateway = Gateway::start(GatewayConfig {
+            shards: servers.iter().map(|s| s.local_addr().to_string()).collect(),
+            ..GatewayConfig::default()
+        })
+        .expect("start gateway");
+        let mut admin = Client::connect(gateway.local_addr()).expect("connect to gateway");
+        let model_id = admin.register_model(&model).expect("register (gateway)");
+        let (lat, seconds, failures) =
+            drive_repeated_keys(gateway.local_addr(), model_id, &graphs, repeats);
+        assert_eq!(failures, 0, "gateway scenario dropped requests");
+        let (merged, tail) = admin.stats_full().expect("gateway stats");
+        let tail = tail.expect("gateway must attach its stats tail");
+        let mut backends_json = String::from("[");
+        for (i, b) in tail.backends.iter().enumerate() {
+            let _ = write!(
+                backends_json,
+                "{}{{\"addr\": \"{}\", \"healthy\": {}, \"forwarded\": {}, \
+                 \"errors\": {}, \"busy\": {}}}",
+                if i > 0 { ", " } else { "" },
+                b.addr,
+                b.healthy,
+                b.forwarded,
+                b.errors,
+                b.busy
+            );
+        }
+        backends_json.push(']');
+        for s in &servers {
+            s.stop();
+        }
+        gateway.shutdown();
+        (
+            scenario_result(
+                lat,
+                seconds,
+                merged.runtime.cache_hits,
+                merged.runtime.cache_misses,
+            ),
+            backends_json,
+        )
+    };
+
+    let delta = (direct.hit_rate() - via_gateway.hit_rate()).abs();
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"revelio-gateway loadgen\",");
+    let _ = writeln!(json, "  \"cores\": {},", available_workers());
+    let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
+    let _ = writeln!(json, "  \"distinct_keys\": {distinct},");
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
+    let _ = writeln!(json, "  \"shards\": 3,");
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  {},", direct.json("direct"));
+    let _ = writeln!(json, "  {},", via_gateway.json("gateway"));
+    let _ = writeln!(json, "  \"cache_hit_rate_delta\": {delta:.4},");
+    let _ = writeln!(json, "  \"backends\": {backends_json}");
+    json.push_str("}\n");
+
+    let path = revelio_eval::experiments_dir().join("BENCH_gateway.json");
+    std::fs::write(&path, &json).expect("write BENCH_gateway.json");
+    println!("{json}");
+    println!("written to {}", path.display());
+
+    if delta > 0.05 {
+        eprintln!(
+            "loadgen --gateway: hit-rate delta {delta:.4} exceeds 0.05 \
+             (direct {:.4} vs gateway {:.4})",
+            direct.hit_rate(),
+            via_gateway.hit_rate()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "loadgen --gateway: locality preserved (direct {:.4} vs gateway {:.4})",
+        direct.hit_rate(),
+        via_gateway.hit_rate()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.gateway {
+        return gateway_compare(&args);
+    }
     if args.fetch_newest {
         let addr = args
             .addr

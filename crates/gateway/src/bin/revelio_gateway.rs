@@ -1,0 +1,103 @@
+//! `revelio-gateway`: the sharding gateway as a process.
+//!
+//! ```text
+//! revelio-gateway --shards HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
+//!                 [--vnodes N] [--health-interval-ms MS] [--fail-after K]
+//!                 [--forward-attempts N]
+//! ```
+//!
+//! Fronts a fleet of `revelio-serve` backends: clients connect to the
+//! gateway exactly as they would to a single backend. Prints
+//! `listening on ...` plus a machine-readable `READY addr=<bound-addr>`
+//! line once accepting, serves until a client sends `Shutdown` (which is
+//! fanned out to the fleet first), and prints the final gateway report on
+//! the way out.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use revelio_gateway::{Gateway, GatewayConfig};
+
+struct Args {
+    cfg: GatewayConfig,
+}
+
+const USAGE: &str = "usage: revelio-gateway --shards HOST:PORT,... [--addr HOST:PORT] \
+[--vnodes N] [--health-interval-ms MS] [--fail-after K] [--forward-attempts N]";
+
+fn value(argv: &[String], i: &mut usize, name: &str) -> Result<String, String> {
+    *i += 1;
+    argv.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut cfg = GatewayConfig {
+        addr: "127.0.0.1:7140".to_owned(),
+        ..GatewayConfig::default()
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => cfg.addr = value(&argv, &mut i, "--addr")?,
+            "--shards" => {
+                cfg.shards = value(&argv, &mut i, "--shards")?
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--vnodes" => {
+                cfg.vnodes = value(&argv, &mut i, "--vnodes")?
+                    .parse()
+                    .map_err(|e| format!("--vnodes: {e}"))?;
+            }
+            "--health-interval-ms" => {
+                let ms: u64 = value(&argv, &mut i, "--health-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--health-interval-ms: {e}"))?;
+                cfg.health_interval = Duration::from_millis(ms.max(10));
+            }
+            "--fail-after" => {
+                cfg.fail_after = value(&argv, &mut i, "--fail-after")?
+                    .parse()
+                    .map_err(|e| format!("--fail-after: {e}"))?;
+            }
+            "--forward-attempts" => {
+                cfg.forward_attempts = value(&argv, &mut i, "--forward-attempts")?
+                    .parse()
+                    .map_err(|e| format!("--forward-attempts: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(Args { cfg })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let gateway = match Gateway::start(args.cfg) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("revelio-gateway: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", gateway.local_addr());
+    println!("READY addr={}", gateway.local_addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    let stats = gateway.wait();
+    println!("{}", stats.report());
+    ExitCode::SUCCESS
+}

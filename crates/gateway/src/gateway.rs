@@ -1,0 +1,867 @@
+//! The gateway process: accept loop, request dispatch, backend pool, and
+//! the health-check/failover state machine.
+//!
+//! The gateway speaks the same wire protocol as `revelio-serve` on both
+//! sides. Requests are dispatched by kind:
+//!
+//! - `Explain` is **routed**: the ring hashes `(model, graph_id, target)`
+//!   to one owning shard, preserving artifact-cache and warm-start
+//!   locality. Transport failures re-route to the next live shard
+//!   (bounded attempts, each failed backend excluded), while `Busy` and
+//!   typed server errors propagate to the caller verbatim — the gateway
+//!   never hides backpressure.
+//! - `RegisterModel` **fans out**: every healthy shard gets a replica, so
+//!   any owner can serve any key. The gateway assigns the caller-visible
+//!   model id (its registration-log index) and keeps a per-backend id
+//!   map, so a backend whose own id space diverged (e.g. it was replayed
+//!   after a restart) is still addressed correctly.
+//! - `Trace` / `FetchExplanation` / `ListExplanations` **scatter**: job
+//!   ids are shard-local, so the gateway asks every healthy shard and
+//!   merges (first hit for point reads, id-sorted union for lists).
+//! - `Stats` **aggregates**: live per-backend stats merge into one
+//!   fleet-wide [`ServerStats`] with a [`GatewayStats`] tail.
+//! - `Shutdown` fans out to every healthy backend, then stops the
+//!   gateway itself.
+//!
+//! Health: a poller issues `Stats` to every backend each interval. After
+//! [`GatewayConfig::fail_after`] consecutive errors (polls or forwards) a
+//! backend is marked dead and the ring walks past its points; a
+//! successful poll on a dead backend triggers a full registration replay
+//! and then re-admits it.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use revelio_gnn::GnnConfig;
+use revelio_server::server::{read_frame_cancellable, POLL_INTERVAL};
+use revelio_server::wire::{
+    write_frame, ErrorKind, ExplainRequest, GatewayBackendStats, GatewayStats, Request, Response,
+    ServerStats, WireExplanationSummary, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+use revelio_server::{Client, ClientConfig, ClientError};
+
+use crate::ring::{route_key, Ring};
+
+/// Gateway configuration; [`GatewayConfig::validate`] is called by
+/// [`Gateway::start`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address; port 0 picks a free port (see [`Gateway::local_addr`]).
+    pub addr: String,
+    /// Backend addresses (`host:port`), one per shard, in ring order.
+    pub shards: Vec<String>,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Health-poll period.
+    pub health_interval: Duration,
+    /// Consecutive errors (health polls or forwards) before a backend is
+    /// marked dead and its ring segments re-route.
+    pub fail_after: u32,
+    /// Distinct backends tried for one routed request before giving up.
+    pub forward_attempts: u32,
+    /// Idle connections kept per backend.
+    pub pool_capacity: usize,
+    /// Per-frame payload cap on the client-facing listener.
+    pub max_frame_len: usize,
+    /// Budget for one in-progress client frame to finish arriving.
+    pub read_timeout: Duration,
+    /// Budget for writing one response frame to a client.
+    pub write_timeout: Duration,
+    /// Budget for a forwarded request's response (explanations can
+    /// legitimately take a while).
+    pub backend_read_timeout: Duration,
+    /// Budget for one health poll; short, so a hung backend is detected
+    /// within a few intervals rather than a full request timeout.
+    pub health_timeout: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            shards: Vec::new(),
+            vnodes: 64,
+            health_interval: Duration::from_millis(500),
+            fail_after: 3,
+            forward_attempts: 3,
+            pool_capacity: 4,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            backend_read_timeout: Duration::from_secs(120),
+            health_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Why a [`GatewayConfig`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayConfigError {
+    /// `--shards` was empty.
+    NoShards,
+    /// `vnodes` was zero.
+    ZeroVnodes,
+    /// `fail_after` was zero (every backend would be born dead).
+    ZeroFailAfter,
+    /// `forward_attempts` was zero (no request could ever be forwarded).
+    ZeroForwardAttempts,
+}
+
+impl std::fmt::Display for GatewayConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayConfigError::NoShards => write!(f, "at least one shard address is required"),
+            GatewayConfigError::ZeroVnodes => write!(f, "vnodes must be at least 1"),
+            GatewayConfigError::ZeroFailAfter => write!(f, "fail-after must be at least 1"),
+            GatewayConfigError::ZeroForwardAttempts => {
+                write!(f, "forward-attempts must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GatewayConfigError {}
+
+impl GatewayConfig {
+    /// Checks the configuration for values that could never serve.
+    pub fn validate(&self) -> Result<(), GatewayConfigError> {
+        if self.shards.is_empty() {
+            return Err(GatewayConfigError::NoShards);
+        }
+        if self.vnodes == 0 {
+            return Err(GatewayConfigError::ZeroVnodes);
+        }
+        if self.fail_after == 0 {
+            return Err(GatewayConfigError::ZeroFailAfter);
+        }
+        if self.forward_attempts == 0 {
+            return Err(GatewayConfigError::ZeroForwardAttempts);
+        }
+        Ok(())
+    }
+}
+
+/// Why [`Gateway::start`] failed.
+#[derive(Debug)]
+pub enum GatewayStartError {
+    /// Binding or configuring the listener failed.
+    Io(std::io::Error),
+    /// The configuration was rejected.
+    Config(GatewayConfigError),
+}
+
+impl std::fmt::Display for GatewayStartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayStartError::Io(e) => write!(f, "bind failed: {e}"),
+            GatewayStartError::Config(e) => write!(f, "config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayStartError {}
+
+impl From<std::io::Error> for GatewayStartError {
+    fn from(e: std::io::Error) -> Self {
+        GatewayStartError::Io(e)
+    }
+}
+
+impl From<GatewayConfigError> for GatewayStartError {
+    fn from(e: GatewayConfigError) -> Self {
+        GatewayStartError::Config(e)
+    }
+}
+
+/// Locks a mutex, recovering the inner value from a poisoned guard (the
+/// gateway's shared state stays usable even if a handler panicked).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One backend shard: connection pool, health state, and counters.
+struct Backend {
+    addr: String,
+    /// Idle pooled connections; checkout pops, successful calls check
+    /// back in (up to [`GatewayConfig::pool_capacity`]).
+    pool: Mutex<Vec<Client>>,
+    healthy: AtomicBool,
+    consecutive_failures: AtomicU32,
+    /// Gateway model id (registration-log index) → this backend's own
+    /// model id; `None` while a registration hasn't reached it yet.
+    model_ids: Mutex<Vec<Option<u32>>>,
+    forwarded: AtomicU64,
+    errors: AtomicU64,
+    busy: AtomicU64,
+    health_checks: AtomicU64,
+    // Cache/job counters lifted from the most recent stats poll.
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    jobs_completed: AtomicU64,
+}
+
+impl Backend {
+    fn new(addr: String) -> Backend {
+        Backend {
+            addr,
+            pool: Mutex::new(Vec::new()),
+            healthy: AtomicBool::new(true),
+            consecutive_failures: AtomicU32::new(0),
+            model_ids: Mutex::new(Vec::new()),
+            forwarded: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            health_checks: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+        }
+    }
+
+    fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Acquire)
+    }
+
+    fn model_id(&self, gateway_id: usize) -> Option<u32> {
+        lock(&self.model_ids).get(gateway_id).copied().flatten()
+    }
+
+    fn set_model_id(&self, gateway_id: usize, backend_id: u32) {
+        let mut ids = lock(&self.model_ids);
+        if ids.len() <= gateway_id {
+            ids.resize(gateway_id + 1, None);
+        }
+        ids[gateway_id] = Some(backend_id);
+    }
+
+    fn snapshot(&self) -> GatewayBackendStats {
+        GatewayBackendStats {
+            addr: self.addr.clone(),
+            healthy: self.is_healthy(),
+            consecutive_failures: self.consecutive_failures.load(Ordering::Relaxed),
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            health_checks: self.health_checks.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared between the acceptor, handlers, and the health poller.
+struct Shared {
+    cfg: GatewayConfig,
+    ring: Ring,
+    backends: Vec<Backend>,
+    /// Every accepted registration in arrival order; a backend's gateway
+    /// model ids are indices into this log. Held across fan-out and
+    /// replay so registrations reach every backend in the same order.
+    registrations: Mutex<Vec<(GnnConfig, Vec<Vec<f32>>)>>,
+    stop: AtomicBool,
+    routed: AtomicU64,
+    fanout: AtomicU64,
+    rerouted: AtomicU64,
+    scatter: AtomicU64,
+}
+
+impl Shared {
+    fn backend_client_cfg(&self, read_timeout: Duration) -> ClientConfig {
+        ClientConfig {
+            max_frame_len: self.cfg.max_frame_len,
+            read_timeout,
+            write_timeout: self.cfg.write_timeout,
+            // The gateway does its own bounded re-routing; the underlying
+            // client must not retry on its behalf.
+            max_attempts: 1,
+            ..ClientConfig::default()
+        }
+    }
+
+    /// One request/response exchange with a backend, through the pool.
+    ///
+    /// A pooled connection that fails in transport is dropped and the
+    /// call retried once on a fresh connection (the backend may simply
+    /// have restarted since the connection was pooled); a fresh
+    /// connection's failure is the backend's failure.
+    fn call(
+        &self,
+        b: &Backend,
+        req: &Request,
+        read_timeout: Duration,
+    ) -> Result<Response, ClientError> {
+        // Note: pop via a scoped guard — an `if let` on `lock(..).pop()`
+        // would hold the pool mutex across the request and deadlock
+        // against `checkin`.
+        let pooled = lock(&b.pool).pop();
+        if let Some(mut c) = pooled {
+            match c.request(req) {
+                Ok(resp) => {
+                    self.checkin(b, c);
+                    return Ok(resp);
+                }
+                Err(e) if e.is_transport() => { /* stale pooled stream; retry fresh */ }
+                Err(e) => return Err(e),
+            }
+        }
+        let mut c = Client::connect_with(&b.addr, self.backend_client_cfg(read_timeout))?;
+        let resp = c.request(req)?;
+        self.checkin(b, c);
+        Ok(resp)
+    }
+
+    fn checkin(&self, b: &Backend, c: Client) {
+        let mut pool = lock(&b.pool);
+        if pool.len() < self.cfg.pool_capacity {
+            pool.push(c);
+        }
+    }
+
+    fn record_failure(&self, b: &Backend) {
+        b.errors.fetch_add(1, Ordering::Relaxed);
+        let fails = b.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if fails >= self.cfg.fail_after {
+            b.healthy.store(false, Ordering::Release);
+            // Pooled connections to a dead backend are stale by
+            // definition; drop them so recovery starts clean.
+            lock(&b.pool).clear();
+        }
+    }
+
+    fn record_success(&self, b: &Backend) {
+        b.consecutive_failures.store(0, Ordering::Relaxed);
+    }
+
+    fn gateway_stats(&self) -> GatewayStats {
+        GatewayStats {
+            routed: self.routed.load(Ordering::Relaxed),
+            fanout: self.fanout.load(Ordering::Relaxed),
+            rerouted: self.rerouted.load(Ordering::Relaxed),
+            scatter: self.scatter.load(Ordering::Relaxed),
+            backends: self.backends.iter().map(Backend::snapshot).collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch.
+
+    fn dispatch(&self, req: Request) -> (Response, bool) {
+        match req {
+            Request::Ping => (
+                Response::Pong {
+                    version: PROTOCOL_VERSION,
+                },
+                false,
+            ),
+            Request::RegisterModel { config, state } => (self.register(config, state), false),
+            Request::Explain(req) => (self.route_explain(req), false),
+            Request::Stats => (self.aggregate_stats(), false),
+            Request::Trace(id) => (self.scatter_trace(id), false),
+            Request::FetchExplanation(id) => (self.scatter_fetch(id), false),
+            Request::ListExplanations => (self.scatter_list(), false),
+            Request::Shutdown => {
+                // Stop the fleet first (best-effort), then ourselves; the
+                // ack closes the connection.
+                for b in &self.backends {
+                    if b.is_healthy() {
+                        let _ = self.call(b, &Request::Shutdown, self.cfg.health_timeout);
+                    }
+                }
+                self.stop.store(true, Ordering::Release);
+                (Response::ShutdownAck, true)
+            }
+        }
+    }
+
+    /// Replicates a registration to every healthy backend. The
+    /// caller-visible id is the registration-log index; per-backend ids
+    /// are recorded in each backend's map.
+    fn register(&self, config: GnnConfig, state: Vec<Vec<f32>>) -> Response {
+        let mut log = lock(&self.registrations);
+        let gateway_id = log.len() as u32;
+        let mut accepted = 0usize;
+        for b in &self.backends {
+            if !b.is_healthy() {
+                continue; // will be replayed on re-admission
+            }
+            let req = Request::RegisterModel {
+                config: config.clone(),
+                state: state.clone(),
+            };
+            match self.call(b, &req, self.cfg.backend_read_timeout) {
+                Ok(Response::ModelRegistered { model }) => {
+                    b.set_model_id(gateway_id as usize, model);
+                    self.record_success(b);
+                    self.fanout.fetch_add(1, Ordering::Relaxed);
+                    accepted += 1;
+                }
+                Ok(Response::Error { kind, message }) => {
+                    // Validation is deterministic: every backend would
+                    // refuse the same model, so refuse without logging it.
+                    return Response::Error { kind, message };
+                }
+                Ok(_) => {
+                    return Response::Error {
+                        kind: ErrorKind::Internal,
+                        message: format!("backend {} answered out of protocol", b.addr),
+                    };
+                }
+                Err(e) => {
+                    // The backend misses this registration for now; the
+                    // health poller replays the log when it recovers.
+                    self.record_failure(b);
+                    let _ = e;
+                }
+            }
+        }
+        if accepted == 0 {
+            return Response::Error {
+                kind: ErrorKind::Internal,
+                message: "no healthy backend accepted the registration".to_owned(),
+            };
+        }
+        log.push((config, state));
+        Response::ModelRegistered { model: gateway_id }
+    }
+
+    /// Routes one explanation to the ring owner of its key, re-routing
+    /// past backends that fail in transport. `Busy` and typed errors from
+    /// a backend are answers, not failures: they propagate verbatim.
+    fn route_explain(&self, req: ExplainRequest) -> Response {
+        let gateway_model = req.model as usize;
+        if gateway_model >= lock(&self.registrations).len() {
+            return Response::Error {
+                kind: ErrorKind::UnknownModel,
+                message: format!("model {} was never registered via this gateway", req.model),
+            };
+        }
+        self.routed.fetch_add(1, Ordering::Relaxed);
+        let key = route_key(req.model, req.graph_id, req.target);
+        let mut excluded = vec![false; self.backends.len()];
+        for attempt in 0..self.cfg.forward_attempts {
+            let owner = self.ring.owner_where(key, |s| {
+                !excluded[s]
+                    && self.backends[s].is_healthy()
+                    && self.backends[s].model_id(gateway_model).is_some()
+            });
+            let Some(owner) = owner else { break };
+            let b = &self.backends[owner];
+            let Some(backend_model) = b.model_id(gateway_model) else {
+                excluded[owner] = true;
+                continue;
+            };
+            if attempt > 0 {
+                self.rerouted.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut fwd = req.clone();
+            fwd.model = backend_model;
+            match self.call(b, &Request::Explain(fwd), self.cfg.backend_read_timeout) {
+                Ok(resp @ Response::Busy { .. }) => {
+                    // Backpressure is the backend's answer; hiding it
+                    // behind gateway-side retries would defeat admission
+                    // control. The caller owns the backoff policy.
+                    b.busy.fetch_add(1, Ordering::Relaxed);
+                    self.record_success(b);
+                    return resp;
+                }
+                Ok(resp) => {
+                    b.forwarded.fetch_add(1, Ordering::Relaxed);
+                    self.record_success(b);
+                    return resp;
+                }
+                Err(e) => {
+                    debug_assert!(e.is_transport(), "Client::request only fails in transport");
+                    self.record_failure(b);
+                    excluded[owner] = true;
+                }
+            }
+        }
+        Response::Error {
+            kind: ErrorKind::Internal,
+            message: "no live shard could serve this key".to_owned(),
+        }
+    }
+
+    /// Merges live stats from every healthy backend and attaches the
+    /// gateway tail.
+    fn aggregate_stats(&self) -> Response {
+        let mut merged = ServerStats::default();
+        for b in &self.backends {
+            if !b.is_healthy() {
+                continue;
+            }
+            match self.call(b, &Request::Stats, self.cfg.health_timeout) {
+                Ok(Response::Stats(s, _)) => {
+                    self.record_success(b);
+                    self.update_poll_counters(b, &s);
+                    merged.merge(&s);
+                }
+                Ok(_) => {}
+                Err(_) => self.record_failure(b),
+            }
+        }
+        Response::Stats(Box::new(merged), Some(Box::new(self.gateway_stats())))
+    }
+
+    fn update_poll_counters(&self, b: &Backend, s: &ServerStats) {
+        b.cache_hits.store(s.runtime.cache_hits, Ordering::Relaxed);
+        b.cache_misses
+            .store(s.runtime.cache_misses, Ordering::Relaxed);
+        b.jobs_completed
+            .store(s.runtime.jobs_completed, Ordering::Relaxed);
+    }
+
+    /// Point read scattered to the fleet: job ids are shard-local, so the
+    /// first shard holding the id answers. If no shard holds it, a typed
+    /// error seen from every shard (e.g. `NoStore`) propagates; otherwise
+    /// the answer is an honest "not found".
+    fn scatter_trace(&self, id: u64) -> Response {
+        self.scatter.fetch_add(1, Ordering::Relaxed);
+        for b in &self.backends {
+            if !b.is_healthy() {
+                continue;
+            }
+            match self.call(b, &Request::Trace(id), self.cfg.backend_read_timeout) {
+                Ok(Response::Trace(Some(t))) => {
+                    self.record_success(b);
+                    return Response::Trace(Some(t));
+                }
+                Ok(_) => self.record_success(b),
+                Err(_) => self.record_failure(b),
+            }
+        }
+        Response::Trace(None)
+    }
+
+    fn scatter_fetch(&self, id: u64) -> Response {
+        self.scatter.fetch_add(1, Ordering::Relaxed);
+        let mut last_error: Option<Response> = None;
+        let mut any_negative = false;
+        for b in &self.backends {
+            if !b.is_healthy() {
+                continue;
+            }
+            match self.call(
+                b,
+                &Request::FetchExplanation(id),
+                self.cfg.backend_read_timeout,
+            ) {
+                Ok(Response::Explanation(Some(e))) => {
+                    self.record_success(b);
+                    return Response::Explanation(Some(e));
+                }
+                Ok(Response::Explanation(None)) => {
+                    self.record_success(b);
+                    any_negative = true;
+                }
+                Ok(resp @ Response::Error { .. }) => {
+                    self.record_success(b);
+                    last_error = Some(resp);
+                }
+                Ok(_) => {}
+                Err(_) => self.record_failure(b),
+            }
+        }
+        match (any_negative, last_error) {
+            // Some shard could have held it and answered "no" — not found.
+            (true, _) => Response::Explanation(None),
+            // Every reachable shard refused (e.g. the whole fleet runs
+            // storeless): surface the refusal rather than a silent None.
+            (false, Some(err)) => err,
+            (false, None) => Response::Explanation(None),
+        }
+    }
+
+    /// List scattered to the fleet; the union is sorted by job id. Job
+    /// ids from different shards may collide (each backend numbers its
+    /// own jobs), so entries are *not* deduplicated.
+    fn scatter_list(&self) -> Response {
+        self.scatter.fetch_add(1, Ordering::Relaxed);
+        let mut all: Vec<WireExplanationSummary> = Vec::new();
+        let mut last_error: Option<Response> = None;
+        let mut any_ok = false;
+        for b in &self.backends {
+            if !b.is_healthy() {
+                continue;
+            }
+            match self.call(b, &Request::ListExplanations, self.cfg.backend_read_timeout) {
+                Ok(Response::ExplanationList(list)) => {
+                    self.record_success(b);
+                    all.extend(list);
+                    any_ok = true;
+                }
+                Ok(resp @ Response::Error { .. }) => {
+                    self.record_success(b);
+                    last_error = Some(resp);
+                }
+                Ok(_) => {}
+                Err(_) => self.record_failure(b),
+            }
+        }
+        if !any_ok {
+            if let Some(err) = last_error {
+                return err;
+            }
+        }
+        all.sort_by_key(|s| s.job_id);
+        Response::ExplanationList(all)
+    }
+
+    // ------------------------------------------------------------------
+    // Health.
+
+    /// One health pass over the fleet: poll `Stats` everywhere, demote
+    /// repeat offenders, replay-and-re-admit recovered backends.
+    fn health_pass(&self) {
+        for b in &self.backends {
+            match self.call(b, &Request::Stats, self.cfg.health_timeout) {
+                Ok(Response::Stats(s, _)) => {
+                    b.health_checks.fetch_add(1, Ordering::Relaxed);
+                    self.update_poll_counters(b, &s);
+                    if b.is_healthy() {
+                        self.record_success(b);
+                    } else {
+                        self.try_readmit(b);
+                    }
+                }
+                Ok(_) | Err(_) => self.record_failure(b),
+            }
+        }
+    }
+
+    /// Replays the registration log to a recovered backend and re-admits
+    /// it. Holding the log lock serializes replay against new
+    /// registrations, so the backend sees the same order as everyone
+    /// else. A backend that only lost connectivity (no restart) receives
+    /// duplicate registrations — its old ids stay valid and the id map is
+    /// rebuilt against the fresh ones, so correctness only costs memory.
+    fn try_readmit(&self, b: &Backend) {
+        let log = lock(&self.registrations);
+        let mut fresh_ids: Vec<Option<u32>> = Vec::with_capacity(log.len());
+        for (config, state) in log.iter() {
+            let req = Request::RegisterModel {
+                config: config.clone(),
+                state: state.clone(),
+            };
+            match self.call(b, &req, self.cfg.backend_read_timeout) {
+                Ok(Response::ModelRegistered { model }) => fresh_ids.push(Some(model)),
+                _ => {
+                    // Relapsed mid-replay; stay dead and try again on the
+                    // next pass.
+                    self.record_failure(b);
+                    return;
+                }
+            }
+        }
+        *lock(&b.model_ids) = fresh_ids;
+        b.consecutive_failures.store(0, Ordering::Relaxed);
+        b.healthy.store(true, Ordering::Release);
+    }
+}
+
+/// A running gateway; dropping it stops and joins every thread.
+pub struct Gateway {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<thread::JoinHandle<()>>,
+    health: Option<thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+impl Gateway {
+    /// Binds, spawns the acceptor and the health poller, and returns
+    /// immediately; the gateway is accepting once this returns. Backends
+    /// start presumed-healthy and the first poll corrects the optimism.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding, or an invalid [`GatewayConfig`].
+    pub fn start(cfg: GatewayConfig) -> Result<Gateway, GatewayStartError> {
+        cfg.validate()?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let ring = Ring::new(cfg.shards.len(), cfg.vnodes);
+        let backends = cfg.shards.iter().cloned().map(Backend::new).collect();
+        let shared = Arc::new(Shared {
+            cfg,
+            ring,
+            backends,
+            registrations: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            routed: AtomicU64::new(0),
+            fanout: AtomicU64::new(0),
+            rerouted: AtomicU64::new(0),
+            scatter: AtomicU64::new(0),
+        });
+        let handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            thread::Builder::new()
+                .name("gateway-acceptor".to_owned())
+                .spawn(move || accept_loop(&listener, &shared, &handlers))?
+        };
+        let health = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("gateway-health".to_owned())
+                .spawn(move || health_loop(&shared))?
+        };
+        Ok(Gateway {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            health: Some(health),
+            handlers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Requests shutdown without blocking.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+    }
+
+    /// Current gateway counters and per-backend health.
+    pub fn gateway_stats(&self) -> GatewayStats {
+        self.shared.gateway_stats()
+    }
+
+    /// Stops and joins all threads, returning the final gateway stats.
+    pub fn shutdown(mut self) -> GatewayStats {
+        self.stop();
+        self.join_threads();
+        self.shared.gateway_stats()
+    }
+
+    /// Blocks until the gateway stops (a `Shutdown` request over the
+    /// wire) and all threads are joined; returns the final stats.
+    pub fn wait(mut self) -> GatewayStats {
+        while !self.stopping() {
+            thread::sleep(POLL_INTERVAL);
+        }
+        self.join_threads();
+        self.shared.gateway_stats()
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        if let Some(h) = self.health.take() {
+            let _ = h.join();
+        }
+        let drained: Vec<_> = lock(&self.handlers).drain(..).collect();
+        for h in drained {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.stop();
+        self.join_threads();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+) {
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Reap finished handlers so the vec doesn't grow without
+                // bound on long-lived gateways.
+                lock(handlers).retain(|h| !h.is_finished());
+                let shared = Arc::clone(shared);
+                let spawned = thread::Builder::new()
+                    .name("gateway-conn".to_owned())
+                    .spawn(move || handle_connection(stream, &shared));
+                if let Ok(h) = spawned {
+                    lock(handlers).push(h);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    // Short socket timeouts turn blocking reads into a stop-flag poll
+    // loop, exactly like the backend server's connection handler.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+
+    loop {
+        let frame = read_frame_cancellable(
+            &mut stream,
+            shared.cfg.max_frame_len,
+            shared.cfg.read_timeout,
+            &shared.stop,
+        );
+        let payload = match frame {
+            Ok(Some((payload, _len))) => payload,
+            Ok(None) => return,
+            Err(e) => {
+                let resp = Response::Error {
+                    kind: ErrorKind::Malformed,
+                    message: e.to_string(),
+                };
+                let _ = write_frame(&mut stream, &resp.encode(), shared.cfg.max_frame_len);
+                return;
+            }
+        };
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                let resp = Response::Error {
+                    kind: ErrorKind::Malformed,
+                    message: e.to_string(),
+                };
+                let _ = write_frame(&mut stream, &resp.encode(), shared.cfg.max_frame_len);
+                return;
+            }
+        };
+        let (response, close_after) = shared.dispatch(request);
+        let wrote = write_frame(&mut stream, &response.encode(), shared.cfg.max_frame_len);
+        if wrote.is_err() || close_after {
+            return;
+        }
+    }
+}
+
+fn health_loop(shared: &Arc<Shared>) {
+    let mut last: Option<Instant> = None; // None → poll immediately
+    while !shared.stop.load(Ordering::Acquire) {
+        let due = !matches!(last, Some(t) if t.elapsed() < shared.cfg.health_interval);
+        if due {
+            shared.health_pass();
+            last = Some(Instant::now());
+        }
+        thread::sleep(POLL_INTERVAL.min(shared.cfg.health_interval));
+    }
+}

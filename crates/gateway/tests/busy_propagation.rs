@@ -1,0 +1,163 @@
+//! Error-kind fidelity through the gateway: a `Busy` answer from a
+//! backend is backpressure, not a transport failure — the gateway must
+//! hand it to the caller verbatim instead of re-routing or retrying it
+//! into oblivion, and must not count it against the backend's health.
+
+#![allow(clippy::unwrap_used)]
+
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use revelio_core::wire::ControlSpec;
+use revelio_core::Objective;
+use revelio_eval::Effort;
+use revelio_gateway::{Gateway, GatewayConfig};
+use revelio_gnn::{Gnn, GnnConfig, GnnKind, Task};
+use revelio_graph::{Graph, Target};
+use revelio_server::wire::{read_frame, write_frame, Request, Response, ServerStats};
+use revelio_server::{Client, ClientError, ExplainRequest, PROTOCOL_VERSION};
+
+/// A minimal wire-speaking backend that answers every `Explain` with
+/// `Busy` while behaving normally for registration and health polls.
+fn spawn_busy_backend() -> (std::net::SocketAddr, Arc<AtomicBool>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_accept = Arc::clone(&stop);
+    listener.set_nonblocking(true).unwrap();
+    std::thread::spawn(move || {
+        while !stop_accept.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    let stop_conn = Arc::clone(&stop_accept);
+                    std::thread::spawn(move || {
+                        stream
+                            .set_read_timeout(Some(Duration::from_millis(50)))
+                            .unwrap();
+                        loop {
+                            if stop_conn.load(Ordering::Acquire) {
+                                return;
+                            }
+                            let payload = match read_frame(&mut stream, 1 << 24) {
+                                Ok(Some((payload, _))) => payload,
+                                Ok(None) => return,
+                                Err(e) => {
+                                    if is_poll_timeout(&e) {
+                                        continue;
+                                    }
+                                    return;
+                                }
+                            };
+                            let resp = match Request::decode(&payload) {
+                                Ok(Request::Ping) => Response::Pong {
+                                    version: PROTOCOL_VERSION,
+                                },
+                                Ok(Request::RegisterModel { .. }) => {
+                                    Response::ModelRegistered { model: 0 }
+                                }
+                                Ok(Request::Stats) => {
+                                    Response::Stats(Box::<ServerStats>::default(), None)
+                                }
+                                Ok(Request::Explain(_)) => Response::Busy {
+                                    in_flight: 7,
+                                    limit: 7,
+                                },
+                                _ => return,
+                            };
+                            if write_frame(&mut stream, &resp.encode(), 1 << 24).is_err() {
+                                return;
+                            }
+                            let _ = stream.flush();
+                        }
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => return,
+            }
+        }
+    });
+    (addr, stop)
+}
+
+fn is_poll_timeout(e: &revelio_server::WireError) -> bool {
+    matches!(
+        e,
+        revelio_server::WireError::Io(io)
+            if io.kind() == std::io::ErrorKind::WouldBlock
+                || io.kind() == std::io::ErrorKind::TimedOut
+    )
+}
+
+#[test]
+fn busy_from_a_backend_propagates_as_busy_without_gateway_retries() {
+    let (addr, stop) = spawn_busy_backend();
+    let gateway = Gateway::start(GatewayConfig {
+        shards: vec![addr.to_string()],
+        health_interval: Duration::from_millis(100),
+        ..GatewayConfig::default()
+    })
+    .unwrap();
+
+    let mut client = Client::connect(gateway.local_addr()).unwrap();
+    let model = Gnn::new(GnnConfig {
+        kind: GnnKind::Gcn,
+        task: Task::NodeClassification,
+        in_dim: 1,
+        hidden_dim: 4,
+        num_classes: 2,
+        num_layers: 2,
+        heads: 1,
+        seed: 1,
+    });
+    let id = client.register_model(&model).unwrap();
+
+    let mut b = Graph::builder(2, 1);
+    b.undirected_edge(0, 1);
+    b.node_features(0, &[1.0]);
+    b.node_features(1, &[1.0]);
+    b.node_labels(vec![0, 1]);
+    let graph = b.build();
+
+    let req = ExplainRequest {
+        model: id,
+        graph_id: 0,
+        method: "REVELIO".to_owned(),
+        objective: Objective::Factual,
+        effort: Effort::Quick,
+        target: Target::Node(0),
+        control: ControlSpec::default(),
+        graph,
+    };
+
+    // `Client::explain` does not retry Busy — if the gateway looped on it
+    // internally this would hang until the 120s read timeout instead of
+    // answering promptly.
+    let t0 = Instant::now();
+    let result = client.explain(&req);
+    let elapsed = t0.elapsed();
+    match result {
+        Err(ClientError::Busy { in_flight, limit }) => {
+            assert_eq!((in_flight, limit), (7, 7), "Busy payload must be verbatim");
+        }
+        other => panic!("expected Busy to propagate, got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "Busy took {elapsed:?} — the gateway must not retry backpressure"
+    );
+
+    // Busy is an answer: the backend stays healthy and the shed is
+    // accounted on its busy counter, not its error counter.
+    let stats = gateway.gateway_stats();
+    assert!(stats.backends[0].healthy);
+    assert_eq!(stats.backends[0].busy, 1);
+    assert_eq!(stats.backends[0].errors, 0);
+
+    stop.store(true, Ordering::Release);
+    gateway.shutdown();
+}

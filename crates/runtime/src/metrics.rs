@@ -125,6 +125,19 @@ impl HistogramSnapshot {
     pub fn p99_us(&self) -> u64 {
         self.quantile_us(0.99)
     }
+
+    /// Folds `other` into `self`: per-bucket sums, summed counts/totals,
+    /// max of maxima. Bucket bounds are compile-time constants shared by
+    /// every histogram, so snapshots from different processes (e.g. a
+    /// gateway rolling up its backend fleet) merge exactly.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.total_us = self.total_us.saturating_add(other.total_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
 }
 
 /// Upper bounds of the batch-size histogram buckets (number of jobs fused
@@ -183,6 +196,16 @@ impl SizeHistogramSnapshot {
     /// snapshot `Eq`/`Copy` without a float field.
     pub fn mean_milli(&self) -> u64 {
         (self.total * 1000).checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Folds `other` into `self`; see [`HistogramSnapshot::merge`].
+    pub fn merge(&mut self, other: &SizeHistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.total = self.total.saturating_add(other.total);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -350,6 +373,36 @@ impl MetricsSnapshot {
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+
+    /// Folds `other` into `self`: counters and queue depth sum, histograms
+    /// merge bucket-wise. This is the fleet-rollup primitive — a gateway
+    /// aggregates the snapshots of every backend it fronts into one
+    /// fleet-level view (total cache hit rate, fleet latency distribution)
+    /// without losing per-bucket resolution.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.jobs_submitted = self.jobs_submitted.saturating_add(other.jobs_submitted);
+        self.jobs_started = self.jobs_started.saturating_add(other.jobs_started);
+        self.jobs_completed = self.jobs_completed.saturating_add(other.jobs_completed);
+        self.jobs_degraded = self.jobs_degraded.saturating_add(other.jobs_degraded);
+        self.jobs_failed = self.jobs_failed.saturating_add(other.jobs_failed);
+        self.jobs_rejected = self.jobs_rejected.saturating_add(other.jobs_rejected);
+        self.queue_depth = self.queue_depth.saturating_add(other.queue_depth);
+        self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
+        self.cache_misses = self.cache_misses.saturating_add(other.cache_misses);
+        self.epochs_total = self.epochs_total.saturating_add(other.epochs_total);
+        self.store_hits = self.store_hits.saturating_add(other.store_hits);
+        self.store_misses = self.store_misses.saturating_add(other.store_misses);
+        self.batches = self.batches.saturating_add(other.batches);
+        self.batched_jobs = self.batched_jobs.saturating_add(other.batched_jobs);
+        self.queue_wait.merge(&other.queue_wait);
+        self.prep_latency.merge(&other.prep_latency);
+        self.explain_latency.merge(&other.explain_latency);
+        self.phase_extraction.merge(&other.phase_extraction);
+        self.phase_flow_index.merge(&other.phase_flow_index);
+        self.phase_optimize.merge(&other.phase_optimize);
+        self.phase_readout.merge(&other.phase_readout);
+        self.batch_size.merge(&other.batch_size);
     }
 
     /// Renders the snapshot as an aligned human-readable report.
@@ -522,5 +575,45 @@ mod tests {
         let s = Metrics::default().snapshot(0, 0);
         assert_eq!(s.cache_hit_rate(), 0.0);
         assert_eq!(s.queue_wait.mean_us(), 0);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_and_buckets() {
+        let a = Metrics::default();
+        a.jobs_completed.fetch_add(3, Ordering::Relaxed);
+        a.explain_latency.observe(Duration::from_micros(50));
+        a.batch_size.observe(2);
+        let b = Metrics::default();
+        b.jobs_completed.fetch_add(5, Ordering::Relaxed);
+        b.explain_latency.observe(Duration::from_secs(20));
+        b.batch_size.observe(7);
+
+        let mut merged = a.snapshot(4, 1);
+        merged.merge(&b.snapshot(1, 4));
+        assert_eq!(merged.jobs_completed, 8);
+        assert_eq!(merged.cache_hits, 5);
+        assert_eq!(merged.cache_misses, 5);
+        assert!((merged.cache_hit_rate() - 0.5).abs() < 1e-9);
+        // Histograms merge bucket-wise: one fast + one slow observation.
+        assert_eq!(merged.explain_latency.count, 2);
+        assert_eq!(merged.explain_latency.buckets[0], 1);
+        assert_eq!(merged.explain_latency.buckets[NUM_BUCKETS - 1], 1);
+        assert_eq!(merged.explain_latency.max_us, 20_000_000);
+        assert_eq!(merged.batch_size.count, 2);
+        assert_eq!(merged.batch_size.max, 7);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let m = Metrics::default();
+        m.jobs_submitted.fetch_add(2, Ordering::Relaxed);
+        m.phase_optimize.observe(Duration::from_millis(3));
+        let base = m.snapshot(1, 2);
+        let mut merged = base;
+        merged.merge(&MetricsSnapshot::default());
+        assert_eq!(merged, base);
+        let mut from_empty = MetricsSnapshot::default();
+        from_empty.merge(&base);
+        assert_eq!(from_empty, base);
     }
 }

@@ -6,9 +6,11 @@
 //!               [--store PATH] [--max-batch N]
 //! ```
 //!
-//! The process prints the bound address on stdout (`listening on ...`) so
-//! scripts binding port 0 can discover the port, serves until a client
-//! sends `Shutdown` (or the process receives SIGTERM/ctrl-C, which the OS
+//! The process prints the bound address on stdout (`listening on ...`
+//! followed by a machine-readable `READY addr=<bound-addr>` line) so
+//! scripts binding port 0 can discover the port and orchestrators can
+//! wait on readiness deterministically, serves until a client sends
+//! `Shutdown` (or the process receives SIGTERM/ctrl-C, which the OS
 //! turns into process exit), and prints the final unified metrics report
 //! on the way out.
 
@@ -107,6 +109,12 @@ fn main() -> ExitCode {
         }
     };
     println!("listening on {}", server.local_addr());
+    // Machine-readable readiness line: the socket is bound and accepting
+    // by the time `Server::start` returns, so orchestration (gateway smoke
+    // tests, CI scripts) can block on this exact line instead of sleeping.
+    println!("READY addr={}", server.local_addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
     let stats = server.wait();
     println!("{}", stats.report());
     ExitCode::SUCCESS

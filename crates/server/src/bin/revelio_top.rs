@@ -76,7 +76,7 @@ fn main() -> ExitCode {
         }
     };
     loop {
-        let stats = match client.stats() {
+        let (stats, gateway) = match client.stats_full() {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("revelio-top: stats request failed: {e}");
@@ -85,6 +85,11 @@ fn main() -> ExitCode {
         };
         if args.prometheus {
             println!("{}", stats.prometheus());
+            // A gateway answers Stats with a fleet-rollup tail; append its
+            // families so one scrape covers routing + backend health too.
+            if let Some(g) = &gateway {
+                println!("{}", g.prometheus());
+            }
         } else {
             if !args.once {
                 // ANSI clear + home, like top(1); harmless when redirected.
@@ -92,6 +97,9 @@ fn main() -> ExitCode {
             }
             println!("revelio-top — {}", args.addr);
             println!("{}", stats.report());
+            if let Some(g) = &gateway {
+                println!("{}", g.report());
+            }
         }
         if args.once {
             return ExitCode::SUCCESS;

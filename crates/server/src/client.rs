@@ -7,9 +7,9 @@ use std::time::Duration;
 use revelio_gnn::Gnn;
 
 use crate::wire::{
-    read_frame, write_frame, ErrorKind, ExplainRequest, Request, Response, ServedExplanation,
-    ServerStats, WireError, WireExplanationSummary, WireStoredExplanation, WireTrace,
-    DEFAULT_MAX_FRAME_LEN,
+    read_frame, write_frame, ErrorKind, ExplainRequest, GatewayStats, Request, Response,
+    ServedExplanation, ServerStats, WireError, WireExplanationSummary, WireStoredExplanation,
+    WireTrace, DEFAULT_MAX_FRAME_LEN,
 };
 
 /// Client-side knobs; the defaults suit loopback and LAN serving.
@@ -104,6 +104,15 @@ impl ClientError {
             _ => false,
         }
     }
+
+    /// Whether the failure happened in transport (socket or codec) rather
+    /// than as a server-level answer. A gateway may re-route a transport
+    /// failure to another backend, but `Busy` and typed server errors are
+    /// genuine answers that must propagate to the caller verbatim —
+    /// retrying them inside the gateway would hide backpressure.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, ClientError::Wire(_))
+    }
 }
 
 /// A blocking connection to one `revelio-serve` instance.
@@ -163,6 +172,20 @@ impl Client {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// The address this client connected to.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Replaces the underlying stream with a fresh connection to the same
+    /// address. Use after a transport error: the old stream may hold half
+    /// a frame, and reconnecting is cheaper than resynchronising.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let fresh = Client::connect_with(self.addr, self.cfg.clone())?;
+        self.stream = fresh.stream;
+        Ok(())
     }
 
     /// Sends one request and reads one response (no retries).
@@ -241,8 +264,15 @@ impl Client {
 
     /// Fetches the server's unified wire + runtime stats.
     pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        Ok(self.stats_full()?.0)
+    }
+
+    /// Fetches stats together with the optional gateway tail. Talking to a
+    /// plain `revelio-serve` backend yields `None`; talking to a
+    /// `revelio-gateway` yields the fleet rollup.
+    pub fn stats_full(&mut self) -> Result<(ServerStats, Option<GatewayStats>), ClientError> {
         match self.request(&Request::Stats)? {
-            Response::Stats(s) => Ok(*s),
+            Response::Stats(s, gateway) => Ok((*s, gateway.map(|g| *g))),
             other => Err(unexpected(&other, "expected Stats")),
         }
     }

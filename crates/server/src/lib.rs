@@ -25,9 +25,9 @@ pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientConfig, ClientError};
-pub use server::{Server, ServerConfig, ServerStartError};
+pub use server::{read_frame_cancellable, Server, ServerConfig, ServerStartError, POLL_INTERVAL};
 pub use wire::{
-    ErrorKind, ExplainRequest, Request, Response, ServedExplanation, ServerStats, WireError,
-    WireEvent, WireEventKind, WireExplanationSummary, WireStoredExplanation, WireTiming, WireTrace,
-    DEFAULT_MAX_FRAME_LEN, MAGIC, PROTOCOL_VERSION,
+    ErrorKind, ExplainRequest, GatewayBackendStats, GatewayStats, Request, Response,
+    ServedExplanation, ServerStats, WireError, WireEvent, WireEventKind, WireExplanationSummary,
+    WireStoredExplanation, WireTiming, WireTrace, DEFAULT_MAX_FRAME_LEN, MAGIC, PROTOCOL_VERSION,
 };

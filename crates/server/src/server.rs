@@ -79,8 +79,9 @@ impl Default for ServerConfig {
     }
 }
 
-/// Interval at which blocked reads wake up to poll the stop flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// Interval at which blocked reads wake up to poll the stop flag. Public
+/// so the gateway's connection loop can match the backend's cadence.
+pub const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Wire-level counters, updated by handler threads.
 #[derive(Default)]
@@ -355,7 +356,40 @@ fn read_frame_polling(
     stream: &mut TcpStream,
     shared: &Shared,
 ) -> Result<Option<Vec<u8>>, WireError> {
-    let max_len = shared.cfg.max_frame_len;
+    let got = read_frame_cancellable(
+        stream,
+        shared.cfg.max_frame_len,
+        shared.cfg.read_timeout,
+        &shared.stop,
+    )?;
+    if let Some((payload, frame_len)) = got {
+        shared
+            .counters
+            .bytes_in
+            .fetch_add(frame_len as u64, Ordering::Relaxed);
+        Ok(Some(payload))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Reads one frame from a stream whose read timeout is set to a short poll
+/// interval, waking between reads to check `stop`.
+///
+/// Returns `Ok(None)` on a clean end (peer EOF between frames, or `stop`
+/// raised while no frame is in progress) and `Ok(Some((payload,
+/// frame_len)))` on success, where `frame_len` counts header + payload
+/// bytes for accounting. A frame that *started* is given `read_timeout` to
+/// finish even after `stop` is raised. This is the building block behind
+/// both the backend server's connection loop and the gateway's; callers
+/// must have set a short socket read timeout (else `stop` is only polled
+/// at that cadence).
+pub fn read_frame_cancellable(
+    stream: &mut TcpStream,
+    max_len: usize,
+    read_timeout: Duration,
+    stop: &AtomicBool,
+) -> Result<Option<(Vec<u8>, usize)>, WireError> {
     let mut buf: Vec<u8> = Vec::with_capacity(HEADER_LEN);
     let mut chunk = [0u8; 64 * 1024];
     let mut started_at: Option<Instant> = None;
@@ -365,13 +399,13 @@ fn read_frame_polling(
 
     loop {
         if let Some(t0) = started_at {
-            if t0.elapsed() > shared.cfg.read_timeout {
+            if t0.elapsed() > read_timeout {
                 return Err(WireError::Io(std::io::Error::new(
                     std::io::ErrorKind::TimedOut,
                     "frame did not complete within the read timeout",
                 )));
             }
-        } else if shared.stop.load(Ordering::Acquire) {
+        } else if stop.load(Ordering::Acquire) {
             return Ok(None);
         }
         let want = (need - buf.len()).min(chunk.len());
@@ -411,11 +445,7 @@ fn read_frame_polling(
                             got,
                         });
                     }
-                    shared
-                        .counters
-                        .bytes_in
-                        .fetch_add(need as u64, Ordering::Relaxed);
-                    return Ok(Some(payload));
+                    return Ok(Some((payload, need)));
                 }
             }
             Err(e)
@@ -524,7 +554,7 @@ fn serve_request(request: Request, shared: &Shared, t0: Instant) -> (Response, b
         ),
         Request::RegisterModel { config, state } => (register_model(shared, config, &state), false),
         Request::Explain(req) => (serve_explain(shared, req, t0), false),
-        Request::Stats => (Response::Stats(Box::new(shared.stats())), false),
+        Request::Stats => (Response::Stats(Box::new(shared.stats()), None), false),
         Request::Trace(id) => {
             // Read-only, like `Stats`: still answered during shutdown so a
             // client can fetch the trace of a job that just completed.

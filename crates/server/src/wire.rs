@@ -52,8 +52,11 @@ pub const MAGIC: [u8; 4] = *b"RVLO";
 /// counters in `Stats`, `FetchExplanation` / `ListExplanations`
 /// request/response pairs over the server's persistent store);
 /// v4 — batched optimisation (batch counters and the batch-size histogram
-/// appended to the `Stats` metrics tail).
-pub const PROTOCOL_VERSION: u16 = 4;
+/// appended to the `Stats` metrics tail);
+/// v5 — sharding gateway (an optional [`GatewayStats`] tail on the `Stats`
+/// response carrying per-backend health, routing counters, and the fleet
+/// rollup; absent on plain `revelio-serve` answers).
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Frame header length in bytes (magic + version + length + checksum).
 pub const HEADER_LEN: usize = 14;
@@ -505,6 +508,25 @@ pub struct ServerStats {
 }
 
 impl ServerStats {
+    /// Folds another server's stats into this one: counters sum,
+    /// histograms add bucket-wise, and the runtime snapshots merge. The
+    /// gateway uses this to answer `Stats` with one fleet-wide rollup.
+    pub fn merge(&mut self, other: &ServerStats) {
+        self.connections_accepted = self
+            .connections_accepted
+            .saturating_add(other.connections_accepted);
+        self.connections_active = self
+            .connections_active
+            .saturating_add(other.connections_active);
+        self.bytes_in = self.bytes_in.saturating_add(other.bytes_in);
+        self.bytes_out = self.bytes_out.saturating_add(other.bytes_out);
+        self.requests = self.requests.saturating_add(other.requests);
+        self.shed = self.shed.saturating_add(other.shed);
+        self.protocol_errors = self.protocol_errors.saturating_add(other.protocol_errors);
+        self.request_latency.merge(&other.request_latency);
+        self.runtime.merge(&other.runtime);
+    }
+
     /// Renders the unified report (wire section + runtime section).
     pub fn report(&self) -> String {
         let h = &self.request_latency;
@@ -587,6 +609,251 @@ impl ServerStats {
     }
 }
 
+/// The gateway's view of one backend shard: health-state machine output
+/// plus forwarding counters, with the cache/job counters lifted from the
+/// backend's most recent health poll.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GatewayBackendStats {
+    /// The backend's address as configured on the gateway CLI.
+    pub addr: String,
+    /// Whether the ring currently routes to this backend.
+    pub healthy: bool,
+    /// Consecutive failed health checks / forwards; reaching the
+    /// gateway's threshold marks the backend dead.
+    pub consecutive_failures: u32,
+    /// Requests forwarded to this backend (the per-backend routing
+    /// histogram: comparing these counters across backends shows how the
+    /// ring spreads keys).
+    pub forwarded: u64,
+    /// Transport or protocol failures talking to this backend.
+    pub errors: u64,
+    /// `Busy` answers this backend returned (propagated to callers).
+    pub busy: u64,
+    /// Successful `Stats` health polls.
+    pub health_checks: u64,
+    /// Artifact-cache hits at the last health poll.
+    pub cache_hits: u64,
+    /// Artifact-cache misses at the last health poll.
+    pub cache_misses: u64,
+    /// Jobs the backend completed, at the last health poll.
+    pub jobs_completed: u64,
+}
+
+/// Gateway-level counters riding as an optional tail on the `Stats`
+/// response (protocol v5). Plain `revelio-serve` never attaches one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Explain requests routed to a single owner via the ring.
+    pub routed: u64,
+    /// Registrations fanned out (replicated) to the healthy fleet.
+    pub fanout: u64,
+    /// Forwards retried against a successor shard after a failure.
+    pub rerouted: u64,
+    /// Scatter-gather reads (fetch/list/trace) sent to the whole fleet.
+    pub scatter: u64,
+    /// Per-backend health + counters, in configured shard order.
+    pub backends: Vec<GatewayBackendStats>,
+}
+
+impl GatewayStats {
+    /// Backends the ring currently routes to.
+    pub fn healthy_backends(&self) -> usize {
+        self.backends.iter().filter(|b| b.healthy).count()
+    }
+
+    /// Fleet-wide artifact-cache hit rate in `[0, 1]` from the summed
+    /// per-backend counters (0 when the fleet was never probed).
+    pub fn fleet_cache_hit_rate(&self) -> f64 {
+        let hits: u64 = self.backends.iter().map(|b| b.cache_hits).sum();
+        let misses: u64 = self.backends.iter().map(|b| b.cache_misses).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Renders the gateway families as Prometheus text exposition
+    /// (`revelio_gateway_*`), appended after the standard server families
+    /// by `revelio-top` and the gateway's own scrape surface.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, help, value) in [
+            (
+                "revelio_gateway_routed_total",
+                "Explain requests routed to their owning shard.",
+                self.routed,
+            ),
+            (
+                "revelio_gateway_fanout_total",
+                "Registrations replicated to the healthy fleet.",
+                self.fanout,
+            ),
+            (
+                "revelio_gateway_rerouted_total",
+                "Forwards retried on a successor shard after a failure.",
+                self.rerouted,
+            ),
+            (
+                "revelio_gateway_scatter_total",
+                "Scatter-gather reads sent to the whole fleet.",
+                self.scatter,
+            ),
+        ] {
+            push_counter(&mut out, name, help, value);
+        }
+        push_gauge(
+            &mut out,
+            "revelio_gateway_backends_healthy",
+            "Backends the ring currently routes to.",
+            self.healthy_backends() as f64,
+        );
+        push_gauge(
+            &mut out,
+            "revelio_gateway_fleet_cache_hit_rate",
+            "Fleet-wide artifact-cache hit rate in [0, 1].",
+            self.fleet_cache_hit_rate(),
+        );
+        let labelled = |out: &mut String,
+                        name: &str,
+                        help: &str,
+                        ty: &str,
+                        f: &dyn Fn(&GatewayBackendStats) -> f64| {
+            out.push_str(&format!("# HELP {name} {help}\n"));
+            out.push_str(&format!("# TYPE {name} {ty}\n"));
+            for b in &self.backends {
+                out.push_str(&format!("{name}{{backend=\"{}\"}} {}\n", b.addr, f(b)));
+            }
+        };
+        labelled(
+            &mut out,
+            "revelio_gateway_backend_up",
+            "Whether the ring routes to this backend (1 = healthy).",
+            "gauge",
+            &|b| if b.healthy { 1.0 } else { 0.0 },
+        );
+        labelled(
+            &mut out,
+            "revelio_gateway_backend_forwarded_total",
+            "Requests forwarded to this backend.",
+            "counter",
+            &|b| b.forwarded as f64,
+        );
+        labelled(
+            &mut out,
+            "revelio_gateway_backend_errors_total",
+            "Transport or protocol failures against this backend.",
+            "counter",
+            &|b| b.errors as f64,
+        );
+        labelled(
+            &mut out,
+            "revelio_gateway_backend_busy_total",
+            "Busy answers this backend returned.",
+            "counter",
+            &|b| b.busy as f64,
+        );
+        labelled(
+            &mut out,
+            "revelio_gateway_backend_health_checks_total",
+            "Successful Stats health polls of this backend.",
+            "counter",
+            &|b| b.health_checks as f64,
+        );
+        out
+    }
+
+    /// Renders a human-readable gateway section for the unified report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("gateway\n");
+        out.push_str(&format!(
+            "  routing   routed={} fanout={} rerouted={} scatter={}\n",
+            self.routed, self.fanout, self.rerouted, self.scatter
+        ));
+        out.push_str(&format!(
+            "  fleet     backends={} healthy={} cache_hit_rate={:.1}%\n",
+            self.backends.len(),
+            self.healthy_backends(),
+            100.0 * self.fleet_cache_hit_rate()
+        ));
+        for b in &self.backends {
+            out.push_str(&format!(
+                "  backend   {} {} fails={} fwd={} err={} busy={} polls={}\n",
+                b.addr,
+                if b.healthy { "up" } else { "DOWN" },
+                b.consecutive_failures,
+                b.forwarded,
+                b.errors,
+                b.busy,
+                b.health_checks,
+            ));
+        }
+        out
+    }
+}
+
+/// Cheapest possible [`GatewayBackendStats`] encoding: empty address
+/// (4-byte length prefix), flag, failure count, seven u64 counters. Used
+/// to bound a hostile backend count before allocation.
+const BACKEND_MIN_LEN: usize = 4 + 1 + 4 + 7 * 8;
+
+fn encode_gateway_stats(out: &mut Vec<u8>, g: &GatewayStats) {
+    put_u64(out, g.routed);
+    put_u64(out, g.fanout);
+    put_u64(out, g.rerouted);
+    put_u64(out, g.scatter);
+    put_u32(out, g.backends.len() as u32);
+    for b in &g.backends {
+        put_str(out, &b.addr);
+        put_bool(out, b.healthy);
+        put_u32(out, b.consecutive_failures);
+        put_u64(out, b.forwarded);
+        put_u64(out, b.errors);
+        put_u64(out, b.busy);
+        put_u64(out, b.health_checks);
+        put_u64(out, b.cache_hits);
+        put_u64(out, b.cache_misses);
+        put_u64(out, b.jobs_completed);
+    }
+}
+
+fn decode_gateway_stats(r: &mut WireReader<'_>) -> Result<GatewayStats, WireDecodeError> {
+    let routed = r.u64()?;
+    let fanout = r.u64()?;
+    let rerouted = r.u64()?;
+    let scatter = r.u64()?;
+    let n = r.u32()? as usize;
+    if r.remaining() < n.saturating_mul(BACKEND_MIN_LEN) {
+        return Err(WireDecodeError::Truncated {
+            needed: n.saturating_mul(BACKEND_MIN_LEN),
+            remaining: r.remaining(),
+        });
+    }
+    let mut backends = Vec::with_capacity(n);
+    for _ in 0..n {
+        backends.push(GatewayBackendStats {
+            addr: r.str()?,
+            healthy: r.bool()?,
+            consecutive_failures: r.u32()?,
+            forwarded: r.u64()?,
+            errors: r.u64()?,
+            busy: r.u64()?,
+            health_checks: r.u64()?,
+            cache_hits: r.u64()?,
+            cache_misses: r.u64()?,
+            jobs_completed: r.u64()?,
+        });
+    }
+    Ok(GatewayStats {
+        routed,
+        fanout,
+        rerouted,
+        scatter,
+        backends,
+    })
+}
+
 /// A server → client message.
 pub enum Response {
     /// Answer to `Ping`.
@@ -615,8 +882,10 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
-    /// Answer to `Stats`.
-    Stats(Box<ServerStats>),
+    /// Answer to `Stats`: the unified wire + runtime report, plus a
+    /// gateway tail when the answering process is a `revelio-gateway`
+    /// (plain `revelio-serve` always answers `None`).
+    Stats(Box<ServerStats>, Option<Box<GatewayStats>>),
     /// Answer to `Shutdown`; the connection closes after this frame.
     ShutdownAck,
     /// Answer to `Trace`: the retained trace, or `None` if the id is
@@ -1432,7 +1701,7 @@ impl Response {
                 let msg: String = message.chars().take(512).collect();
                 put_str(&mut out, &msg);
             }
-            Response::Stats(s) => {
+            Response::Stats(s, gateway) => {
                 put_u8(&mut out, RESP_STATS);
                 put_u64(&mut out, s.connections_accepted);
                 put_u64(&mut out, s.connections_active);
@@ -1443,6 +1712,15 @@ impl Response {
                 put_u64(&mut out, s.protocol_errors);
                 encode_histogram(&mut out, &s.request_latency);
                 encode_metrics(&mut out, &s.runtime);
+                // v5: the optional gateway tail rides after the runtime
+                // metrics so the layout stays append-only.
+                match gateway {
+                    Some(g) => {
+                        put_u8(&mut out, 1);
+                        encode_gateway_stats(&mut out, g);
+                    }
+                    None => put_u8(&mut out, 0),
+                }
             }
             Response::ShutdownAck => put_u8(&mut out, RESP_SHUTDOWN_ACK),
             Response::Trace(t) => {
@@ -1544,7 +1822,12 @@ impl Response {
                     request_latency: decode_histogram(&mut r)?,
                     runtime: decode_metrics(&mut r)?,
                 };
-                Response::Stats(Box::new(s))
+                let gateway = match r.u8()? {
+                    0 => None,
+                    1 => Some(Box::new(decode_gateway_stats(&mut r)?)),
+                    _ => return Err(WireDecodeError::Invalid("gateway stats tag")),
+                };
+                Response::Stats(Box::new(s), gateway)
             }
             RESP_SHUTDOWN_ACK => Response::ShutdownAck,
             RESP_TRACE => Response::Trace(match r.u8()? {
@@ -1643,17 +1926,17 @@ mod tests {
     #[test]
     fn old_protocol_version_rejected() {
         // Well-formed frames from earlier protocols must be refused: v3
-        // extended ControlSpec and the Stats payload, and v4 appended the
-        // batch counters, so decoding an older payload with current codecs
-        // would misinterpret bytes.
-        for old in [1u16, 2, 3] {
+        // extended ControlSpec and the Stats payload, v4 appended the
+        // batch counters, and v5 appended the gateway tail, so decoding an
+        // older payload with current codecs would misinterpret bytes.
+        for old in [1u16, 2, 3, 4] {
             let mut frame = encode_frame(b"x", 1024).unwrap();
             frame[4..6].copy_from_slice(&old.to_le_bytes());
             let mut cursor = std::io::Cursor::new(frame);
             match read_frame(&mut cursor, 1024) {
                 Err(WireError::UnsupportedVersion { got, expected }) => {
                     assert_eq!(got, old);
-                    assert_eq!(expected, 4);
+                    assert_eq!(expected, 5);
                 }
                 other => panic!("v{old} frame was not refused: {other:?}"),
             }
@@ -1843,16 +2126,121 @@ mod tests {
         s.runtime.phase_optimize.max_us = 9_000;
         s.runtime.store_hits = 5;
         s.runtime.store_misses = 3;
-        let payload = Response::Stats(Box::new(s)).encode();
+        let payload = Response::Stats(Box::new(s), None).encode();
         match Response::decode(&payload).unwrap() {
-            Response::Stats(back) => {
+            Response::Stats(back, gateway) => {
                 assert_eq!(*back, s);
+                assert!(gateway.is_none());
                 assert!(back.report().contains("shed=2"));
                 assert!(back.report().contains("total=340"));
                 assert!(back.report().contains("hits=5 misses=3"));
             }
             _ => panic!("decoded the wrong variant"),
         }
+    }
+
+    #[test]
+    fn gateway_stats_tail_round_trips() {
+        let g = GatewayStats {
+            routed: 120,
+            fanout: 3,
+            rerouted: 7,
+            scatter: 2,
+            backends: vec![
+                GatewayBackendStats {
+                    addr: "127.0.0.1:7141".to_owned(),
+                    healthy: true,
+                    consecutive_failures: 0,
+                    forwarded: 80,
+                    errors: 0,
+                    busy: 1,
+                    health_checks: 12,
+                    cache_hits: 60,
+                    cache_misses: 20,
+                    jobs_completed: 80,
+                },
+                GatewayBackendStats {
+                    addr: "127.0.0.1:7142".to_owned(),
+                    healthy: false,
+                    consecutive_failures: 4,
+                    forwarded: 40,
+                    errors: 4,
+                    busy: 0,
+                    health_checks: 6,
+                    cache_hits: 30,
+                    cache_misses: 10,
+                    jobs_completed: 40,
+                },
+            ],
+        };
+        let s = ServerStats {
+            requests: 123,
+            ..Default::default()
+        };
+        let payload = Response::Stats(Box::new(s), Some(Box::new(g.clone()))).encode();
+        match Response::decode(&payload).unwrap() {
+            Response::Stats(back, Some(gw)) => {
+                assert_eq!(*back, s);
+                assert_eq!(*gw, g);
+                assert_eq!(gw.healthy_backends(), 1);
+                assert!((gw.fleet_cache_hit_rate() - 0.75).abs() < 1e-9);
+                assert!(gw.report().contains("127.0.0.1:7142 DOWN"));
+            }
+            _ => panic!("decoded the wrong variant"),
+        }
+    }
+
+    #[test]
+    fn gateway_stats_prometheus_exposition_is_valid() {
+        let g = GatewayStats {
+            routed: 9,
+            fanout: 1,
+            rerouted: 2,
+            scatter: 0,
+            backends: vec![GatewayBackendStats {
+                addr: "127.0.0.1:7141".to_owned(),
+                healthy: true,
+                forwarded: 9,
+                health_checks: 3,
+                cache_hits: 5,
+                cache_misses: 5,
+                ..Default::default()
+            }],
+        };
+        let text = g.prometheus();
+        let exp = revelio_runtime::prometheus::parse_exposition(&text).expect("valid exposition");
+        for family in [
+            "revelio_gateway_routed_total",
+            "revelio_gateway_fanout_total",
+            "revelio_gateway_rerouted_total",
+            "revelio_gateway_backends_healthy",
+            "revelio_gateway_fleet_cache_hit_rate",
+            "revelio_gateway_backend_up",
+            "revelio_gateway_backend_forwarded_total",
+            "revelio_gateway_backend_errors_total",
+            "revelio_gateway_backend_busy_total",
+        ] {
+            assert!(exp.families.contains_key(family), "missing family {family}");
+        }
+        // Backend samples carry the backend label.
+        assert!(text.contains("revelio_gateway_backend_up{backend=\"127.0.0.1:7141\"} 1"));
+    }
+
+    #[test]
+    fn hostile_gateway_backend_count_fails_before_allocation() {
+        let mut payload = Response::Stats(Box::<ServerStats>::default(), None).encode();
+        // Flip the tail tag to "present" and append a hostile count.
+        let last = payload.len() - 1;
+        payload[last] = 1;
+        put_u64(&mut payload, 0); // routed
+        put_u64(&mut payload, 0); // fanout
+        put_u64(&mut payload, 0); // rerouted
+        put_u64(&mut payload, 0); // scatter
+        put_u32(&mut payload, u32::MAX); // backend count with no entries
+        assert!(matches!(
+            Response::decode(&payload),
+            Err(WireDecodeError::Truncated { .. })
+        ));
     }
 
     #[test]

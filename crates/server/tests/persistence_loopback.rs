@@ -239,11 +239,11 @@ fn unknown_job_id_fetches_none() {
 }
 
 #[test]
-fn protocol_version_is_v4() {
+fn protocol_version_is_v5() {
     let path = temp_store();
     let server = start_server(&path);
     let mut client = Client::connect(server.local_addr()).expect("connect");
-    assert_eq!(client.ping().expect("ping"), 4);
+    assert_eq!(client.ping().expect("ping"), 5);
     server.shutdown();
     let _ = std::fs::remove_file(&path);
 }

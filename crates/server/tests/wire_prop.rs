@@ -156,9 +156,12 @@ proptest! {
         s.runtime.jobs_completed = jobs[1];
         s.runtime.jobs_rejected = jobs[2];
         s.runtime.cache_hits = jobs[3];
-        let payload = Response::Stats(Box::new(s)).encode();
+        let payload = Response::Stats(Box::new(s), None).encode();
         match Response::decode(&payload).unwrap() {
-            Response::Stats(back) => prop_assert_eq!(*back, s),
+            Response::Stats(back, gateway) => {
+                prop_assert_eq!(*back, s);
+                prop_assert!(gateway.is_none());
+            }
             _ => panic!("wrong variant"),
         }
     }
