@@ -6,7 +6,8 @@
 //! ```text
 //! cargo run -p revelio-bench --release --bin loadgen [--smoke] \
 //!     [--addr HOST:PORT] [--requests N] [--levels 1,2,4,8] \
-//!     [--max-in-flight N] [--seed S] [--shutdown] [--fetch-newest]
+//!     [--max-in-flight N] [--seed S] [--shutdown] [--fetch-newest] \
+//!     [--trace-sample RATE]
 //! ```
 //!
 //! Without `--addr`, a server is started in-process on a free loopback
@@ -28,6 +29,15 @@
 //! `target/experiments/BENCH_gateway.json`. The run fails if the gateway
 //! hit-rate strays more than five points from the direct one — that is
 //! the locality property consistent hashing exists to preserve.
+//!
+//! `--trace-sample RATE` appends a distributed-tracing pass after the
+//! concurrency levels: requests are head-sampled client-side at `RATE`,
+//! sampled ones carry a generated trace context over the wire, and their
+//! *assembled* traces are fetched straight back. Per-phase p50/p90/p99
+//! reconstructed from those traces land in a `tracing` section of
+//! `BENCH_server.json`, alongside the measured cost of the sampler's off
+//! path (ns/op over one million rate-zero decisions) and a same-workload
+//! repeat delta that bounds the noise floor.
 //!
 //! Every client thread ships `Busy`-aware retries, so shed requests are
 //! *counted* but still served eventually; the run fails (non-zero exit)
@@ -60,10 +70,12 @@ struct Args {
     shutdown: bool,
     fetch_newest: bool,
     gateway: bool,
+    trace_sample: f64,
 }
 
 const USAGE: &str = "usage: loadgen [--smoke] [--addr HOST:PORT] [--requests N] \
-[--levels 1,2,4] [--max-in-flight N] [--seed S] [--shutdown] [--fetch-newest] [--gateway]";
+[--levels 1,2,4] [--max-in-flight N] [--seed S] [--shutdown] [--fetch-newest] [--gateway] \
+[--trace-sample RATE]";
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -76,6 +88,7 @@ fn parse_args() -> Args {
         shutdown: false,
         fetch_newest: false,
         gateway: false,
+        trace_sample: 0.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -93,6 +106,13 @@ fn parse_args() -> Args {
             }
             "--seed" => {
                 args.seed = it.next().and_then(|v| v.parse().ok()).expect(USAGE);
+            }
+            "--trace-sample" => {
+                args.trace_sample = it.next().and_then(|v| v.parse().ok()).expect(USAGE);
+                assert!(
+                    (0.0..=1.0).contains(&args.trace_sample),
+                    "--trace-sample must be in 0..=1"
+                );
             }
             "--levels" => {
                 args.levels = it
@@ -172,6 +192,7 @@ fn drive_level(
                         target: Target::Node(2),
                         control: ControlSpec::default(),
                         graph: graphs[ix].clone(),
+                        context: None,
                     };
                     // Count Busy answers by probing once without retry,
                     // then fall back to the retrying path.
@@ -331,6 +352,7 @@ fn drive_repeated_keys(
                 target: Target::Node(2),
                 control: ControlSpec::default(),
                 graph: graph.clone(),
+                context: None,
             };
             let t0 = Instant::now();
             match client.explain_with_retry(&req) {
@@ -340,6 +362,145 @@ fn drive_repeated_keys(
         }
     }
     (latencies_us, start.elapsed().as_secs_f64(), failures)
+}
+
+/// What the `--trace-sample` pass measured; rendered as the `tracing`
+/// section of `BENCH_server.json`.
+struct TracingSummary {
+    rate: f64,
+    requests: usize,
+    sampled: usize,
+    assembled: usize,
+    /// Cost of one rate-zero sampling decision — the only code a
+    /// deployment with tracing off executes per request.
+    off_ns_per_op: u64,
+    /// Mean-latency delta between two identical *untraced* passes: the
+    /// noise floor any sampling-off overhead claim has to clear.
+    off_delta_us: f64,
+    /// Per span name: (p50, p90, p99, count) in µs from assembled traces.
+    phases: Vec<(String, u64, u64, u64, usize)>,
+}
+
+/// The `--trace-sample` pass: micro-benchmark the sampler's off path,
+/// bound run-to-run noise with a repeated untraced pass, then drive
+/// head-sampled traced requests and reconstruct per-phase percentiles
+/// from the assembled traces fetched back over the wire.
+fn tracing_pass(
+    addr: std::net::SocketAddr,
+    model_id: u32,
+    graphs: &[Graph],
+    rate: f64,
+    seed: u64,
+) -> TracingSummary {
+    use revelio_trace::{Sampler, TraceContext};
+
+    // (a) One million rate-zero decisions, timed. The off path must stay
+    // a field load plus a branch; ns/op lands in the report so a
+    // regression is visible in the benchmark artifact, not just in the
+    // unit-test bound.
+    let off = Sampler::new(0.0, seed);
+    let t0 = Instant::now();
+    let mut fired = 0u64;
+    for _ in 0..1_000_000u32 {
+        if off.sample() {
+            fired += 1;
+        }
+    }
+    assert_eq!(fired, 0, "rate-0 sampler must never fire");
+    let off_ns_per_op = (t0.elapsed().as_nanos() / 1_000_000) as u64;
+
+    let mut client = Client::connect_with_retry(
+        addr,
+        ClientConfig {
+            max_attempts: 12,
+            backoff_base: Duration::from_millis(5),
+            ..Default::default()
+        },
+    )
+    .expect("connect for tracing pass");
+
+    // (b) Two identical untraced passes; the delta between their means is
+    // measurement noise, since the executed path is byte-for-byte the same.
+    let run_untraced = |client: &mut Client| -> f64 {
+        let mut total_us = 0u64;
+        for (ix, graph) in graphs.iter().enumerate() {
+            let req = ExplainRequest {
+                model: model_id,
+                graph_id: ix as u64,
+                method: "REVELIO".to_owned(),
+                objective: Objective::Factual,
+                effort: Effort::Quick,
+                target: Target::Node(2),
+                control: ControlSpec::default(),
+                graph: graph.clone(),
+                context: None,
+            };
+            let t0 = Instant::now();
+            client.explain_with_retry(&req).expect("untraced request");
+            total_us += t0.elapsed().as_micros() as u64;
+        }
+        total_us as f64 / graphs.len().max(1) as f64
+    };
+    let mean_a = run_untraced(&mut client);
+    let mean_b = run_untraced(&mut client);
+    let off_delta_us = mean_b - mean_a;
+
+    // (c) Traced pass: head sampling client-side, sampled requests carry
+    // a generated context; each assembled trace is fetched immediately so
+    // retention churn cannot evict it first.
+    let sampler = Sampler::new(rate, seed);
+    let mut sampled = 0usize;
+    let mut assembled = 0usize;
+    let mut by_phase: std::collections::BTreeMap<String, Vec<u64>> = Default::default();
+    for (ix, graph) in graphs.iter().enumerate() {
+        let context = sampler
+            .sample()
+            .then(|| TraceContext::generate(seed, ix as u64));
+        let req = ExplainRequest {
+            model: model_id,
+            graph_id: ix as u64,
+            method: "REVELIO".to_owned(),
+            objective: Objective::Factual,
+            effort: Effort::Quick,
+            target: Target::Node(2),
+            control: ControlSpec::default(),
+            graph: graph.clone(),
+            context,
+        };
+        client.explain_with_retry(&req).expect("traced request");
+        let Some(ctx) = context else { continue };
+        sampled += 1;
+        if let Ok(trace) = client.assembled_trace(ctx.trace_hi, ctx.trace_lo) {
+            assembled += 1;
+            for span in &trace.spans {
+                by_phase
+                    .entry(span.name.clone())
+                    .or_default()
+                    .push(span.dur_us);
+            }
+        }
+    }
+    let phases = by_phase
+        .into_iter()
+        .map(|(name, mut v)| {
+            v.sort_unstable();
+            let (p50, p90, p99) = (
+                percentile(&v, 0.50),
+                percentile(&v, 0.90),
+                percentile(&v, 0.99),
+            );
+            (name, p50, p90, p99, v.len())
+        })
+        .collect();
+    TracingSummary {
+        rate,
+        requests: graphs.len() * 3,
+        sampled,
+        assembled,
+        off_ns_per_op,
+        off_delta_us,
+        phases,
+    }
 }
 
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
@@ -555,6 +716,20 @@ fn main() -> ExitCode {
         rows.push(r);
     }
 
+    let tracing = (args.trace_sample > 0.0)
+        .then(|| tracing_pass(addr, model_id, &graphs, args.trace_sample, args.seed));
+    if let Some(t) = &tracing {
+        eprintln!(
+            "tracing: rate={:.2}  sampled={}/{}  assembled={}  off-path={} ns/op  noise={:+.1} µs",
+            t.rate,
+            t.sampled,
+            graphs.len(),
+            t.assembled,
+            t.off_ns_per_op,
+            t.off_delta_us
+        );
+    }
+
     let stats: ServerStats = admin.stats().expect("fetch final stats");
     let failures: u64 = rows.iter().map(|r| r.failures).sum();
 
@@ -627,7 +802,7 @@ fn main() -> ExitCode {
     );
     let _ = writeln!(
         json,
-        ",\n  \"phases\": {{{}, {}, {}, {}, {}, {}, {}, \"wire_estimate_mean_us\": {wire_us}}}",
+        ",\n  \"phases\": {{{}, {}, {}, {}, {}, {}, {}, \"wire_estimate_mean_us\": {wire_us}}}{}",
         one("queue_wait", &rt.queue_wait),
         one("prep", &rt.prep_latency),
         one("extraction", &rt.phase_extraction),
@@ -635,7 +810,26 @@ fn main() -> ExitCode {
         one("optimize", &rt.phase_optimize),
         one("readout", &rt.phase_readout),
         one("explain", &rt.explain_latency),
+        if tracing.is_some() { "," } else { "" },
     );
+    if let Some(t) = &tracing {
+        let mut phase_json = String::new();
+        for (i, (name, p50, p90, p99, count)) in t.phases.iter().enumerate() {
+            let _ = write!(
+                phase_json,
+                "{}\"{name}\": {{\"count\": {count}, \"p50_us\": {p50}, \
+                 \"p90_us\": {p90}, \"p99_us\": {p99}}}",
+                if i > 0 { ", " } else { "" },
+            );
+        }
+        let _ = writeln!(
+            json,
+            "  \"tracing\": {{\"sample_rate\": {:.4}, \"requests\": {}, \"sampled\": {}, \
+             \"assembled\": {}, \"sampling_off_ns_per_op\": {}, \
+             \"sampling_off_delta_us\": {:.2}, \"phases\": {{{phase_json}}}}}",
+            t.rate, t.requests, t.sampled, t.assembled, t.off_ns_per_op, t.off_delta_us,
+        );
+    }
     json.push_str("}\n");
 
     let path = revelio_eval::experiments_dir().join("BENCH_server.json");

@@ -85,6 +85,7 @@ fn main() {
                             shrink_on_overflow: true,
                             deadline: None,
                             trace: false,
+                            trace_key: None,
                             warm_start: false,
                             batch_spec: None,
                         })

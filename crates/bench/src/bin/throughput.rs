@@ -164,6 +164,7 @@ fn measure_wire_overhead(model: &Gnn, graphs: &[Graph]) -> Overhead {
                 target: Target::Node(2),
                 control: ControlSpec::default(),
                 graph: g.clone(),
+                context: None,
             })
             .expect("loopback job served");
     }

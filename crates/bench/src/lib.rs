@@ -284,6 +284,7 @@ pub fn run_fidelity(
                     shrink_on_overflow: true,
                     deadline: None,
                     trace: false,
+                    trace_key: None,
                     warm_start: false,
                     batch_spec: None,
                 })

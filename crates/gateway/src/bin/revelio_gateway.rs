@@ -3,7 +3,7 @@
 //! ```text
 //! revelio-gateway --shards HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
 //!                 [--vnodes N] [--health-interval-ms MS] [--fail-after K]
-//!                 [--forward-attempts N]
+//!                 [--forward-attempts N] [--trace-sample-rate R]
 //! ```
 //!
 //! Fronts a fleet of `revelio-serve` backends: clients connect to the
@@ -23,7 +23,8 @@ struct Args {
 }
 
 const USAGE: &str = "usage: revelio-gateway --shards HOST:PORT,... [--addr HOST:PORT] \
-[--vnodes N] [--health-interval-ms MS] [--fail-after K] [--forward-attempts N]";
+[--vnodes N] [--health-interval-ms MS] [--fail-after K] [--forward-attempts N] \
+[--trace-sample-rate R]";
 
 fn value(argv: &[String], i: &mut usize, name: &str) -> Result<String, String> {
     *i += 1;
@@ -69,6 +70,11 @@ fn parse_args() -> Result<Args, String> {
                 cfg.forward_attempts = value(&argv, &mut i, "--forward-attempts")?
                     .parse()
                     .map_err(|e| format!("--forward-attempts: {e}"))?;
+            }
+            "--trace-sample-rate" => {
+                cfg.trace_sample_rate = value(&argv, &mut i, "--trace-sample-rate")?
+                    .parse()
+                    .map_err(|e| format!("--trace-sample-rate: {e}"))?;
             }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),

@@ -42,6 +42,7 @@ use revelio_server::wire::{
     ServerStats, WireExplanationSummary, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 use revelio_server::{Client, ClientConfig, ClientError};
+use revelio_trace::{hex_trace_id, AssembledSpan, AssembledTrace, Sampler, TraceContext};
 
 use crate::ring::{route_key, Ring};
 
@@ -76,6 +77,10 @@ pub struct GatewayConfig {
     /// Budget for one health poll; short, so a hung backend is detected
     /// within a few intervals rather than a full request timeout.
     pub health_timeout: Duration,
+    /// Head-based sampling rate in `[0, 1]`: each routed `Explain`
+    /// without an inherited trace context is traced fleet-wide with this
+    /// probability. `0.0` (the default) traces only on explicit request.
+    pub trace_sample_rate: f64,
 }
 
 impl Default for GatewayConfig {
@@ -93,6 +98,7 @@ impl Default for GatewayConfig {
             write_timeout: Duration::from_secs(10),
             backend_read_timeout: Duration::from_secs(120),
             health_timeout: Duration::from_secs(2),
+            trace_sample_rate: 0.0,
         }
     }
 }
@@ -108,6 +114,8 @@ pub enum GatewayConfigError {
     ZeroFailAfter,
     /// `forward_attempts` was zero (no request could ever be forwarded).
     ZeroForwardAttempts,
+    /// `trace_sample_rate` was not a number in `[0, 1]`.
+    BadSampleRate,
 }
 
 impl std::fmt::Display for GatewayConfigError {
@@ -118,6 +126,9 @@ impl std::fmt::Display for GatewayConfigError {
             GatewayConfigError::ZeroFailAfter => write!(f, "fail-after must be at least 1"),
             GatewayConfigError::ZeroForwardAttempts => {
                 write!(f, "forward-attempts must be at least 1")
+            }
+            GatewayConfigError::BadSampleRate => {
+                write!(f, "trace-sample-rate must be a number in 0..=1")
             }
         }
     }
@@ -139,6 +150,9 @@ impl GatewayConfig {
         }
         if self.forward_attempts == 0 {
             return Err(GatewayConfigError::ZeroForwardAttempts);
+        }
+        if !(0.0..=1.0).contains(&self.trace_sample_rate) {
+            return Err(GatewayConfigError::BadSampleRate);
         }
         Ok(())
     }
@@ -183,6 +197,10 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
     }
+}
+
+fn us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 /// One backend shard: connection pool, health state, and counters.
@@ -256,6 +274,32 @@ impl Backend {
     }
 }
 
+/// How many assembled-trace records the gateway retains (drop-oldest),
+/// mirroring the backend's own trace retention window.
+const ASSEMBLY_RETENTION: usize = 128;
+
+/// Seed for gateway-minted trace ids and sampling decisions; fixed, so a
+/// replayed workload produces the same ids (the repo-wide determinism
+/// stance).
+const TRACE_SEED: u64 = 0x6761_7465_7761_7921;
+
+/// The gateway half of one traced request, buffered until a client asks
+/// for the assembled trace.
+#[derive(Clone)]
+struct TraceRecord {
+    hi: u64,
+    lo: u64,
+    /// Index of the backend that served the explain.
+    owner: usize,
+    /// µs offset of the successful forward on the route timeline; the
+    /// backend fragment is replayed anchored here, so its spans land
+    /// inside the forward span instead of at the origin.
+    anchor_us: u64,
+    /// Gateway-side spans (lane 0): route, checkouts, forwards, failover
+    /// hops.
+    spans: Vec<AssembledSpan>,
+}
+
 /// State shared between the acceptor, handlers, and the health poller.
 struct Shared {
     cfg: GatewayConfig,
@@ -270,6 +314,18 @@ struct Shared {
     fanout: AtomicU64,
     rerouted: AtomicU64,
     scatter: AtomicU64,
+    /// Head-based sampler for routed `Explain`s without an inherited
+    /// context; off (`rate 0`) it costs one branch per request.
+    sampler: Sampler,
+    /// Counter feeding [`TraceContext::generate`] so minted ids are
+    /// distinct and deterministic.
+    trace_counter: AtomicU64,
+    trace_sampled: AtomicU64,
+    trace_dropped: AtomicU64,
+    /// Bounded drop-oldest buffer of gateway trace halves, keyed by the
+    /// global trace id; the assembly layer stitches these with the owning
+    /// shard's fragment on demand.
+    assembled: Mutex<std::collections::VecDeque<TraceRecord>>,
 }
 
 impl Shared {
@@ -297,24 +353,47 @@ impl Shared {
         req: &Request,
         read_timeout: Duration,
     ) -> Result<Response, ClientError> {
+        self.call_timed(b, req, read_timeout).0
+    }
+
+    /// [`Shared::call`] that also reports how long obtaining a usable
+    /// connection took (pool pop, or a fresh connect when the pool was
+    /// empty or the pooled stream was stale) — the "pool checkout" span
+    /// of a traced route.
+    fn call_timed(
+        &self,
+        b: &Backend,
+        req: &Request,
+        read_timeout: Duration,
+    ) -> (Result<Response, ClientError>, Duration) {
+        let t0 = Instant::now();
         // Note: pop via a scoped guard — an `if let` on `lock(..).pop()`
         // would hold the pool mutex across the request and deadlock
         // against `checkin`.
         let pooled = lock(&b.pool).pop();
         if let Some(mut c) = pooled {
+            let checkout = t0.elapsed();
             match c.request(req) {
                 Ok(resp) => {
                     self.checkin(b, c);
-                    return Ok(resp);
+                    return (Ok(resp), checkout);
                 }
                 Err(e) if e.is_transport() => { /* stale pooled stream; retry fresh */ }
-                Err(e) => return Err(e),
+                Err(e) => return (Err(e), checkout),
             }
         }
-        let mut c = Client::connect_with(&b.addr, self.backend_client_cfg(read_timeout))?;
-        let resp = c.request(req)?;
-        self.checkin(b, c);
-        Ok(resp)
+        let mut c = match Client::connect_with(&b.addr, self.backend_client_cfg(read_timeout)) {
+            Ok(c) => c,
+            Err(e) => return (Err(e), t0.elapsed()),
+        };
+        let checkout = t0.elapsed();
+        match c.request(req) {
+            Ok(resp) => {
+                self.checkin(b, c);
+                (Ok(resp), checkout)
+            }
+            Err(e) => (Err(e), checkout),
+        }
     }
 
     fn checkin(&self, b: &Backend, c: Client) {
@@ -363,8 +442,9 @@ impl Shared {
             Request::RegisterModel { config, state } => (self.register(config, state), false),
             Request::Explain(req) => (self.route_explain(req), false),
             Request::Stats => (self.aggregate_stats(), false),
-            Request::Trace(id) => (self.scatter_trace(id), false),
-            Request::FetchExplanation(id) => (self.scatter_fetch(id), false),
+            Request::Trace(id, context) => (self.scatter_trace(id, context), false),
+            Request::AssembledTrace { hi, lo } => (self.assemble_trace(hi, lo), false),
+            Request::FetchExplanation(id, context) => (self.scatter_fetch(id, context), false),
             Request::ListExplanations => (self.scatter_list(), false),
             Request::Shutdown => {
                 // Stop the fleet first (best-effort), then ourselves; the
@@ -434,6 +514,11 @@ impl Shared {
     /// Routes one explanation to the ring owner of its key, re-routing
     /// past backends that fail in transport. `Busy` and typed errors from
     /// a backend are answers, not failures: they propagate verbatim.
+    ///
+    /// Traced requests (inherited context, explicit `control.trace`, or a
+    /// local sampler hit) additionally record the gateway's own spans —
+    /// route, per-attempt pool checkout and forward, failover hops — into
+    /// the assembly buffer under the global trace id.
     fn route_explain(&self, req: ExplainRequest) -> Response {
         let gateway_model = req.model as usize;
         if gateway_model >= lock(&self.registrations).len() {
@@ -443,6 +528,37 @@ impl Shared {
             };
         }
         self.routed.fetch_add(1, Ordering::Relaxed);
+        // Head-based sampling: an inherited context carries the upstream
+        // decision; otherwise flip the coin here, once, and mint a fresh
+        // 128-bit id. Downstream hops never re-decide.
+        let (ctx, traced) = match req.context {
+            Some(c) => (c, c.sampled || req.control.trace),
+            None => {
+                let sampled = self.sampler.sample() || req.control.trace;
+                if sampled {
+                    let n = self.trace_counter.fetch_add(1, Ordering::Relaxed);
+                    (TraceContext::generate(TRACE_SEED, n), true)
+                } else {
+                    (
+                        TraceContext {
+                            trace_hi: 0,
+                            trace_lo: 0,
+                            parent_span: 0,
+                            sampled: false,
+                        },
+                        false,
+                    )
+                }
+            }
+        };
+        if traced {
+            self.trace_sampled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.trace_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        let route_start = Instant::now();
+        let mut spans: Vec<AssembledSpan> = Vec::new();
+        let mut outcome: Option<(Response, usize, u64)> = None;
         let key = route_key(req.model, req.graph_id, req.target);
         let mut excluded = vec![false; self.backends.len()];
         for attempt in 0..self.cfg.forward_attempts {
@@ -462,31 +578,171 @@ impl Shared {
             }
             let mut fwd = req.clone();
             fwd.model = backend_model;
-            match self.call(b, &Request::Explain(fwd), self.cfg.backend_read_timeout) {
+            if traced {
+                // The backend parents under the routing span and journals
+                // its fragment under the global id's low half.
+                fwd.context = Some(TraceContext {
+                    parent_span: 1,
+                    sampled: true,
+                    ..ctx
+                });
+            }
+            let attempt_start = us(route_start.elapsed());
+            let (result, checkout) =
+                self.call_timed(b, &Request::Explain(fwd), self.cfg.backend_read_timeout);
+            let forward_start = attempt_start + us(checkout);
+            if traced {
+                spans.push(AssembledSpan {
+                    lane: 0,
+                    name: format!("checkout shard-{owner}"),
+                    start_us: attempt_start,
+                    dur_us: us(checkout),
+                });
+            }
+            match result {
                 Ok(resp @ Response::Busy { .. }) => {
                     // Backpressure is the backend's answer; hiding it
                     // behind gateway-side retries would defeat admission
                     // control. The caller owns the backoff policy.
                     b.busy.fetch_add(1, Ordering::Relaxed);
                     self.record_success(b);
-                    return resp;
+                    outcome = Some((resp, owner, forward_start));
+                    break;
                 }
                 Ok(resp) => {
                     b.forwarded.fetch_add(1, Ordering::Relaxed);
                     self.record_success(b);
-                    return resp;
+                    if traced {
+                        spans.push(AssembledSpan {
+                            lane: 0,
+                            name: format!("forward shard-{owner}"),
+                            start_us: forward_start,
+                            dur_us: us(route_start.elapsed()).saturating_sub(forward_start),
+                        });
+                    }
+                    outcome = Some((resp, owner, forward_start));
+                    break;
                 }
                 Err(e) => {
                     debug_assert!(e.is_transport(), "Client::request only fails in transport");
                     self.record_failure(b);
                     excluded[owner] = true;
+                    if traced {
+                        spans.push(AssembledSpan {
+                            lane: 0,
+                            name: format!("failover-hop shard-{owner}"),
+                            start_us: attempt_start,
+                            dur_us: us(route_start.elapsed()).saturating_sub(attempt_start),
+                        });
+                    }
                 }
             }
         }
-        Response::Error {
-            kind: ErrorKind::Internal,
-            message: "no live shard could serve this key".to_owned(),
+        let Some((resp, owner, anchor_us)) = outcome else {
+            return Response::Error {
+                kind: ErrorKind::Internal,
+                message: "no live shard could serve this key".to_owned(),
+            };
+        };
+        if traced {
+            spans.insert(
+                0,
+                AssembledSpan {
+                    lane: 0,
+                    name: "route".to_owned(),
+                    start_us: 0,
+                    dur_us: us(route_start.elapsed()),
+                },
+            );
+            self.remember_trace(TraceRecord {
+                hi: ctx.trace_hi,
+                lo: ctx.trace_lo,
+                owner,
+                anchor_us,
+                spans,
+            });
         }
+        resp
+    }
+
+    /// Buffers the gateway half of a traced route (bounded, drop-oldest;
+    /// a re-used id replaces its previous record).
+    fn remember_trace(&self, rec: TraceRecord) {
+        let mut buf = lock(&self.assembled);
+        buf.retain(|r| !(r.hi == rec.hi && r.lo == rec.lo));
+        while buf.len() >= ASSEMBLY_RETENTION {
+            buf.pop_front();
+        }
+        buf.push_back(rec);
+    }
+
+    /// Resolves a global (or `(0, 0)` = newest) trace id against the
+    /// assembly buffer, fetches the owning shard's fragment, and stitches
+    /// both into one cross-process trace: lane 0 is the gateway, lane 1
+    /// the shard, with backend spans anchored at the forward offset. A
+    /// shard whose fragment already aged out still yields the gateway
+    /// lane (with `dropped` untouched — the spans were never captured
+    /// here).
+    fn assemble_trace(&self, hi: u64, lo: u64) -> Response {
+        self.scatter.fetch_add(1, Ordering::Relaxed);
+        let record = {
+            let buf = lock(&self.assembled);
+            if hi == 0 && lo == 0 {
+                buf.back().cloned()
+            } else {
+                // `hi == 0` matches on the low half alone — all a caller
+                // has when they only saw the `trace_id` echoed on an
+                // Explained response.
+                buf.iter()
+                    .rev()
+                    .find(|r| r.lo == lo && (hi == 0 || r.hi == hi))
+                    .cloned()
+            }
+        };
+        let Some(rec) = record else {
+            return Response::Error {
+                kind: ErrorKind::UnknownTrace,
+                message: format!(
+                    "trace {} is not in the gateway's assembly window",
+                    hex_trace_id(hi, lo)
+                ),
+            };
+        };
+        let mut out = AssembledTrace {
+            trace_hi: rec.hi,
+            trace_lo: rec.lo,
+            lanes: vec!["gateway".to_owned()],
+            spans: rec.spans.clone(),
+            dropped: 0,
+        };
+        let b = &self.backends[rec.owner];
+        if b.is_healthy() {
+            match self.call(
+                b,
+                &Request::AssembledTrace {
+                    hi: rec.hi,
+                    lo: rec.lo,
+                },
+                self.cfg.backend_read_timeout,
+            ) {
+                Ok(Response::Assembled(frag)) => {
+                    self.record_success(b);
+                    let lane = out.lanes.len() as u32;
+                    out.lanes.push(format!("shard-{} ({})", rec.owner, b.addr));
+                    for s in frag.spans {
+                        out.spans.push(AssembledSpan {
+                            lane,
+                            start_us: s.start_us.saturating_add(rec.anchor_us),
+                            ..s
+                        });
+                    }
+                    out.dropped += frag.dropped;
+                }
+                Ok(_) => self.record_success(b),
+                Err(_) => self.record_failure(b),
+            }
+        }
+        Response::Assembled(Box::new(out))
     }
 
     /// Merges live stats from every healthy backend and attaches the
@@ -507,6 +763,10 @@ impl Shared {
                 Err(_) => self.record_failure(b),
             }
         }
+        // The gateway makes its own sampling decisions on top of whatever
+        // the backends recorded for direct traffic.
+        merged.trace_sampled += self.trace_sampled.load(Ordering::Relaxed);
+        merged.trace_dropped += self.trace_dropped.load(Ordering::Relaxed);
         Response::Stats(Box::new(merged), Some(Box::new(self.gateway_stats())))
     }
 
@@ -518,17 +778,34 @@ impl Shared {
             .store(s.runtime.jobs_completed, Ordering::Relaxed);
     }
 
-    /// Point read scattered to the fleet: job ids are shard-local, so the
-    /// first shard holding the id answers. If no shard holds it, a typed
-    /// error seen from every shard (e.g. `NoStore`) propagates; otherwise
-    /// the answer is an honest "not found".
-    fn scatter_trace(&self, id: u64) -> Response {
+    /// Point read for one trace. A *global* trace id resolves through the
+    /// assembly buffer straight to its owning shard; ids the gateway never
+    /// routed (shard-local job ids) fall back to the fleet scatter. A
+    /// miss everywhere is a typed [`ErrorKind::UnknownTrace`], not an
+    /// empty result.
+    fn scatter_trace(&self, id: u64, context: Option<TraceContext>) -> Response {
         self.scatter.fetch_add(1, Ordering::Relaxed);
-        for b in &self.backends {
+        let known_owner = lock(&self.assembled)
+            .iter()
+            .rev()
+            .find(|r| r.lo == id)
+            .map(|r| r.owner);
+        let targeted = known_owner.map(|o| &self.backends[o]);
+        let scan = targeted.into_iter().chain(
+            self.backends
+                .iter()
+                // Don't re-ask the owner during the fallback scatter.
+                .filter(|b| !std::ptr::eq(*b, targeted.map_or(std::ptr::null(), |t| t))),
+        );
+        for b in scan {
             if !b.is_healthy() {
                 continue;
             }
-            match self.call(b, &Request::Trace(id), self.cfg.backend_read_timeout) {
+            match self.call(
+                b,
+                &Request::Trace(id, context),
+                self.cfg.backend_read_timeout,
+            ) {
                 Ok(Response::Trace(Some(t))) => {
                     self.record_success(b);
                     return Response::Trace(Some(t));
@@ -537,10 +814,13 @@ impl Shared {
                 Err(_) => self.record_failure(b),
             }
         }
-        Response::Trace(None)
+        Response::Error {
+            kind: ErrorKind::UnknownTrace,
+            message: format!("no shard retains a trace under id {id}"),
+        }
     }
 
-    fn scatter_fetch(&self, id: u64) -> Response {
+    fn scatter_fetch(&self, id: u64, context: Option<TraceContext>) -> Response {
         self.scatter.fetch_add(1, Ordering::Relaxed);
         let mut last_error: Option<Response> = None;
         let mut any_negative = false;
@@ -550,7 +830,7 @@ impl Shared {
             }
             match self.call(
                 b,
-                &Request::FetchExplanation(id),
+                &Request::FetchExplanation(id, context),
                 self.cfg.backend_read_timeout,
             ) {
                 Ok(Response::Explanation(Some(e))) => {
@@ -690,6 +970,7 @@ impl Gateway {
         listener.set_nonblocking(true)?;
         let ring = Ring::new(cfg.shards.len(), cfg.vnodes);
         let backends = cfg.shards.iter().cloned().map(Backend::new).collect();
+        let sampler = Sampler::new(cfg.trace_sample_rate, TRACE_SEED);
         let shared = Arc::new(Shared {
             cfg,
             ring,
@@ -700,6 +981,11 @@ impl Gateway {
             fanout: AtomicU64::new(0),
             rerouted: AtomicU64::new(0),
             scatter: AtomicU64::new(0),
+            sampler,
+            trace_counter: AtomicU64::new(0),
+            trace_sampled: AtomicU64::new(0),
+            trace_dropped: AtomicU64::new(0),
+            assembled: Mutex::new(std::collections::VecDeque::new()),
         });
         let handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {

@@ -132,6 +132,7 @@ fn busy_from_a_backend_propagates_as_busy_without_gateway_retries() {
         target: Target::Node(0),
         control: ControlSpec::default(),
         graph,
+        context: None,
     };
 
     // `Client::explain` does not retry Busy — if the gateway looped on it

@@ -96,6 +96,7 @@ fn explain_request(model: u32, graph: &Graph, graph_id: u64, target: Target) -> 
         target,
         control: ControlSpec::default(),
         graph: graph.clone(),
+        context: None,
     }
 }
 

@@ -118,6 +118,12 @@ pub struct ExplainJob {
     ///
     /// [`Runtime::trace`]: crate::Runtime::trace
     pub trace: bool,
+    /// Overrides the id the captured trace is journaled and retained
+    /// under. Distributed callers set this to the low half of a global
+    /// 128-bit trace id so the fragment can be fetched fleet-wide by that
+    /// id instead of the shard-local `job_id`; `None` keeps the job-id
+    /// keying. Ignored for untraced jobs.
+    pub trace_key: Option<u64>,
     /// Ask the runtime's persistent store (when one is attached) for the
     /// newest converged mask matching this job's `(model, graph_id,
     /// target, layers)` key and seed the optimisation from it. A stale or
@@ -160,6 +166,7 @@ impl ExplainJob {
             shrink_on_overflow: true,
             deadline: None,
             trace: false,
+            trace_key: None,
             warm_start: false,
             batch_spec: None,
         }
@@ -182,6 +189,7 @@ impl ExplainJob {
             shrink_on_overflow: true,
             deadline: None,
             trace: false,
+            trace_key: None,
             warm_start: false,
             batch_spec: None,
         }
@@ -198,6 +206,15 @@ impl ExplainJob {
     #[must_use]
     pub fn with_trace(mut self) -> ExplainJob {
         self.trace = true;
+        self
+    }
+
+    /// Enables trace capture journaled under `key` instead of the job id
+    /// (the distributed-tracing path; see [`ExplainJob::trace_key`]).
+    #[must_use]
+    pub fn with_trace_key(mut self, key: u64) -> ExplainJob {
+        self.trace = true;
+        self.trace_key = Some(key);
         self
     }
 

@@ -68,3 +68,4 @@ pub use metrics::{
 };
 pub use pool::{Runtime, RuntimeBootError, RuntimeConfig, RuntimeConfigError, WorkerProbe};
 pub use pool_core::PoolCore;
+pub use trace_store::TraceMiss;

@@ -39,7 +39,7 @@ use crate::job::{
 };
 use crate::metrics::{Metrics, MetricsCollector, MetricsSnapshot};
 use crate::pool_core::PoolCore;
-use crate::trace_store::TraceStore;
+use crate::trace_store::{TraceMiss, TraceStore};
 
 /// Ring-journal capacity for traced jobs: 4096 events holds the spans plus
 /// ~4000 epochs of per-epoch detail before drop-oldest kicks in.
@@ -571,6 +571,18 @@ impl Runtime {
         self.shared.traces.get(TraceId(trace_id))
     }
 
+    /// Like [`Runtime::trace`], but a miss says *why*: evicted from the
+    /// bounded retention window, or never retained under that id.
+    pub fn fetch_trace(&self, trace_id: u64) -> Result<Trace, TraceMiss> {
+        self.shared.traces.fetch(TraceId(trace_id))
+    }
+
+    /// The most recently retained trace, if any traced job has finished
+    /// (the `revelio-top --trace newest` path).
+    pub fn newest_trace(&self) -> Option<Trace> {
+        self.shared.traces.newest()
+    }
+
     /// Workers currently alive; drops to 0 only after the runtime is
     /// dropped (exposed for leak tests).
     pub fn alive_workers(&self) -> usize {
@@ -948,7 +960,11 @@ fn serve_job(state: &mut WorkerState, shared: &Shared, q: QueuedJob) {
         )),
         None => Arc::clone(&shared.bridge) as Arc<dyn Collector>,
     };
-    let tr = TraceHandle::new(TraceId(q.job_id), collector);
+    // Distributed callers key the trace under the global trace id's low
+    // half so the fragment is fetchable fleet-wide; local jobs keep the
+    // job-id keying.
+    let trace_id = TraceId(job.trace_key.unwrap_or(q.job_id));
+    let tr = TraceHandle::new(trace_id, collector);
 
     // Prep stage: local model, instance forward pass, flow artifacts.
     let prep_start = Instant::now();
@@ -1073,7 +1089,7 @@ fn serve_job(state: &mut WorkerState, shared: &Shared, q: QueuedJob) {
             // Drain the journal into a plain trace: once into the
             // bounded retention store (for Runtime::trace / the wire
             // Trace request) and once alongside the result.
-            let trace = ring.as_ref().map(|r| r.drain(TraceId(q.job_id)));
+            let trace = ring.as_ref().map(|r| r.drain(trace_id));
             if let Some(t) = &trace {
                 shared.traces.push(t.clone());
             }

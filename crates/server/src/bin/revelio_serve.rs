@@ -3,7 +3,7 @@
 //! ```text
 //! revelio-serve [--addr HOST:PORT] [--workers N] [--max-in-flight N]
 //!               [--cache-capacity N] [--seed S] [--default-deadline-ms MS]
-//!               [--store PATH] [--max-batch N]
+//!               [--store PATH] [--max-batch N] [--trace-sample-rate R]
 //! ```
 //!
 //! The process prints the bound address on stdout (`listening on ...`
@@ -26,7 +26,7 @@ struct Args {
 
 const USAGE: &str = "usage: revelio-serve [--addr HOST:PORT] [--workers N] \
 [--max-in-flight N] [--cache-capacity N] [--seed S] [--default-deadline-ms MS] \
-[--store PATH] [--max-batch N]";
+[--store PATH] [--max-batch N] [--trace-sample-rate R]";
 
 fn value(argv: &[String], i: &mut usize, name: &str) -> Result<String, String> {
     *i += 1;
@@ -78,6 +78,15 @@ fn parse_args() -> Result<Args, String> {
                 cfg.runtime.max_batch = value(&argv, &mut i, "--max-batch")?
                     .parse()
                     .map_err(|e| format!("--max-batch: {e}"))?;
+            }
+            "--trace-sample-rate" => {
+                let rate: f64 = value(&argv, &mut i, "--trace-sample-rate")?
+                    .parse()
+                    .map_err(|e| format!("--trace-sample-rate: {e}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err("--trace-sample-rate must be in 0..=1".to_owned());
+                }
+                cfg.trace_sample_rate = rate;
             }
             "--default-deadline-ms" => {
                 let ms: u64 = value(&argv, &mut i, "--default-deadline-ms")?

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! revelio-top [--addr HOST:PORT] [--interval-ms MS] [--once] [--prometheus]
+//!             [--trace ID|newest [--chrome PATH]]
 //! ```
 //!
 //! Polls the server's `Stats` request and re-renders the unified wire +
@@ -9,6 +10,13 @@
 //! single snapshot and exits — useful in scripts; `--prometheus` switches
 //! the output to the Prometheus text exposition (implies machine
 //! consumption, so it never clears the screen).
+//!
+//! `--trace` fetches one *assembled* distributed trace instead of stats:
+//! `ID` is the 32-hex-digit global trace id, the decimal low half echoed
+//! as `trace_id` on a traced explain, or `newest` for the most recent
+//! assembled trace the peer retains. The tree with per-hop latencies
+//! prints to stdout; `--chrome PATH` additionally writes Chrome
+//! trace-event JSON loadable in `chrome://tracing` / Perfetto.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -20,10 +28,31 @@ struct Args {
     interval: Duration,
     once: bool,
     prometheus: bool,
+    /// `(hi, lo)` of the assembled trace to fetch; `(0, 0)` = newest.
+    trace: Option<(u64, u64)>,
+    chrome: Option<std::path::PathBuf>,
 }
 
-const USAGE: &str =
-    "usage: revelio-top [--addr HOST:PORT] [--interval-ms MS] [--once] [--prometheus]";
+const USAGE: &str = "usage: revelio-top [--addr HOST:PORT] [--interval-ms MS] [--once] \
+[--prometheus] [--trace ID|newest [--chrome PATH]]";
+
+/// Parses `--trace`'s argument: `newest`, a 32-hex-digit global id, or a
+/// decimal low half.
+fn parse_trace_id(s: &str) -> Result<(u64, u64), String> {
+    if s.eq_ignore_ascii_case("newest") {
+        return Ok((0, 0));
+    }
+    if s.len() == 32 {
+        let hi = u64::from_str_radix(&s[..16], 16);
+        let lo = u64::from_str_radix(&s[16..], 16);
+        if let (Ok(hi), Ok(lo)) = (hi, lo) {
+            return Ok((hi, lo));
+        }
+    }
+    s.parse::<u64>()
+        .map(|lo| (0, lo))
+        .map_err(|_| format!("--trace: {s:?} is neither `newest`, 32 hex digits, nor decimal"))
+}
 
 fn value(argv: &[String], i: &mut usize, name: &str) -> Result<String, String> {
     *i += 1;
@@ -38,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
         interval: Duration::from_millis(1000),
         once: false,
         prometheus: false,
+        trace: None,
+        chrome: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -52,6 +83,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--once" => args.once = true,
             "--prometheus" => args.prometheus = true,
+            "--trace" => {
+                args.trace = Some(parse_trace_id(&value(&argv, &mut i, "--trace")?)?);
+            }
+            "--chrome" => {
+                args.chrome = Some(value(&argv, &mut i, "--chrome")?.into());
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -68,6 +105,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.chrome.is_some() && args.trace.is_none() {
+        eprintln!("--chrome only applies with --trace\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
     let mut client = match Client::connect_with(&args.addr, ClientConfig::default()) {
         Ok(c) => c,
         Err(e) => {
@@ -75,6 +116,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some((hi, lo)) = args.trace {
+        let assembled = match client.assembled_trace(hi, lo) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("revelio-top: trace fetch failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", assembled.render_tree());
+        if let Some(path) = &args.chrome {
+            if let Err(e) = std::fs::write(path, assembled.chrome_trace_json()) {
+                eprintln!("revelio-top: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("chrome trace written to {}", path.display());
+        }
+        return ExitCode::SUCCESS;
+    }
     loop {
         let (stats, gateway) = match client.stats_full() {
             Ok(s) => s,

@@ -5,6 +5,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use revelio_gnn::Gnn;
+use revelio_trace::AssembledTrace;
 
 use crate::wire::{
     read_frame, write_frame, ErrorKind, ExplainRequest, GatewayStats, Request, Response,
@@ -282,9 +283,22 @@ impl Client {
     /// window. Pass the `trace_id` echoed on a traced
     /// [`ServedExplanation`].
     pub fn trace(&mut self, id: u64) -> Result<Option<WireTrace>, ClientError> {
-        match self.request(&Request::Trace(id))? {
+        match self.request(&Request::Trace(id, None))? {
             Response::Trace(t) => Ok(t.map(|b| *b)),
             other => Err(unexpected(&other, "expected Trace")),
+        }
+    }
+
+    /// Fetches the assembled cross-process trace for a global trace id
+    /// (`hi`/`lo` halves of the 128-bit id; `(0, 0)` asks for the newest
+    /// assembled trace the peer retains). Against a gateway this stitches
+    /// gateway + backend lanes; against a backend it is the single-lane
+    /// fragment. A retention miss surfaces as
+    /// [`ErrorKind::UnknownTrace`] inside [`ClientError::Server`].
+    pub fn assembled_trace(&mut self, hi: u64, lo: u64) -> Result<AssembledTrace, ClientError> {
+        match self.request(&Request::AssembledTrace { hi, lo })? {
+            Response::Assembled(t) => Ok(*t),
+            other => Err(unexpected(&other, "expected Assembled")),
         }
     }
 
@@ -296,7 +310,7 @@ impl Client {
         &mut self,
         job_id: u64,
     ) -> Result<Option<WireStoredExplanation>, ClientError> {
-        match self.request(&Request::FetchExplanation(job_id))? {
+        match self.request(&Request::FetchExplanation(job_id, None))? {
             Response::Explanation(e) => Ok(e.map(|b| *b)),
             other => Err(unexpected(&other, "expected Explanation")),
         }

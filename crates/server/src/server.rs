@@ -29,9 +29,10 @@ use revelio_gnn::{Gnn, GnnConfig};
 use revelio_graph::Target;
 use revelio_runtime::{
     ExplainJob, Histogram, JobError, ModelHandle, Runtime, RuntimeBootError, RuntimeConfig,
-    RuntimeConfigError,
+    RuntimeConfigError, TraceMiss,
 };
 use revelio_store::{ExplanationRecord, ExplanationSummary, LogStore, Store, StoreError};
+use revelio_trace::{hex_trace_id, AssembledTrace, Sampler};
 
 use crate::wire::{
     parse_header, write_frame, ErrorKind, ExplainRequest, Request, Response, ServedExplanation,
@@ -63,6 +64,12 @@ pub struct ServerConfig {
     /// ids, pre-restart explanations stay fetchable), and `Explain`
     /// requests may ask for store-seeded warm starts.
     pub store: Option<std::path::PathBuf>,
+    /// Head-based sampling rate in `[0, 1]` for `Explain` requests that
+    /// carry no explicit trace request: each such request is traced with
+    /// this probability (deterministically, from a counter). Requests
+    /// arriving with a propagated trace context honour the upstream
+    /// decision instead; `0.0` (the default) never samples locally.
+    pub trace_sample_rate: f64,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +82,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             store: None,
+            trace_sample_rate: 0.0,
         }
     }
 }
@@ -94,6 +102,8 @@ struct WireCounters {
     shed: AtomicU64,
     protocol_errors: AtomicU64,
     request_latency: Histogram,
+    trace_sampled: AtomicU64,
+    trace_dropped: AtomicU64,
 }
 
 struct Shared {
@@ -106,6 +116,9 @@ struct Shared {
     /// `FetchExplanation` / `ListExplanations` reads.
     store: Option<Arc<dyn Store>>,
     cfg: ServerConfig,
+    /// Head-based sampler for `Explain` requests without an upstream
+    /// trace-context; off (`rate 0`) it is one branch per request.
+    sampler: Sampler,
 }
 
 impl Shared {
@@ -121,6 +134,8 @@ impl Shared {
             protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
             request_latency: c.request_latency.snapshot(),
             runtime: self.runtime.metrics(),
+            trace_sampled: c.trace_sampled.load(Ordering::Relaxed),
+            trace_dropped: c.trace_dropped.load(Ordering::Relaxed),
         }
     }
 }
@@ -163,6 +178,7 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let sampler = Sampler::new(cfg.trace_sample_rate, 0x7265_7665_6c69_6f21);
         let shared = Arc::new(Shared {
             runtime,
             stop: AtomicBool::new(false),
@@ -170,6 +186,7 @@ impl Server {
             models: Mutex::new(models),
             store,
             cfg,
+            sampler,
         });
         let handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
@@ -532,8 +549,9 @@ fn serve_request(request: Request, shared: &Shared, t0: Instant) -> (Response, b
             request,
             // Read-only requests stay answerable during shutdown.
             Request::Stats
-                | Request::Trace(_)
-                | Request::FetchExplanation(_)
+                | Request::Trace(..)
+                | Request::FetchExplanation(..)
+                | Request::AssembledTrace { .. }
                 | Request::ListExplanations
         )
     {
@@ -555,7 +573,7 @@ fn serve_request(request: Request, shared: &Shared, t0: Instant) -> (Response, b
         Request::RegisterModel { config, state } => (register_model(shared, config, &state), false),
         Request::Explain(req) => (serve_explain(shared, req, t0), false),
         Request::Stats => (Response::Stats(Box::new(shared.stats()), None), false),
-        Request::Trace(id) => {
+        Request::Trace(id, _context) => {
             // Read-only, like `Stats`: still answered during shutdown so a
             // client can fetch the trace of a job that just completed.
             let trace = shared
@@ -564,12 +582,35 @@ fn serve_request(request: Request, shared: &Shared, t0: Instant) -> (Response, b
                 .map(|t| Box::new(WireTrace::from(&t)));
             (Response::Trace(trace), false)
         }
+        Request::AssembledTrace { hi, lo } => (serve_assembled(shared, hi, lo), false),
         Request::Shutdown => {
             shared.stop.store(true, Ordering::Release);
             (Response::ShutdownAck, true)
         }
-        Request::FetchExplanation(job_id) => (fetch_explanation(shared, job_id), false),
+        Request::FetchExplanation(job_id, _context) => (fetch_explanation(shared, job_id), false),
         Request::ListExplanations => (list_explanations(shared), false),
+    }
+}
+
+/// Serves `AssembledTrace` on a backend: a single-lane assembly of the
+/// retained fragment (the gateway stitches multi-lane traces; asking a
+/// backend directly still yields a loadable chrome trace).
+fn serve_assembled(shared: &Shared, hi: u64, lo: u64) -> Response {
+    let fetched = if hi == 0 && lo == 0 {
+        // (0, 0) is the "newest" probe, mirroring `revelio-top --trace
+        // newest` against a single backend.
+        shared.runtime.newest_trace().ok_or(TraceMiss::Unknown)
+    } else {
+        shared.runtime.fetch_trace(lo)
+    };
+    match fetched {
+        Ok(t) => Response::Assembled(Box::new(AssembledTrace::from_fragment(
+            hi, t.id.0, "backend", 0, &t,
+        ))),
+        Err(miss) => Response::Error {
+            kind: ErrorKind::UnknownTrace,
+            message: format!("trace {}: {miss}", hex_trace_id(hi, lo)),
+        },
     }
 }
 
@@ -770,6 +811,26 @@ fn serve_explain(shared: &Shared, req: ExplainRequest, t0: Instant) -> Response 
             };
         }
     }
+    // Head-based sampling: a propagated context carries the upstream
+    // decision (the gateway already sampled); a context-free request asks
+    // the local sampler, so direct clients can opt whole deployments into
+    // `--trace-sample-rate` without touching call sites. An explicit
+    // `control.trace` always wins.
+    let traced = req.control.trace
+        || req
+            .context
+            .map_or_else(|| shared.sampler.sample(), |c| c.sampled);
+    if traced {
+        shared
+            .counters
+            .trace_sampled
+            .fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared
+            .counters
+            .trace_dropped
+            .fetch_add(1, Ordering::Relaxed);
+    }
     let job = ExplainJob {
         graph: req.graph,
         target: req.target,
@@ -779,7 +840,14 @@ fn serve_explain(shared: &Shared, req: ExplainRequest, t0: Instant) -> Response 
         max_flows: usize::try_from(req.control.max_flows).unwrap_or(usize::MAX),
         shrink_on_overflow: req.control.shrink_on_overflow,
         deadline: req.control.deadline_ms.map(Duration::from_millis),
-        trace: req.control.trace,
+        trace: traced,
+        // Journal the fragment under the global trace id's low half so the
+        // gateway (or any peer) can fetch it fleet-wide.
+        trace_key: if traced {
+            req.context.map(|c| c.trace_lo)
+        } else {
+            None
+        },
         warm_start: req.control.warm_start,
         // REVELIO requests advertise their config so the runtime can fuse
         // compatible queued jobs into one optimize pass.

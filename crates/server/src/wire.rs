@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"RVLO"
-//! 4       2     protocol version (LE u16), currently 3
+//! 4       2     protocol version (LE u16), see [`PROTOCOL_VERSION`]
 //! 6       4     payload length (LE u32)
 //! 10      4     CRC-32 (IEEE) of the payload (LE u32)
 //! 14      len   payload
@@ -38,7 +38,7 @@ use revelio_runtime::{
     HistogramSnapshot, MetricsSnapshot, SizeHistogramSnapshot, BATCH_SIZE_BUCKETS,
     LATENCY_BUCKETS_US,
 };
-use revelio_trace::{Event, EventKind, Phase, Trace};
+use revelio_trace::{AssembledSpan, AssembledTrace, Event, EventKind, Phase, Trace, TraceContext};
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"RVLO";
@@ -55,8 +55,12 @@ pub const MAGIC: [u8; 4] = *b"RVLO";
 /// appended to the `Stats` metrics tail);
 /// v5 — sharding gateway (an optional [`GatewayStats`] tail on the `Stats`
 /// response carrying per-backend health, routing counters, and the fleet
-/// rollup; absent on plain `revelio-serve` answers).
-pub const PROTOCOL_VERSION: u16 = 5;
+/// rollup; absent on plain `revelio-serve` answers);
+/// v6 — distributed tracing (an optional [`TraceContext`] on `Explain` /
+/// `Trace` / `FetchExplanation`, the `AssembledTrace` request/response
+/// pair, the `UnknownTrace` error kind, and trace sampling counters
+/// appended to the `Stats` tail).
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// Frame header length in bytes (magic + version + length + checksum).
 pub const HEADER_LEN: usize = 14;
@@ -313,6 +317,12 @@ pub struct ExplainRequest {
     pub control: ControlSpec,
     /// The instance graph.
     pub graph: Graph,
+    /// Distributed-tracing context inherited from an upstream hop (the
+    /// gateway's routing span), or `None` when the caller is the trace
+    /// origin or tracing is off. When `Some` with `sampled`, the server
+    /// journals its fragment under the context's `trace_lo` so it can be
+    /// fetched back by global trace id.
+    pub context: Option<TraceContext>,
 }
 
 /// A client → server message.
@@ -335,15 +345,27 @@ pub enum Request {
     /// in-flight work, then exits.
     Shutdown,
     /// Fetch the retained execution trace of a finished traced request, by
-    /// the `trace_id` echoed on its `Explained` response.
-    Trace(u64),
+    /// the `trace_id` echoed on its `Explained` response (for distributed
+    /// traces this is the context's `trace_lo`). The optional context
+    /// propagates the caller's own tracing metadata across hops.
+    Trace(u64, Option<TraceContext>),
     /// Fetch a persisted explanation from the server's store by runtime
     /// job id (ids survive restarts; see `ListExplanations` to discover
-    /// them). Answered with `Explanation`.
-    FetchExplanation(u64),
+    /// them). Answered with `Explanation`. The optional context propagates
+    /// the caller's tracing metadata.
+    FetchExplanation(u64, Option<TraceContext>),
     /// List every explanation the server's store holds, newest last.
     /// Answered with `ExplanationList`.
     ListExplanations,
+    /// Fetch the assembled cross-process trace for a global 128-bit trace
+    /// id (`hi`/`lo` halves); `(0, 0)` asks for the newest assembled
+    /// trace. Answered with `Assembled` or an `UnknownTrace` error.
+    AssembledTrace {
+        /// High half of the global trace id (0 with `lo == 0` = newest).
+        hi: u64,
+        /// Low half of the global trace id.
+        lo: u64,
+    },
 }
 
 /// Why the server refused or failed a request.
@@ -366,6 +388,10 @@ pub enum ErrorKind {
     /// The request needs the persistent store and this server runs
     /// without one (`revelio-serve` started without `--store`).
     NoStore,
+    /// The cited trace id resolves to nothing: never sampled, expired
+    /// from retention, or plain wrong. Distinguishable from transport
+    /// failures so callers don't retry a miss.
+    UnknownTrace,
 }
 
 impl ErrorKind {
@@ -378,6 +404,7 @@ impl ErrorKind {
             ErrorKind::Internal => 4,
             ErrorKind::ShuttingDown => 5,
             ErrorKind::NoStore => 6,
+            ErrorKind::UnknownTrace => 7,
         }
     }
 
@@ -390,6 +417,7 @@ impl ErrorKind {
             4 => ErrorKind::Internal,
             5 => ErrorKind::ShuttingDown,
             6 => ErrorKind::NoStore,
+            7 => ErrorKind::UnknownTrace,
             _ => return Err(WireDecodeError::Invalid("error kind tag")),
         })
     }
@@ -503,6 +531,11 @@ pub struct ServerStats {
     pub protocol_errors: u64,
     /// End-to-end per-request latency (decode → response write).
     pub request_latency: HistogramSnapshot,
+    /// Explain requests traced end to end (head-sampled or inherited).
+    pub trace_sampled: u64,
+    /// Explain requests that passed a sampler with tracing possible but
+    /// were not sampled.
+    pub trace_dropped: u64,
     /// The serving runtime's own registry snapshot.
     pub runtime: MetricsSnapshot,
 }
@@ -524,6 +557,8 @@ impl ServerStats {
         self.shed = self.shed.saturating_add(other.shed);
         self.protocol_errors = self.protocol_errors.saturating_add(other.protocol_errors);
         self.request_latency.merge(&other.request_latency);
+        self.trace_sampled = self.trace_sampled.saturating_add(other.trace_sampled);
+        self.trace_dropped = self.trace_dropped.saturating_add(other.trace_dropped);
         self.runtime.merge(&other.runtime);
     }
 
@@ -543,6 +578,10 @@ impl ServerStats {
         out.push_str(&format!(
             "  requests  answered={} shed={}\n",
             self.requests, self.shed
+        ));
+        out.push_str(&format!(
+            "  tracing   sampled={} dropped={}\n",
+            self.trace_sampled, self.trace_dropped
         ));
         out.push_str(&format!(
             "  latency   n={} mean={}us max={}us\n",
@@ -589,6 +628,16 @@ impl ServerStats {
                 "revelio_server_protocol_errors_total",
                 "Frames that failed to parse.",
                 self.protocol_errors,
+            ),
+            (
+                "revelio_trace_sampled_total",
+                "Explain requests traced end to end (head-sampled or inherited).",
+                self.trace_sampled,
+            ),
+            (
+                "revelio_trace_dropped_total",
+                "Explain requests considered for tracing but not sampled.",
+                self.trace_dropped,
             ),
         ] {
             push_counter(&mut out, name, help, value);
@@ -891,6 +940,10 @@ pub enum Response {
     /// Answer to `Trace`: the retained trace, or `None` if the id is
     /// unknown, the request was untraced, or the trace was evicted.
     Trace(Option<Box<WireTrace>>),
+    /// Answer to `AssembledTrace`: the stitched cross-process trace. A
+    /// miss is a typed `Error { kind: UnknownTrace, .. }`, never an empty
+    /// trace.
+    Assembled(Box<AssembledTrace>),
     /// Answer to `FetchExplanation`: the stored record, or `None` if the
     /// store holds no explanation under that job id.
     Explanation(Option<Box<WireStoredExplanation>>),
@@ -1400,6 +1453,103 @@ fn decode_trace(r: &mut WireReader<'_>) -> Result<WireTrace, WireDecodeError> {
 }
 
 // ---------------------------------------------------------------------------
+// Trace-context and assembled-trace codecs (protocol v6).
+// ---------------------------------------------------------------------------
+
+fn encode_opt_context(out: &mut Vec<u8>, c: &Option<TraceContext>) {
+    match c {
+        Some(c) => {
+            put_u8(out, 1);
+            put_u64(out, c.trace_hi);
+            put_u64(out, c.trace_lo);
+            put_u64(out, c.parent_span);
+            put_bool(out, c.sampled);
+        }
+        None => put_u8(out, 0),
+    }
+}
+
+fn decode_opt_context(r: &mut WireReader<'_>) -> Result<Option<TraceContext>, WireDecodeError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(TraceContext {
+            trace_hi: r.u64()?,
+            trace_lo: r.u64()?,
+            parent_span: r.u64()?,
+            sampled: r.bool()?,
+        })),
+        _ => Err(WireDecodeError::Invalid("trace context tag")),
+    }
+}
+
+/// Cheapest possible [`AssembledSpan`] encoding: lane index, empty name
+/// (4-byte length prefix), start, duration. Bounds a hostile span count
+/// before allocation.
+const ASSEMBLED_SPAN_MIN_LEN: usize = 4 + 4 + 8 + 8;
+
+fn encode_assembled(out: &mut Vec<u8>, t: &AssembledTrace) {
+    put_u64(out, t.trace_hi);
+    put_u64(out, t.trace_lo);
+    put_u64(out, t.dropped);
+    put_u32(out, t.lanes.len() as u32);
+    for lane in &t.lanes {
+        put_str(out, lane);
+    }
+    put_u32(out, t.spans.len() as u32);
+    for s in &t.spans {
+        put_u32(out, s.lane);
+        put_str(out, &s.name);
+        put_u64(out, s.start_us);
+        put_u64(out, s.dur_us);
+    }
+}
+
+fn decode_assembled(r: &mut WireReader<'_>) -> Result<AssembledTrace, WireDecodeError> {
+    let trace_hi = r.u64()?;
+    let trace_lo = r.u64()?;
+    let dropped = r.u64()?;
+    let n_lanes = r.u32()? as usize;
+    // Each lane costs at least its own 4-byte length prefix.
+    if r.remaining() < n_lanes.saturating_mul(4) {
+        return Err(WireDecodeError::Truncated {
+            needed: n_lanes.saturating_mul(4),
+            remaining: r.remaining(),
+        });
+    }
+    let mut lanes = Vec::with_capacity(n_lanes);
+    for _ in 0..n_lanes {
+        lanes.push(r.str()?);
+    }
+    let n_spans = r.u32()? as usize;
+    if r.remaining() < n_spans.saturating_mul(ASSEMBLED_SPAN_MIN_LEN) {
+        return Err(WireDecodeError::Truncated {
+            needed: n_spans.saturating_mul(ASSEMBLED_SPAN_MIN_LEN),
+            remaining: r.remaining(),
+        });
+    }
+    let mut spans = Vec::with_capacity(n_spans);
+    for _ in 0..n_spans {
+        let lane = r.u32()?;
+        if lane as usize >= n_lanes {
+            return Err(WireDecodeError::Invalid("span lane index out of range"));
+        }
+        spans.push(AssembledSpan {
+            lane,
+            name: r.str()?,
+            start_us: r.u64()?,
+            dur_us: r.u64()?,
+        });
+    }
+    Ok(AssembledTrace {
+        trace_hi,
+        trace_lo,
+        lanes,
+        spans,
+        dropped,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Stored-explanation codecs.
 // ---------------------------------------------------------------------------
 
@@ -1523,6 +1673,7 @@ const REQ_SHUTDOWN: u8 = 4;
 const REQ_TRACE: u8 = 5;
 const REQ_FETCH_EXPLANATION: u8 = 6;
 const REQ_LIST_EXPLANATIONS: u8 = 7;
+const REQ_ASSEMBLED_TRACE: u8 = 8;
 
 impl Request {
     /// Encodes the request as a frame payload.
@@ -1560,18 +1711,28 @@ impl Request {
                 encode_target(&mut out, e.target);
                 e.control.encode(&mut out);
                 encode_graph(&mut out, &e.graph);
+                // v6: the trace context rides after the graph so the
+                // layout stays append-only.
+                encode_opt_context(&mut out, &e.context);
             }
             Request::Stats => put_u8(&mut out, REQ_STATS),
             Request::Shutdown => put_u8(&mut out, REQ_SHUTDOWN),
-            Request::Trace(id) => {
+            Request::Trace(id, ctx) => {
                 put_u8(&mut out, REQ_TRACE);
                 put_u64(&mut out, *id);
+                encode_opt_context(&mut out, ctx);
             }
-            Request::FetchExplanation(id) => {
+            Request::FetchExplanation(id, ctx) => {
                 put_u8(&mut out, REQ_FETCH_EXPLANATION);
                 put_u64(&mut out, *id);
+                encode_opt_context(&mut out, ctx);
             }
             Request::ListExplanations => put_u8(&mut out, REQ_LIST_EXPLANATIONS),
+            Request::AssembledTrace { hi, lo } => {
+                put_u8(&mut out, REQ_ASSEMBLED_TRACE);
+                put_u64(&mut out, *hi);
+                put_u64(&mut out, *lo);
+            }
         }
         out
     }
@@ -1614,6 +1775,7 @@ impl Request {
                 let target = decode_target(&mut r)?;
                 let control = ControlSpec::decode(&mut r)?;
                 let graph = decode_graph(&mut r)?;
+                let context = decode_opt_context(&mut r)?;
                 Request::Explain(ExplainRequest {
                     model,
                     graph_id,
@@ -1623,13 +1785,20 @@ impl Request {
                     target,
                     control,
                     graph,
+                    context,
                 })
             }
             REQ_STATS => Request::Stats,
             REQ_SHUTDOWN => Request::Shutdown,
-            REQ_TRACE => Request::Trace(r.u64()?),
-            REQ_FETCH_EXPLANATION => Request::FetchExplanation(r.u64()?),
+            REQ_TRACE => Request::Trace(r.u64()?, decode_opt_context(&mut r)?),
+            REQ_FETCH_EXPLANATION => {
+                Request::FetchExplanation(r.u64()?, decode_opt_context(&mut r)?)
+            }
             REQ_LIST_EXPLANATIONS => Request::ListExplanations,
+            REQ_ASSEMBLED_TRACE => Request::AssembledTrace {
+                hi: r.u64()?,
+                lo: r.u64()?,
+            },
             _ => return Err(WireDecodeError::Invalid("request tag")),
         };
         r.expect_end()?;
@@ -1647,6 +1816,7 @@ const RESP_SHUTDOWN_ACK: u8 = 6;
 const RESP_TRACE: u8 = 7;
 const RESP_EXPLANATION: u8 = 8;
 const RESP_EXPLANATION_LIST: u8 = 9;
+const RESP_ASSEMBLED: u8 = 10;
 
 impl Response {
     /// Encodes the response as a frame payload.
@@ -1721,6 +1891,10 @@ impl Response {
                     }
                     None => put_u8(&mut out, 0),
                 }
+                // v6: trace sampling counters, appended after the gateway
+                // tail.
+                put_u64(&mut out, s.trace_sampled);
+                put_u64(&mut out, s.trace_dropped);
             }
             Response::ShutdownAck => put_u8(&mut out, RESP_SHUTDOWN_ACK),
             Response::Trace(t) => {
@@ -1732,6 +1906,10 @@ impl Response {
                     }
                     None => put_u8(&mut out, 0),
                 }
+            }
+            Response::Assembled(t) => {
+                put_u8(&mut out, RESP_ASSEMBLED);
+                encode_assembled(&mut out, t);
             }
             Response::Explanation(e) => {
                 put_u8(&mut out, RESP_EXPLANATION);
@@ -1820,12 +1998,21 @@ impl Response {
                     shed: r.u64()?,
                     protocol_errors: r.u64()?,
                     request_latency: decode_histogram(&mut r)?,
+                    // The v6 trace counters ride *after* the optional
+                    // gateway tail; filled in below.
+                    trace_sampled: 0,
+                    trace_dropped: 0,
                     runtime: decode_metrics(&mut r)?,
                 };
                 let gateway = match r.u8()? {
                     0 => None,
                     1 => Some(Box::new(decode_gateway_stats(&mut r)?)),
                     _ => return Err(WireDecodeError::Invalid("gateway stats tag")),
+                };
+                let s = ServerStats {
+                    trace_sampled: r.u64()?,
+                    trace_dropped: r.u64()?,
+                    ..s
                 };
                 Response::Stats(Box::new(s), gateway)
             }
@@ -1835,6 +2022,7 @@ impl Response {
                 1 => Some(Box::new(decode_trace(&mut r)?)),
                 _ => return Err(WireDecodeError::Invalid("trace option tag")),
             }),
+            RESP_ASSEMBLED => Response::Assembled(Box::new(decode_assembled(&mut r)?)),
             RESP_EXPLANATION => Response::Explanation(match r.u8()? {
                 0 => None,
                 1 => Some(Box::new(decode_stored_explanation(&mut r)?)),
@@ -1927,16 +2115,17 @@ mod tests {
     fn old_protocol_version_rejected() {
         // Well-formed frames from earlier protocols must be refused: v3
         // extended ControlSpec and the Stats payload, v4 appended the
-        // batch counters, and v5 appended the gateway tail, so decoding an
-        // older payload with current codecs would misinterpret bytes.
-        for old in [1u16, 2, 3, 4] {
+        // batch counters, v5 appended the gateway tail, and v6 appended
+        // the trace context / sampling counters, so decoding an older
+        // payload with current codecs would misinterpret bytes.
+        for old in [1u16, 2, 3, 4, 5] {
             let mut frame = encode_frame(b"x", 1024).unwrap();
             frame[4..6].copy_from_slice(&old.to_le_bytes());
             let mut cursor = std::io::Cursor::new(frame);
             match read_frame(&mut cursor, 1024) {
                 Err(WireError::UnsupportedVersion { got, expected }) => {
                     assert_eq!(got, old);
-                    assert_eq!(expected, 5);
+                    assert_eq!(expected, 6);
                 }
                 other => panic!("v{old} frame was not refused: {other:?}"),
             }
@@ -2079,6 +2268,12 @@ mod tests {
                 warm_start: true,
             },
             graph: b.build(),
+            context: Some(TraceContext {
+                trace_hi: 0xdead_beef_0000_0001,
+                trace_lo: 0x1234_5678_9abc_def0,
+                parent_span: 42,
+                sampled: true,
+            }),
         });
         let payload = req.encode();
         match Request::decode(&payload).unwrap() {
@@ -2094,6 +2289,11 @@ mod tests {
                 assert!(e.control.warm_start);
                 assert_eq!(e.graph.num_edges(), 3);
                 assert_eq!(e.graph.feature_row(1), &[0.5]);
+                let ctx = e.context.expect("context must survive the wire");
+                assert_eq!(ctx.trace_hi, 0xdead_beef_0000_0001);
+                assert_eq!(ctx.trace_lo, 0x1234_5678_9abc_def0);
+                assert_eq!(ctx.parent_span, 42);
+                assert!(ctx.sampled);
             }
             _ => panic!("decoded the wrong variant"),
         }
@@ -2115,6 +2315,8 @@ mod tests {
             connections_accepted: 4,
             bytes_in: 1000,
             shed: 2,
+            trace_sampled: 6,
+            trace_dropped: 94,
             ..Default::default()
         };
         s.runtime.jobs_completed = 17;
@@ -2134,6 +2336,7 @@ mod tests {
                 assert!(back.report().contains("shed=2"));
                 assert!(back.report().contains("total=340"));
                 assert!(back.report().contains("hits=5 misses=3"));
+                assert!(back.report().contains("sampled=6 dropped=94"));
             }
             _ => panic!("decoded the wrong variant"),
         }
@@ -2229,7 +2432,9 @@ mod tests {
     #[test]
     fn hostile_gateway_backend_count_fails_before_allocation() {
         let mut payload = Response::Stats(Box::<ServerStats>::default(), None).encode();
-        // Flip the tail tag to "present" and append a hostile count.
+        // Strip the v6 trace counters so the gateway-tail tag is the last
+        // byte again, flip it to "present", and append a hostile count.
+        payload.truncate(payload.len() - 16);
         let last = payload.len() - 1;
         payload[last] = 1;
         put_u64(&mut payload, 0); // routed
@@ -2265,6 +2470,8 @@ mod tests {
             "revelio_store_misses_total",
             "revelio_server_requests_total",
             "revelio_server_request_latency_seconds",
+            "revelio_trace_sampled_total",
+            "revelio_trace_dropped_total",
         ] {
             assert!(exp.families.contains_key(family), "missing family {family}");
         }
@@ -2272,9 +2479,27 @@ mod tests {
 
     #[test]
     fn trace_request_and_response_round_trip() {
-        let payload = Request::Trace(42).encode();
+        let payload = Request::Trace(42, None).encode();
         match Request::decode(&payload).unwrap() {
-            Request::Trace(id) => assert_eq!(id, 42),
+            Request::Trace(id, ctx) => {
+                assert_eq!(id, 42);
+                assert!(ctx.is_none());
+            }
+            _ => panic!("decoded the wrong variant"),
+        }
+
+        let ctx = TraceContext {
+            trace_hi: 1,
+            trace_lo: 2,
+            parent_span: 3,
+            sampled: false,
+        };
+        let payload = Request::Trace(2, Some(ctx)).encode();
+        match Request::decode(&payload).unwrap() {
+            Request::Trace(id, back) => {
+                assert_eq!(id, 2);
+                assert_eq!(back, Some(ctx));
+            }
             _ => panic!("decoded the wrong variant"),
         }
 
@@ -2337,9 +2562,12 @@ mod tests {
 
     #[test]
     fn stored_explanation_round_trips() {
-        let payload = Request::FetchExplanation(77).encode();
+        let payload = Request::FetchExplanation(77, None).encode();
         match Request::decode(&payload).unwrap() {
-            Request::FetchExplanation(id) => assert_eq!(id, 77),
+            Request::FetchExplanation(id, ctx) => {
+                assert_eq!(id, 77);
+                assert!(ctx.is_none());
+            }
             _ => panic!("decoded the wrong variant"),
         }
 
@@ -2431,6 +2659,103 @@ mod tests {
             Response::decode(&payload),
             Err(WireDecodeError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn assembled_trace_round_trips() {
+        let payload = Request::AssembledTrace { hi: 0, lo: 0 }.encode();
+        match Request::decode(&payload).unwrap() {
+            Request::AssembledTrace { hi, lo } => {
+                assert_eq!((hi, lo), (0, 0));
+            }
+            _ => panic!("decoded the wrong variant"),
+        }
+
+        let t = AssembledTrace {
+            trace_hi: 0xfeed,
+            trace_lo: 0xf00d,
+            lanes: vec!["gateway".to_owned(), "shard-1 (127.0.0.1:7152)".to_owned()],
+            spans: vec![
+                AssembledSpan {
+                    lane: 0,
+                    name: "route".to_owned(),
+                    start_us: 0,
+                    dur_us: 3000,
+                },
+                AssembledSpan {
+                    lane: 1,
+                    name: "optimize".to_owned(),
+                    start_us: 500,
+                    dur_us: 2000,
+                },
+            ],
+            dropped: 2,
+        };
+        let payload = Response::Assembled(Box::new(t.clone())).encode();
+        match Response::decode(&payload).unwrap() {
+            Response::Assembled(back) => assert_eq!(*back, t),
+            _ => panic!("decoded the wrong variant"),
+        }
+    }
+
+    #[test]
+    fn hostile_assembled_counts_fail_before_allocation() {
+        // Hostile lane count.
+        let mut payload = vec![RESP_ASSEMBLED];
+        put_u64(&mut payload, 0); // hi
+        put_u64(&mut payload, 0); // lo
+        put_u64(&mut payload, 0); // dropped
+        put_u32(&mut payload, u32::MAX); // lane count with no lanes
+        assert!(matches!(
+            Response::decode(&payload),
+            Err(WireDecodeError::Truncated { .. })
+        ));
+
+        // Hostile span count.
+        let mut payload = vec![RESP_ASSEMBLED];
+        put_u64(&mut payload, 0);
+        put_u64(&mut payload, 0);
+        put_u64(&mut payload, 0);
+        put_u32(&mut payload, 1);
+        put_str(&mut payload, "gateway");
+        put_u32(&mut payload, u32::MAX); // span count with no spans
+        assert!(matches!(
+            Response::decode(&payload),
+            Err(WireDecodeError::Truncated { .. })
+        ));
+
+        // Span pointing at a lane that does not exist.
+        let mut payload = vec![RESP_ASSEMBLED];
+        put_u64(&mut payload, 0);
+        put_u64(&mut payload, 0);
+        put_u64(&mut payload, 0);
+        put_u32(&mut payload, 1);
+        put_str(&mut payload, "gateway");
+        put_u32(&mut payload, 1);
+        put_u32(&mut payload, 9); // lane index out of range
+        put_str(&mut payload, "route");
+        put_u64(&mut payload, 0);
+        put_u64(&mut payload, 0);
+        assert!(matches!(
+            Response::decode(&payload),
+            Err(WireDecodeError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_trace_error_kind_round_trips() {
+        let payload = Response::Error {
+            kind: ErrorKind::UnknownTrace,
+            message: "trace 00ab is not retained".to_owned(),
+        }
+        .encode();
+        match Response::decode(&payload).unwrap() {
+            Response::Error { kind, message } => {
+                assert_eq!(kind, ErrorKind::UnknownTrace);
+                assert!(message.contains("00ab"));
+            }
+            _ => panic!("decoded the wrong variant"),
+        }
     }
 
     #[test]

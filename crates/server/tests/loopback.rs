@@ -96,6 +96,7 @@ fn explain_request(
         target: Target::Node(2),
         control,
         graph: graph.clone(),
+        context: None,
     }
 }
 

@@ -14,6 +14,7 @@ use revelio_server::wire::{
     crc32, encode_frame, read_frame, ExplainRequest, Request, Response, ServedExplanation,
     ServerStats, WireError, WireTiming, HEADER_LEN, PROTOCOL_VERSION,
 };
+use revelio_trace::TraceContext;
 
 const METHODS: [&str; 4] = ["REVELIO", "FlowX", "GNNExplainer", "GradCAM"];
 
@@ -67,6 +68,14 @@ proptest! {
                 warm_start: variant & 4 == 4,
             },
             graph,
+            // Half the cases propagate a context so the optional tail's
+            // both shapes round-trip under the same property.
+            context: (graph_id % 2 == 0).then_some(TraceContext {
+                trace_hi: graph_id ^ 0x9e37_79b9_7f4a_7c15,
+                trace_lo: graph_id | 1,
+                parent_span: variant as u64,
+                sampled: variant & 1 == 1,
+            }),
         };
         let payload = Request::Explain(req.clone()).encode();
         let back = match Request::decode(&payload).unwrap() {
@@ -86,6 +95,7 @@ proptest! {
         prop_assert_eq!(back.control.warm_start, req.control.warm_start);
         prop_assert_eq!(back.graph.edges(), req.graph.edges());
         prop_assert_eq!(back.graph.features(), req.graph.features());
+        prop_assert_eq!(back.context, req.context);
     }
 
     #[test]

@@ -47,6 +47,12 @@
 
 #![deny(clippy::print_stdout, clippy::print_stderr)]
 
+pub mod distributed;
+
+pub use distributed::{
+    hex_trace_id, validate_json, AssembledSpan, AssembledTrace, Sampler, TraceContext,
+};
+
 use revelio_check::sync::atomic::{AtomicU64, Ordering};
 use revelio_check::sync::{Arc, Mutex};
 use std::sync::OnceLock;

@@ -1,0 +1,46 @@
+//! With sampling off (`--trace-sample-rate 0`, the default), every request
+//! pays one sampler decision plus the noop collector path. That combined
+//! cost must stay inside the same generous budget the bare noop path is
+//! held to (see `noop_overhead.rs`): the bound catches a structural
+//! regression — an atomic RMW, allocation, or lock sneaking onto the
+//! sampling-off path — not a precise benchmark.
+
+use std::time::{Duration, Instant};
+
+use revelio_trace::{EventKind, Phase, Sampler, TraceHandle};
+
+#[test]
+fn sampling_off_stays_within_the_noop_budget() {
+    let sampler = Sampler::new(0.0, 0x5eed);
+    let tr = TraceHandle::noop();
+    const N: u32 = 1_000_000;
+    let mut sampled = 0u64;
+    let mut runs: Vec<Duration> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            for i in 0..N {
+                if sampler.sample() {
+                    sampled += 1;
+                }
+                tr.event(EventKind::Epoch {
+                    index: i,
+                    loss: 0.0,
+                    grad_norm: 0.0,
+                });
+                let _span = tr.span(Phase::Optimize);
+            }
+            t0.elapsed()
+        })
+        .collect();
+    assert_eq!(sampled, 0, "rate 0 must never sample");
+    runs.sort();
+    let median = runs[1];
+    // Same budget as the PR 5 noop test: 2M noop trace calls + 1M sampler
+    // decisions should cost single-digit milliseconds; two seconds means
+    // the off path gained real work.
+    assert!(
+        median < Duration::from_secs(2),
+        "sampling-off path took {median:?} for {} calls",
+        2 * N
+    );
+}
